@@ -1,0 +1,24 @@
+"""Helpers shared by the benchmark harness (importable without pytest magic)."""
+
+from repro.core import Alpha0Architecture
+from repro.processors import SymbolicAlpha0Options
+
+
+def condensed_alpha0_architecture() -> Alpha0Architecture:
+    """The Alpha0 condensation used by the benchmark harness.
+
+    Follows Section 6.3's condensation strategy (4-bit datapath,
+    restricted ALU); the register file and data memory are folded to four
+    entries each so that the pure-Python BDD engine completes in seconds.
+    """
+    return Alpha0Architecture(
+        options=SymbolicAlpha0Options(
+            data_width=4, num_registers=4, memory_words=4, alu_subset=("and", "or", "cmpeq")
+        )
+    )
+
+
+def record_paper_comparison(benchmark, **entries):
+    """Attach paper-vs-measured metadata to a benchmark result."""
+    for key, value in entries.items():
+        benchmark.extra_info[key] = value

@@ -1,0 +1,108 @@
+"""Bug-injection study — "any incorrect change in state ... will be detected".
+
+Every bug in the injectable catalogue of the pipelined VSM and Alpha0 is
+run against the beta-relation verifier with a workload that exercises
+the relevant instruction class; every one of them must be reported, and
+the golden designs must keep passing.
+"""
+
+from repro.core import (
+    SimulationInfo,
+    VSMArchitecture,
+    all_normal,
+    control_at,
+    verify_beta_relation,
+)
+from repro.strings import CONTROL, NORMAL
+
+from _bench_utils import condensed_alpha0_architecture, record_paper_comparison
+
+VSM_WORKLOADS = {
+    "no_bypass": all_normal(2),
+    "no_annul": SimulationInfo(slots=(CONTROL, NORMAL)),
+    "wrong_branch_target": control_at(2, 0),
+    "and_becomes_or": all_normal(1),
+    "drop_write_r3": all_normal(1),
+}
+
+def alpha0_bug_runs():
+    """Per-bug (architecture, workload): the slot class must exercise the bug."""
+    base = condensed_alpha0_architecture()
+    from repro.core import Alpha0Architecture
+
+    return {
+        "no_bypass": (base, all_normal(2)),
+        "no_annul": (base, SimulationInfo(slots=(CONTROL, NORMAL))),
+        "cmpeq_inverted": (
+            Alpha0Architecture(options=base.options, normal_opcode=0x10),
+            all_normal(1),
+        ),
+        "store_wrong_word": (
+            Alpha0Architecture(
+                options=base.options, normal_opcode=0x2D, symbolic_initial_state=True
+            ),
+            all_normal(2),
+        ),
+    }
+
+
+def test_vsm_bug_sweep(benchmark):
+    def run():
+        detected = {}
+        for bug, workload in VSM_WORKLOADS.items():
+            report = verify_beta_relation(
+                VSMArchitecture(), workload, impl_kwargs={"bug": bug}
+            )
+            detected[bug] = (not report.passed, len(report.mismatches))
+        return detected
+
+    detected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(flag for flag, _ in detected.values()), detected
+    record_paper_comparison(
+        benchmark,
+        experiment="Bug injection sweep (VSM)",
+        paper="incorrect state changes are detected by the sampled comparisons",
+        measured="; ".join(
+            f"{bug}: {count} mismatching observables" for bug, (_, count) in detected.items()
+        ),
+    )
+
+
+def test_alpha0_bug_sweep(benchmark):
+    runs = alpha0_bug_runs()
+
+    def run():
+        detected = {}
+        for bug, (architecture, workload) in runs.items():
+            report = verify_beta_relation(architecture, workload, impl_kwargs={"bug": bug})
+            detected[bug] = (not report.passed, len(report.mismatches))
+        return detected
+
+    detected = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert all(flag for flag, _ in detected.values()), detected
+    record_paper_comparison(
+        benchmark,
+        experiment="Bug injection sweep (Alpha0)",
+        paper="(implicit) same detection guarantee on the deeper design",
+        measured="; ".join(
+            f"{bug}: {count} mismatching observables" for bug, (_, count) in detected.items()
+        ),
+    )
+
+
+def test_golden_designs_still_pass(benchmark):
+    """Control arm of the study: no false alarms on the correct designs."""
+    architecture = condensed_alpha0_architecture()
+
+    def run():
+        vsm = verify_beta_relation(VSMArchitecture(), all_normal(2))
+        alpha0 = verify_beta_relation(architecture, all_normal(2))
+        return vsm.passed and alpha0.passed
+
+    assert benchmark.pedantic(run, rounds=1, iterations=1)
+    record_paper_comparison(
+        benchmark,
+        experiment="Bug injection control arm",
+        paper="correct designs verify",
+        measured="no false alarms",
+    )

@@ -1,0 +1,76 @@
+"""Burch-Dill flushing comparison point.
+
+The flushing commutative diagram verifies the same designs with a
+different decomposition (one symbolic step from a warmed-up pipeline
+state, flushed on both paths).  The benchmark records its cost next to
+the beta-relation run so the two formulations can be compared on equal
+substrates.
+"""
+
+from repro.core import VSMArchitecture, all_normal, verify_beta_relation, verify_by_flushing
+from repro.strings import CONTROL
+
+from _bench_utils import record_paper_comparison
+
+
+def test_flushing_check_vsm(benchmark):
+    def run():
+        return verify_by_flushing(VSMArchitecture(), warmup_instructions=2)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed, report.summary()
+    record_paper_comparison(
+        benchmark,
+        experiment="Flushing check (VSM, ALU probe)",
+        paper="(not in the paper; contemporaneous Burch-Dill criterion)",
+        measured=f"{report.warmup_instructions} warm-up instructions, "
+        f"{report.flush_cycles} flush cycles, PASSED",
+    )
+
+
+def test_flushing_check_vsm_branch_probe(benchmark):
+    def run():
+        return verify_by_flushing(VSMArchitecture(), warmup_instructions=1, step_kind=CONTROL)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed, report.summary()
+    record_paper_comparison(
+        benchmark,
+        experiment="Flushing check (VSM, branch probe)",
+        paper="(not in the paper)",
+        measured="control-transfer probe instruction, PASSED",
+    )
+
+
+def test_flushing_catches_missing_bypass(benchmark):
+    def run():
+        return verify_by_flushing(
+            VSMArchitecture(), warmup_instructions=2, impl_kwargs={"bug": "no_bypass"}
+        )
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not report.passed
+    record_paper_comparison(
+        benchmark,
+        experiment="Flushing check (bug detection)",
+        paper="(not in the paper)",
+        measured="missing bypass detected by the commutative diagram",
+    )
+
+
+def test_flushing_vs_beta_relation_cost(benchmark):
+    """Relative cost of the two formulations on the same design."""
+
+    def run():
+        flushing = verify_by_flushing(VSMArchitecture(), warmup_instructions=2)
+        beta = verify_beta_relation(VSMArchitecture(), all_normal(2))
+        return flushing, beta
+
+    flushing, beta = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert flushing.passed and beta.passed
+    record_paper_comparison(
+        benchmark,
+        experiment="Flushing vs beta-relation cost",
+        paper="(comparison added by this reproduction)",
+        measured=f"flushing {flushing.seconds:.2f} s vs beta-relation {beta.total_seconds:.2f} s",
+    )

@@ -1,0 +1,80 @@
+"""Section 6.2 — verification of the pipelined VSM (headline experiment).
+
+The paper reports, for the VSM with k = 4 and d = 1 driven by the
+simulation-information file ``r 0 0 1 0``:
+
+* unpipelined machine simulated for k^2 + r = 17 cycles (175 s on a
+  SPARCstation 10),
+* pipelined machine simulated for 2k - 1 + r + c*d = 9 cycles (292 s),
+* verification of the sampled variable formulae by ROBDD comparison.
+
+The benchmark regenerates the same run (same cycle counts, same
+filtering functions) and records the measured times; absolute times are
+hardware- and implementation-bound, but the shape — the pipelined
+simulation costs more than the unpipelined one, and the whole check
+needs only a handful of cycles — is preserved.
+"""
+
+from repro.core import VSMArchitecture, verify_beta_relation, vsm_default
+
+from _bench_utils import record_paper_comparison
+
+
+def test_vsm_beta_relation_verification(benchmark):
+    architecture = VSMArchitecture()
+    siminfo = vsm_default()
+
+    def run():
+        return verify_beta_relation(architecture, siminfo)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed, report.summary()
+    assert report.specification_cycles == 17
+    assert report.implementation_cycles == 9
+    spec_line, impl_line = report.filter_lines()
+    assert spec_line.endswith("1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1")
+    assert impl_line.endswith("1 0 0 0 1 1 1 0 1")
+    # Shape check: simulating the pipelined machine is the more expensive phase
+    # on a per-cycle basis (9 cycles cost a comparable amount to 17 unpipelined
+    # cycles), mirroring the paper's 292 s vs 175 s.
+    per_cycle_spec = report.specification_seconds / report.specification_cycles
+    per_cycle_impl = report.implementation_seconds / report.implementation_cycles
+    assert per_cycle_impl > per_cycle_spec
+    record_paper_comparison(
+        benchmark,
+        experiment="Section 6.2 (VSM verification)",
+        paper_unpipelined_seconds=175.0,
+        paper_pipelined_seconds=292.0,
+        paper_platform="Sun SPARCstation 10 (sis/BDSYN flow)",
+        measured_unpipelined_seconds=round(report.specification_seconds, 3),
+        measured_pipelined_seconds=round(report.implementation_seconds, 3),
+        measured_bdd_nodes=report.bdd_nodes,
+        verdict="PASSED",
+    )
+
+
+def test_vsm_verification_from_symbolic_register_file(benchmark):
+    """A reduced run with a fully symbolic initial register file.
+
+    The paper condenses the design to a single observed register to fit
+    BDD capacity; here the full register file is kept but only a single
+    non-control instruction slot is simulated, which keeps the symbolic
+    initial state tractable and shows the check generalises over every
+    starting state.
+    """
+    from repro.core import all_normal
+
+    architecture = VSMArchitecture(symbolic_initial_state=True)
+    siminfo = all_normal(1)
+
+    def run():
+        return verify_beta_relation(architecture, siminfo)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed, report.summary()
+    record_paper_comparison(
+        benchmark,
+        experiment="Section 6.2 (symbolic initial state variant)",
+        paper="single observed register condensation",
+        measured="8 symbolic registers, 1 instruction slot, PASSED",
+    )

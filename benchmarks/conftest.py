@@ -1,0 +1,22 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper (see the
+per-experiment index in DESIGN.md).  Paper-reported quantities are
+recorded next to the measured ones in ``benchmark.extra_info``.
+"""
+
+import pytest
+
+from repro.core import VSMArchitecture
+
+from _bench_utils import condensed_alpha0_architecture
+
+
+@pytest.fixture()
+def vsm_architecture():
+    return VSMArchitecture()
+
+
+@pytest.fixture()
+def alpha0_architecture():
+    return condensed_alpha0_architecture()

@@ -1,0 +1,11 @@
+"""repro — reproduction of "Automatic Verification of Pipelined Microprocessors".
+
+The package verifies pipelined microprocessor implementations against
+their unpipelined instruction-set specifications using the paper's
+beta-relation / definite-machine methodology with BDD-based symbolic
+simulation.  See :mod:`repro.core` for the top-level entry points
+(:func:`repro.core.verify_beta_relation`) and DESIGN.md for the system
+inventory and per-experiment index.
+"""
+
+__version__ = "1.0.0"

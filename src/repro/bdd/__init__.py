@@ -1,0 +1,53 @@
+"""Reduced ordered binary decision diagrams (ROBDDs).
+
+This package is the Boolean-function substrate of the reproduction
+(paper Chapter 3): canonical ROBDDs with the apply/ite operation,
+cofactoring, the smoothing operator, relational products, composition
+and counting queries, plus static variable-ordering helpers.
+"""
+
+from .manager import BDDManager, BDDOrderError
+from .node import BDDNode, TERMINAL_LEVEL
+from .ops import (
+    bits_to_int,
+    compose_vector,
+    encode_value,
+    evaluate_vector,
+    find_distinguishing_assignment,
+    int_to_bits,
+    restrict_vector,
+    vector_equal,
+    vector_node_count,
+    vector_support,
+    vectors_identical,
+)
+from .ordering import (
+    bit_names,
+    cycle_major_order,
+    first_use_order,
+    interleave,
+    state_then_inputs,
+)
+
+__all__ = [
+    "BDDManager",
+    "BDDNode",
+    "BDDOrderError",
+    "TERMINAL_LEVEL",
+    "bit_names",
+    "bits_to_int",
+    "compose_vector",
+    "cycle_major_order",
+    "encode_value",
+    "evaluate_vector",
+    "find_distinguishing_assignment",
+    "first_use_order",
+    "int_to_bits",
+    "interleave",
+    "restrict_vector",
+    "state_then_inputs",
+    "vector_equal",
+    "vector_node_count",
+    "vector_support",
+    "vectors_identical",
+]

@@ -1,0 +1,524 @@
+"""ROBDD manager: construction and manipulation of reduced ordered BDDs.
+
+This module implements the BDD substrate described in Section 3.2 of the
+paper.  It provides:
+
+* hash-consed node construction (canonical form),
+* the ``apply`` / ``ite`` operations for combining functions,
+* cofactoring (restriction) by literals,
+* the smoothing operator (existential quantification, Definition 3.3.1),
+* universal quantification,
+* the combined AND-smooth (relational product) used for image
+  computation ([BCMD90] in the paper),
+* functional composition and variable renaming,
+* satisfiability, tautology and model-counting queries.
+
+The manager owns a total variable order.  Variables are referred to by
+name (strings); each name is mapped to a *level*, its position in the
+order.  All functions handled by one manager share that order, which is
+what makes node identity a sound equivalence check.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from .node import BDDNode, TERMINAL_LEVEL
+
+
+class BDDOrderError(ValueError):
+    """Raised when a variable is used before being declared."""
+
+
+class BDDManager:
+    """Owner of a variable order, unique table and operation caches."""
+
+    def __init__(self, variables: Optional[Sequence[str]] = None) -> None:
+        self._level_of: Dict[str, int] = {}
+        self._name_of: List[str] = []
+        self._unique: Dict[Tuple[int, int, int], BDDNode] = {}
+        self._ite_cache: Dict[Tuple[int, int, int], BDDNode] = {}
+        self._quant_cache: Dict[Tuple[str, int, frozenset], BDDNode] = {}
+        self._compose_cache: Dict[Tuple[int, int], BDDNode] = {}
+        self._next_id = 2
+        self.zero = BDDNode(TERMINAL_LEVEL, None, None, 0, 0)
+        self.one = BDDNode(TERMINAL_LEVEL, None, None, 1, 1)
+        if variables:
+            for name in variables:
+                self.declare(name)
+
+    # ------------------------------------------------------------------
+    # Variable order management
+    # ------------------------------------------------------------------
+    def declare(self, name: str) -> None:
+        """Append ``name`` to the variable order if not already present."""
+        if name in self._level_of:
+            return
+        self._level_of[name] = len(self._name_of)
+        self._name_of.append(name)
+
+    def declare_all(self, names: Iterable[str]) -> None:
+        """Declare several variables in the given order."""
+        for name in names:
+            self.declare(name)
+
+    @property
+    def variables(self) -> Tuple[str, ...]:
+        """The current variable order, root-most first."""
+        return tuple(self._name_of)
+
+    def level(self, name: str) -> int:
+        """Level (order position) of a declared variable."""
+        try:
+            return self._level_of[name]
+        except KeyError:
+            raise BDDOrderError(f"variable {name!r} has not been declared") from None
+
+    def name_at_level(self, level: int) -> str:
+        """Variable name at a given level."""
+        return self._name_of[level]
+
+    def num_vars(self) -> int:
+        """Number of declared variables."""
+        return len(self._name_of)
+
+    # ------------------------------------------------------------------
+    # Node construction
+    # ------------------------------------------------------------------
+    def _mk(self, level: int, low: BDDNode, high: BDDNode) -> BDDNode:
+        """Hash-consed node constructor with the reduction rules applied."""
+        if low is high:
+            return low
+        key = (level, low.node_id, high.node_id)
+        node = self._unique.get(key)
+        if node is None:
+            node = BDDNode(level, low, high, None, self._next_id)
+            self._next_id += 1
+            self._unique[key] = node
+        return node
+
+    def constant(self, value: bool) -> BDDNode:
+        """The terminal node for a Boolean constant."""
+        return self.one if value else self.zero
+
+    def var(self, name: str) -> BDDNode:
+        """The function of a single positive literal."""
+        if name not in self._level_of:
+            self.declare(name)
+        return self._mk(self._level_of[name], self.zero, self.one)
+
+    def nvar(self, name: str) -> BDDNode:
+        """The function of a single negative literal."""
+        if name not in self._level_of:
+            self.declare(name)
+        return self._mk(self._level_of[name], self.one, self.zero)
+
+    # ------------------------------------------------------------------
+    # Core operation: if-then-else
+    # ------------------------------------------------------------------
+    def ite(self, f: BDDNode, g: BDDNode, h: BDDNode) -> BDDNode:
+        """Compute ``if f then g else h``.
+
+        All binary Boolean connectives are expressed through ``ite``,
+        which plays the role of the recursive *apply* operation of
+        Section 3.2.
+        """
+        # Terminal cases.
+        if f is self.one:
+            return g
+        if f is self.zero:
+            return h
+        if g is h:
+            return g
+        if g is self.one and h is self.zero:
+            return f
+
+        key = (f.node_id, g.node_id, h.node_id)
+        cached = self._ite_cache.get(key)
+        if cached is not None:
+            return cached
+
+        level = min(f.level, g.level, h.level)
+        f0, f1 = self._cofactors_at(f, level)
+        g0, g1 = self._cofactors_at(g, level)
+        h0, h1 = self._cofactors_at(h, level)
+        low = self.ite(f0, g0, h0)
+        high = self.ite(f1, g1, h1)
+        result = self._mk(level, low, high)
+        self._ite_cache[key] = result
+        return result
+
+    @staticmethod
+    def _cofactors_at(node: BDDNode, level: int) -> Tuple[BDDNode, BDDNode]:
+        """Shannon cofactors of ``node`` with respect to the variable at ``level``."""
+        if node.level == level:
+            return node.low, node.high
+        return node, node
+
+    # ------------------------------------------------------------------
+    # Boolean connectives
+    # ------------------------------------------------------------------
+    def apply_not(self, f: BDDNode) -> BDDNode:
+        """Negation of ``f``."""
+        return self.ite(f, self.zero, self.one)
+
+    def apply_and(self, f: BDDNode, g: BDDNode) -> BDDNode:
+        """Conjunction of ``f`` and ``g``."""
+        return self.ite(f, g, self.zero)
+
+    def apply_or(self, f: BDDNode, g: BDDNode) -> BDDNode:
+        """Disjunction of ``f`` and ``g``."""
+        return self.ite(f, self.one, g)
+
+    def apply_xor(self, f: BDDNode, g: BDDNode) -> BDDNode:
+        """Exclusive or of ``f`` and ``g``."""
+        return self.ite(f, self.apply_not(g), g)
+
+    def apply_xnor(self, f: BDDNode, g: BDDNode) -> BDDNode:
+        """Equivalence (XNOR) of ``f`` and ``g``."""
+        return self.ite(f, g, self.apply_not(g))
+
+    def apply_nand(self, f: BDDNode, g: BDDNode) -> BDDNode:
+        """NAND of ``f`` and ``g``."""
+        return self.apply_not(self.apply_and(f, g))
+
+    def apply_nor(self, f: BDDNode, g: BDDNode) -> BDDNode:
+        """NOR of ``f`` and ``g``."""
+        return self.apply_not(self.apply_or(f, g))
+
+    def apply_implies(self, f: BDDNode, g: BDDNode) -> BDDNode:
+        """Implication ``f -> g``."""
+        return self.ite(f, g, self.one)
+
+    def conjoin(self, functions: Iterable[BDDNode]) -> BDDNode:
+        """Conjunction of an iterable of functions (1 for the empty set)."""
+        result = self.one
+        for f in functions:
+            result = self.apply_and(result, f)
+            if result is self.zero:
+                break
+        return result
+
+    def disjoin(self, functions: Iterable[BDDNode]) -> BDDNode:
+        """Disjunction of an iterable of functions (0 for the empty set)."""
+        result = self.zero
+        for f in functions:
+            result = self.apply_or(result, f)
+            if result is self.one:
+                break
+        return result
+
+    # ------------------------------------------------------------------
+    # Cofactoring / restriction
+    # ------------------------------------------------------------------
+    def restrict(self, f: BDDNode, assignment: Mapping[str, bool]) -> BDDNode:
+        """Cofactor ``f`` by the literals in ``assignment``.
+
+        Cofactoring by a literal is the "trivial operation" of Section
+        3.3: the corresponding decision nodes are bypassed in the
+        direction of the assigned value.
+        """
+        if not assignment:
+            return f
+        levels = {self.level(name): bool(value) for name, value in assignment.items()}
+        cache: Dict[int, BDDNode] = {}
+
+        def walk(node: BDDNode) -> BDDNode:
+            if node.is_terminal:
+                return node
+            hit = cache.get(node.node_id)
+            if hit is not None:
+                return hit
+            if node.level in levels:
+                result = walk(node.high if levels[node.level] else node.low)
+            else:
+                result = self._mk(node.level, walk(node.low), walk(node.high))
+            cache[node.node_id] = result
+            return result
+
+        return walk(f)
+
+    def cofactor(self, f: BDDNode, name: str, value: bool) -> BDDNode:
+        """Cofactor ``f`` by a single literal."""
+        return self.restrict(f, {name: value})
+
+    # ------------------------------------------------------------------
+    # Quantification (smoothing)
+    # ------------------------------------------------------------------
+    def exists(self, names: Iterable[str], f: BDDNode) -> BDDNode:
+        """Smoothing operator: existentially quantify ``names`` out of ``f``.
+
+        Implements Definition 3.3.1: ``S_x f = f|x=1 + f|x=0`` applied to
+        every variable in ``names``.
+        """
+        levels = frozenset(self.level(name) for name in names)
+        if not levels:
+            return f
+        return self._quantify("exists", f, levels)
+
+    def forall(self, names: Iterable[str], f: BDDNode) -> BDDNode:
+        """Universally quantify ``names`` out of ``f``."""
+        levels = frozenset(self.level(name) for name in names)
+        if not levels:
+            return f
+        return self._quantify("forall", f, levels)
+
+    def _quantify(self, kind: str, f: BDDNode, levels: frozenset) -> BDDNode:
+        key = (kind, f.node_id, levels)
+        cached = self._quant_cache.get(key)
+        if cached is not None:
+            return cached
+        if f.is_terminal or f.level > max(levels):
+            result = f
+        else:
+            low = self._quantify(kind, f.low, levels)
+            high = self._quantify(kind, f.high, levels)
+            if f.level in levels:
+                if kind == "exists":
+                    result = self.apply_or(low, high)
+                else:
+                    result = self.apply_and(low, high)
+            else:
+                result = self._mk(f.level, low, high)
+        self._quant_cache[key] = result
+        return result
+
+    def and_exists(self, names: Iterable[str], f: BDDNode, g: BDDNode) -> BDDNode:
+        """Relational product: ``exists names . (f AND g)``.
+
+        The conjunction and the smoothing are performed in one recursive
+        pass, as suggested in the paper ([BCMD90]); this avoids building
+        the possibly large intermediate conjunction.
+        """
+        levels = frozenset(self.level(name) for name in names)
+        cache: Dict[Tuple[int, int], BDDNode] = {}
+
+        def walk(a: BDDNode, b: BDDNode) -> BDDNode:
+            if a is self.zero or b is self.zero:
+                return self.zero
+            if a is self.one and b is self.one:
+                return self.one
+            if a is self.one:
+                a2, b2 = b, a
+            else:
+                a2, b2 = a, b
+            key = (a2.node_id, b2.node_id)
+            hit = cache.get(key)
+            if hit is not None:
+                return hit
+            level = min(a2.level, b2.level)
+            if level > max(levels, default=-1):
+                # No quantified variable left below this point.
+                result = self.apply_and(a2, b2)
+            else:
+                a0, a1 = self._cofactors_at(a2, level)
+                b0, b1 = self._cofactors_at(b2, level)
+                low = walk(a0, b0)
+                if level in levels and low is self.one:
+                    result = self.one
+                else:
+                    high = walk(a1, b1)
+                    if level in levels:
+                        result = self.apply_or(low, high)
+                    else:
+                        result = self._mk(level, low, high)
+            cache[key] = result
+            return result
+
+        if not levels:
+            return self.apply_and(f, g)
+        return walk(f, g)
+
+    # ------------------------------------------------------------------
+    # Composition and renaming
+    # ------------------------------------------------------------------
+    def compose(self, f: BDDNode, substitution: Mapping[str, BDDNode]) -> BDDNode:
+        """Simultaneously substitute functions for variables in ``f``.
+
+        This is the workhorse of functional symbolic simulation: the
+        next-state function of a register is composed with the formulae
+        of the current symbolic state to roll the machine forward one
+        cycle.
+        """
+        if not substitution:
+            return f
+        by_level = {self.level(name): g for name, g in substitution.items()}
+        cache: Dict[int, BDDNode] = {}
+
+        def walk(node: BDDNode) -> BDDNode:
+            if node.is_terminal:
+                return node
+            hit = cache.get(node.node_id)
+            if hit is not None:
+                return hit
+            low = walk(node.low)
+            high = walk(node.high)
+            replacement = by_level.get(node.level)
+            if replacement is None:
+                var_fn = self._mk(node.level, self.zero, self.one)
+            else:
+                var_fn = replacement
+            result = self.ite(var_fn, high, low)
+            cache[node.node_id] = result
+            return result
+
+        return walk(f)
+
+    def rename(self, f: BDDNode, mapping: Mapping[str, str]) -> BDDNode:
+        """Rename variables of ``f`` according to ``mapping``.
+
+        Implemented through :meth:`compose`; the target variables are
+        declared on demand.
+        """
+        substitution = {old: self.var(new) for old, new in mapping.items()}
+        return self.compose(f, substitution)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def is_tautology(self, f: BDDNode) -> bool:
+        """Whether ``f`` is the constant-1 function."""
+        return f is self.one
+
+    def is_contradiction(self, f: BDDNode) -> bool:
+        """Whether ``f`` is the constant-0 function."""
+        return f is self.zero
+
+    def is_satisfiable(self, f: BDDNode) -> bool:
+        """Whether ``f`` has at least one satisfying assignment."""
+        return f is not self.zero
+
+    def equivalent(self, f: BDDNode, g: BDDNode) -> bool:
+        """Canonical equivalence check: node identity."""
+        return f is g
+
+    def evaluate(self, f: BDDNode, assignment: Mapping[str, bool]) -> bool:
+        """Evaluate ``f`` under a (total enough) variable assignment."""
+        node = f
+        while not node.is_terminal:
+            name = self._name_of[node.level]
+            if name not in assignment:
+                raise KeyError(f"assignment missing variable {name!r}")
+            node = node.high if assignment[name] else node.low
+        return bool(node.value)
+
+    def support(self, f: BDDNode) -> Tuple[str, ...]:
+        """Names of the variables ``f`` actually depends on, in order."""
+        seen = set()
+        levels = set()
+
+        def walk(node: BDDNode) -> None:
+            if node.is_terminal or node.node_id in seen:
+                return
+            seen.add(node.node_id)
+            levels.add(node.level)
+            walk(node.low)
+            walk(node.high)
+
+        walk(f)
+        return tuple(self._name_of[level] for level in sorted(levels))
+
+    def count_nodes(self, f: BDDNode) -> int:
+        """Number of distinct nodes in ``f`` (including terminals reached)."""
+        seen = set()
+
+        def walk(node: BDDNode) -> None:
+            if node.node_id in seen:
+                return
+            seen.add(node.node_id)
+            if not node.is_terminal:
+                walk(node.low)
+                walk(node.high)
+
+        walk(f)
+        return len(seen)
+
+    def size(self) -> int:
+        """Total number of live non-terminal nodes in the unique table."""
+        return len(self._unique)
+
+    def sat_count(self, f: BDDNode, variables: Optional[Sequence[str]] = None) -> int:
+        """Number of satisfying assignments of ``f`` over ``variables``.
+
+        If ``variables`` is omitted, the support of ``f`` is used.
+        """
+        if variables is None:
+            variables = self.support(f)
+        var_levels = sorted(self.level(name) for name in variables)
+        support_levels = set(self.level(name) for name in self.support(f))
+        if not support_levels.issubset(var_levels):
+            missing = support_levels.difference(var_levels)
+            names = [self._name_of[level] for level in sorted(missing)]
+            raise ValueError(f"sat_count variable set misses support variables {names}")
+        index_of = {level: i for i, level in enumerate(var_levels)}
+        total = len(var_levels)
+        cache: Dict[int, int] = {}
+
+        def walk(node: BDDNode, depth: int) -> int:
+            """Count assignments to variables at positions >= depth."""
+            if node.is_terminal:
+                return node.value * (1 << (total - depth))
+            position = index_of[node.level]
+            key = node.node_id
+            below = cache.get(key)
+            if below is None:
+                below = walk(node.low, position + 1) + walk(node.high, position + 1)
+                cache[key] = below
+            return below << (position - depth)
+
+        return walk(f, 0)
+
+    def pick_assignment(self, f: BDDNode) -> Optional[Dict[str, bool]]:
+        """One satisfying assignment of ``f`` (minimal: only decided vars)."""
+        if f is self.zero:
+            return None
+        assignment: Dict[str, bool] = {}
+        node = f
+        while not node.is_terminal:
+            name = self._name_of[node.level]
+            if node.low is not self.zero:
+                assignment[name] = False
+                node = node.low
+            else:
+                assignment[name] = True
+                node = node.high
+        return assignment
+
+    def iter_assignments(
+        self, f: BDDNode, variables: Optional[Sequence[str]] = None
+    ) -> Iterator[Dict[str, bool]]:
+        """Iterate over all satisfying assignments over ``variables``."""
+        if variables is None:
+            variables = self.support(f)
+        names = list(variables)
+        for values in itertools.product([False, True], repeat=len(names)):
+            assignment = dict(zip(names, values))
+            restricted = self.restrict(f, assignment)
+            if restricted is self.one:
+                yield assignment
+
+    def cube(self, assignment: Mapping[str, bool]) -> BDDNode:
+        """The conjunction of literals described by ``assignment``."""
+        result = self.one
+        for name, value in assignment.items():
+            literal = self.var(name) if value else self.nvar(name)
+            result = self.apply_and(result, literal)
+        return result
+
+    # ------------------------------------------------------------------
+    # Housekeeping
+    # ------------------------------------------------------------------
+    def clear_caches(self) -> None:
+        """Drop operation caches (the unique table is kept)."""
+        self._ite_cache.clear()
+        self._quant_cache.clear()
+        self._compose_cache.clear()
+
+    def statistics(self) -> Dict[str, int]:
+        """Basic manager statistics for reporting."""
+        return {
+            "variables": self.num_vars(),
+            "unique_table_nodes": len(self._unique),
+            "ite_cache_entries": len(self._ite_cache),
+        }

@@ -1,0 +1,62 @@
+"""BDD node representation.
+
+A reduced ordered binary decision diagram (ROBDD) is a DAG of decision
+nodes.  Each non-terminal node tests one Boolean variable and has a
+``low`` child (variable = 0) and a ``high`` child (variable = 1).  The
+two terminal nodes represent the constant functions 0 and 1.
+
+Nodes are created exclusively by :class:`repro.bdd.manager.BDDManager`,
+which hash-conses them so that structural equality coincides with object
+identity.  That property is what makes ROBDDs canonical: two functions
+over the same variable order are equal if and only if their root nodes
+are the same object (paper, Section 3.2).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+#: Level assigned to terminal nodes.  Terminals sit "below" every
+#: variable in the order, so any real variable level compares smaller.
+TERMINAL_LEVEL = 1 << 60
+
+
+class BDDNode:
+    """A single node of an ROBDD.
+
+    Attributes:
+        level: Position of the node's variable in the manager's variable
+            order (smaller = closer to the root).  Terminals use
+            :data:`TERMINAL_LEVEL`.
+        low: Child followed when the variable is 0 (``None`` for terminals).
+        high: Child followed when the variable is 1 (``None`` for terminals).
+        value: Terminal value (0 or 1) for terminal nodes, ``None`` otherwise.
+        node_id: Small unique integer assigned by the manager; used as a
+            stable key for operation caches.
+    """
+
+    __slots__ = ("level", "low", "high", "value", "node_id")
+
+    def __init__(
+        self,
+        level: int,
+        low: Optional["BDDNode"],
+        high: Optional["BDDNode"],
+        value: Optional[int],
+        node_id: int,
+    ) -> None:
+        self.level = level
+        self.low = low
+        self.high = high
+        self.value = value
+        self.node_id = node_id
+
+    @property
+    def is_terminal(self) -> bool:
+        """Whether this node is one of the constant nodes 0 or 1."""
+        return self.value is not None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_terminal:
+            return f"<BDD terminal {self.value}>"
+        return f"<BDD node id={self.node_id} level={self.level}>"

@@ -1,0 +1,59 @@
+"""The verification methodology — the paper's primary contribution.
+
+* :mod:`repro.core.siminfo` — simulation-information files (Section 5.2).
+* :mod:`repro.core.observation` — observed-variable specifications (Section 5.4).
+* :mod:`repro.core.architectures` — design adapters for VSM and Alpha0.
+* :mod:`repro.core.verifier` — the beta-relation verification engine
+  (Figure 8, extended to variable k per Section 5.3).
+* :mod:`repro.core.dynamic_beta` — dynamic beta-relation verification for
+  interrupts and superscalar machines (Sections 5.5-5.7).
+* :mod:`repro.core.flushing` — a Burch-Dill style flushing check used as a
+  modern comparison point.
+* :mod:`repro.core.report` — verification reports.
+"""
+
+from .architectures import Alpha0Architecture, Architecture, VSMArchitecture
+from .dynamic_beta import (
+    SuperscalarCheckResult,
+    verify_superscalar_schedule,
+    verify_with_events,
+)
+from .flushing import FlushingReport, verify_by_flushing
+from .observation import ObservationSpec, alpha0_observables, vsm_observables
+from .report import Mismatch, VerificationReport
+from .siminfo import (
+    SimulationInfo,
+    SimulationInfoError,
+    all_normal,
+    alpha0_default,
+    control_at,
+    parse_simulation_info,
+    vsm_default,
+)
+from .verifier import StimulusPlan, build_stimulus, verify_beta_relation
+
+__all__ = [
+    "Alpha0Architecture",
+    "Architecture",
+    "FlushingReport",
+    "Mismatch",
+    "ObservationSpec",
+    "SimulationInfo",
+    "SimulationInfoError",
+    "StimulusPlan",
+    "SuperscalarCheckResult",
+    "VSMArchitecture",
+    "VerificationReport",
+    "all_normal",
+    "alpha0_default",
+    "alpha0_observables",
+    "build_stimulus",
+    "control_at",
+    "parse_simulation_info",
+    "verify_beta_relation",
+    "verify_by_flushing",
+    "verify_superscalar_schedule",
+    "verify_with_events",
+    "vsm_default",
+    "vsm_observables",
+]

@@ -1,0 +1,74 @@
+"""Observed-variable specifications (paper Section 5.4).
+
+The user of the paper's tool lists the variables whose ROBDD formulae
+are sampled and compared: general purpose registers, the instruction
+address register, memory contents, register-file/memory addresses, the
+instruction register and the ALU operation.  The symbolic processor
+models expose these through their observation dictionaries; an
+:class:`ObservationSpec` simply selects which entries take part in the
+comparison (and therefore how much of the machine state the check
+covers).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+from ..logic import BitVec
+
+
+@dataclass(frozen=True)
+class ObservationSpec:
+    """Names of the observables compared at every sampled cycle."""
+
+    names: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not self.names:
+            raise ValueError("at least one observable must be compared")
+
+    def select(self, observation: Dict[str, BitVec]) -> Dict[str, BitVec]:
+        """Restrict an observation dictionary to the observed names."""
+        missing = [name for name in self.names if name not in observation]
+        if missing:
+            raise KeyError(f"observation is missing {missing}")
+        return {name: observation[name] for name in self.names}
+
+    def __iter__(self):
+        return iter(self.names)
+
+    def __len__(self) -> int:
+        return len(self.names)
+
+
+def vsm_observables(include_retirement_info: bool = True) -> ObservationSpec:
+    """Default VSM observation: all eight registers, the PC and retirement info."""
+    names = [f"reg{i}" for i in range(8)]
+    names.append("pc_next")
+    if include_retirement_info:
+        names.extend(["retired_op", "retired_dest"])
+    return ObservationSpec(tuple(names))
+
+
+def alpha0_observables(
+    num_registers: int,
+    memory_words: int,
+    registers: Iterable[int] = None,
+    memory: Iterable[int] = None,
+    include_retirement_info: bool = True,
+) -> ObservationSpec:
+    """Default Alpha0 observation for a given symbolic condensation.
+
+    By default every modelled register and memory word is observed; the
+    paper's single-register condensation corresponds to observing a
+    register subset plus the retirement (write-address) information.
+    """
+    register_indices = list(registers) if registers is not None else list(range(num_registers))
+    memory_indices = list(memory) if memory is not None else list(range(memory_words))
+    names = [f"reg{i}" for i in register_indices]
+    names.extend(f"mem{i}" for i in memory_indices)
+    names.append("pc_next")
+    if include_retirement_info:
+        names.extend(["retired_op", "retired_dest"])
+    return ObservationSpec(tuple(names))

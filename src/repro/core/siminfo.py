@@ -1,0 +1,128 @@
+"""Simulation information files (paper Sections 5.2 and 6.2/6.3).
+
+The user of the paper's tool supplies a *simulation information file*
+that lists, line by line, what is simulated in each instruction slot::
+
+    # Simulation Information File for VSM.
+    r #Simulate a reset cycle
+    0 #Simulate all instructions except for control transfer
+    0
+    1 #Simulate control transfer instructions
+    0
+
+``r`` lines are reset cycles, ``0`` lines simulate the whole class of
+instructions that do not alter the order of definiteness (everything
+except control transfers) and ``1`` lines simulate the control-transfer
+class.  This module parses and serialises that format and carries the
+result as a :class:`SimulationInfo` value that the verifier and the
+filter generators consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence, Tuple
+
+from ..strings import CONTROL, NORMAL
+
+
+class SimulationInfoError(ValueError):
+    """Raised for malformed simulation information files."""
+
+
+@dataclass(frozen=True)
+class SimulationInfo:
+    """Parsed simulation information: reset cycles and instruction slots."""
+
+    reset_cycles: int = 1
+    slots: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.reset_cycles < 1:
+            raise SimulationInfoError("at least one reset cycle is required")
+        for kind in self.slots:
+            if kind not in (NORMAL, CONTROL):
+                raise SimulationInfoError(f"unknown slot kind {kind!r}")
+
+    @property
+    def num_slots(self) -> int:
+        """Number of instruction slots simulated."""
+        return len(self.slots)
+
+    @property
+    def control_transfer_count(self) -> int:
+        """Number of control-transfer slots (the ``c`` of the cycle-count formulae)."""
+        return sum(1 for kind in self.slots if kind == CONTROL)
+
+    def to_text(self, title: str = "") -> str:
+        """Serialise back to the paper's file format."""
+        lines = []
+        if title:
+            lines.append(f"# Simulation Information File for {title}.")
+        for _ in range(self.reset_cycles):
+            lines.append("r #Simulate a reset cycle")
+        for index, kind in enumerate(self.slots):
+            if kind == CONTROL:
+                comment = " #Simulate control transfer instructions"
+            elif index == 0 or self.slots[index - 1] == CONTROL:
+                comment = " #Simulate all instructions except for control transfer"
+            else:
+                comment = ""
+            lines.append(("1" if kind == CONTROL else "0") + comment)
+        return "\n".join(lines) + "\n"
+
+
+def parse_simulation_info(text: str) -> SimulationInfo:
+    """Parse the paper's simulation-information file format."""
+    reset_cycles = 0
+    slots: List[str] = []
+    for number, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+        if line == "r":
+            if slots:
+                raise SimulationInfoError(
+                    f"line {number}: reset cycles must precede instruction slots"
+                )
+            reset_cycles += 1
+        elif line == "0":
+            slots.append(NORMAL)
+        elif line == "1":
+            slots.append(CONTROL)
+        else:
+            raise SimulationInfoError(f"line {number}: unexpected token {line!r}")
+    if reset_cycles == 0:
+        raise SimulationInfoError("the file must contain at least one reset cycle ('r')")
+    if not slots:
+        raise SimulationInfoError("the file must contain at least one instruction slot")
+    return SimulationInfo(reset_cycles=reset_cycles, slots=tuple(slots))
+
+
+def vsm_default() -> SimulationInfo:
+    """The VSM simulation information of Section 6.2 (``r 0 0 1 0``)."""
+    return SimulationInfo(reset_cycles=1, slots=(NORMAL, NORMAL, CONTROL, NORMAL))
+
+
+def alpha0_default() -> SimulationInfo:
+    """The Alpha0 simulation information of Section 6.3 (``r 0 0 1 0 0``)."""
+    return SimulationInfo(reset_cycles=1, slots=(NORMAL, NORMAL, CONTROL, NORMAL, NORMAL))
+
+
+def all_normal(k: int) -> SimulationInfo:
+    """A siminfo with ``k`` ordinary instruction slots (fixed-k verification)."""
+    return SimulationInfo(reset_cycles=1, slots=(NORMAL,) * k)
+
+
+def control_at(k: int, position: int) -> SimulationInfo:
+    """A siminfo with the control-transfer instruction placed at ``position``.
+
+    Used by the variable-k benchmark, which verifies the control-transfer
+    instruction at each of the ``k`` possible slots (Section 5.3 notes
+    that ``k * z`` such simulations cover all placements).
+    """
+    if not 0 <= position < k:
+        raise SimulationInfoError(f"position {position} outside 0..{k - 1}")
+    slots = [NORMAL] * k
+    slots[position] = CONTROL
+    return SimulationInfo(reset_cycles=1, slots=tuple(slots))

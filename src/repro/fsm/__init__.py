@@ -1,0 +1,39 @@
+"""Automata-theoretic verification substrate (paper Chapters 3 and 4).
+
+Symbolic FSMs, transition relations with image computation, product
+machines, breadth-first reachability, strict input/output equivalence
+checking, and the definite-machine theory that lets pipelined
+processors be verified with a handful of symbolic simulation cycles.
+"""
+
+from .machine import SymbolicFSM, UnrolledTrace
+from .transition import NEXT_SUFFIX, TransitionRelation, build_transition_relation
+from .reachability import ReachabilityResult, reachable_states
+from .product import EQUAL_OUTPUT, build_product
+from .equivalence import EquivalenceResult, check_equivalence
+from .definite import (
+    DefiniteVerificationResult,
+    canonical_realization,
+    definiteness_order,
+    is_definite_of_order,
+    verify_definite_equivalence,
+)
+
+__all__ = [
+    "DefiniteVerificationResult",
+    "EQUAL_OUTPUT",
+    "EquivalenceResult",
+    "NEXT_SUFFIX",
+    "ReachabilityResult",
+    "SymbolicFSM",
+    "TransitionRelation",
+    "UnrolledTrace",
+    "build_product",
+    "build_transition_relation",
+    "canonical_realization",
+    "check_equivalence",
+    "definiteness_order",
+    "is_definite_of_order",
+    "reachable_states",
+    "verify_definite_equivalence",
+]

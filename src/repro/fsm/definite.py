@@ -1,0 +1,189 @@
+"""Definite machines and their verification properties (paper Chapter 4).
+
+A machine is *definite of order* ``k`` (k-definite) when its present
+state is uniquely determined by its last ``k`` inputs.  The paper's key
+observation (Theorem 4.3.1.1) is that two k-definite machines can be
+verified by considering every input sequence of length ``k`` — which
+symbolic simulation covers in ``k`` cycles with free input variables —
+instead of traversing the product state graph.
+
+This module provides:
+
+* :func:`is_definite_of_order` / :func:`definiteness_order` — decide the
+  order of definiteness symbolically, by checking that the state
+  formulae after ``k`` cycles no longer depend on the initial state;
+* :func:`canonical_realization` — the Figure-4 construction: a shift
+  register of the last ``k`` inputs feeding a combinational block;
+* :func:`verify_definite_equivalence` — the Theorem-4.3.1.1 procedure:
+  unroll both machines for ``k + 1`` cycles with shared symbolic inputs
+  from fully symbolic initial states and compare the output formulae of
+  the steady state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, BDDNode
+from ..logic.expr import Expr
+from ..logic.netlist import Netlist
+from .machine import SymbolicFSM
+
+
+def _symbolic_initial_state(machine: SymbolicFSM, tag: str) -> Dict[str, BDDNode]:
+    """Fresh variables standing for an arbitrary initial state."""
+    manager = machine.manager
+    return {name: manager.var(f"{tag}{name}") for name in machine.state_names}
+
+
+def _initial_state_names(machine: SymbolicFSM, tag: str) -> List[str]:
+    return [f"{tag}{name}" for name in machine.state_names]
+
+
+def is_definite_of_order(machine: SymbolicFSM, order: int, tag: str = "init.") -> bool:
+    """Whether the machine's state after ``order`` inputs is input-determined.
+
+    The machine is unrolled for ``order`` cycles starting from a fully
+    symbolic initial state; it is (at most) ``order``-definite exactly
+    when none of the resulting state formulae mentions an initial-state
+    variable.
+    """
+    if order < 0:
+        raise ValueError("order must be non-negative")
+    manager = machine.manager
+    initial = _symbolic_initial_state(machine, tag)
+    trace = machine.unroll(order, input_prefix=f"{tag}x.", initial_state=initial)
+    forbidden = set(_initial_state_names(machine, tag))
+    final_state = trace.states[order]
+    for formula in final_state.values():
+        if forbidden.intersection(manager.support(formula)):
+            return False
+    return True
+
+
+def definiteness_order(machine: SymbolicFSM, max_order: int) -> Optional[int]:
+    """The least ``k <= max_order`` for which the machine is k-definite.
+
+    Returns ``None`` if the machine is not definite within the bound
+    (e.g. a counter, whose state depends on arbitrarily old inputs).
+    """
+    for order in range(max_order + 1):
+        if is_definite_of_order(machine, order, tag=f"def{order}."):
+            return order
+    return None
+
+
+def canonical_realization(
+    order: int,
+    combinational: Callable[[Sequence[str]], Expr],
+    name: str = "canonical_definite",
+    input_name: str = "din",
+    output_name: str = "out",
+) -> Netlist:
+    """The canonical realization of a k-definite machine (Figure 4).
+
+    ``order`` delay elements store the last ``order`` inputs;
+    ``combinational`` receives the stage net names (most recent input
+    first) and returns the expression computing the output.
+    """
+    if order < 1:
+        raise ValueError("the canonical realization needs at least one delay element")
+    netlist = Netlist(name)
+    netlist.add_input(input_name)
+    previous = input_name
+    stages: List[str] = []
+    for index in range(order):
+        stage = f"x{index + 1}"
+        netlist.add_latch(stage, previous, reset_value=False)
+        stages.append(stage)
+        previous = stage
+    expression = combinational(stages)
+    result_net = expression.synthesize(netlist)
+    netlist.add_gate(output_name, "BUF", [result_net])
+    netlist.set_outputs([output_name])
+    netlist.validate()
+    return netlist
+
+
+@dataclass
+class DefiniteVerificationResult:
+    """Outcome of the Theorem-4.3.1.1 equivalence procedure."""
+
+    equivalent: bool
+    order: int
+    cycles_simulated: int
+    mismatched_outputs: List[str] = field(default_factory=list)
+    counterexample: Optional[Dict[str, bool]] = None
+    #: Number of explicit input sequences the symbolic run covers (p**k).
+    sequences_covered: int = 0
+
+
+def verify_definite_equivalence(
+    left: SymbolicFSM,
+    right: SymbolicFSM,
+    order: int,
+    output_pairs: Optional[Sequence[Tuple[str, str]]] = None,
+) -> DefiniteVerificationResult:
+    """Verify two k-definite machines per Theorem 4.3.1.1.
+
+    Both machines are unrolled for ``order + 1`` cycles from fully
+    symbolic initial states, driven by the *same* fresh input variables
+    each cycle.  After ``order`` inputs the state of a k-definite machine
+    is input-determined, so the output formulae of cycle ``order + 1``
+    are functions of the shared inputs only; the machines are equivalent
+    (in steady state) exactly when those formulae are identical ROBDDs.
+
+    A machine that is *not* k-definite cannot be certified this way: its
+    formulae still mention its own initial-state variables, which can
+    never be identical to the other machine's, so the check fails
+    conservatively.
+    """
+    if left.manager is not right.manager:
+        raise ValueError("both machines must share one BDD manager")
+    if sorted(left.input_names) != sorted(right.input_names):
+        raise ValueError("machines must have identical input names for shared stimulus")
+    manager = left.manager
+    cycles = order + 1
+
+    shared_inputs: List[Dict[str, BDDNode]] = []
+    for cycle in range(cycles):
+        shared_inputs.append(
+            {name: manager.var(f"shared.{name}@{cycle}") for name in left.input_names}
+        )
+
+    left_trace = left.unroll(
+        cycles, input_constraints=shared_inputs, initial_state=_symbolic_initial_state(left, "L.")
+    )
+    right_trace = right.unroll(
+        cycles, input_constraints=shared_inputs, initial_state=_symbolic_initial_state(right, "R.")
+    )
+
+    if output_pairs is None:
+        common = [name for name in left.outputs if name in right.outputs]
+        if not common:
+            raise ValueError("the machines have no common output names to compare")
+        output_pairs = [(name, name) for name in common]
+
+    mismatched: List[str] = []
+    counterexample: Optional[Dict[str, bool]] = None
+    final = cycles - 1
+    for left_name, right_name in output_pairs:
+        left_formula = left_trace.outputs[final][left_name]
+        right_formula = right_trace.outputs[final][right_name]
+        if left_formula is not right_formula:
+            mismatched.append(left_name)
+            if counterexample is None:
+                difference = manager.apply_xor(left_formula, right_formula)
+                counterexample = manager.pick_assignment(difference)
+
+    inputs_per_cycle = len(left.input_names)
+    sequences = (2 ** inputs_per_cycle) ** order if inputs_per_cycle else 1
+    return DefiniteVerificationResult(
+        equivalent=not mismatched,
+        order=order,
+        cycles_simulated=cycles,
+        mismatched_outputs=mismatched,
+        counterexample=counterexample,
+        sequences_covered=sequences,
+    )

@@ -1,0 +1,92 @@
+"""Transition relations and image computation (paper Section 3.3).
+
+The transition relation of a machine maps (inputs, present state, next
+state) to 1 exactly when applying those inputs in that present state
+yields that next state.  Images (the set of states reachable in one
+step from a given state set) are computed with the relational product —
+the combined AND-and-smooth operation of [BCMD90] — and inverse images
+with the same relation read backwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Tuple
+
+from ..bdd import BDDManager, BDDNode
+from .machine import SymbolicFSM
+
+#: Suffix used to derive next-state variable names from state names.
+NEXT_SUFFIX = "#next"
+
+
+@dataclass
+class TransitionRelation:
+    """The relation A(pi, ps, ns') of Section 3.3, with its variable sets."""
+
+    manager: BDDManager
+    relation: BDDNode
+    input_names: Tuple[str, ...]
+    state_names: Tuple[str, ...]
+    next_names: Tuple[str, ...]
+
+    @property
+    def next_of(self) -> Dict[str, str]:
+        """Mapping from each present-state variable to its next-state variable."""
+        return dict(zip(self.state_names, self.next_names))
+
+    def image(
+        self, states: BDDNode, input_constraint: Optional[BDDNode] = None
+    ) -> BDDNode:
+        """States reachable in one step from ``states``.
+
+        ``input_constraint`` restricts the applied inputs (this is the
+        "cofactor the transition relation with respect to the inputs"
+        step of the paper's algorithm: only transitions whose inputs
+        satisfy the constraint are considered).  The result is expressed
+        over present-state variables again.
+        """
+        manager = self.manager
+        source = states
+        if input_constraint is not None:
+            source = manager.apply_and(source, input_constraint)
+        quantified = list(self.input_names) + list(self.state_names)
+        image_next = manager.and_exists(quantified, self.relation, source)
+        return manager.rename(image_next, dict(zip(self.next_names, self.state_names)))
+
+    def preimage(
+        self, states: BDDNode, input_constraint: Optional[BDDNode] = None
+    ) -> BDDNode:
+        """States that can reach ``states`` in one step (inverse image)."""
+        manager = self.manager
+        target = manager.rename(states, dict(zip(self.state_names, self.next_names)))
+        if input_constraint is not None:
+            target = manager.apply_and(target, input_constraint)
+        quantified = list(self.input_names) + list(self.next_names)
+        return manager.and_exists(quantified, self.relation, target)
+
+
+def build_transition_relation(machine: SymbolicFSM) -> TransitionRelation:
+    """Construct the BDD of the transition relation of ``machine``.
+
+    For every state bit ``s`` a next-state variable ``s#next`` is
+    declared and the relation is the conjunction over all bits of
+    ``s#next XNOR next_state_function_s(pi, ps)``.
+    """
+    manager = machine.manager
+    next_names = []
+    relation = manager.one
+    for state_name in machine.state_names:
+        next_name = state_name + NEXT_SUFFIX
+        next_names.append(next_name)
+        next_var = manager.var(next_name)
+        relation = manager.apply_and(
+            relation, manager.apply_xnor(next_var, machine.next_state[state_name])
+        )
+    return TransitionRelation(
+        manager=manager,
+        relation=relation,
+        input_names=tuple(machine.input_names),
+        state_names=tuple(machine.state_names),
+        next_names=tuple(next_names),
+    )

@@ -1,0 +1,46 @@
+"""Instruction set architectures of the paper's two experimental designs.
+
+* :mod:`repro.isa.vsm` — the simple 13-bit RISC processor of Section 6.2
+  (Table 1).
+* :mod:`repro.isa.alpha0` — the condensed DEC-Alpha subset of Section 6.3
+  (Table 2), with the datapath condensation exposed as a configuration.
+* :mod:`repro.isa.assembler` — a small assembler/disassembler for both.
+"""
+
+from . import alpha0, vsm
+from .alpha0 import (
+    Alpha0Config,
+    Alpha0EncodingError,
+    Alpha0Instruction,
+    CONDENSED_CONFIG,
+    FULL_CONFIG,
+)
+from .assembler import (
+    AssemblerError,
+    assemble_alpha0,
+    assemble_alpha0_line,
+    assemble_vsm,
+    assemble_vsm_line,
+    disassemble_alpha0,
+    disassemble_vsm,
+)
+from .vsm import VSMEncodingError, VSMInstruction
+
+__all__ = [
+    "Alpha0Config",
+    "Alpha0EncodingError",
+    "Alpha0Instruction",
+    "AssemblerError",
+    "CONDENSED_CONFIG",
+    "FULL_CONFIG",
+    "VSMEncodingError",
+    "VSMInstruction",
+    "alpha0",
+    "assemble_alpha0",
+    "assemble_alpha0_line",
+    "assemble_vsm",
+    "assemble_vsm_line",
+    "disassemble_alpha0",
+    "disassemble_vsm",
+    "vsm",
+]

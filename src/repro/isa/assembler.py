@@ -1,0 +1,181 @@
+"""Tiny two-ISA assembler / disassembler.
+
+The assembler accepts one instruction per line with ``;`` or ``#``
+comments and blank lines, in the syntax printed by the instruction
+``__str__`` methods::
+
+    VSM:     add r1, r2, r3        and r4, r1, #5      br r7, 3
+    Alpha0:  add r1, r2, #7        ld r3, -4(r5)       bt r2, -2
+             jmp r1, (r6)          st r2, 0(r3)
+
+It exists so that example programs and test workloads can be written as
+readable text rather than hand-encoded words.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Sequence, Union
+
+from . import alpha0, vsm
+
+
+class AssemblerError(ValueError):
+    """Raised for unparseable assembly text."""
+
+
+_REGISTER = re.compile(r"^[rR](\d+)$")
+_LITERAL = re.compile(r"^#(-?\d+)$")
+_MEMORY_OPERAND = re.compile(r"^(-?\d+)\(\s*[rR](\d+)\s*\)$")
+_JUMP_OPERAND = re.compile(r"^\(\s*[rR](\d+)\s*\)$")
+
+
+def _strip(line: str) -> str:
+    for marker in (";", "#"):
+        # A '#' that introduces a literal is always preceded by a separator
+        # and followed by a digit; comments are handled by requiring the
+        # marker at word start.
+        pass
+    without_semicolon = line.split(";", 1)[0]
+    return without_semicolon.strip()
+
+
+def _parse_register(token: str) -> int:
+    match = _REGISTER.match(token)
+    if not match:
+        raise AssemblerError(f"expected a register, got {token!r}")
+    return int(match.group(1))
+
+
+def _split_operands(rest: str) -> List[str]:
+    return [part.strip() for part in rest.split(",") if part.strip()]
+
+
+# ----------------------------------------------------------------------
+# VSM
+# ----------------------------------------------------------------------
+def assemble_vsm_line(line: str) -> vsm.VSMInstruction:
+    """Assemble one line of VSM assembly."""
+    text = _strip(line)
+    if not text:
+        raise AssemblerError("empty line")
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(rest)
+    if mnemonic == "br":
+        if len(operands) != 2:
+            raise AssemblerError(f"br expects 2 operands, got {operands}")
+        rc = _parse_register(operands[0])
+        displacement = int(operands[1])
+        return vsm.VSMInstruction(mnemonic="br", ra=displacement, rc=rc)
+    if mnemonic not in vsm.OPCODES:
+        raise AssemblerError(f"unknown VSM mnemonic {mnemonic!r}")
+    if len(operands) != 3:
+        raise AssemblerError(f"{mnemonic} expects 3 operands, got {operands}")
+    rc = _parse_register(operands[0])
+    ra = _parse_register(operands[1])
+    literal_match = _LITERAL.match(operands[2])
+    if literal_match:
+        return vsm.VSMInstruction(
+            mnemonic=mnemonic, literal_flag=True, ra=ra, rb=int(literal_match.group(1)), rc=rc
+        )
+    rb = _parse_register(operands[2])
+    return vsm.VSMInstruction(mnemonic=mnemonic, ra=ra, rb=rb, rc=rc)
+
+
+def assemble_vsm(source: str) -> List[vsm.VSMInstruction]:
+    """Assemble a multi-line VSM program."""
+    program = []
+    for number, line in enumerate(source.splitlines(), start=1):
+        text = _strip(line)
+        if not text:
+            continue
+        try:
+            program.append(assemble_vsm_line(text))
+        except (AssemblerError, vsm.VSMEncodingError) as error:
+            raise AssemblerError(f"line {number}: {error}") from error
+    return program
+
+
+def disassemble_vsm(words: Sequence[int]) -> List[str]:
+    """Disassemble encoded VSM instruction words."""
+    return [str(vsm.decode(word)) for word in words]
+
+
+# ----------------------------------------------------------------------
+# Alpha0
+# ----------------------------------------------------------------------
+def assemble_alpha0_line(line: str) -> alpha0.Alpha0Instruction:
+    """Assemble one line of Alpha0 assembly."""
+    text = _strip(line)
+    if not text:
+        raise AssemblerError("empty line")
+    parts = text.split(None, 1)
+    mnemonic = parts[0].lower()
+    rest = parts[1] if len(parts) > 1 else ""
+    operands = _split_operands(rest)
+    if mnemonic not in alpha0.SPECS:
+        raise AssemblerError(f"unknown Alpha0 mnemonic {mnemonic!r}")
+    spec = alpha0.SPECS[mnemonic]
+    if spec.format == "operate":
+        if len(operands) != 3:
+            raise AssemblerError(f"{mnemonic} expects 3 operands, got {operands}")
+        rc = _parse_register(operands[0])
+        ra = _parse_register(operands[1])
+        literal_match = _LITERAL.match(operands[2])
+        if literal_match:
+            return alpha0.Alpha0Instruction(
+                mnemonic=mnemonic,
+                ra=ra,
+                rc=rc,
+                literal_flag=True,
+                literal=int(literal_match.group(1)) & 0xFF,
+            )
+        rb = _parse_register(operands[2])
+        return alpha0.Alpha0Instruction(mnemonic=mnemonic, ra=ra, rb=rb, rc=rc)
+    if spec.format == "memory":
+        if len(operands) != 2:
+            raise AssemblerError(f"{mnemonic} expects 2 operands, got {operands}")
+        ra = _parse_register(operands[0])
+        memory_match = _MEMORY_OPERAND.match(operands[1])
+        if not memory_match:
+            raise AssemblerError(f"expected disp(rb) operand, got {operands[1]!r}")
+        return alpha0.Alpha0Instruction(
+            mnemonic=mnemonic,
+            ra=ra,
+            rb=int(memory_match.group(2)),
+            displacement=int(memory_match.group(1)),
+        )
+    if spec.format == "jump":
+        if len(operands) != 2:
+            raise AssemblerError(f"jmp expects 2 operands, got {operands}")
+        ra = _parse_register(operands[0])
+        jump_match = _JUMP_OPERAND.match(operands[1])
+        if not jump_match:
+            raise AssemblerError(f"expected (rb) operand, got {operands[1]!r}")
+        return alpha0.Alpha0Instruction(mnemonic="jmp", ra=ra, rb=int(jump_match.group(1)))
+    # branch format
+    if len(operands) != 2:
+        raise AssemblerError(f"{mnemonic} expects 2 operands, got {operands}")
+    ra = _parse_register(operands[0])
+    return alpha0.Alpha0Instruction(mnemonic=mnemonic, ra=ra, displacement=int(operands[1]))
+
+
+def assemble_alpha0(source: str) -> List[alpha0.Alpha0Instruction]:
+    """Assemble a multi-line Alpha0 program."""
+    program = []
+    for number, line in enumerate(source.splitlines(), start=1):
+        text = _strip(line)
+        if not text:
+            continue
+        try:
+            program.append(assemble_alpha0_line(text))
+        except (AssemblerError, alpha0.Alpha0EncodingError) as error:
+            raise AssemblerError(f"line {number}: {error}") from error
+    return program
+
+
+def disassemble_alpha0(words: Sequence[int]) -> List[str]:
+    """Disassemble encoded Alpha0 instruction words."""
+    return [str(alpha0.decode(word)) for word in words]

@@ -1,0 +1,204 @@
+"""Behavioural Boolean expression DSL (the "BDS" analogue).
+
+The paper's machine descriptions are written in BDS, a small behavioural
+language, and synthesised into gate netlists with BDSYN.  This module
+provides the equivalent front end of this reproduction: an expression
+AST over named signals that can be
+
+* evaluated concretely,
+* elaborated into gates of a :class:`~repro.logic.netlist.Netlist`
+  (the "synthesis" step), or
+* elaborated directly into BDDs.
+
+Only single-bit expressions live here; word-level design entry uses
+:class:`~repro.logic.bitvec.BitVec`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Mapping, Tuple
+
+from ..bdd import BDDManager, BDDNode
+from .netlist import Netlist
+
+
+class Expr:
+    """Base class of all Boolean expressions."""
+
+    def __and__(self, other: "Expr") -> "Expr":
+        return Op("AND", (self, _coerce(other)))
+
+    def __or__(self, other: "Expr") -> "Expr":
+        return Op("OR", (self, _coerce(other)))
+
+    def __xor__(self, other: "Expr") -> "Expr":
+        return Op("XOR", (self, _coerce(other)))
+
+    def __invert__(self) -> "Expr":
+        return Op("NOT", (self,))
+
+    def iff(self, other: "Expr") -> "Expr":
+        """Logical equivalence."""
+        return Op("XNOR", (self, _coerce(other)))
+
+    def implies(self, other: "Expr") -> "Expr":
+        """Logical implication."""
+        return Op("OR", (Op("NOT", (self,)), _coerce(other)))
+
+    # Evaluation --------------------------------------------------------
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        """Concrete evaluation under an assignment to signal names."""
+        raise NotImplementedError
+
+    def signals(self) -> Tuple[str, ...]:
+        """Names of the signals the expression reads, sorted."""
+        collected: Dict[str, None] = {}
+        self._collect_signals(collected)
+        return tuple(sorted(collected))
+
+    def _collect_signals(self, into: Dict[str, None]) -> None:
+        raise NotImplementedError
+
+    # Elaboration -------------------------------------------------------
+    def to_bdd(self, manager: BDDManager) -> BDDNode:
+        """Build the BDD of the expression (signals become variables)."""
+        raise NotImplementedError
+
+    def synthesize(self, netlist: Netlist, counter=None) -> str:
+        """Add gates computing this expression to ``netlist``.
+
+        Signals that are not yet driven in the netlist are declared as
+        primary inputs.  Returns the name of the net carrying the result.
+        """
+        if counter is None:
+            counter = itertools.count()
+        return self._synthesize(netlist, counter)
+
+    def _synthesize(self, netlist: Netlist, counter) -> str:
+        raise NotImplementedError
+
+
+def _coerce(value) -> "Expr":
+    if isinstance(value, Expr):
+        return value
+    if isinstance(value, bool) or value in (0, 1):
+        return Const(bool(value))
+    raise TypeError(f"cannot use {value!r} in a Boolean expression")
+
+
+class Signal(Expr):
+    """A named single-bit signal (primary input or state bit)."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        return bool(environment[self.name])
+
+    def _collect_signals(self, into: Dict[str, None]) -> None:
+        into.setdefault(self.name, None)
+
+    def to_bdd(self, manager: BDDManager) -> BDDNode:
+        return manager.var(self.name)
+
+    def _synthesize(self, netlist: Netlist, counter) -> str:
+        already_driven = (
+            self.name in netlist.primary_inputs
+            or any(g.output == self.name for g in netlist.gates)
+            or any(l.output == self.name for l in netlist.latches)
+        )
+        if not already_driven:
+            netlist.add_input(self.name)
+        return self.name
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Signal({self.name!r})"
+
+
+class Const(Expr):
+    """A Boolean constant."""
+
+    def __init__(self, value: bool) -> None:
+        self.value = bool(value)
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        return self.value
+
+    def _collect_signals(self, into: Dict[str, None]) -> None:
+        return None
+
+    def to_bdd(self, manager: BDDManager) -> BDDNode:
+        return manager.constant(self.value)
+
+    def _synthesize(self, netlist: Netlist, counter) -> str:
+        net = f"_const{1 if self.value else 0}_{next(counter)}"
+        netlist.add_gate(net, "CONST1" if self.value else "CONST0", [])
+        return net
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Const({self.value})"
+
+
+class Op(Expr):
+    """An operator node (AND, OR, XOR, XNOR, NOT, MUX)."""
+
+    def __init__(self, op: str, operands: Tuple[Expr, ...]) -> None:
+        self.op = op
+        self.operands = operands
+
+    def evaluate(self, environment: Mapping[str, bool]) -> bool:
+        values = [operand.evaluate(environment) for operand in self.operands]
+        if self.op == "AND":
+            return all(values)
+        if self.op == "OR":
+            return any(values)
+        if self.op == "XOR":
+            return (values[0] != values[1])
+        if self.op == "XNOR":
+            return (values[0] == values[1])
+        if self.op == "NOT":
+            return not values[0]
+        if self.op == "MUX":
+            select, when_false, when_true = values
+            return when_true if select else when_false
+        raise ValueError(f"unknown operator {self.op!r}")
+
+    def _collect_signals(self, into: Dict[str, None]) -> None:
+        for operand in self.operands:
+            operand._collect_signals(into)
+
+    def to_bdd(self, manager: BDDManager) -> BDDNode:
+        nodes = [operand.to_bdd(manager) for operand in self.operands]
+        if self.op == "AND":
+            return manager.conjoin(nodes)
+        if self.op == "OR":
+            return manager.disjoin(nodes)
+        if self.op == "XOR":
+            return manager.apply_xor(nodes[0], nodes[1])
+        if self.op == "XNOR":
+            return manager.apply_xnor(nodes[0], nodes[1])
+        if self.op == "NOT":
+            return manager.apply_not(nodes[0])
+        if self.op == "MUX":
+            return manager.ite(nodes[0], nodes[2], nodes[1])
+        raise ValueError(f"unknown operator {self.op!r}")
+
+    def _synthesize(self, netlist: Netlist, counter) -> str:
+        nets = [operand._synthesize(netlist, counter) for operand in self.operands]
+        output = f"_n{next(counter)}"
+        netlist.add_gate(output, self.op, nets)
+        return output
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Op({self.op}, {self.operands!r})"
+
+
+def mux(select: Expr, when_true: Expr, when_false: Expr) -> Expr:
+    """If-then-else on single-bit expressions."""
+    return Op("MUX", (_coerce(select), _coerce(when_false), _coerce(when_true)))
+
+
+def signals(*names: str) -> Tuple[Signal, ...]:
+    """Convenience constructor for several signals at once."""
+    return tuple(Signal(name) for name in names)

@@ -1,0 +1,95 @@
+"""Primitive gate library for the netlist substrate.
+
+The paper's designs are synthesised with BDSYN into ``slif`` netlists of
+simple gates and latches before being handed to the verifier inside
+``sis``.  This module defines the gate types of our equivalent netlist
+representation together with their concrete (Python ``bool``) and
+symbolic (BDD) evaluation semantics.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Sequence
+
+from ..bdd import BDDManager, BDDNode
+
+#: Concrete evaluation functions for every supported gate type.
+CONCRETE_SEMANTICS: Dict[str, Callable[[Sequence[bool]], bool]] = {
+    "AND": lambda inputs: all(inputs),
+    "OR": lambda inputs: any(inputs),
+    "NOT": lambda inputs: not inputs[0],
+    "NAND": lambda inputs: not all(inputs),
+    "NOR": lambda inputs: not any(inputs),
+    "XOR": lambda inputs: sum(map(bool, inputs)) % 2 == 1,
+    "XNOR": lambda inputs: sum(map(bool, inputs)) % 2 == 0,
+    "BUF": lambda inputs: bool(inputs[0]),
+    "MUX": lambda inputs: bool(inputs[2]) if inputs[0] else bool(inputs[1]),
+    "CONST0": lambda inputs: False,
+    "CONST1": lambda inputs: True,
+}
+
+#: Required input counts per gate type; ``None`` means variadic (>= 1).
+INPUT_ARITY: Dict[str, int] = {
+    "NOT": 1,
+    "BUF": 1,
+    "MUX": 3,
+    "CONST0": 0,
+    "CONST1": 0,
+}
+
+GATE_TYPES = tuple(CONCRETE_SEMANTICS)
+
+
+def validate_gate(gate_type: str, num_inputs: int) -> None:
+    """Raise ``ValueError`` for an unknown gate type or a bad arity."""
+    if gate_type not in CONCRETE_SEMANTICS:
+        raise ValueError(f"unknown gate type {gate_type!r}")
+    required = INPUT_ARITY.get(gate_type)
+    if required is not None:
+        if num_inputs != required:
+            raise ValueError(f"{gate_type} expects {required} inputs, got {num_inputs}")
+    elif num_inputs < 1:
+        raise ValueError(f"{gate_type} expects at least one input")
+
+
+def evaluate_gate(gate_type: str, inputs: Sequence[bool]) -> bool:
+    """Concrete evaluation of a gate."""
+    return CONCRETE_SEMANTICS[gate_type](inputs)
+
+
+def symbolic_gate(manager: BDDManager, gate_type: str, inputs: Sequence[BDDNode]) -> BDDNode:
+    """Symbolic (BDD) evaluation of a gate.
+
+    The MUX convention matches the concrete one: ``inputs[0]`` is the
+    select, ``inputs[1]`` the value when the select is 0 and
+    ``inputs[2]`` the value when it is 1.
+    """
+    if gate_type == "AND":
+        return manager.conjoin(inputs)
+    if gate_type == "OR":
+        return manager.disjoin(inputs)
+    if gate_type == "NOT":
+        return manager.apply_not(inputs[0])
+    if gate_type == "NAND":
+        return manager.apply_not(manager.conjoin(inputs))
+    if gate_type == "NOR":
+        return manager.apply_not(manager.disjoin(inputs))
+    if gate_type == "XOR":
+        result = manager.zero
+        for node in inputs:
+            result = manager.apply_xor(result, node)
+        return result
+    if gate_type == "XNOR":
+        result = manager.zero
+        for node in inputs:
+            result = manager.apply_xor(result, node)
+        return manager.apply_not(result)
+    if gate_type == "BUF":
+        return inputs[0]
+    if gate_type == "MUX":
+        return manager.ite(inputs[0], inputs[2], inputs[1])
+    if gate_type == "CONST0":
+        return manager.zero
+    if gate_type == "CONST1":
+        return manager.one
+    raise ValueError(f"unknown gate type {gate_type!r}")

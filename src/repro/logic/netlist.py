@@ -1,0 +1,247 @@
+"""Gate-level sequential netlists (the ``slif`` analogue).
+
+A :class:`Netlist` is a synchronous circuit made of primary inputs,
+combinational gates and latches (D flip-flops with reset values).  It
+supports:
+
+* concrete cycle-by-cycle simulation,
+* extraction of BDDs for every output and next-state function,
+* conversion to a symbolic FSM (see :mod:`repro.fsm.machine`),
+* structural statistics used in benchmark reports.
+
+The FSM verification substrate (Chapter 3 of the paper) operates on
+netlists; the processor models use the higher-level
+:class:`~repro.logic.bitvec.BitVec` layer directly, mirroring how the
+paper treats datapaths versus control examples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, BDDNode
+from .gates import evaluate_gate, symbolic_gate, validate_gate
+
+
+class NetlistError(ValueError):
+    """Raised for structural errors in a netlist."""
+
+
+@dataclass
+class Gate:
+    """A combinational gate driving a single net."""
+
+    output: str
+    gate_type: str
+    inputs: Tuple[str, ...]
+
+
+@dataclass
+class Latch:
+    """A D flip-flop: ``output`` takes the value of ``data`` at each clock."""
+
+    output: str
+    data: str
+    reset_value: bool = False
+
+
+class Netlist:
+    """A synchronous gate-level netlist."""
+
+    def __init__(self, name: str = "netlist") -> None:
+        self.name = name
+        self.primary_inputs: List[str] = []
+        self.primary_outputs: List[str] = []
+        self.gates: List[Gate] = []
+        self.latches: List[Latch] = []
+        self._drivers: Dict[str, Gate] = {}
+        self._latch_outputs: Dict[str, Latch] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_input(self, name: str) -> str:
+        """Declare a primary input net."""
+        if name in self.primary_inputs:
+            return name
+        self._check_undriven(name)
+        self.primary_inputs.append(name)
+        return name
+
+    def add_gate(self, output: str, gate_type: str, inputs: Sequence[str]) -> str:
+        """Add a combinational gate driving the net ``output``."""
+        validate_gate(gate_type, len(inputs))
+        self._check_undriven(output)
+        gate = Gate(output=output, gate_type=gate_type, inputs=tuple(inputs))
+        self.gates.append(gate)
+        self._drivers[output] = gate
+        return output
+
+    def add_latch(self, output: str, data: str, reset_value: bool = False) -> str:
+        """Add a latch whose state net is ``output`` and data input is ``data``."""
+        self._check_undriven(output)
+        latch = Latch(output=output, data=data, reset_value=reset_value)
+        self.latches.append(latch)
+        self._latch_outputs[output] = latch
+        return output
+
+    def set_outputs(self, names: Iterable[str]) -> None:
+        """Declare the primary outputs of the circuit."""
+        self.primary_outputs = list(names)
+
+    def _check_undriven(self, name: str) -> None:
+        if name in self._drivers or name in self._latch_outputs or name in self.primary_inputs:
+            raise NetlistError(f"net {name!r} already has a driver")
+
+    # ------------------------------------------------------------------
+    # Structure queries
+    # ------------------------------------------------------------------
+    def state_nets(self) -> List[str]:
+        """Names of the latch output nets (the state variables)."""
+        return [latch.output for latch in self.latches]
+
+    def net_names(self) -> List[str]:
+        """All net names in the design."""
+        names = list(self.primary_inputs)
+        names.extend(latch.output for latch in self.latches)
+        names.extend(gate.output for gate in self.gates)
+        return names
+
+    def gate_count(self) -> int:
+        """Number of combinational gates."""
+        return len(self.gates)
+
+    def latch_count(self) -> int:
+        """Number of latches."""
+        return len(self.latches)
+
+    def validate(self) -> None:
+        """Check that every referenced net has a driver and no combinational cycles exist."""
+        known = set(self.primary_inputs) | set(self._latch_outputs) | set(self._drivers)
+        for gate in self.gates:
+            for net in gate.inputs:
+                if net not in known:
+                    raise NetlistError(f"gate {gate.output!r} reads undriven net {net!r}")
+        for latch in self.latches:
+            if latch.data not in known:
+                raise NetlistError(f"latch {latch.output!r} reads undriven net {latch.data!r}")
+        for net in self.primary_outputs:
+            if net not in known:
+                raise NetlistError(f"primary output {net!r} is undriven")
+        self._topological_gate_order()
+
+    def _topological_gate_order(self) -> List[Gate]:
+        """Gates in dependency order; raises on combinational cycles."""
+        order: List[Gate] = []
+        visiting: Dict[str, int] = {}  # 1 = in progress, 2 = done
+
+        def visit(net: str) -> None:
+            if net in self.primary_inputs or net in self._latch_outputs:
+                return
+            gate = self._drivers.get(net)
+            if gate is None:
+                return
+            state = visiting.get(net, 0)
+            if state == 2:
+                return
+            if state == 1:
+                raise NetlistError(f"combinational cycle through net {net!r}")
+            visiting[net] = 1
+            for source in gate.inputs:
+                visit(source)
+            visiting[net] = 2
+            order.append(gate)
+
+        for gate in self.gates:
+            visit(gate.output)
+        return order
+
+    # ------------------------------------------------------------------
+    # Concrete simulation
+    # ------------------------------------------------------------------
+    def reset_state(self) -> Dict[str, bool]:
+        """Initial latch values."""
+        return {latch.output: bool(latch.reset_value) for latch in self.latches}
+
+    def evaluate_combinational(
+        self, inputs: Mapping[str, bool], state: Mapping[str, bool]
+    ) -> Dict[str, bool]:
+        """Values of every net given primary inputs and the current state."""
+        values: Dict[str, bool] = {}
+        for name in self.primary_inputs:
+            if name not in inputs:
+                raise NetlistError(f"missing value for primary input {name!r}")
+            values[name] = bool(inputs[name])
+        for latch in self.latches:
+            values[latch.output] = bool(state[latch.output])
+        for gate in self._topological_gate_order():
+            values[gate.output] = evaluate_gate(
+                gate.gate_type, [values[net] for net in gate.inputs]
+            )
+        return values
+
+    def step(
+        self, inputs: Mapping[str, bool], state: Mapping[str, bool]
+    ) -> Tuple[Dict[str, bool], Dict[str, bool]]:
+        """One clock cycle: returns ``(outputs, next_state)``."""
+        values = self.evaluate_combinational(inputs, state)
+        outputs = {name: values[name] for name in self.primary_outputs}
+        next_state = {latch.output: values[latch.data] for latch in self.latches}
+        return outputs, next_state
+
+    def simulate(
+        self, input_sequence: Sequence[Mapping[str, bool]], state: Optional[Mapping[str, bool]] = None
+    ) -> List[Dict[str, bool]]:
+        """Simulate a sequence of input vectors from reset (or ``state``)."""
+        current = dict(state) if state is not None else self.reset_state()
+        trace: List[Dict[str, bool]] = []
+        for inputs in input_sequence:
+            outputs, current = self.step(inputs, current)
+            trace.append(outputs)
+        return trace
+
+    # ------------------------------------------------------------------
+    # Symbolic extraction
+    # ------------------------------------------------------------------
+    def build_bdds(
+        self, manager: BDDManager, prefix: str = ""
+    ) -> Tuple[Dict[str, BDDNode], Dict[str, BDDNode]]:
+        """BDDs of the primary outputs and of every latch's next-state function.
+
+        Primary inputs and latch outputs become BDD variables named
+        ``prefix + net``.  Returns ``(output_functions, next_state_functions)``,
+        both keyed by un-prefixed net name.
+        """
+        values: Dict[str, BDDNode] = {}
+        for name in self.primary_inputs:
+            values[name] = manager.var(prefix + name)
+        for latch in self.latches:
+            values[latch.output] = manager.var(prefix + latch.output)
+        for gate in self._topological_gate_order():
+            values[gate.output] = symbolic_gate(
+                manager, gate.gate_type, [values[net] for net in gate.inputs]
+            )
+        outputs = {name: values[name] for name in self.primary_outputs}
+        next_state = {latch.output: values[latch.data] for latch in self.latches}
+        return outputs, next_state
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, int]:
+        """Structural statistics (inputs, outputs, gates, latches)."""
+        return {
+            "primary_inputs": len(self.primary_inputs),
+            "primary_outputs": len(self.primary_outputs),
+            "gates": len(self.gates),
+            "latches": len(self.latches),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        stats = self.statistics()
+        return (
+            f"<Netlist {self.name!r} inputs={stats['primary_inputs']} "
+            f"outputs={stats['primary_outputs']} gates={stats['gates']} "
+            f"latches={stats['latches']}>"
+        )

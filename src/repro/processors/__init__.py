@@ -1,0 +1,69 @@
+"""Processor models: the paper's two experimental designs.
+
+Concrete (integer, cycle-accurate) models:
+
+* :class:`UnpipelinedVSM` / :class:`PipelinedVSM` — Section 6.2.
+* :class:`UnpipelinedAlpha0` / :class:`PipelinedAlpha0` — Section 6.3.
+* :mod:`repro.processors.interrupts` — event-handling variants (Section 5.5).
+* :mod:`repro.processors.superscalar` — dual-issue VSM (Section 5.7).
+* :mod:`repro.processors.scoreboard` — dynamically scheduled VSM (Section 5.6).
+
+Symbolic (BDD) models used by the verification core:
+
+* :mod:`repro.processors.symbolic` — the symbolic machine protocol.
+* :mod:`repro.processors.sym_vsm` / :mod:`repro.processors.sym_alpha0`.
+"""
+
+from .state import Alpha0State, VSMState, alpha0_observation, vsm_observation
+from .vsm_unpipelined import UnpipelinedVSM
+from .vsm_pipelined import BUG_CODES as VSM_BUG_CODES
+from .vsm_pipelined import PipelinedVSM
+from .alpha0_unpipelined import UnpipelinedAlpha0
+from .alpha0_pipelined import BUG_CODES as ALPHA0_BUG_CODES
+from .alpha0_pipelined import PipelinedAlpha0
+from .symbolic import (
+    constant_register_file,
+    observation_difference,
+    observation_identical,
+    read_register,
+    symbolic_memory,
+    symbolic_register_file,
+    write_memory,
+    write_register,
+)
+from .sym_vsm import SymbolicPipelinedVSM, SymbolicUnpipelinedVSM
+from .sym_alpha0 import (
+    CONDENSED_OPTIONS,
+    EXACT_OPTIONS,
+    SymbolicAlpha0Options,
+    SymbolicPipelinedAlpha0,
+    SymbolicUnpipelinedAlpha0,
+)
+
+__all__ = [
+    "ALPHA0_BUG_CODES",
+    "Alpha0State",
+    "CONDENSED_OPTIONS",
+    "EXACT_OPTIONS",
+    "PipelinedAlpha0",
+    "PipelinedVSM",
+    "SymbolicAlpha0Options",
+    "SymbolicPipelinedAlpha0",
+    "SymbolicPipelinedVSM",
+    "SymbolicUnpipelinedAlpha0",
+    "SymbolicUnpipelinedVSM",
+    "UnpipelinedAlpha0",
+    "UnpipelinedVSM",
+    "VSMState",
+    "VSM_BUG_CODES",
+    "alpha0_observation",
+    "constant_register_file",
+    "observation_difference",
+    "observation_identical",
+    "read_register",
+    "symbolic_memory",
+    "symbolic_register_file",
+    "vsm_observation",
+    "write_memory",
+    "write_register",
+]

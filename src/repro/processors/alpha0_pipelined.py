@@ -1,0 +1,293 @@
+"""Pipelined Alpha0 — the implementation machine of Section 6.3 (Figure 14).
+
+A 5-stage static pipeline (IF, ID, EX, MEM, WB) over the condensed
+Alpha0 datapath:
+
+* **IF** — the instruction word is supplied on the input port and
+  latched with the fetch PC.
+* **ID** — decode and register read.  Control-transfer instructions are
+  resolved here (with operand forwarding from the younger stages), which
+  gives exactly one delay slot; the delay slot is always annulled, so the
+  sequence of architecturally executed instructions matches the
+  unpipelined specification.
+* **EX** — ALU and effective-address computation.  Data-memory reads and
+  writes are also performed here (the MEM stage is a pass-through),
+  which removes the load-use stall and keeps the order of definiteness
+  fixed at ``k = 5``; the simplification is documented in DESIGN.md.
+  Distance-1 and distance-2 RAW hazards are resolved by bypass paths
+  from the EX/MEM and MEM/WB latches (Theorem 4.3.5.1).
+* **MEM** — pass-through latch stage.
+* **WB** — register write-back and retirement.
+
+The model exposes the same observation protocol as the unpipelined
+specification and the same bug-injection catalogue idea as the VSM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..isa import alpha0 as isa
+from .state import Alpha0State, alpha0_observation
+from .alpha0_unpipelined import ALL_REGISTERS
+
+#: Bug codes understood by :class:`PipelinedAlpha0`.
+BUG_CODES = (
+    "no_bypass",            # drop both forwarding paths
+    "no_annul",             # fail to annul the branch delay slot
+    "wrong_branch_target",  # branch target off by one word
+    "cmpeq_inverted",       # cmpeq produces the negated result
+    "store_wrong_word",     # stores write the neighbouring memory word
+)
+
+
+@dataclass
+class _FetchLatch:
+    word: int = 0
+    pc: int = 0
+    valid: bool = False
+
+
+@dataclass
+class _DecodeLatch:
+    instruction: Optional[isa.Alpha0Instruction] = None
+    pc: int = 0
+    operand_a: int = 0
+    operand_b: int = 0
+    valid: bool = False
+
+
+@dataclass
+class _ResultLatch:
+    destination: Optional[int] = None
+    value: int = 0
+    opcode: int = 0
+    next_pc: int = 0
+    valid: bool = False
+
+
+class PipelinedAlpha0:
+    """Cycle-accurate 5-stage pipelined Alpha0 with bypassing and one delay slot."""
+
+    def __init__(
+        self,
+        config: isa.Alpha0Config = isa.CONDENSED_CONFIG,
+        enable_bypassing: bool = True,
+        enable_annulment: bool = True,
+        bug: Optional[str] = None,
+        observed_registers: Optional[Tuple[int, ...]] = None,
+        observed_memory: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        if bug is not None and bug not in BUG_CODES:
+            raise ValueError(f"unknown bug code {bug!r}; valid codes: {BUG_CODES}")
+        self.config = config
+        self.enable_bypassing = enable_bypassing and bug != "no_bypass"
+        self.enable_annulment = enable_annulment and bug != "no_annul"
+        self.bug = bug
+        self.observed_registers = (
+            observed_registers if observed_registers is not None else ALL_REGISTERS
+        )
+        self.observed_memory = (
+            observed_memory
+            if observed_memory is not None
+            else tuple(range(config.memory_words))
+        )
+        self._data_mask = config.data_mask
+        self._pc_mask = (1 << isa.PC_WIDTH) - 1
+        self.state = Alpha0State(memory=[0] * config.memory_words)
+        self.fetch_pc = 0
+        self.if_id = _FetchLatch()
+        self.id_ex = _DecodeLatch()
+        self.ex_mem = _ResultLatch()
+        self.mem_wb = _ResultLatch()
+        self._retired_op = 0
+        self._retired_dest = 0
+        self._retired_next_pc = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Flush the pipeline and return to the architectural reset state."""
+        self.state = Alpha0State(memory=[0] * self.config.memory_words)
+        self.fetch_pc = 0
+        self.if_id = _FetchLatch()
+        self.id_ex = _DecodeLatch()
+        self.ex_mem = _ResultLatch()
+        self.mem_wb = _ResultLatch()
+        self._retired_op = 0
+        self._retired_dest = 0
+        self._retired_next_pc = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # Forwarding helpers
+    # ------------------------------------------------------------------
+    def _forward(self, register: int, stale_value: int, *sources: _ResultLatch) -> int:
+        """Value of ``register``, taking the nearest matching bypass source."""
+        if not self.enable_bypassing:
+            return stale_value
+        for source in sources:
+            if source.valid and source.destination == register:
+                return source.value & self._data_mask
+        return stale_value
+
+    # ------------------------------------------------------------------
+    # One clock cycle
+    # ------------------------------------------------------------------
+    def step(self, instruction_word: int, fetch_valid: bool = True) -> Dict[str, int]:
+        """Advance one clock cycle, fetching ``instruction_word``."""
+        self.cycle_count += 1
+        mask = self._data_mask
+        pc_mask = self._pc_mask
+
+        # ---- WB: retire the instruction in the MEM/WB latch -------------
+        retiring = self.mem_wb
+        if retiring.valid:
+            if retiring.destination is not None:
+                self.state.registers[retiring.destination] = retiring.value & mask
+            self._retired_op = retiring.opcode
+            self._retired_dest = retiring.destination if retiring.destination is not None else 0
+            self._retired_next_pc = retiring.next_pc
+            self.state.pc = retiring.next_pc
+            self.instructions_retired += 1
+
+        # ---- MEM: pass-through latch stage ------------------------------
+        new_mem_wb = self.ex_mem
+
+        # ---- EX: ALU, effective address and data-memory access ----------
+        new_ex_mem = _ResultLatch()
+        decoded = self.id_ex
+        if decoded.valid and decoded.instruction is not None:
+            instruction = decoded.instruction
+            operand_a = self._forward(
+                instruction.ra, decoded.operand_a, self.ex_mem, retiring
+            )
+            operand_b = self._forward(
+                instruction.rb, decoded.operand_b, self.ex_mem, retiring
+            )
+            next_pc = (decoded.pc + 4) & pc_mask
+            destination: Optional[int] = None
+            value = 0
+            if instruction.is_alu:
+                mnemonic = instruction.mnemonic
+                right = instruction.literal if instruction.literal_flag else operand_b
+                value = isa.alu_operation(mnemonic, operand_a & mask, right & mask, self.config)
+                if self.bug == "cmpeq_inverted" and mnemonic == "cmpeq":
+                    value ^= 1
+                destination = instruction.rc
+            elif instruction.mnemonic == "ld":
+                address = (operand_b + instruction.displacement) & mask
+                value = self.state.memory[isa.memory_index(address, self.config)] & mask
+                destination = instruction.ra
+            elif instruction.mnemonic == "st":
+                address = (operand_b + instruction.displacement) & mask
+                index = isa.memory_index(address, self.config)
+                if self.bug == "store_wrong_word":
+                    index = (index + 1) % self.config.memory_words
+                self.state.memory[index] = operand_a & mask
+            elif instruction.mnemonic in ("br", "jmp"):
+                value = next_pc & mask
+                destination = instruction.ra
+                if instruction.mnemonic == "br":
+                    next_pc = (next_pc + 4 * instruction.displacement) & pc_mask
+                else:
+                    next_pc = operand_b & ~0b11 & pc_mask
+            elif instruction.mnemonic in ("bf", "bt"):
+                taken = (operand_a & mask) == 0
+                if instruction.mnemonic == "bt":
+                    taken = not taken
+                if taken:
+                    next_pc = (next_pc + 4 * instruction.displacement) & pc_mask
+            new_ex_mem = _ResultLatch(
+                destination=destination,
+                value=value,
+                opcode=instruction.spec.opcode,
+                next_pc=next_pc,
+                valid=True,
+            )
+
+        # ---- ID: decode, register read, resolve control transfers -------
+        new_id_ex = _DecodeLatch()
+        redirect = False
+        redirect_target = 0
+        fetched = self.if_id
+        if fetched.valid:
+            instruction = isa.decode(fetched.word)
+            operand_a = self.state.registers[instruction.ra] & mask
+            operand_b = self.state.registers[instruction.rb] & mask
+            new_id_ex = _DecodeLatch(
+                instruction=instruction,
+                pc=fetched.pc,
+                operand_a=operand_a,
+                operand_b=operand_b,
+                valid=True,
+            )
+            if instruction.is_control_transfer:
+                redirect = True
+                sequential = (fetched.pc + 4) & pc_mask
+                condition_a = self._forward(
+                    instruction.ra, operand_a, new_ex_mem, new_mem_wb
+                )
+                target_b = self._forward(
+                    instruction.rb, operand_b, new_ex_mem, new_mem_wb
+                )
+                if instruction.mnemonic == "br":
+                    redirect_target = (sequential + 4 * instruction.displacement) & pc_mask
+                elif instruction.mnemonic == "jmp":
+                    redirect_target = target_b & ~0b11 & pc_mask
+                else:
+                    taken = (condition_a & mask) == 0
+                    if instruction.mnemonic == "bt":
+                        taken = not taken
+                    branch_target = (sequential + 4 * instruction.displacement) & pc_mask
+                    redirect_target = branch_target if taken else sequential
+                if self.bug == "wrong_branch_target":
+                    redirect_target = (redirect_target + 4) & pc_mask
+
+        # ---- IF: latch the externally supplied instruction --------------
+        annul_fetch = redirect and self.enable_annulment
+        new_if_id = _FetchLatch(
+            word=instruction_word & ((1 << isa.INSTRUCTION_WIDTH) - 1),
+            pc=self.fetch_pc,
+            valid=bool(fetch_valid) and not annul_fetch,
+        )
+        if redirect:
+            self.fetch_pc = redirect_target
+        else:
+            self.fetch_pc = (self.fetch_pc + 4) & pc_mask
+
+        # ---- Commit the pipeline latches ---------------------------------
+        self.if_id = new_if_id
+        self.id_ex = new_id_ex
+        self.ex_mem = new_ex_mem
+        self.mem_wb = new_mem_wb
+        return self.observe()
+
+    # ------------------------------------------------------------------
+    # Convenience interfaces
+    # ------------------------------------------------------------------
+    def run_program(self, words: Sequence[int], cycles: int) -> Dict[str, int]:
+        """Drive the pipeline from an instruction memory for ``cycles`` cycles."""
+        nop = isa.Alpha0Instruction("and", ra=0, rb=0, rc=0).encode()
+        observation = self.observe()
+        for _ in range(cycles):
+            index = self.fetch_pc >> 2
+            word = words[index] if index < len(words) else nop
+            observation = self.step(word)
+        return observation
+
+    def observe(self) -> Dict[str, int]:
+        """Current observation (architectural state plus retirement info)."""
+        return alpha0_observation(
+            self.state,
+            self._retired_op,
+            self._retired_dest,
+            pc_next=self._retired_next_pc,
+            observed_registers=self.observed_registers,
+            observed_memory=self.observed_memory,
+        )

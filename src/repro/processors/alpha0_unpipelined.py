@@ -1,0 +1,125 @@
+"""Unpipelined Alpha0 — the specification machine of Section 6.3 (Figure 15).
+
+One instruction every ``k = 5`` cycles: the instruction word is latched
+at the first cycle of its window and the architectural state (register
+file, PC, data memory) is updated at the last cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence, Tuple
+
+from ..isa import alpha0 as isa
+from .state import Alpha0State, alpha0_observation
+
+#: Registers observed by default (every register).
+ALL_REGISTERS = tuple(range(isa.NUM_REGISTERS))
+
+
+class UnpipelinedAlpha0:
+    """Cycle-accurate unpipelined Alpha0 (one instruction per ``k`` cycles)."""
+
+    def __init__(
+        self,
+        config: isa.Alpha0Config = isa.CONDENSED_CONFIG,
+        cycles_per_instruction: int = isa.PIPELINE_DEPTH,
+        observed_registers: Optional[Tuple[int, ...]] = None,
+        observed_memory: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        if cycles_per_instruction < 1:
+            raise ValueError("an instruction needs at least one cycle")
+        self.config = config
+        self.cycles_per_instruction = cycles_per_instruction
+        self.observed_registers = (
+            observed_registers if observed_registers is not None else ALL_REGISTERS
+        )
+        self.observed_memory = (
+            observed_memory
+            if observed_memory is not None
+            else tuple(range(config.memory_words))
+        )
+        self.state = Alpha0State(memory=[0] * config.memory_words)
+        self._stage = 0
+        self._current_word: Optional[int] = None
+        self._retired_op = 0
+        self._retired_dest = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the reset state (registers, PC and memory all zero)."""
+        self.state = Alpha0State(memory=[0] * self.config.memory_words)
+        self._stage = 0
+        self._current_word = None
+        self._retired_op = 0
+        self._retired_dest = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    @property
+    def accepts_instruction(self) -> bool:
+        """Whether the next :meth:`step` latches a new instruction word."""
+        return self._stage == 0
+
+    def step(self, instruction_word: Optional[int] = None) -> Dict[str, int]:
+        """Advance one clock cycle (see :class:`UnpipelinedVSM` for the protocol)."""
+        self.cycle_count += 1
+        if self._stage == 0:
+            if instruction_word is None:
+                raise ValueError("an instruction word is required at the fetch cycle")
+            self._current_word = instruction_word
+        self._stage += 1
+        if self._stage == self.cycles_per_instruction:
+            self._retire()
+            self._stage = 0
+        return self.observe()
+
+    def _retire(self) -> None:
+        instruction = isa.decode(self._current_word)
+        registers, pc, memory = isa.execute(
+            instruction, self.state.registers, self.state.pc, self.state.memory, self.config
+        )
+        self.state.registers = registers
+        self.state.pc = pc
+        self.state.memory = memory
+        self._retired_op = instruction.spec.opcode
+        destination = instruction.destination()
+        self._retired_dest = destination if destination is not None else 0
+        self._current_word = None
+        self.instructions_retired += 1
+
+    # ------------------------------------------------------------------
+    # Convenience interfaces
+    # ------------------------------------------------------------------
+    def execute_instruction(self, instruction_word: int) -> Dict[str, int]:
+        """Run a full ``k``-cycle instruction window and return the final observation."""
+        observation = self.step(instruction_word)
+        for _ in range(self.cycles_per_instruction - 1):
+            observation = self.step(None)
+        return observation
+
+    def run_program(
+        self, words: Sequence[int], max_instructions: Optional[int] = None
+    ) -> Dict[str, int]:
+        """Execute instructions fetched by PC (byte addresses, 4 per word)."""
+        observation = self.observe()
+        executed = 0
+        limit = max_instructions if max_instructions is not None else len(words) * 4
+        while (self.state.pc >> 2) < len(words) and executed < limit:
+            observation = self.execute_instruction(words[self.state.pc >> 2])
+            executed += 1
+        return observation
+
+    def observe(self) -> Dict[str, int]:
+        """Current observation (architectural state plus retirement info)."""
+        return alpha0_observation(
+            self.state,
+            self._retired_op,
+            self._retired_dest,
+            pc_next=self.state.pc,
+            observed_registers=self.observed_registers,
+            observed_memory=self.observed_memory,
+        )

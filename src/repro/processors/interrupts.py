@@ -1,0 +1,169 @@
+"""Event handling (interrupts / traps) — paper Section 5.5.
+
+The interrupt-capable VSM variants add an external event line to the
+design.  Following the paper's description of safe pipeline-state
+saving ("force a trap instruction into the pipeline on the next
+instruction fetch; until the trap is taken, turn off all writes for the
+faulting instruction and for all instructions that follow"), an
+asserted event turns the instruction currently being decoded into a
+trap:
+
+* the instruction does not execute;
+* the link register (:data:`INTERRUPT_LINK_REGISTER`) receives the PC of
+  the interrupted instruction, so the handler can return to it;
+* the PC is redirected to :data:`INTERRUPT_HANDLER_ADDRESS`;
+* the delay slot behind the trap is annulled, exactly like a branch.
+
+The unpipelined specification performs the same trap atomically when the
+event coincides with the corresponding instruction.  The *dynamic*
+beta-relation (Section 5.5) then treats the trap slot like a
+control-transfer slot: its delay slot is irrelevant and the sampled
+observations of both machines must still agree —
+:func:`repro.core.dynamic_beta.verify_with_events` drives this end to
+end.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..bdd import BDDManager, BDDNode
+from ..isa import vsm as isa
+from ..logic import BitVec
+from .sym_vsm import (
+    DATA_WIDTH,
+    PC_WIDTH,
+    SymbolicPipelinedVSM,
+    SymbolicUnpipelinedVSM,
+    decode_fields,
+    is_control_transfer,
+)
+from .symbolic import write_register
+
+#: Architectural register that receives the interrupted PC.
+INTERRUPT_LINK_REGISTER = 7
+#: Instruction address of the event handler.
+INTERRUPT_HANDLER_ADDRESS = 0b10000
+
+
+class SymbolicUnpipelinedVSMWithEvents(SymbolicUnpipelinedVSM):
+    """Unpipelined VSM specification with an event (interrupt) input.
+
+    :meth:`execute_instruction` gains an ``event`` flag.  When the event
+    coincides with an instruction, the instruction is suppressed and the
+    trap executes instead: ``r7 <- PC``, ``PC <- handler``.
+    """
+
+    def execute_instruction(
+        self, instruction: BitVec, event: bool = False
+    ) -> Dict[str, BitVec]:
+        if not event:
+            return super().execute_instruction(instruction)
+        manager = self.manager
+        link_index = BitVec.constant(manager, INTERRUPT_LINK_REGISTER, 3)
+        self.registers = write_register(
+            self.registers, link_index, self.pc.truncate(DATA_WIDTH), manager.one
+        )
+        self.pc = BitVec.constant(manager, INTERRUPT_HANDLER_ADDRESS, PC_WIDTH)
+        self.retired_op = BitVec.constant(manager, 0b111, 3)  # trap marker
+        self.retired_dest = link_index
+        self.instructions_retired += 1
+        # The instruction window still occupies k cycles.
+        self.cycle_count += self.cycles_per_instruction
+        return self.observe()
+
+
+class SymbolicPipelinedVSMWithEvents(SymbolicPipelinedVSM):
+    """Pipelined VSM implementation with an event (interrupt) input.
+
+    ``step`` gains an ``event`` flag: when asserted, the instruction in
+    the decode stage is converted into a trap (its own execution is
+    suppressed; the link register receives its PC; fetch is redirected to
+    the handler and the slot behind it is annulled).  ``break_event_link``
+    injects a bug for the benchmarks: the trap redirects but fails to
+    save the interrupted PC.
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        enable_bypassing: bool = True,
+        enable_annulment: bool = True,
+        bug: Optional[str] = None,
+        break_event_link: bool = False,
+    ) -> None:
+        super().__init__(
+            manager,
+            enable_bypassing=enable_bypassing,
+            enable_annulment=enable_annulment,
+            bug=bug,
+        )
+        self.break_event_link = break_event_link
+
+    def step(
+        self,
+        instruction: BitVec,
+        fetch_valid: Optional[BDDNode] = None,
+        event: bool = False,
+    ) -> Dict[str, BitVec]:
+        manager = self.manager
+        if not event:
+            return super().step(instruction, fetch_valid=fetch_valid)
+        if fetch_valid is None:
+            fetch_valid = manager.one
+        self.cycle_count += 1
+
+        # ---- WB: the instruction ahead of the trap retires normally ------
+        retiring = self.ex_wb
+        write_enable = retiring.valid
+        if self.bug == "drop_write_r3":
+            write_enable = manager.apply_and(
+                write_enable, manager.apply_not(retiring.destination.eq(3))
+            )
+        self.registers = write_register(
+            self.registers, retiring.destination, retiring.value, write_enable
+        )
+        self.retired_op = BitVec.mux(retiring.valid, retiring.opcode, self.retired_op)
+        self.retired_dest = BitVec.mux(retiring.valid, retiring.destination, self.retired_dest)
+        self.arch_pc = BitVec.mux(retiring.valid, retiring.next_pc, self.arch_pc)
+
+        # ---- EX: the decoded instruction is replaced by the trap ----------
+        from .sym_vsm import _SymExecuteLatch, _SymDecodeLatch, _SymFetchLatch
+
+        decoded = self.id_ex
+        link_value = (
+            BitVec.constant(manager, 0, DATA_WIDTH)
+            if self.break_event_link
+            else decoded.pc.truncate(DATA_WIDTH)
+        )
+        new_ex_wb = _SymExecuteLatch(
+            destination=BitVec.constant(manager, INTERRUPT_LINK_REGISTER, 3),
+            value=link_value,
+            opcode=BitVec.constant(manager, 0b111, 3),
+            next_pc=BitVec.constant(manager, INTERRUPT_HANDLER_ADDRESS, PC_WIDTH),
+            valid=decoded.valid,
+        )
+
+        # ---- ID: the newly fetched instruction is squashed by the trap ----
+        zero13 = BitVec.constant(manager, 0, isa.INSTRUCTION_WIDTH)
+        new_id_ex = _SymDecodeLatch(
+            fields=decode_fields(zero13),
+            pc=BitVec.constant(manager, 0, PC_WIDTH),
+            operand_a=BitVec.constant(manager, 0, DATA_WIDTH),
+            operand_b=BitVec.constant(manager, 0, DATA_WIDTH),
+            valid=manager.zero,
+        )
+
+        # ---- IF: redirect to the handler; the incoming slot is annulled ---
+        annulled = manager.zero if not self.enable_annulment else manager.one
+        new_if_id = _SymFetchLatch(
+            word=instruction,
+            pc=self.fetch_pc,
+            valid=manager.apply_and(fetch_valid, manager.apply_not(annulled)),
+        )
+        self.fetch_pc = BitVec.constant(manager, INTERRUPT_HANDLER_ADDRESS, PC_WIDTH)
+
+        self.if_id = new_if_id
+        self.id_ex = new_id_ex
+        self.ex_wb = new_ex_wb
+        return self.observe()

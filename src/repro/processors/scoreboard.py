@@ -1,0 +1,194 @@
+"""Dynamically scheduled (scoreboarded) VSM — paper Section 5.6.
+
+A small scoreboard model that issues VSM instructions in order but lets
+them *complete* out of order: every instruction is given a latency
+(by default ``add``/``xor`` take two cycles, ``and``/``or``/``br`` take
+one), and an instruction may start executing as soon as its source
+registers are not pending results of older, still-executing
+instructions (RAW), its destination is not pending (WAW) and a
+functional unit is free.
+
+The model records the retirement order, which the dynamic beta-relation
+uses (Section 5.6): the state of the machine is only compared against
+the unpipelined specification at points where the set of completed
+instructions forms a prefix of program order — in the worst case only
+at the very end of the program, exactly as the paper notes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..isa import vsm as isa
+from .state import VSMState, vsm_observation
+
+#: Default execution latencies per mnemonic (cycles in the execute stage).
+DEFAULT_LATENCIES: Dict[str, int] = {"add": 2, "xor": 2, "and": 1, "or": 1, "br": 1}
+
+
+@dataclass
+class _InFlight:
+    """An issued but not yet completed instruction.
+
+    The result value and the next PC are computed at *issue* time (the
+    scoreboard guarantees the source operands are architecturally up to
+    date then, since RAW on a pending result blocks issue); only the
+    register-file write is deferred until completion.  This keeps
+    write-after-read hazards impossible by construction.
+    """
+
+    index: int
+    instruction: isa.VSMInstruction
+    remaining: int
+    pc: int
+    result: int
+    next_pc: int
+
+
+@dataclass
+class ScoreboardTrace:
+    """Execution record of :class:`ScoreboardVSM`."""
+
+    completion_order: List[int] = field(default_factory=list)
+    completion_cycle: Dict[int, int] = field(default_factory=dict)
+    cycles: int = 0
+    observations: List[Dict[str, int]] = field(default_factory=list)
+
+    def in_order_points(self) -> List[Tuple[int, int]]:
+        """Cycles at which the completed set is a prefix of program order.
+
+        Returns ``(cycle, completed_count)`` pairs — the only points at
+        which the dynamic beta-relation may compare against the in-order
+        specification.
+        """
+        points = []
+        completed = set()
+        by_cycle: Dict[int, List[int]] = {}
+        for index, cycle in self.completion_cycle.items():
+            by_cycle.setdefault(cycle, []).append(index)
+        for cycle in range(self.cycles):
+            for index in by_cycle.get(cycle, []):
+                completed.add(index)
+            if completed and max(completed) == len(completed) - 1:
+                points.append((cycle, len(completed)))
+        return points
+
+
+class ScoreboardVSM:
+    """In-order issue, out-of-order completion VSM with a simple scoreboard."""
+
+    def __init__(
+        self,
+        functional_units: int = 2,
+        latencies: Optional[Dict[str, int]] = None,
+    ) -> None:
+        if functional_units < 1:
+            raise ValueError("at least one functional unit is required")
+        self.functional_units = functional_units
+        self.latencies = dict(DEFAULT_LATENCIES)
+        if latencies:
+            self.latencies.update(latencies)
+        self.state = VSMState()
+        self._retired_op = 0
+        self._retired_dest = 0
+
+    def reset(self) -> None:
+        """Return to the architectural reset state."""
+        self.state = VSMState()
+        self._retired_op = 0
+        self._retired_dest = 0
+
+    # ------------------------------------------------------------------
+    def _can_issue(self, instruction: isa.VSMInstruction, in_flight: Sequence[_InFlight]) -> bool:
+        if len(in_flight) >= self.functional_units:
+            return False
+        pending_destinations = {entry.instruction.destination() for entry in in_flight}
+        if pending_destinations.intersection(instruction.sources()):
+            return False  # RAW on a pending result
+        if instruction.destination() in pending_destinations:
+            return False  # WAW on a pending result
+        if instruction.is_control_transfer and in_flight:
+            # Control transfers issue alone so the PC update stays in order.
+            return False
+        return True
+
+    def run(self, program: Sequence[isa.VSMInstruction], max_cycles: int = 10_000) -> ScoreboardTrace:
+        """Execute ``program`` to completion and return the execution trace."""
+        trace = ScoreboardTrace()
+        in_flight: List[_InFlight] = []
+        completed_next_pc: Dict[int, int] = {}
+        completed = set()
+        next_to_issue = 0
+        pc = 0
+        cycle = 0
+        while (next_to_issue < len(program) or in_flight) and cycle < max_cycles:
+            # Complete instructions whose latency has elapsed (out of order).
+            still_running: List[_InFlight] = []
+            completing: List[_InFlight] = []
+            for entry in in_flight:
+                entry.remaining -= 1
+                if entry.remaining <= 0:
+                    completing.append(entry)
+                else:
+                    still_running.append(entry)
+            for entry in sorted(completing, key=lambda item: item.index):
+                self.state.registers[entry.instruction.destination()] = entry.result
+                self._retired_op = entry.instruction.opcode
+                self._retired_dest = entry.instruction.destination()
+                trace.completion_order.append(entry.index)
+                trace.completion_cycle[entry.index] = cycle
+                completed.add(entry.index)
+                completed_next_pc[entry.index] = entry.next_pc
+            in_flight = still_running
+            # The architectural PC tracks the longest completed prefix of
+            # program order (the only points the dynamic beta-relation uses).
+            prefix = 0
+            while prefix in completed:
+                prefix += 1
+            if prefix:
+                self.state.pc = completed_next_pc[prefix - 1]
+
+            # Issue in order while the scoreboard allows it.
+            while next_to_issue < len(program):
+                candidate = program[next_to_issue]
+                if not self._can_issue(candidate, in_flight):
+                    break
+                latency = self.latencies.get(candidate.mnemonic, 1)
+                if candidate.is_control_transfer:
+                    result = pc & 0b111
+                    next_pc = (pc + candidate.displacement) & 0x1F
+                else:
+                    left = self.state.registers[candidate.ra]
+                    right = (
+                        candidate.literal
+                        if candidate.literal_flag
+                        else self.state.registers[candidate.rb]
+                    )
+                    result = isa.alu_operation(candidate.mnemonic, left, right)
+                    next_pc = (pc + 1) & 0x1F
+                in_flight.append(
+                    _InFlight(
+                        index=next_to_issue,
+                        instruction=candidate,
+                        remaining=latency,
+                        pc=pc,
+                        result=result,
+                        next_pc=next_pc,
+                    )
+                )
+                pc = next_pc
+                next_to_issue += 1
+                if candidate.is_control_transfer:
+                    break
+
+            trace.observations.append(self.observe())
+            cycle += 1
+        trace.cycles = cycle
+        return trace
+
+    def observe(self) -> Dict[str, int]:
+        """Current observation (architectural state plus retirement info)."""
+        return vsm_observation(
+            self.state, self._retired_op, self._retired_dest, pc_next=self.state.pc
+        )

@@ -1,0 +1,104 @@
+"""Architectural state containers shared by the processor models.
+
+Both the concrete (integer) and symbolic (BDD) processor models observe
+the same architectural quantities; this module defines the concrete
+state records and the *observation protocol*: the dictionary of named
+values that the verification methodology samples at the cycles selected
+by the output filtering functions.
+
+Observation protocol
+--------------------
+``reg{i}``            contents of general purpose register ``i``
+``mem{i}``            contents of data-memory word ``i`` (Alpha0 only)
+``pc_next``           the PC of the next instruction to execute after the
+                      most recently completed instruction
+``retired_op``        opcode of the most recently completed instruction
+``retired_dest``      destination register index of that instruction
+
+The last three are the "ALU operation / write address / instruction
+address register" observables of Section 5.4; observing them lets the
+paper (and this reproduction) shrink the register file during symbolic
+simulation without losing the ability to detect mis-routed writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..isa import alpha0 as alpha0_isa
+from ..isa import vsm as vsm_isa
+
+
+@dataclass
+class VSMState:
+    """Architectural state of the VSM: eight 3-bit registers and a 5-bit PC."""
+
+    registers: List[int] = field(default_factory=lambda: [0] * vsm_isa.NUM_REGISTERS)
+    pc: int = 0
+
+    def copy(self) -> "VSMState":
+        """An independent copy of the state."""
+        return VSMState(registers=list(self.registers), pc=self.pc)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, VSMState):
+            return NotImplemented
+        return self.registers == other.registers and self.pc == other.pc
+
+
+@dataclass
+class Alpha0State:
+    """Architectural state of Alpha0: registers, PC and data memory."""
+
+    registers: List[int] = field(
+        default_factory=lambda: [0] * alpha0_isa.NUM_REGISTERS
+    )
+    pc: int = 0
+    memory: List[int] = field(default_factory=lambda: [0] * 8)
+
+    def copy(self) -> "Alpha0State":
+        """An independent copy of the state."""
+        return Alpha0State(registers=list(self.registers), pc=self.pc, memory=list(self.memory))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Alpha0State):
+            return NotImplemented
+        return (
+            self.registers == other.registers
+            and self.pc == other.pc
+            and self.memory == other.memory
+        )
+
+
+def vsm_observation(
+    state: VSMState, retired_op: int, retired_dest: int, pc_next: int
+) -> Dict[str, int]:
+    """Observation dictionary for a VSM machine."""
+    observation = {f"reg{i}": value for i, value in enumerate(state.registers)}
+    observation["pc_next"] = pc_next
+    observation["retired_op"] = retired_op
+    observation["retired_dest"] = retired_dest
+    return observation
+
+
+def alpha0_observation(
+    state: Alpha0State,
+    retired_op: int,
+    retired_dest: int,
+    pc_next: int,
+    observed_registers: Tuple[int, ...],
+    observed_memory: Tuple[int, ...],
+) -> Dict[str, int]:
+    """Observation dictionary for an Alpha0 machine.
+
+    Alpha0 has 32 registers; observing all of them is possible but the
+    paper's condensation observes a subset plus the read/write addresses,
+    so the observed register and memory indices are parameters.
+    """
+    observation = {f"reg{i}": state.registers[i] for i in observed_registers}
+    observation.update({f"mem{i}": state.memory[i] for i in observed_memory})
+    observation["pc_next"] = pc_next
+    observation["retired_op"] = retired_op
+    observation["retired_dest"] = retired_dest
+    return observation

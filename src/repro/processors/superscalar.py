@@ -1,0 +1,110 @@
+"""Dual-issue (superscalar) VSM — paper Section 5.7.
+
+A superscalar machine issues a small number of independent instructions
+per clock.  :class:`SuperscalarVSM` is a concrete dual-issue (the
+``issue_width`` is configurable) in-order VSM:
+
+* up to ``issue_width`` instructions are taken from the instruction
+  stream each cycle;
+* the group is cut short at the first instruction that depends on an
+  earlier instruction of the *same* group (RAW or WAW on a register), or
+  at a control-transfer instruction (which always ends its group and
+  squashes the following delay slot, as in the scalar pipeline);
+* all instructions of a group retire together at the end of the cycle.
+
+The dynamic beta-relation driver
+(:func:`repro.core.dynamic_beta.verify_superscalar_schedule`) compares
+the architectural state after every retirement group against the
+unpipelined specification sampled after the same cumulative number of
+instructions — which is exactly the SH1/SH2 modification Section 5.7
+describes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..isa import vsm as isa
+from .state import VSMState, vsm_observation
+
+_DATA_MASK = (1 << isa.DATA_WIDTH) - 1
+_PC_MASK = (1 << isa.PC_WIDTH) - 1
+
+
+class SuperscalarVSM:
+    """An in-order dual-issue VSM executing a whole program."""
+
+    def __init__(self, issue_width: int = 2) -> None:
+        if issue_width < 1:
+            raise ValueError("issue width must be at least 1")
+        self.issue_width = issue_width
+        self.state = VSMState()
+        self._retired_op = 0
+        self._retired_dest = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    def reset(self) -> None:
+        """Return to the architectural reset state."""
+        self.state = VSMState()
+        self._retired_op = 0
+        self._retired_dest = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    def _group_breaks(
+        self, group: Sequence[isa.VSMInstruction], candidate: isa.VSMInstruction
+    ) -> bool:
+        """Whether ``candidate`` cannot be issued with the current ``group``."""
+        if not group:
+            return False
+        if len(group) >= self.issue_width:
+            return True
+        if group[-1].is_control_transfer:
+            return True
+        written = {instruction.destination() for instruction in group}
+        if candidate.is_control_transfer:
+            # A branch never shares a group with older instructions here; it
+            # starts its own group so its PC semantics stay simple.
+            return True
+        if written.intersection(candidate.sources()):
+            return True  # RAW within the group
+        if candidate.destination() in written:
+            return True  # WAW within the group
+        return False
+
+    def run(
+        self, program: Sequence[isa.VSMInstruction]
+    ) -> Tuple[List[int], List[Dict[str, int]]]:
+        """Execute ``program`` and return per-cycle retirement counts and observations.
+
+        ``completions[c]`` is the number of instructions retired in cycle
+        ``c`` and ``observations[c]`` is the observation dictionary after
+        that cycle — the inputs that the dynamic beta-relation check needs.
+        """
+        completions: List[int] = []
+        observations: List[Dict[str, int]] = []
+        position = 0
+        while position < len(program):
+            group: List[isa.VSMInstruction] = []
+            while position < len(program) and not self._group_breaks(group, program[position]):
+                group.append(program[position])
+                position += 1
+            for instruction in group:
+                registers, pc = isa.execute(instruction, self.state.registers, self.state.pc)
+                self.state.registers = registers
+                self.state.pc = pc
+                self._retired_op = instruction.opcode
+                self._retired_dest = instruction.destination()
+                self.instructions_retired += 1
+            self.cycle_count += 1
+            completions.append(len(group))
+            observations.append(self.observe())
+        return completions, observations
+
+    def observe(self) -> Dict[str, int]:
+        """Current observation (architectural state plus retirement info)."""
+        return vsm_observation(
+            self.state, self._retired_op, self._retired_dest, pc_next=self.state.pc
+        )

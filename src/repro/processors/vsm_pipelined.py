@@ -1,0 +1,229 @@
+"""Pipelined VSM — the implementation machine of Section 6.2 (Figure 12).
+
+A 4-stage static pipeline (IF, ID, EX, WB):
+
+* **IF** — the instruction word is supplied on the input port (the
+  verification flow drives it with symbolic variables; a test bench
+  supplies ``program[fetch_pc]``) and latched together with the fetch PC.
+* **ID** — the instruction is decoded and its register operands are read
+  from the register file.  Branches are resolved here: the target is
+  ``PC + Disp`` and the one instruction already being fetched behind the
+  branch (the delay slot) is annulled.
+* **EX** — the ALU result is computed.  Distance-1 read-after-write
+  hazards are resolved by the bypass path from the EX/WB latch
+  (Theorem 4.3.5.1); the path can be disabled to model the classic
+  missing-forwarding bug.
+* **WB** — the destination register is written and the instruction
+  retires.
+
+The model exposes the observation protocol of
+:mod:`repro.processors.state` and a small catalogue of injectable bugs
+used by the bug-injection benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from ..isa import vsm as isa
+from .state import VSMState, vsm_observation
+
+_DATA_MASK = (1 << isa.DATA_WIDTH) - 1
+_PC_MASK = (1 << isa.PC_WIDTH) - 1
+
+#: Bug codes understood by :class:`PipelinedVSM` (used by benchmarks/examples).
+BUG_CODES = (
+    "no_bypass",          # drop the EX/WB forwarding path
+    "no_annul",           # fail to annul the branch delay slot
+    "wrong_branch_target",  # compute PC + Disp + 1 instead of PC + Disp
+    "and_becomes_or",     # ALU decodes AND as OR
+    "drop_write_r3",      # register 3 is never written
+)
+
+
+@dataclass
+class _FetchLatch:
+    word: int = 0
+    pc: int = 0
+    valid: bool = False
+
+
+@dataclass
+class _DecodeLatch:
+    instruction: Optional[isa.VSMInstruction] = None
+    pc: int = 0
+    operand_a: int = 0
+    operand_b: int = 0
+    valid: bool = False
+
+
+@dataclass
+class _ExecuteLatch:
+    destination: int = 0
+    value: int = 0
+    opcode: int = 0
+    next_pc: int = 0
+    valid: bool = False
+
+
+class PipelinedVSM:
+    """Cycle-accurate 4-stage pipelined VSM with bypassing and one delay slot."""
+
+    def __init__(
+        self,
+        enable_bypassing: bool = True,
+        enable_annulment: bool = True,
+        bug: Optional[str] = None,
+    ) -> None:
+        if bug is not None and bug not in BUG_CODES:
+            raise ValueError(f"unknown bug code {bug!r}; valid codes: {BUG_CODES}")
+        self.enable_bypassing = enable_bypassing and bug != "no_bypass"
+        self.enable_annulment = enable_annulment and bug != "no_annul"
+        self.bug = bug
+        self.state = VSMState()
+        self.fetch_pc = 0
+        self.if_id = _FetchLatch()
+        self.id_ex = _DecodeLatch()
+        self.ex_wb = _ExecuteLatch()
+        self._retired_op = 0
+        self._retired_dest = 0
+        self._retired_next_pc = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Flush the pipeline and return to the architectural reset state."""
+        self.state = VSMState()
+        self.fetch_pc = 0
+        self.if_id = _FetchLatch()
+        self.id_ex = _DecodeLatch()
+        self.ex_wb = _ExecuteLatch()
+        self._retired_op = 0
+        self._retired_dest = 0
+        self._retired_next_pc = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # One clock cycle
+    # ------------------------------------------------------------------
+    def step(self, instruction_word: int, fetch_valid: bool = True) -> Dict[str, int]:
+        """Advance one clock cycle, fetching ``instruction_word``.
+
+        ``fetch_valid`` marks the incoming instruction as a bubble when
+        false (used for pipeline fill or externally squashed slots).
+        Returns the observation dictionary after the cycle.
+        """
+        self.cycle_count += 1
+
+        # ---- WB: retire the instruction in the EX/WB latch -------------
+        retiring = self.ex_wb
+        if retiring.valid:
+            write_suppressed = self.bug == "drop_write_r3" and retiring.destination == 3
+            if not write_suppressed:
+                self.state.registers[retiring.destination] = retiring.value & _DATA_MASK
+            self._retired_op = retiring.opcode
+            self._retired_dest = retiring.destination
+            self._retired_next_pc = retiring.next_pc
+            self.state.pc = retiring.next_pc
+            self.instructions_retired += 1
+
+        # ---- EX: compute the result of the decoded instruction ---------
+        new_ex_wb = _ExecuteLatch()
+        decoded = self.id_ex
+        if decoded.valid and decoded.instruction is not None:
+            instruction = decoded.instruction
+            operand_a = decoded.operand_a
+            operand_b = decoded.operand_b
+            if self.enable_bypassing and retiring.valid:
+                if not instruction.is_control_transfer:
+                    if not instruction.literal_flag and instruction.rb == retiring.destination:
+                        operand_b = retiring.value
+                    if instruction.ra == retiring.destination:
+                        operand_a = retiring.value
+            if instruction.is_control_transfer:
+                value = decoded.pc & _DATA_MASK
+                target = (decoded.pc + instruction.displacement) & _PC_MASK
+                if self.bug == "wrong_branch_target":
+                    target = (target + 1) & _PC_MASK
+                next_pc = target
+            else:
+                mnemonic = instruction.mnemonic
+                if self.bug == "and_becomes_or" and mnemonic == "and":
+                    mnemonic = "or"
+                right = instruction.literal if instruction.literal_flag else operand_b
+                value = isa.alu_operation(mnemonic, operand_a & _DATA_MASK, right & _DATA_MASK)
+                next_pc = (decoded.pc + 1) & _PC_MASK
+            new_ex_wb = _ExecuteLatch(
+                destination=instruction.destination(),
+                value=value,
+                opcode=instruction.opcode,
+                next_pc=next_pc,
+                valid=True,
+            )
+
+        # ---- ID: decode, read registers, resolve branches --------------
+        new_id_ex = _DecodeLatch()
+        redirect = False
+        redirect_target = 0
+        fetched = self.if_id
+        if fetched.valid:
+            instruction = isa.decode(fetched.word)
+            operand_a = self.state.registers[instruction.ra]
+            operand_b = self.state.registers[instruction.rb]
+            new_id_ex = _DecodeLatch(
+                instruction=instruction,
+                pc=fetched.pc,
+                operand_a=operand_a,
+                operand_b=operand_b,
+                valid=True,
+            )
+            if instruction.is_control_transfer:
+                redirect = True
+                redirect_target = (fetched.pc + instruction.displacement) & _PC_MASK
+                if self.bug == "wrong_branch_target":
+                    redirect_target = (redirect_target + 1) & _PC_MASK
+
+        # ---- IF: latch the externally supplied instruction -------------
+        annul_fetch = redirect and self.enable_annulment
+        new_if_id = _FetchLatch(
+            word=instruction_word & ((1 << isa.INSTRUCTION_WIDTH) - 1),
+            pc=self.fetch_pc,
+            valid=bool(fetch_valid) and not annul_fetch,
+        )
+        if redirect:
+            self.fetch_pc = redirect_target
+        else:
+            self.fetch_pc = (self.fetch_pc + 1) & _PC_MASK
+
+        # ---- Commit the pipeline latches --------------------------------
+        self.if_id = new_if_id
+        self.id_ex = new_id_ex
+        self.ex_wb = new_ex_wb
+        return self.observe()
+
+    # ------------------------------------------------------------------
+    # Convenience interfaces
+    # ------------------------------------------------------------------
+    def run_program(self, words, cycles: int) -> Dict[str, int]:
+        """Drive the pipeline from an instruction memory for ``cycles`` cycles.
+
+        Out-of-range fetch addresses supply an ``add r0, r0, r0`` no-op.
+        """
+        nop = isa.VSMInstruction("add").encode()
+        observation = self.observe()
+        for _ in range(cycles):
+            address = self.fetch_pc
+            word = words[address] if address < len(words) else nop
+            observation = self.step(word)
+        return observation
+
+    def observe(self) -> Dict[str, int]:
+        """Current observation (architectural state plus retirement info)."""
+        return vsm_observation(
+            self.state, self._retired_op, self._retired_dest, pc_next=self._retired_next_pc
+        )

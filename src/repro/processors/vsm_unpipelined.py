@@ -1,0 +1,110 @@
+"""Unpipelined VSM — the specification machine of Section 6.2 (Figure 13).
+
+The unpipelined VSM executes one instruction every ``k = 4`` cycles: the
+instruction word is latched at the first cycle of the instruction window
+and the architectural state (register file and PC) is updated at the
+last cycle.  In between, the machine sequences through its internal
+stages and the outputs are "don't cares" — exactly the behaviour the
+beta-relation's filtering function SH1 encodes by sampling every k-th
+cycle.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..isa import vsm as isa
+from .state import VSMState, vsm_observation
+
+
+class UnpipelinedVSM:
+    """Cycle-accurate unpipelined VSM (one instruction per ``k`` cycles)."""
+
+    def __init__(self, cycles_per_instruction: int = isa.PIPELINE_DEPTH) -> None:
+        if cycles_per_instruction < 1:
+            raise ValueError("an instruction needs at least one cycle")
+        self.cycles_per_instruction = cycles_per_instruction
+        self.state = VSMState()
+        self._stage = 0
+        self._current_word: Optional[int] = None
+        self._retired_op = 0
+        self._retired_dest = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    # ------------------------------------------------------------------
+    # Control
+    # ------------------------------------------------------------------
+    def reset(self) -> None:
+        """Return to the reset state (all registers 0, PC 0)."""
+        self.state = VSMState()
+        self._stage = 0
+        self._current_word = None
+        self._retired_op = 0
+        self._retired_dest = 0
+        self.cycle_count = 0
+        self.instructions_retired = 0
+
+    @property
+    def accepts_instruction(self) -> bool:
+        """Whether the next :meth:`step` latches a new instruction word."""
+        return self._stage == 0
+
+    def step(self, instruction_word: Optional[int] = None) -> Dict[str, int]:
+        """Advance one clock cycle.
+
+        ``instruction_word`` is only examined at the first cycle of an
+        instruction window (when :attr:`accepts_instruction` is true);
+        at other cycles the input is a don't-care and may be ``None``.
+        Returns the observation dictionary for this cycle.
+        """
+        self.cycle_count += 1
+        if self._stage == 0:
+            if instruction_word is None:
+                raise ValueError("an instruction word is required at the fetch cycle")
+            self._current_word = instruction_word
+        self._stage += 1
+        if self._stage == self.cycles_per_instruction:
+            self._retire()
+            self._stage = 0
+        return self.observe()
+
+    def _retire(self) -> None:
+        instruction = isa.decode(self._current_word)
+        registers, pc = isa.execute(instruction, self.state.registers, self.state.pc)
+        self.state.registers = registers
+        self.state.pc = pc
+        self._retired_op = instruction.opcode
+        self._retired_dest = instruction.destination()
+        self._current_word = None
+        self.instructions_retired += 1
+
+    # ------------------------------------------------------------------
+    # Convenience interfaces
+    # ------------------------------------------------------------------
+    def execute_instruction(self, instruction_word: int) -> Dict[str, int]:
+        """Run a full ``k``-cycle instruction window and return the final observation."""
+        observation = self.step(instruction_word)
+        for _ in range(self.cycles_per_instruction - 1):
+            observation = self.step(None)
+        return observation
+
+    def run_program(self, words, max_instructions: Optional[int] = None) -> Dict[str, int]:
+        """Execute instructions fetched from ``words`` (indexed by PC) until falling off.
+
+        Stops when the PC leaves the program or ``max_instructions`` is
+        reached; returns the final observation.
+        """
+        observation = self.observe()
+        executed = 0
+        limit = max_instructions if max_instructions is not None else len(words) * 4
+        while self.state.pc < len(words) and executed < limit:
+            observation = self.execute_instruction(words[self.state.pc])
+            executed += 1
+        return observation
+
+    def observe(self) -> Dict[str, int]:
+        """Current observation (architectural state plus retirement info)."""
+        return vsm_observation(
+            self.state, self._retired_op, self._retired_dest, pc_next=self.state.pc
+        )

@@ -1,0 +1,199 @@
+"""Output filtering functions (SH1 / SH2) for processor verification.
+
+Chapter 5 and Chapter 6 of the paper drive the symbolic simulation of
+the unpipelined specification and the pipelined implementation with two
+*output filtering functions*: 0/1 sequences that say at which cycles the
+observed variables must be sampled and compared.  This module generates
+those sequences from the machine parameters:
+
+* ``k`` — the order of definiteness (pipeline depth / instruction latency),
+* the per-slot instruction kinds from the simulation-information file
+  (ordinary instruction vs. control-transfer instruction),
+* ``d`` — the number of delay slots after a control-transfer instruction,
+* ``r`` — the number of reset cycles simulated up front.
+
+For the VSM (k=4, d=1, siminfo ``r 0 0 1 0``) the generated sequences
+reproduce the ones printed in Section 6.2::
+
+    UNPIPELINED: 1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1
+    PIPELINED:   1 0 0 0 1 1 1 0 1
+
+and for the Alpha0 (k=5, d=1, siminfo ``r 0 0 1 0 0``) the ones of
+Section 6.3.  The *dynamic* beta-relation of Sections 5.5-5.7 is
+obtained by editing these sequences while the machines execute; the
+helpers at the bottom of the module perform those edits.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+#: Instruction-slot kinds understood by the filter generators.
+NORMAL = "normal"
+CONTROL = "control"
+
+SLOT_KINDS = (NORMAL, CONTROL)
+
+
+def _validate_slots(slot_kinds: Sequence[str]) -> None:
+    for kind in slot_kinds:
+        if kind not in SLOT_KINDS:
+            raise ValueError(f"unknown instruction slot kind {kind!r}")
+
+
+def unpipelined_cycle_count(k: int, num_slots: int, reset_cycles: int = 1) -> int:
+    """Number of cycles the unpipelined machine is simulated.
+
+    Each of the ``num_slots`` instructions takes ``k`` cycles; with the
+    paper's default of one instruction slot per pipeline stage this is
+    the k**2 + r of Section 6.2.
+    """
+    return reset_cycles + k * num_slots
+
+
+def pipelined_cycle_count(
+    k: int, slot_kinds: Sequence[str], delay_slots: int, reset_cycles: int = 1
+) -> int:
+    """Number of cycles the pipelined machine is simulated.
+
+    ``k - 1`` fill cycles, one cycle per instruction, plus ``d`` extra
+    cycles per control-transfer instruction — the 2k-1 + r + c*d of
+    Section 6.2.
+    """
+    _validate_slots(slot_kinds)
+    control_count = sum(1 for kind in slot_kinds if kind == CONTROL)
+    return reset_cycles + (k - 1) + len(slot_kinds) + control_count * delay_slots
+
+
+def unpipelined_filter(k: int, num_slots: int, reset_cycles: int = 1) -> Tuple[int, ...]:
+    """SH1: sampling schedule of the unpipelined specification.
+
+    The reset state is sampled once, then the machine state is sampled
+    every ``k`` cycles, after each instruction has completed execution.
+    """
+    if k < 1 or num_slots < 0 or reset_cycles < 1:
+        raise ValueError("k and reset_cycles must be >= 1 and num_slots >= 0")
+    total = unpipelined_cycle_count(k, num_slots, reset_cycles)
+    values = [0] * total
+    values[reset_cycles - 1] = 1
+    for slot in range(1, num_slots + 1):
+        values[reset_cycles - 1 + k * slot] = 1
+    return tuple(values)
+
+
+def pipelined_filter(
+    k: int, slot_kinds: Sequence[str], delay_slots: int, reset_cycles: int = 1
+) -> Tuple[int, ...]:
+    """SH2: sampling schedule of the pipelined implementation.
+
+    The reset state is sampled once, the first ``k - 1`` cycles of
+    pipeline fill are ignored, then one result is sampled per
+    instruction — except that the ``d`` cycles following a
+    control-transfer instruction are delay slots whose outputs are
+    annulled and therefore irrelevant (Theorem 4.3.4.1).
+    """
+    _validate_slots(slot_kinds)
+    if k < 1 or reset_cycles < 1 or delay_slots < 0:
+        raise ValueError("k and reset_cycles must be >= 1 and delay_slots >= 0")
+    total = pipelined_cycle_count(k, slot_kinds, delay_slots, reset_cycles)
+    values = [0] * total
+    cursor = reset_cycles - 1
+    values[cursor] = 1
+    cursor += k - 1
+    for kind in slot_kinds:
+        cursor += 1
+        values[cursor] = 1
+        if kind == CONTROL:
+            cursor += delay_slots
+    return tuple(values)
+
+
+def sample_cycles(filter_values: Sequence[int]) -> Tuple[int, ...]:
+    """Cycle indices at which a filter sequence samples the machine."""
+    return tuple(i for i, keep in enumerate(filter_values) if keep)
+
+
+def format_filter(filter_values: Sequence[int]) -> str:
+    """Render a filter sequence the way the paper prints it (space separated)."""
+    return " ".join(str(int(v)) for v in filter_values)
+
+
+# ----------------------------------------------------------------------
+# Dynamic beta-relation edits (Sections 5.5 - 5.7)
+# ----------------------------------------------------------------------
+def insert_event_window(
+    filter_values: Sequence[int], event_cycle: int, handler_cycles: int
+) -> Tuple[int, ...]:
+    """Dynamic beta-relation edit for interrupts and exceptions (Section 5.5).
+
+    When an event is detected at ``event_cycle``, the machine spends
+    ``handler_cycles`` cycles in the handler during which its outputs are
+    irrelevant: zeros are inserted into the filtering function at that
+    point and the remainder of the schedule shifts right.
+    """
+    if event_cycle < 0 or event_cycle > len(filter_values):
+        raise ValueError("event cycle outside the simulated window")
+    if handler_cycles < 0:
+        raise ValueError("handler length must be non-negative")
+    values = list(filter_values)
+    return tuple(values[:event_cycle] + [0] * handler_cycles + values[event_cycle:])
+
+
+def annul_cycles(filter_values: Sequence[int], cycles: Sequence[int]) -> Tuple[int, ...]:
+    """Force the given cycles to be irrelevant (filter value 0).
+
+    Used when instructions are squashed on the fly — e.g. instructions
+    younger than a faulting instruction (Section 5.5, step 2 of the
+    interrupt-handling sequence).
+    """
+    values = list(filter_values)
+    for cycle in cycles:
+        if cycle < 0 or cycle >= len(values):
+            raise ValueError(f"cycle {cycle} outside the simulated window")
+        values[cycle] = 0
+    return tuple(values)
+
+
+def superscalar_completion_filter(
+    completions_per_cycle: Sequence[int], reset_cycles: int = 1
+) -> Tuple[int, ...]:
+    """SH2 for a superscalar pipeline (Section 5.7).
+
+    ``completions_per_cycle[c]`` is the number of instructions that
+    retire in cycle ``c`` (0..issue width); the implementation is sampled
+    whenever at least one instruction retires.  The matching
+    specification schedule is produced by
+    :func:`superscalar_specification_filter`, which samples the
+    unpipelined machine after the same cumulative number of instructions
+    has completed.
+    """
+    values = [0] * (reset_cycles + len(completions_per_cycle))
+    values[reset_cycles - 1] = 1
+    for offset, completed in enumerate(completions_per_cycle):
+        if completed < 0:
+            raise ValueError("completions per cycle must be non-negative")
+        if completed:
+            values[reset_cycles + offset] = 1
+    return tuple(values)
+
+
+def superscalar_specification_filter(
+    completions_per_cycle: Sequence[int], k: int, reset_cycles: int = 1
+) -> Tuple[int, ...]:
+    """SH1 matching :func:`superscalar_completion_filter`.
+
+    The unpipelined machine executes one instruction every ``k`` cycles;
+    it must be sampled after each *group* of ``m`` instructions that the
+    superscalar implementation retires together, i.e. after cumulative
+    instruction counts ``m1, m1+m2, ...``.
+    """
+    groups = [m for m in completions_per_cycle if m]
+    total_instructions = sum(groups)
+    length = reset_cycles + k * total_instructions
+    values = [0] * length
+    values[reset_cycles - 1] = 1
+    completed = 0
+    for group in groups:
+        completed += group
+        values[reset_cycles - 1 + k * completed] = 1
+    return tuple(values)

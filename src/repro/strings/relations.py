@@ -1,0 +1,174 @@
+"""String function relations: the beta- and alpha-relations.
+
+This module implements the formal correctness criterion of the paper
+(Definitions 2.3.1 and 2.3.2):
+
+* :func:`relevant` — the ``Relevant`` function, which keeps the
+  characters of a string at positions where a Boolean-valued filter
+  string is 1;
+* :func:`beta_holds` / :func:`beta_holds_everywhere` — the "don't care
+  times" beta-relation ``F beta_{H,n} G``;
+* :func:`alpha_holds` / :func:`alpha_holds_everywhere` — Bronstein's
+  delay (alpha) relation, which the beta-relation almost subsumes.
+
+These checks operate on executable :class:`~repro.strings.stringfn.StringFunction`
+objects and concrete alphabets; the BDD-level verification of processors
+uses the same schedule of "relevant cycles" but compares symbolic
+formulae instead (see :mod:`repro.core`).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterable, Optional, Sequence, Tuple
+
+from .stringfn import String, StringFunction
+
+
+def relevant(x: Sequence[Any], h: Sequence[int]) -> String:
+    """``Relevant(x, h)``: keep ``x[i]`` exactly where ``h[i]`` is 1.
+
+    Both strings must have equal length (Definition 2.3.1 combines them
+    with the string Cartesian product, which is only defined for strings
+    of equal length).
+    """
+    if len(x) != len(h):
+        raise ValueError(f"Relevant needs equal-length strings, got {len(x)} and {len(h)}")
+    return tuple(u for u, keep in zip(x, h) if keep)
+
+
+def delay_filter(h: Sequence[int], n: int) -> String:
+    """Delay a filter string by ``n`` cycles, preserving its length.
+
+    ``n`` zeros are inserted on the left and the last ``n`` characters
+    are dropped; this is the ``Rot n o H`` operation in Definition 2.3.2
+    accounting for the implementation's output delay.
+    """
+    if n < 0:
+        raise ValueError("delay must be non-negative")
+    if n == 0:
+        return tuple(h)
+    padded = (0,) * n + tuple(h)
+    return padded[: len(h)]
+
+
+def beta_holds(
+    implementation: StringFunction,
+    specification: StringFunction,
+    filter_function: StringFunction,
+    delay: int,
+    x: Sequence[Any],
+) -> bool:
+    """Whether the beta-relation identity holds on the single input string ``x``.
+
+    Definition 2.3.2:
+    ``Relevant(F(x), Rot^n(H(x))) == G(Relevant(x[1..|x|-n], H(x[1..|x|-n])))``
+    (trivially true when ``|x| < n``, since the definition quantifies
+    over strings of length at least ``n``).
+    """
+    x = tuple(x)
+    if len(x) < delay:
+        return True
+    h_full = filter_function(x)
+    left = relevant(implementation(x), delay_filter(h_full, delay))
+    shortened = x[: len(x) - delay]
+    h_short = filter_function(shortened)
+    right = specification(relevant(shortened, h_short))
+    return tuple(left) == tuple(right)
+
+
+def beta_counterexample(
+    implementation: StringFunction,
+    specification: StringFunction,
+    filter_function: StringFunction,
+    delay: int,
+    alphabet: Sequence[Any],
+    max_length: int,
+) -> Optional[String]:
+    """Shortest input string violating the beta-relation, or ``None``.
+
+    Enumerates every string over ``alphabet`` of length ``delay`` to
+    ``max_length``; suitable for the small design examples of Chapters 2
+    and 4 (the processor-scale flow never enumerates explicitly, it uses
+    symbolic simulation instead).
+    """
+    for size in range(delay, max_length + 1):
+        for candidate in itertools.product(alphabet, repeat=size):
+            if not beta_holds(implementation, specification, filter_function, delay, candidate):
+                return tuple(candidate)
+    return None
+
+
+def beta_holds_everywhere(
+    implementation: StringFunction,
+    specification: StringFunction,
+    filter_function: StringFunction,
+    delay: int,
+    alphabet: Sequence[Any],
+    max_length: int,
+) -> bool:
+    """Exhaustively check the beta-relation up to ``max_length`` input characters."""
+    return (
+        beta_counterexample(
+            implementation, specification, filter_function, delay, alphabet, max_length
+        )
+        is None
+    )
+
+
+def alpha_holds(
+    implementation: StringFunction,
+    specification: StringFunction,
+    delay: int,
+    x: Sequence[Any],
+    padding: Sequence[Any],
+) -> Tuple[bool, String]:
+    """Check the alpha-relation identity ``F(x . z') = z . G(x)`` on one input.
+
+    ``padding`` plays the role of ``z'`` (the don't-care tail appended to
+    the input).  Returns ``(holds, z)`` where ``z`` is the prefix of the
+    implementation's output preceding the specification's output; the
+    alpha-relation requires this ``z`` to be the *same* for every ``x``,
+    which :func:`alpha_holds_everywhere` checks.
+    """
+    x = tuple(x)
+    padding = tuple(padding)
+    if len(padding) != delay:
+        raise ValueError("padding must have exactly `delay` characters")
+    produced = implementation(x + padding)
+    expected_tail = specification(x)
+    holds = tuple(produced[delay:]) == tuple(expected_tail)
+    return holds, tuple(produced[:delay])
+
+
+def alpha_holds_everywhere(
+    implementation: StringFunction,
+    specification: StringFunction,
+    delay: int,
+    alphabet: Sequence[Any],
+    max_length: int,
+    padding_char: Any = 0,
+) -> bool:
+    """Exhaustively check the alpha-relation up to ``max_length`` input characters."""
+    padding = tuple([padding_char] * delay)
+    observed_z: Optional[String] = None
+    for size in range(0, max_length + 1):
+        for candidate in itertools.product(alphabet, repeat=size):
+            holds, z = alpha_holds(implementation, specification, delay, candidate, padding)
+            if not holds:
+                return False
+            if observed_z is None:
+                observed_z = z
+            elif z != observed_z:
+                return False
+    return True
+
+
+def beta_schedule(filter_values: Sequence[int]) -> Tuple[int, ...]:
+    """Indices of the relevant (sampled) cycles in a filter sequence.
+
+    Utility shared by the report generators: turns an output filtering
+    function, given as an explicit 0/1 sequence, into the list of cycle
+    numbers at which observed variables are compared.
+    """
+    return tuple(i for i, keep in enumerate(filter_values) if keep)

@@ -1,0 +1,210 @@
+"""Strings and string functions (paper Chapter 2, after Bronstein).
+
+A *string* is a finite sequence of characters from some alphabet; we
+represent strings as Python tuples.  A synchronous machine realises a
+*string function*: a length-preserving and prefix-preserving mapping
+from input strings to output strings.  Two kinds of building blocks are
+distinguished in the paper:
+
+* combinational blocks, which implement the string extension ``f*`` of a
+  character function ``f`` (:class:`LiftedFunction`), and
+* registers ``R_a``, which insert the initial character ``a`` on the left
+  and drop the rightmost character (:class:`RegisterFunction`).
+
+Any synchronous machine composed from these primitives, with a register
+on every loop, realises a unique string function; we capture the general
+case with :class:`MachineFunction`, which wraps an explicit
+``step(state, char) -> (next_state, output_char)`` transition function.
+
+The string utility functions (:func:`last`, :func:`past`, :func:`prefix`,
+:func:`power`, :func:`at`) follow the notation of Section 2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, List, Sequence, Tuple
+
+String = Tuple[Any, ...]
+
+EMPTY: String = ()
+
+
+def string(values: Iterable[Any]) -> String:
+    """Build a string (tuple) from any iterable of characters."""
+    return tuple(values)
+
+
+def concat(x: String, y: String) -> String:
+    """Concatenation ``x . y``."""
+    return tuple(x) + tuple(y)
+
+
+def length(x: String) -> int:
+    """Length ``|x|``."""
+    return len(x)
+
+
+def prefix(x: String, y: String) -> bool:
+    """Prefix relation ``x <= y``."""
+    return len(x) <= len(y) and tuple(y[: len(x)]) == tuple(x)
+
+
+def last(x: String) -> Any:
+    """Last character ``L(x)``; the empty string maps to itself (totality)."""
+    if not x:
+        return EMPTY
+    return x[-1]
+
+
+def past(x: String) -> String:
+    """All characters but the last, ``P(x)``."""
+    return tuple(x[:-1])
+
+
+def power(character: Any, count: int) -> String:
+    """``count`` repetitions of ``character`` (the "to the power" operator)."""
+    return tuple([character] * count)
+
+
+def at(x: String, position: int) -> Any:
+    """Character at 1-based ``position`` (the paper indexes strings from 1)."""
+    if position < 1 or position > len(x):
+        raise IndexError(f"position {position} out of range for string of length {len(x)}")
+    return x[position - 1]
+
+
+def substring(x: String, start: int, end: int) -> String:
+    """Characters ``start`` .. ``end`` inclusive, 1-based (the ``x|i..j`` notation)."""
+    if start < 1:
+        raise IndexError("substring positions are 1-based")
+    return tuple(x[start - 1 : end])
+
+
+class StringFunction:
+    """A length- and prefix-preserving map from strings to strings."""
+
+    def __call__(self, x: String) -> String:
+        raise NotImplementedError
+
+    def check_length_preserving(self, x: String) -> bool:
+        """Whether ``|F(x)| == |x|`` for this particular input."""
+        return len(self(tuple(x))) == len(x)
+
+    def check_prefix_preserving(self, x: String) -> bool:
+        """Whether every prefix of ``x`` maps to the corresponding prefix of ``F(x)``."""
+        image = self(tuple(x))
+        for cut in range(len(x) + 1):
+            if tuple(self(tuple(x[:cut]))) != tuple(image[:cut]):
+                return False
+        return True
+
+
+class LiftedFunction(StringFunction):
+    """The string extension ``f*`` of a character function ``f``."""
+
+    def __init__(self, char_function: Callable[[Any], Any]) -> None:
+        self.char_function = char_function
+
+    def __call__(self, x: String) -> String:
+        return tuple(self.char_function(u) for u in x)
+
+
+class RegisterFunction(StringFunction):
+    """The register function ``R_a``: prepend ``a``, drop the last character."""
+
+    def __init__(self, initial: Any) -> None:
+        self.initial = initial
+
+    def __call__(self, x: String) -> String:
+        x = tuple(x)
+        if not x:
+            return EMPTY
+        return (self.initial,) + x[:-1]
+
+
+class MachineFunction(StringFunction):
+    """String function realised by an arbitrary Mealy/Moore-style machine.
+
+    ``step(state, char)`` must return ``(next_state, output_char)``.  The
+    machine is restarted from ``initial_state`` for every call, so the
+    object is reusable and stateless between calls (as a string function
+    must be).
+    """
+
+    def __init__(self, step: Callable[[Any, Any], Tuple[Any, Any]], initial_state: Any) -> None:
+        self.step = step
+        self.initial_state = initial_state
+
+    def __call__(self, x: String) -> String:
+        state = self.initial_state
+        outputs: List[Any] = []
+        for u in x:
+            state, out = self.step(state, u)
+            outputs.append(out)
+        return tuple(outputs)
+
+
+class ComposedFunction(StringFunction):
+    """Sequential composition ``G after F`` (apply ``F`` first)."""
+
+    def __init__(self, first: StringFunction, second: StringFunction) -> None:
+        self.first = first
+        self.second = second
+
+    def __call__(self, x: String) -> String:
+        return self.second(self.first(tuple(x)))
+
+
+class ConstantFunction(StringFunction):
+    """The string function mapping any ``x`` to ``c^|x|`` (e.g. ``zero``/``one``)."""
+
+    def __init__(self, character: Any) -> None:
+        self.character = character
+
+    def __call__(self, x: String) -> String:
+        return power(self.character, len(x))
+
+
+#: The ``zero`` and ``one`` string functions of Section 2.2.
+zero = ConstantFunction(0)
+one = ConstantFunction(1)
+
+
+def modulo_counter_filter(modulus: int, phase: int = 0) -> MachineFunction:
+    """A modulo-``modulus`` counter producing 1 every ``modulus``-th cycle.
+
+    With ``modulus == 2`` this is the filtering function H of Figure 1.
+    The output is 1 exactly when the internal count equals ``phase``.
+    """
+
+    def step(count: int, _char: Any) -> Tuple[int, int]:
+        output = 1 if count == phase else 0
+        return (count + 1) % modulus, output
+
+    return MachineFunction(step, 0)
+
+
+def periodic_filter(period: int, offset: int = 0) -> MachineFunction:
+    """Filter that is 1 at cycles ``offset, offset+period, offset+2*period, ...``."""
+
+    def step(cycle: int, _char: Any) -> Tuple[int, int]:
+        output = 1 if cycle >= offset and (cycle - offset) % period == 0 else 0
+        return cycle + 1, output
+
+    return MachineFunction(step, 0)
+
+
+def filter_from_sequence(values: Sequence[int]) -> MachineFunction:
+    """Filter that replays a fixed 0/1 sequence (0 after it is exhausted).
+
+    This is how the dynamically computed output-filtering functions of
+    Chapter 5 (the dynamic beta-relation) are represented once the
+    schedule of relevant cycles is known.
+    """
+    fixed = tuple(int(v) for v in values)
+
+    def step(cycle: int, _char: Any) -> Tuple[int, int]:
+        output = fixed[cycle] if cycle < len(fixed) else 0
+        return cycle + 1, output
+
+    return MachineFunction(step, 0)

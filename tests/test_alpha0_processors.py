@@ -1,0 +1,270 @@
+"""Tests for the concrete Alpha0 processor models and their co-simulation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Alpha0Config, Alpha0Instruction, assemble_alpha0
+from repro.isa import alpha0 as isa
+from repro.processors import PipelinedAlpha0, UnpipelinedAlpha0
+
+CONFIG = Alpha0Config(data_width=4, memory_words=8)
+
+
+def drive_unpipelined(program, config=CONFIG):
+    machine = UnpipelinedAlpha0(config=config)
+    for instruction in program:
+        machine.execute_instruction(instruction.encode())
+    return machine
+
+
+def drive_pipelined(program, config=CONFIG, **kwargs):
+    machine = PipelinedAlpha0(config=config, **kwargs)
+    junk = Alpha0Instruction("xor", ra=1, rb=1, rc=1)  # corrupts r1 unless annulled
+    drain = Alpha0Instruction("and", ra=0, rb=0, rc=0)
+    for instruction in program:
+        machine.step(instruction.encode())
+        if instruction.is_control_transfer:
+            machine.step(junk.encode())
+    for _ in range(isa.PIPELINE_DEPTH):
+        machine.step(drain.encode(), fetch_valid=False)
+    return machine
+
+
+class TestUnpipelinedAlpha0:
+    def test_reset_observation(self):
+        machine = UnpipelinedAlpha0(config=CONFIG)
+        observation = machine.observe()
+        assert observation["pc_next"] == 0
+        assert observation["reg5"] == 0
+        assert observation["mem3"] == 0
+
+    def test_instruction_takes_k_cycles(self):
+        machine = UnpipelinedAlpha0(config=CONFIG)
+        machine.execute_instruction(
+            Alpha0Instruction("or", ra=0, rc=1, literal_flag=True, literal=9).encode()
+        )
+        assert machine.cycle_count == isa.PIPELINE_DEPTH
+        assert machine.state.registers[1] == 9
+
+    def test_load_store_roundtrip(self):
+        program = assemble_alpha0(
+            """
+            or r1, r0, #13
+            or r2, r0, #8
+            st r1, 0(r2)
+            ld r3, 0(r2)
+            """
+        )
+        machine = drive_unpipelined(program)
+        assert machine.state.memory[2] == 13 & 0xF
+        assert machine.state.registers[3] == 13 & 0xF
+
+    def test_observed_subsets(self):
+        machine = UnpipelinedAlpha0(
+            config=CONFIG, observed_registers=(1, 2), observed_memory=(0,)
+        )
+        observation = machine.observe()
+        assert set(observation) == {"reg1", "reg2", "mem0", "pc_next", "retired_op", "retired_dest"}
+
+    def test_requires_instruction_at_fetch_cycle(self):
+        machine = UnpipelinedAlpha0(config=CONFIG)
+        with pytest.raises(ValueError):
+            machine.step(None)
+
+    def test_run_program(self):
+        program = assemble_alpha0("or r1, r0, #5\nand r2, r1, #3\nxor r3, r1, r2")
+        machine = UnpipelinedAlpha0(config=CONFIG)
+        machine.run_program([i.encode() for i in program])
+        assert machine.state.registers[3] == 5 ^ (5 & 3)
+
+
+class TestPipelinedAlpha0:
+    def test_latency_is_pipeline_depth(self):
+        machine = PipelinedAlpha0(config=CONFIG)
+        word = Alpha0Instruction("or", ra=0, rc=1, literal_flag=True, literal=7).encode()
+        nop = Alpha0Instruction("and", ra=0, rb=0, rc=0).encode()
+        machine.step(word)
+        for _ in range(isa.PIPELINE_DEPTH - 2):
+            machine.step(nop, fetch_valid=False)
+        assert machine.state.registers[1] == 0
+        machine.step(nop, fetch_valid=False)
+        assert machine.state.registers[1] == 7
+
+    def test_bypass_distance_one_and_two(self):
+        program = assemble_alpha0(
+            """
+            or  r1, r0, #6
+            add r2, r1, #1
+            add r3, r2, r1
+            """
+        )
+        machine = drive_pipelined(program, config=Alpha0Config(data_width=4, memory_words=8))
+        assert machine.state.registers[1] == 6
+        assert machine.state.registers[2] == 7
+        assert machine.state.registers[3] == (7 + 6) % 16
+
+    def test_missing_bypass_breaks_hazard(self):
+        program = assemble_alpha0("or r1, r0, #6\nadd r2, r1, #1")
+        machine = drive_pipelined(program, bug="no_bypass")
+        assert machine.state.registers[2] != 7
+
+    def test_load_use_forwarding(self):
+        program = assemble_alpha0(
+            """
+            or r1, r0, #9
+            or r2, r0, #4
+            st r1, 0(r2)
+            ld r3, 0(r2)
+            add r4, r3, #1
+            """
+        )
+        machine = drive_pipelined(program)
+        assert machine.state.registers[3] == 9
+        assert machine.state.registers[4] == 10
+
+    def test_branch_annuls_delay_slot(self):
+        program = assemble_alpha0("or r1, r0, #3\nbr r26, 2")
+        machine = drive_pipelined(program)
+        assert machine.state.registers[1] == 3  # junk xor r1 annulled
+        assert machine.state.registers[26] == 8 & 0xF  # link = PC of branch + 4
+
+    def test_conditional_branch_taken_and_not_taken(self):
+        taken = drive_pipelined(assemble_alpha0("or r1, r0, #0\nbf r1, 3"))
+        not_taken = drive_pipelined(assemble_alpha0("or r1, r0, #5\nbf r1, 3"))
+        # bf at PC 4: sequential 8, target 8 + 12 = 20.
+        assert taken.observe()["pc_next"] == 20
+        assert not_taken.observe()["pc_next"] == 8
+
+    def test_jump_uses_register_target(self):
+        program = assemble_alpha0("or r7, r0, #12\njmp r26, (r7)")
+        machine = drive_pipelined(program)
+        assert machine.observe()["pc_next"] == 12
+        assert machine.state.registers[26] == 8
+
+    def test_store_wrong_word_bug(self):
+        program = assemble_alpha0("or r1, r0, #9\nor r2, r0, #4\nst r1, 0(r2)")
+        good = drive_pipelined(program)
+        bad = drive_pipelined(program, bug="store_wrong_word")
+        assert good.state.memory[1] == 9
+        assert bad.state.memory[1] == 0 and bad.state.memory[2] == 9
+
+    def test_cmpeq_inverted_bug(self):
+        config = Alpha0Config(data_width=4, memory_words=8)
+        program = assemble_alpha0("or r1, r0, #5\nor r2, r0, #5\ncmpeq r3, r1, r2")
+        good = drive_pipelined(program, config=config)
+        bad = drive_pipelined(program, config=config, bug="cmpeq_inverted")
+        assert good.state.registers[3] == 1
+        assert bad.state.registers[3] == 0
+
+    def test_unknown_bug_code_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedAlpha0(bug="gremlins")
+
+    def test_reset(self):
+        machine = PipelinedAlpha0(config=CONFIG)
+        machine.step(Alpha0Instruction("or", ra=0, rc=1, literal_flag=True, literal=7).encode())
+        machine.reset()
+        assert machine.state.registers == [0] * 32
+        assert machine.cycle_count == 0
+
+    def test_run_program_from_memory(self):
+        program = assemble_alpha0(
+            """
+            or r1, r0, #2
+            add r2, r1, r1
+            br r26, 1
+            xor r2, r2, r2     ; skipped: sits in the annulled/jumped-over slot
+            add r3, r2, r1
+            """
+        )
+        words = [i.encode() for i in program]
+        machine = PipelinedAlpha0(config=Alpha0Config(data_width=4, memory_words=8))
+        machine.run_program(words, cycles=14)
+        assert machine.state.registers[3] == 4 + 2
+
+
+class TestCoSimulation:
+    def check_program(self, program, config=None, **pipeline_kwargs):
+        config = config or Alpha0Config(data_width=4, memory_words=8)
+        spec = drive_unpipelined(program, config=config)
+        impl = drive_pipelined(program, config=config, **pipeline_kwargs)
+        assert impl.state.registers == spec.state.registers
+        assert impl.state.memory == spec.state.memory
+        assert impl.observe()["pc_next"] == spec.observe()["pc_next"]
+        assert impl.instructions_retired == len(program)
+
+    def test_alu_and_memory_program(self):
+        program = assemble_alpha0(
+            """
+            or  r1, r0, #11
+            add r2, r1, #3
+            st  r2, 0(r1)
+            ld  r4, 0(r1)
+            sub r5, r4, r1
+            cmplt r6, r5, r2
+            sll r7, r1, #1
+            srl r8, r1, #2
+            """
+        )
+        self.check_program(program)
+
+    def test_control_transfer_program(self):
+        program = assemble_alpha0(
+            """
+            or r1, r0, #0
+            bf r1, 1
+            or r2, r0, #7
+            bt r2, -2
+            add r3, r2, r2
+            """
+        )
+        self.check_program(program)
+
+    def test_wider_datapath(self):
+        config = Alpha0Config(data_width=8, memory_words=16)
+        program = assemble_alpha0("or r1, r0, #200\nadd r2, r1, #100\nxor r3, r2, r1")
+        self.check_program(program, config=config)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_programs(self, seed):
+        rng = random.Random(seed)
+        config = Alpha0Config(data_width=4, memory_words=8)
+        program = isa.random_program(
+            rng, rng.randint(1, 10), config=config, allow_control_transfer=False
+        )
+        self.check_program(program, config=config)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_programs_with_branches(self, seed):
+        rng = random.Random(seed)
+        config = Alpha0Config(data_width=4, memory_words=8)
+        program = isa.random_program(
+            rng, rng.randint(1, 8), config=config, allow_control_transfer=True
+        )
+        self.check_program(program, config=config)
+
+    def test_bugs_diverge_from_specification(self):
+        program = assemble_alpha0(
+            """
+            or r1, r0, #6
+            add r2, r1, #1
+            cmpeq r3, r1, r1
+            or r4, r0, #4
+            st r2, 0(r4)
+            br r26, 2
+            ld r5, 0(r4)
+            """
+        )
+        config = Alpha0Config(data_width=4, memory_words=8)
+        spec = drive_unpipelined(program, config=config)
+        for bug in ("no_bypass", "no_annul", "wrong_branch_target", "cmpeq_inverted", "store_wrong_word"):
+            impl = drive_pipelined(program, config=config, bug=bug)
+            assert (
+                impl.state.registers != spec.state.registers
+                or impl.state.memory != spec.state.memory
+                or impl.observe()["pc_next"] != spec.observe()["pc_next"]
+            ), f"bug {bug} was not detected"

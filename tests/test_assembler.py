@@ -1,0 +1,115 @@
+"""Tests for the two-ISA assembler and disassembler."""
+
+import pytest
+
+from repro.isa import (
+    AssemblerError,
+    assemble_alpha0,
+    assemble_alpha0_line,
+    assemble_vsm,
+    assemble_vsm_line,
+    disassemble_alpha0,
+    disassemble_vsm,
+)
+from repro.isa import alpha0, vsm
+
+
+class TestVSMAssembler:
+    def test_register_form(self):
+        instruction = assemble_vsm_line("add r3, r1, r2")
+        assert instruction == vsm.VSMInstruction("add", ra=1, rb=2, rc=3)
+
+    def test_literal_form(self):
+        instruction = assemble_vsm_line("or r2, r1, #6")
+        assert instruction == vsm.VSMInstruction("or", literal_flag=True, ra=1, rb=6, rc=2)
+
+    def test_branch(self):
+        instruction = assemble_vsm_line("br r7, 3")
+        assert instruction == vsm.VSMInstruction("br", ra=3, rc=7)
+
+    def test_case_insensitive_mnemonics_and_registers(self):
+        assert assemble_vsm_line("AND R1, R2, R3").mnemonic == "and"
+
+    def test_errors(self):
+        with pytest.raises(AssemblerError):
+            assemble_vsm_line("mul r1, r2, r3")
+        with pytest.raises(AssemblerError):
+            assemble_vsm_line("add r1, r2")
+        with pytest.raises(AssemblerError):
+            assemble_vsm_line("add r1, 5, r3")
+        with pytest.raises(AssemblerError):
+            assemble_vsm_line("br r1")
+        with pytest.raises(AssemblerError):
+            assemble_vsm_line("")
+
+    def test_program_with_comments_and_blank_lines(self):
+        source = """
+        ; initialise
+        add r1, r0, r0
+        xor r2, r1, r1   ; clear r2
+
+        br r7, 2
+        """
+        program = assemble_vsm(source)
+        assert [instr.mnemonic for instr in program] == ["add", "xor", "br"]
+
+    def test_program_reports_line_numbers(self):
+        with pytest.raises(AssemblerError, match="line 2"):
+            assemble_vsm("add r1, r2, r3\nbogus r1, r2, r3")
+
+    def test_disassemble_roundtrip(self):
+        source = ["add r3, r1, r2", "or r2, r1, #6", "br r7, 3"]
+        program = [assemble_vsm_line(line) for line in source]
+        words = [instr.encode() for instr in program]
+        assert disassemble_vsm(words) == source
+
+
+class TestAlpha0Assembler:
+    def test_operate_register_form(self):
+        instruction = assemble_alpha0_line("add r3, r1, r2")
+        assert instruction == alpha0.Alpha0Instruction("add", ra=1, rb=2, rc=3)
+
+    def test_operate_literal_form(self):
+        instruction = assemble_alpha0_line("and r5, r4, #171")
+        assert instruction == alpha0.Alpha0Instruction(
+            "and", ra=4, rc=5, literal_flag=True, literal=171
+        )
+
+    def test_memory_forms(self):
+        load = assemble_alpha0_line("ld r1, -4(r2)")
+        store = assemble_alpha0_line("st r6, 8(r3)")
+        assert load == alpha0.Alpha0Instruction("ld", ra=1, rb=2, displacement=-4)
+        assert store == alpha0.Alpha0Instruction("st", ra=6, rb=3, displacement=8)
+
+    def test_branch_forms(self):
+        assert assemble_alpha0_line("br r26, 5") == alpha0.Alpha0Instruction(
+            "br", ra=26, displacement=5
+        )
+        assert assemble_alpha0_line("bf r2, -1") == alpha0.Alpha0Instruction(
+            "bf", ra=2, displacement=-1
+        )
+
+    def test_jump_form(self):
+        assert assemble_alpha0_line("jmp r26, (r7)") == alpha0.Alpha0Instruction(
+            "jmp", ra=26, rb=7
+        )
+
+    def test_errors(self):
+        with pytest.raises(AssemblerError):
+            assemble_alpha0_line("frobnicate r1, r2, r3")
+        with pytest.raises(AssemblerError):
+            assemble_alpha0_line("ld r1, r2")
+        with pytest.raises(AssemblerError):
+            assemble_alpha0_line("jmp r1, r2")
+        with pytest.raises(AssemblerError):
+            assemble_alpha0_line("add r1, r2")
+
+    def test_program_and_disassembly_roundtrip(self):
+        source = ["and r3, r1, r2", "or r9, r7, #3", "ld r1, -4(r2)", "bt r2, 1", "jmp r1, (r2)"]
+        program = assemble_alpha0("\n".join(source))
+        words = [instr.encode() for instr in program]
+        assert disassemble_alpha0(words) == source
+
+    def test_program_reports_line_numbers(self):
+        with pytest.raises(AssemblerError, match="line 3"):
+            assemble_alpha0("add r1, r2, r3\nor r1, r2, r3\nbogus")

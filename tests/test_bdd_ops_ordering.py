@@ -1,0 +1,152 @@
+"""Tests for derived BDD vector operations and static ordering helpers."""
+
+import pytest
+
+from repro.bdd import (
+    BDDManager,
+    bit_names,
+    bits_to_int,
+    compose_vector,
+    cycle_major_order,
+    encode_value,
+    evaluate_vector,
+    find_distinguishing_assignment,
+    first_use_order,
+    int_to_bits,
+    interleave,
+    restrict_vector,
+    state_then_inputs,
+    vector_equal,
+    vector_node_count,
+    vector_support,
+    vectors_identical,
+)
+
+
+class TestBitConversions:
+    def test_int_to_bits_little_endian(self):
+        assert int_to_bits(6, 4) == [False, True, True, False]
+
+    def test_int_to_bits_negative_wraps(self):
+        assert int_to_bits(-1, 3) == [True, True, True]
+
+    def test_bits_to_int_roundtrip(self):
+        for value in range(16):
+            assert bits_to_int(int_to_bits(value, 4)) == value
+
+    def test_bits_to_int_empty(self):
+        assert bits_to_int([]) == 0
+
+
+class TestVectorOps:
+    @pytest.fixture()
+    def manager(self):
+        return BDDManager(["x[0]", "x[1]", "y[0]", "y[1]"])
+
+    def test_encode_value_cube(self, manager):
+        cube = encode_value(manager, ["x[0]", "x[1]"], 2)
+        assert manager.evaluate(cube, {"x[0]": False, "x[1]": True}) is True
+        assert manager.evaluate(cube, {"x[0]": True, "x[1]": True}) is False
+
+    def test_vector_equal(self, manager):
+        x = [manager.var("x[0]"), manager.var("x[1]")]
+        y = [manager.var("y[0]"), manager.var("y[1]")]
+        eq = vector_equal(manager, x, y)
+        assert manager.evaluate(
+            eq, {"x[0]": True, "x[1]": False, "y[0]": True, "y[1]": False}
+        ) is True
+        assert manager.evaluate(
+            eq, {"x[0]": True, "x[1]": False, "y[0]": False, "y[1]": False}
+        ) is False
+
+    def test_vector_equal_width_mismatch(self, manager):
+        with pytest.raises(ValueError):
+            vector_equal(manager, [manager.one], [manager.one, manager.zero])
+
+    def test_vectors_identical(self, manager):
+        x = [manager.var("x[0]"), manager.var("x[1]")]
+        assert vectors_identical(x, list(x))
+        assert not vectors_identical(x, [manager.var("x[0]"), manager.var("y[1]")])
+        assert not vectors_identical(x, x[:1])
+
+    def test_restrict_vector(self, manager):
+        x = [manager.var("x[0]"), manager.var("x[1]")]
+        restricted = restrict_vector(manager, x, {"x[0]": True})
+        assert restricted[0] is manager.one
+        assert restricted[1] is manager.var("x[1]")
+
+    def test_compose_vector(self, manager):
+        x = [manager.var("x[0]"), manager.var("x[1]")]
+        composed = compose_vector(manager, x, {"x[0]": manager.var("y[0]")})
+        assert composed[0] is manager.var("y[0]")
+
+    def test_vector_support_and_node_count(self, manager):
+        x = [manager.var("x[0]"), manager.apply_and(manager.var("x[1]"), manager.var("y[0]"))]
+        assert vector_support(manager, x) == ("x[0]", "x[1]", "y[0]")
+        assert vector_node_count(manager, x) >= 4
+
+    def test_evaluate_vector(self, manager):
+        x = [manager.var("x[0]"), manager.var("x[1]")]
+        value = evaluate_vector(manager, x, {"x[0]": True, "x[1]": True})
+        assert value == 3
+
+    def test_find_distinguishing_assignment_none_when_equal(self, manager):
+        x = [manager.var("x[0]")]
+        assert find_distinguishing_assignment(manager, x, list(x)) is None
+
+    def test_find_distinguishing_assignment_found(self, manager):
+        left = [manager.var("x[0]")]
+        right = [manager.var("y[0]")]
+        witness = find_distinguishing_assignment(manager, left, right)
+        assert witness is not None
+        full = {"x[0]": False, "y[0]": False}
+        full.update(witness)
+        assert manager.evaluate(left[0], full) != manager.evaluate(right[0], full)
+
+
+class TestOrderingHelpers:
+    def test_bit_names(self):
+        assert bit_names("pc", 3) == ["pc[0]", "pc[1]", "pc[2]"]
+
+    def test_interleave_equal_groups(self):
+        assert interleave(["a0", "a1"], ["b0", "b1"]) == ["a0", "b0", "a1", "b1"]
+
+    def test_interleave_ragged_groups(self):
+        assert interleave(["a0", "a1", "a2"], ["b0"]) == ["a0", "b0", "a1", "a2"]
+
+    def test_interleave_empty(self):
+        assert interleave() == []
+
+    def test_cycle_major_order(self):
+        order = cycle_major_order(["instr"], {"instr": 2}, cycles=2)
+        assert order == ["instr@0[0]", "instr@0[1]", "instr@1[0]", "instr@1[1]"]
+
+    def test_state_then_inputs_removes_duplicates(self):
+        order = state_then_inputs(["s0", "s1"], ["i0", "s1", "i1"])
+        assert order == ["s0", "s1", "i0", "i1"]
+
+    def test_first_use_order(self):
+        assert first_use_order([["a", "b"], ["b", "c"], ["a"]]) == ["a", "b", "c"]
+
+    def test_interleaved_adder_order_is_smaller(self):
+        """The paper's example: interleaving adder operands shrinks the BDD."""
+        width = 6
+
+        def build_adder_msb(manager, a_names, b_names):
+            carry = manager.zero
+            result = None
+            for a_name, b_name in zip(a_names, b_names):
+                a, b = manager.var(a_name), manager.var(b_name)
+                result = manager.apply_xor(manager.apply_xor(a, b), carry)
+                carry = manager.apply_or(
+                    manager.apply_and(a, b), manager.apply_and(carry, manager.apply_xor(a, b))
+                )
+            return result
+
+        a_names = bit_names("a", width)
+        b_names = bit_names("b", width)
+        good = BDDManager(interleave(a_names, b_names))
+        bad = BDDManager(a_names + b_names)
+        good_node = build_adder_msb(good, a_names, b_names)
+        bad_node = build_adder_msb(bad, a_names, b_names)
+        assert good.count_nodes(good_node) < bad.count_nodes(bad_node)

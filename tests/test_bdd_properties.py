@@ -1,0 +1,149 @@
+"""Property-based tests of ROBDD canonicity and algebraic laws.
+
+Random Boolean expressions are generated over a small variable set,
+built both as BDDs and as plain Python evaluation functions, and
+checked against each other on every point of the Boolean cube.  The
+canonical-form property (equal functions <=> identical nodes) is the
+basis of all equivalence checks in the verification methodology, so it
+gets particular attention here.
+"""
+
+import itertools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+
+VARIABLES = ("a", "b", "c", "d")
+
+
+def expressions(max_depth=4):
+    """Strategy producing (python evaluator, bdd builder) expression trees."""
+    leaves = st.sampled_from(
+        [(lambda env, n=name: env[n], lambda m, n=name: m.var(n)) for name in VARIABLES]
+        + [
+            (lambda env: True, lambda m: m.one),
+            (lambda env: False, lambda m: m.zero),
+        ]
+    )
+
+    def extend(children):
+        unary = st.tuples(children).map(
+            lambda t: (lambda env: not t[0][0](env), lambda m: m.apply_not(t[0][1](m)))
+        )
+        binary = st.tuples(st.sampled_from(["and", "or", "xor"]), children, children).map(
+            _make_binary
+        )
+        return st.one_of(unary, binary)
+
+    return st.recursive(leaves, extend, max_leaves=max_depth * 2)
+
+
+def _make_binary(parts):
+    op, (eval_l, build_l), (eval_r, build_r) = parts
+    if op == "and":
+        return (
+            lambda env: eval_l(env) and eval_r(env),
+            lambda m: m.apply_and(build_l(m), build_r(m)),
+        )
+    if op == "or":
+        return (
+            lambda env: eval_l(env) or eval_r(env),
+            lambda m: m.apply_or(build_l(m), build_r(m)),
+        )
+    return (
+        lambda env: eval_l(env) != eval_r(env),
+        lambda m: m.apply_xor(build_l(m), build_r(m)),
+    )
+
+
+def all_assignments():
+    for values in itertools.product([False, True], repeat=len(VARIABLES)):
+        yield dict(zip(VARIABLES, values))
+
+
+@settings(max_examples=120, deadline=None)
+@given(expressions())
+def test_bdd_matches_python_semantics(expression):
+    evaluate, build = expression
+    manager = BDDManager(VARIABLES)
+    node = build(manager)
+    for assignment in all_assignments():
+        assert manager.evaluate(node, assignment) == bool(evaluate(assignment))
+
+
+@settings(max_examples=80, deadline=None)
+@given(expressions(), expressions())
+def test_canonicity_equal_functions_share_node(left, right):
+    eval_l, build_l = left
+    eval_r, build_r = right
+    manager = BDDManager(VARIABLES)
+    node_l = build_l(manager)
+    node_r = build_r(manager)
+    semantically_equal = all(
+        bool(eval_l(assignment)) == bool(eval_r(assignment)) for assignment in all_assignments()
+    )
+    assert (node_l is node_r) == semantically_equal
+
+
+@settings(max_examples=80, deadline=None)
+@given(expressions(), st.sampled_from(VARIABLES))
+def test_shannon_expansion(expression, variable):
+    _, build = expression
+    manager = BDDManager(VARIABLES)
+    f = build(manager)
+    v = manager.var(variable)
+    expansion = manager.apply_or(
+        manager.apply_and(v, manager.cofactor(f, variable, True)),
+        manager.apply_and(manager.apply_not(v), manager.cofactor(f, variable, False)),
+    )
+    assert expansion is f
+
+
+@settings(max_examples=80, deadline=None)
+@given(expressions(), st.sampled_from(VARIABLES))
+def test_quantification_bounds(expression, variable):
+    """forall x . f  implies  f  implies  exists x . f."""
+    _, build = expression
+    manager = BDDManager(VARIABLES)
+    f = build(manager)
+    exists = manager.exists([variable], f)
+    forall = manager.forall([variable], f)
+    assert manager.is_tautology(manager.apply_implies(forall, f))
+    assert manager.is_tautology(manager.apply_implies(f, exists))
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions())
+def test_sat_count_matches_truth_table(expression):
+    evaluate, build = expression
+    manager = BDDManager(VARIABLES)
+    node = build(manager)
+    expected = sum(1 for assignment in all_assignments() if evaluate(assignment))
+    assert manager.sat_count(node, VARIABLES) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), expressions(), expressions())
+def test_ite_respects_semantics(cond, then, else_):
+    eval_c, build_c = cond
+    eval_t, build_t = then
+    eval_e, build_e = else_
+    manager = BDDManager(VARIABLES)
+    node = manager.ite(build_c(manager), build_t(manager), build_e(manager))
+    for assignment in all_assignments():
+        expected = eval_t(assignment) if eval_c(assignment) else eval_e(assignment)
+        assert manager.evaluate(node, assignment) == bool(expected)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expressions(), st.sampled_from(VARIABLES), expressions())
+def test_compose_is_substitution(expression, variable, replacement):
+    eval_f, build_f = expression
+    eval_g, build_g = replacement
+    manager = BDDManager(VARIABLES)
+    composed = manager.compose(build_f(manager), {variable: build_g(manager)})
+    for assignment in all_assignments():
+        substituted = dict(assignment)
+        substituted[variable] = bool(eval_g(assignment))
+        assert manager.evaluate(composed, assignment) == bool(eval_f(substituted))

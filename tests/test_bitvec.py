@@ -1,0 +1,247 @@
+"""Unit tests for the symbolic bit-vector layer."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.logic import BitVec
+
+
+@pytest.fixture()
+def manager():
+    return BDDManager()
+
+
+def sym(manager, prefix, width=4):
+    return BitVec.inputs(manager, prefix, width)
+
+
+def assignment_for(manager, vec, value):
+    """Assignment making symbolic vector `vec` equal `value` (vec built from inputs)."""
+    names = [manager.name_at_level(bit.level) for bit in vec.bits]
+    return {name: bool((value >> i) & 1) for i, name in enumerate(names)}
+
+
+class TestConstruction:
+    def test_constant_roundtrip(self, manager):
+        for value in range(16):
+            vec = BitVec.constant(manager, value, 4)
+            assert vec.as_constant() == value
+
+    def test_constant_masks_to_width(self, manager):
+        assert BitVec.constant(manager, 0b10110, 3).as_constant() == 0b110
+
+    def test_inputs_are_symbolic(self, manager):
+        vec = sym(manager, "a")
+        assert vec.as_constant() is None
+        assert vec.width == 4
+
+    def test_from_bits(self, manager):
+        vec = BitVec.from_bits(manager, [manager.one, manager.zero])
+        assert vec.as_constant() == 1
+
+    def test_len_and_getitem(self, manager):
+        vec = BitVec.constant(manager, 5, 4)
+        assert len(vec) == 4
+        assert vec[0] is manager.one
+        assert vec[1] is manager.zero
+        assert isinstance(vec[1:3], BitVec)
+
+
+class TestStructure:
+    def test_slice(self, manager):
+        vec = BitVec.constant(manager, 0b1101, 4)
+        assert vec.slice(1, 3).as_constant() == 0b110
+
+    def test_slice_out_of_range(self, manager):
+        with pytest.raises(IndexError):
+            BitVec.constant(manager, 0, 4).slice(2, 5)
+
+    def test_concat(self, manager):
+        low = BitVec.constant(manager, 0b01, 2)
+        high = BitVec.constant(manager, 0b11, 2)
+        assert low.concat(high).as_constant() == 0b1101
+
+    def test_zero_extend(self, manager):
+        vec = BitVec.constant(manager, 3, 2).zero_extend(4)
+        assert vec.width == 4 and vec.as_constant() == 3
+
+    def test_zero_extend_smaller_raises(self, manager):
+        with pytest.raises(ValueError):
+            BitVec.constant(manager, 3, 4).zero_extend(2)
+
+    def test_sign_extend_negative(self, manager):
+        vec = BitVec.constant(manager, 0b10, 2).sign_extend(4)
+        assert vec.as_constant() == 0b1110
+
+    def test_sign_extend_positive(self, manager):
+        vec = BitVec.constant(manager, 0b01, 2).sign_extend(4)
+        assert vec.as_constant() == 0b0001
+
+    def test_truncate_and_resize(self, manager):
+        vec = BitVec.constant(manager, 0b1101, 4)
+        assert vec.truncate(2).as_constant() == 0b01
+        assert vec.resize(6).as_constant() == 0b1101
+        assert vec.resize(3).as_constant() == 0b101
+
+
+class TestBitwise:
+    @pytest.mark.parametrize("a,b", [(0b1100, 0b1010), (0, 15), (7, 7)])
+    def test_and_or_xor_invert(self, manager, a, b):
+        va = BitVec.constant(manager, a, 4)
+        vb = BitVec.constant(manager, b, 4)
+        assert (va & vb).as_constant() == (a & b)
+        assert (va | vb).as_constant() == (a | b)
+        assert (va ^ vb).as_constant() == (a ^ b)
+        assert (~va).as_constant() == (~a) & 0xF
+
+    def test_int_coercion(self, manager):
+        va = BitVec.constant(manager, 0b1100, 4)
+        assert (va & 0b1010).as_constant() == 0b1000
+
+    def test_width_mismatch_raises(self, manager):
+        with pytest.raises(ValueError):
+            BitVec.constant(manager, 1, 4) & BitVec.constant(manager, 1, 3)
+
+
+class TestArithmetic:
+    @pytest.mark.parametrize("a,b", [(3, 5), (15, 1), (0, 0), (9, 9)])
+    def test_add_modular(self, manager, a, b):
+        va = BitVec.constant(manager, a, 4)
+        vb = BitVec.constant(manager, b, 4)
+        assert (va + vb).as_constant() == (a + b) % 16
+
+    @pytest.mark.parametrize("a,b", [(3, 5), (5, 3), (0, 1), (12, 12)])
+    def test_sub_modular(self, manager, a, b):
+        va = BitVec.constant(manager, a, 4)
+        vb = BitVec.constant(manager, b, 4)
+        assert (va - vb).as_constant() == (a - b) % 16
+
+    def test_negate(self, manager):
+        assert BitVec.constant(manager, 5, 4).negate().as_constant() == 11
+
+    def test_symbolic_add_matches_concrete(self, manager):
+        va = sym(manager, "a", 3)
+        vb = sym(manager, "b", 3)
+        total = va + vb
+        for a in range(8):
+            for b in range(8):
+                env = {}
+                env.update(assignment_for(manager, va, a))
+                env.update(assignment_for(manager, vb, b))
+                assert total.evaluate(env) == (a + b) % 8
+
+
+class TestComparisons:
+    @pytest.mark.parametrize("a,b", [(3, 3), (3, 4), (15, 0)])
+    def test_eq_ne(self, manager, a, b):
+        va = BitVec.constant(manager, a, 4)
+        vb = BitVec.constant(manager, b, 4)
+        assert manager.is_tautology(va.eq(vb)) == (a == b)
+        assert manager.is_tautology(va.ne(vb)) == (a != b)
+
+    def test_unsigned_comparisons(self, manager):
+        for a in range(8):
+            for b in range(8):
+                va = BitVec.constant(manager, a, 3)
+                vb = BitVec.constant(manager, b, 3)
+                assert manager.is_tautology(va.ult(vb)) == (a < b)
+                assert manager.is_tautology(va.ule(vb)) == (a <= b)
+
+    def test_signed_comparisons(self, manager):
+        def signed(value, width=3):
+            return value - (1 << width) if value & (1 << (width - 1)) else value
+
+        for a in range(8):
+            for b in range(8):
+                va = BitVec.constant(manager, a, 3)
+                vb = BitVec.constant(manager, b, 3)
+                assert manager.is_tautology(va.slt(vb)) == (signed(a) < signed(b))
+                assert manager.is_tautology(va.sle(vb)) == (signed(a) <= signed(b))
+
+    def test_zero_tests(self, manager):
+        zero = BitVec.constant(manager, 0, 4)
+        five = BitVec.constant(manager, 5, 4)
+        assert manager.is_tautology(zero.is_zero())
+        assert manager.is_tautology(five.is_nonzero())
+
+    def test_reductions(self, manager):
+        assert manager.is_tautology(BitVec.constant(manager, 0b111, 3).reduce_and())
+        assert not manager.is_tautology(BitVec.constant(manager, 0b101, 3).reduce_and())
+        assert manager.is_tautology(BitVec.constant(manager, 0b110, 3).reduce_xor()) is False
+        assert manager.is_tautology(BitVec.constant(manager, 0b100, 3).reduce_xor())
+
+
+class TestShifts:
+    @pytest.mark.parametrize("value,amount", [(0b1011, 0), (0b1011, 1), (0b1011, 3), (0b1011, 5)])
+    def test_constant_shifts(self, manager, value, amount):
+        vec = BitVec.constant(manager, value, 4)
+        assert vec.shift_left_const(amount).as_constant() == (value << amount) & 0xF
+        assert vec.shift_right_const(amount).as_constant() == (value >> amount) & 0xF
+
+    def test_symbolic_barrel_shifts(self, manager):
+        value = sym(manager, "v", 4)
+        amount = sym(manager, "n", 2)
+        left = value.shift_left(amount)
+        right = value.shift_right(amount)
+        for v in range(16):
+            for n in range(4):
+                env = {}
+                env.update(assignment_for(manager, value, v))
+                env.update(assignment_for(manager, amount, n))
+                assert left.evaluate(env) == (v << n) & 0xF
+                assert right.evaluate(env) == (v >> n) & 0xF
+
+
+class TestSelection:
+    def test_mux(self, manager):
+        a = BitVec.constant(manager, 3, 4)
+        b = BitVec.constant(manager, 12, 4)
+        assert BitVec.mux(manager.one, a, b).as_constant() == 3
+        assert BitVec.mux(manager.zero, a, b).as_constant() == 12
+
+    def test_mux_width_mismatch(self, manager):
+        with pytest.raises(ValueError):
+            BitVec.mux(manager.one, BitVec.constant(manager, 0, 2), BitVec.constant(manager, 0, 3))
+
+    def test_case_priority(self, manager):
+        default = BitVec.constant(manager, 0, 4)
+        first = BitVec.constant(manager, 1, 4)
+        second = BitVec.constant(manager, 2, 4)
+        chosen = BitVec.case(default, [(manager.one, first), (manager.one, second)])
+        assert chosen.as_constant() == 1
+        chosen = BitVec.case(default, [(manager.zero, first), (manager.one, second)])
+        assert chosen.as_constant() == 2
+        chosen = BitVec.case(default, [(manager.zero, first), (manager.zero, second)])
+        assert chosen.as_constant() == 0
+
+    def test_select_word(self, manager):
+        words = [BitVec.constant(manager, value, 4) for value in (7, 9, 11, 13)]
+        index = sym(manager, "idx", 2)
+        selected = BitVec.select_word(index, words)
+        for i, expected in enumerate((7, 9, 11, 13)):
+            env = assignment_for(manager, index, i)
+            assert selected.evaluate(env) == expected
+
+    def test_select_word_empty_raises(self, manager):
+        with pytest.raises(ValueError):
+            BitVec.select_word(sym(manager, "idx", 2), [])
+
+
+class TestEvaluation:
+    def test_restrict_and_compose(self, manager):
+        vec = sym(manager, "a", 2)
+        restricted = vec.restrict({"a[0]": True, "a[1]": False})
+        assert restricted.as_constant() == 1
+        composed = vec.compose({"a[0]": manager.var("a[1]")})
+        env = {"a[1]": True}
+        assert composed.evaluate(env) == 3
+
+    def test_identical(self, manager):
+        vec = sym(manager, "a", 3)
+        assert vec.identical(BitVec(manager, list(vec.bits)))
+        assert not vec.identical(sym(manager, "b", 3))
+        assert not vec.identical(vec.truncate(2))
+
+    def test_node_count_positive(self, manager):
+        vec = sym(manager, "a", 3) + sym(manager, "b", 3)
+        assert vec.node_count() > 3

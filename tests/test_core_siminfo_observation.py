@@ -1,0 +1,164 @@
+"""Tests for simulation-information files, observation specs and reports."""
+
+import json
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.core import (
+    Mismatch,
+    ObservationSpec,
+    SimulationInfo,
+    SimulationInfoError,
+    VerificationReport,
+    all_normal,
+    alpha0_default,
+    alpha0_observables,
+    control_at,
+    parse_simulation_info,
+    vsm_default,
+    vsm_observables,
+)
+from repro.logic import BitVec
+from repro.strings import CONTROL, NORMAL
+
+
+class TestSimulationInfoParsing:
+    def test_paper_vsm_file(self):
+        text = """
+        # Simulation Information File for VSM.
+        r #Simulate a reset cycle
+        0 #Simulate all instructions except for control transfer
+        0
+        1 #Simulate control transfer instructions
+        0
+        """
+        info = parse_simulation_info(text)
+        assert info == vsm_default()
+        assert info.reset_cycles == 1
+        assert info.slots == (NORMAL, NORMAL, CONTROL, NORMAL)
+        assert info.num_slots == 4
+        assert info.control_transfer_count == 1
+
+    def test_paper_alpha0_file(self):
+        text = "r\n0\n0\n1\n0\n0\n"
+        assert parse_simulation_info(text) == alpha0_default()
+
+    def test_roundtrip_through_to_text(self):
+        info = vsm_default()
+        assert parse_simulation_info(info.to_text("VSM")) == info
+
+    def test_errors(self):
+        with pytest.raises(SimulationInfoError):
+            parse_simulation_info("0\n1\n")  # missing reset
+        with pytest.raises(SimulationInfoError):
+            parse_simulation_info("r\n")  # missing slots
+        with pytest.raises(SimulationInfoError):
+            parse_simulation_info("r\n0\nr\n")  # reset after slots
+        with pytest.raises(SimulationInfoError):
+            parse_simulation_info("r\n2\n")  # unknown token
+        with pytest.raises(SimulationInfoError):
+            SimulationInfo(reset_cycles=0, slots=(NORMAL,))
+        with pytest.raises(SimulationInfoError):
+            SimulationInfo(reset_cycles=1, slots=("weird",))
+
+    def test_helpers(self):
+        assert all_normal(3).slots == (NORMAL, NORMAL, NORMAL)
+        assert control_at(4, 2).slots == (NORMAL, NORMAL, CONTROL, NORMAL)
+        with pytest.raises(SimulationInfoError):
+            control_at(4, 4)
+
+
+class TestObservationSpec:
+    def test_select(self):
+        manager = BDDManager()
+        spec = ObservationSpec(("a", "b"))
+        observation = {
+            "a": BitVec.constant(manager, 1, 2),
+            "b": BitVec.constant(manager, 2, 2),
+            "c": BitVec.constant(manager, 3, 2),
+        }
+        selected = spec.select(observation)
+        assert set(selected) == {"a", "b"}
+
+    def test_select_missing_raises(self):
+        manager = BDDManager()
+        spec = ObservationSpec(("a", "zz"))
+        with pytest.raises(KeyError):
+            spec.select({"a": BitVec.constant(manager, 0, 1)})
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ObservationSpec(())
+
+    def test_vsm_defaults(self):
+        spec = vsm_observables()
+        assert "reg0" in spec.names and "reg7" in spec.names
+        assert "pc_next" in spec.names and "retired_op" in spec.names
+        assert len(spec) == 11
+        assert len(vsm_observables(include_retirement_info=False)) == 9
+
+    def test_alpha0_defaults(self):
+        spec = alpha0_observables(num_registers=8, memory_words=4)
+        assert "reg7" in spec.names and "mem3" in spec.names
+        subset = alpha0_observables(num_registers=8, memory_words=4, registers=[1], memory=[])
+        assert subset.names == ("reg1", "pc_next", "retired_op", "retired_dest")
+        assert len(list(iter(subset))) == 4
+
+
+class TestVerificationReport:
+    def make_report(self, passed=True, mismatches=None):
+        return VerificationReport(
+            design="VSM",
+            passed=passed,
+            order_k=4,
+            delay_slots=1,
+            reset_cycles=1,
+            slot_kinds=(NORMAL, NORMAL, CONTROL, NORMAL),
+            specification_cycles=17,
+            implementation_cycles=9,
+            specification_filter=(1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1, 0, 0, 0, 1),
+            implementation_filter=(1, 0, 0, 0, 1, 1, 1, 0, 1),
+            samples_compared=5,
+            observables_compared=11,
+            sequences_covered=2 ** 40,
+            mismatches=mismatches or [],
+            specification_seconds=1.25,
+            implementation_seconds=2.5,
+            comparison_seconds=0.25,
+            bdd_nodes=1000,
+            bdd_variables=80,
+        )
+
+    def test_filter_lines_match_paper(self):
+        spec_line, impl_line = self.make_report().filter_lines()
+        assert spec_line.endswith("1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1")
+        assert impl_line.endswith("1 0 0 0 1 1 1 0 1")
+
+    def test_total_seconds(self):
+        assert self.make_report().total_seconds == pytest.approx(4.0)
+
+    def test_summary_mentions_verdict(self):
+        assert "PASSED" in self.make_report().summary()
+        mismatch = Mismatch(
+            sample_index=2,
+            observable="reg3",
+            specification_cycle=8,
+            implementation_cycle=5,
+            decoded_instructions={"instr0": "add r3, r1, r2"},
+        )
+        failing = self.make_report(passed=False, mismatches=[mismatch])
+        text = failing.summary()
+        assert "FAILED" in text
+        assert "reg3" in text and "add r3, r1, r2" in text
+
+    def test_to_json_roundtrips(self):
+        data = json.loads(self.make_report().to_json())
+        assert data["design"] == "VSM"
+        assert data["passed"] is True
+        assert data["k"] == 4
+        assert data["total_seconds"] == pytest.approx(4.0)
+
+    def test_mismatch_describe_without_instructions(self):
+        mismatch = Mismatch(0, "pc_next", 0, 0)
+        assert "pc_next" in mismatch.describe()

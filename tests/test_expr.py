@@ -1,0 +1,136 @@
+"""Unit tests for the behavioural expression DSL and its synthesis."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.logic import Const, Netlist, Signal, mux, signals
+
+
+class TestEvaluation:
+    def test_signal_and_const(self):
+        a = Signal("a")
+        assert a.evaluate({"a": True}) is True
+        assert Const(True).evaluate({}) is True
+        assert Const(False).evaluate({}) is False
+
+    def test_connectives(self):
+        a, b = signals("a", "b")
+        env = {"a": True, "b": False}
+        assert (a & b).evaluate(env) is False
+        assert (a | b).evaluate(env) is True
+        assert (a ^ b).evaluate(env) is True
+        assert (~a).evaluate(env) is False
+        assert a.iff(b).evaluate(env) is False
+        assert a.implies(b).evaluate(env) is False
+        assert b.implies(a).evaluate(env) is True
+
+    def test_mux(self):
+        s, a, b = signals("s", "a", "b")
+        expr = mux(s, a, b)
+        assert expr.evaluate({"s": True, "a": True, "b": False}) is True
+        assert expr.evaluate({"s": False, "a": True, "b": False}) is False
+
+    def test_coercion_of_constants(self):
+        a = Signal("a")
+        assert (a & 1).evaluate({"a": True}) is True
+        assert (a | 0).evaluate({"a": False}) is False
+
+    def test_coercion_rejects_garbage(self):
+        with pytest.raises(TypeError):
+            Signal("a") & "nonsense"
+
+    def test_signals_collection(self):
+        a, b, c = signals("a", "b", "c")
+        expr = (a & b) | (~c)
+        assert expr.signals() == ("a", "b", "c")
+        assert Const(True).signals() == ()
+
+
+class TestBDDElaboration:
+    def test_to_bdd_matches_evaluate(self):
+        a, b, c = signals("a", "b", "c")
+        expr = mux(a, b ^ c, b & c)
+        manager = BDDManager(["a", "b", "c"])
+        node = expr.to_bdd(manager)
+        for values in itertools.product([False, True], repeat=3):
+            env = dict(zip(("a", "b", "c"), values))
+            assert manager.evaluate(node, env) == expr.evaluate(env)
+
+
+class TestSynthesis:
+    def test_synthesize_declares_inputs(self):
+        a, b = signals("a", "b")
+        netlist = Netlist()
+        out = (a & b).synthesize(netlist)
+        netlist.set_outputs([out])
+        netlist.validate()
+        assert set(netlist.primary_inputs) == {"a", "b"}
+
+    def test_synthesized_netlist_matches_expression(self):
+        a, b, c = signals("a", "b", "c")
+        expr = (a ^ b).iff(c) | (~a & b)
+        netlist = Netlist()
+        out = expr.synthesize(netlist)
+        netlist.set_outputs([out])
+        netlist.validate()
+        state = netlist.reset_state()
+        for values in itertools.product([False, True], repeat=3):
+            env = dict(zip(("a", "b", "c"), values))
+            outputs, _ = netlist.step(env, state)
+            assert outputs[out] == expr.evaluate(env)
+
+    def test_synthesize_constants(self):
+        expr = Const(True) & Signal("a")
+        netlist = Netlist()
+        out = expr.synthesize(netlist)
+        netlist.set_outputs([out])
+        netlist.validate()
+        outputs, _ = netlist.step({"a": True}, netlist.reset_state())
+        assert outputs[out] is True
+
+    def test_signal_reuses_existing_driver(self):
+        netlist = Netlist()
+        netlist.add_latch("s", "s_next")
+        expr = Signal("s") ^ Signal("x")
+        out = expr.synthesize(netlist)
+        netlist.add_gate("s_next", "BUF", [out])
+        netlist.set_outputs([out])
+        netlist.validate()
+        assert "s" not in netlist.primary_inputs
+
+
+def expression_strategy():
+    leaves = st.sampled_from([Signal("a"), Signal("b"), Signal("c"), Const(True), Const(False)])
+
+    def extend(children):
+        return st.one_of(
+            children.map(lambda e: ~e),
+            st.tuples(children, children).map(lambda t: t[0] & t[1]),
+            st.tuples(children, children).map(lambda t: t[0] | t[1]),
+            st.tuples(children, children).map(lambda t: t[0] ^ t[1]),
+            st.tuples(children, children, children).map(lambda t: mux(t[0], t[1], t[2])),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=8)
+
+
+@settings(max_examples=60, deadline=None)
+@given(expression_strategy())
+def test_property_three_elaborations_agree(expr):
+    """Direct evaluation, BDD elaboration and netlist synthesis all agree."""
+    manager = BDDManager(["a", "b", "c"])
+    node = expr.to_bdd(manager)
+    netlist = Netlist()
+    out = expr.synthesize(netlist)
+    netlist.set_outputs([out])
+    netlist.validate()
+    state = netlist.reset_state()
+    for values in itertools.product([False, True], repeat=3):
+        env = dict(zip(("a", "b", "c"), values))
+        expected = expr.evaluate(env)
+        assert manager.evaluate(node, env) == expected
+        outputs, _ = netlist.step(env, state)
+        assert outputs[out] == expected

@@ -1,0 +1,124 @@
+"""Tests for the output filtering function generators (SH1 / SH2)."""
+
+import pytest
+
+from repro.strings import (
+    CONTROL,
+    NORMAL,
+    annul_cycles,
+    format_filter,
+    insert_event_window,
+    pipelined_cycle_count,
+    pipelined_filter,
+    sample_cycles,
+    superscalar_completion_filter,
+    superscalar_specification_filter,
+    unpipelined_cycle_count,
+    unpipelined_filter,
+)
+
+# Simulation info from the paper: VSM = `r 0 0 1 0`, Alpha0 = `r 0 0 1 0 0`.
+VSM_SLOTS = (NORMAL, NORMAL, CONTROL, NORMAL)
+ALPHA0_SLOTS = (NORMAL, NORMAL, CONTROL, NORMAL, NORMAL)
+
+
+class TestCycleCounts:
+    def test_vsm_counts_match_paper(self):
+        # k^2 + r and 2k-1 + r + c*d from Section 6.2.
+        assert unpipelined_cycle_count(4, 4, reset_cycles=1) == 17
+        assert pipelined_cycle_count(4, VSM_SLOTS, delay_slots=1, reset_cycles=1) == 9
+
+    def test_alpha0_counts_match_paper(self):
+        assert unpipelined_cycle_count(5, 5, reset_cycles=1) == 26
+        assert pipelined_cycle_count(5, ALPHA0_SLOTS, delay_slots=1, reset_cycles=1) == 11
+
+    def test_unknown_slot_kind_rejected(self):
+        with pytest.raises(ValueError):
+            pipelined_cycle_count(4, ("weird",), 1)
+
+
+class TestPaperFilterSequences:
+    def test_vsm_unpipelined_sequence(self):
+        expected = "1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1"
+        assert format_filter(unpipelined_filter(4, 4)) == expected
+
+    def test_vsm_pipelined_sequence(self):
+        expected = "1 0 0 0 1 1 1 0 1"
+        assert format_filter(pipelined_filter(4, VSM_SLOTS, delay_slots=1)) == expected
+
+    def test_alpha0_unpipelined_sequence(self):
+        expected = "1 0 0 0 0 1 0 0 0 0 1 0 0 0 0 1 0 0 0 0 1 0 0 0 0 1"
+        assert format_filter(unpipelined_filter(5, 5)) == expected
+
+    def test_alpha0_pipelined_sequence(self):
+        expected = "1 0 0 0 0 1 1 1 0 1 1"
+        assert format_filter(pipelined_filter(5, ALPHA0_SLOTS, delay_slots=1)) == expected
+
+    def test_both_machines_sample_the_same_number_of_points(self):
+        spec = unpipelined_filter(4, 4)
+        impl = pipelined_filter(4, VSM_SLOTS, delay_slots=1)
+        assert sum(spec) == sum(impl) == 5
+
+    def test_no_control_transfer_means_dense_sampling(self):
+        impl = pipelined_filter(4, (NORMAL,) * 4, delay_slots=1)
+        assert format_filter(impl) == "1 0 0 0 1 1 1 1"
+
+    def test_multiple_control_transfers(self):
+        impl = pipelined_filter(3, (CONTROL, CONTROL, NORMAL), delay_slots=2)
+        # reset sample, 2 fill cycles, then 1 00 1 00 1.
+        assert format_filter(impl) == "1 0 0 1 0 0 1 0 0 1"
+
+    def test_reset_cycles_shift_the_first_sample(self):
+        spec = unpipelined_filter(2, 2, reset_cycles=3)
+        assert format_filter(spec) == "0 0 1 0 1 0 1"
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            unpipelined_filter(0, 4)
+        with pytest.raises(ValueError):
+            pipelined_filter(4, VSM_SLOTS, delay_slots=-1)
+
+
+class TestSampleCycles:
+    def test_sample_cycles_of_vsm(self):
+        assert sample_cycles(unpipelined_filter(4, 4)) == (0, 4, 8, 12, 16)
+        assert sample_cycles(pipelined_filter(4, VSM_SLOTS, delay_slots=1)) == (0, 4, 5, 6, 8)
+
+
+class TestDynamicBetaEdits:
+    def test_insert_event_window(self):
+        base = pipelined_filter(4, (NORMAL,) * 4, delay_slots=1)
+        edited = insert_event_window(base, event_cycle=5, handler_cycles=3)
+        assert len(edited) == len(base) + 3
+        assert edited[5:8] == (0, 0, 0)
+        assert sum(edited) == sum(base)
+
+    def test_insert_event_window_bounds(self):
+        with pytest.raises(ValueError):
+            insert_event_window((1, 0), event_cycle=5, handler_cycles=1)
+        with pytest.raises(ValueError):
+            insert_event_window((1, 0), event_cycle=0, handler_cycles=-1)
+
+    def test_annul_cycles(self):
+        base = (1, 1, 1, 1)
+        assert annul_cycles(base, [1, 3]) == (1, 0, 1, 0)
+        with pytest.raises(ValueError):
+            annul_cycles(base, [9])
+
+    def test_superscalar_filters_align(self):
+        # A 2-wide machine retiring 2, 1, 2 instructions over three cycles.
+        completions = (2, 1, 2)
+        impl = superscalar_completion_filter(completions)
+        spec = superscalar_specification_filter(completions, k=4)
+        assert impl == (1, 1, 1, 1)
+        # Specification samples after 2, 3 and 5 completed instructions.
+        assert sample_cycles(spec) == (0, 8, 12, 20)
+        assert sum(impl) == sum(spec)
+
+    def test_superscalar_idle_cycles_not_sampled(self):
+        impl = superscalar_completion_filter((2, 0, 1))
+        assert impl == (1, 1, 0, 1)
+
+    def test_superscalar_negative_completions_rejected(self):
+        with pytest.raises(ValueError):
+            superscalar_completion_filter((1, -1))

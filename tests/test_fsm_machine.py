@@ -1,0 +1,114 @@
+"""Tests for symbolic FSM extraction, unrolling and concrete execution."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.fsm import SymbolicFSM
+from repro.logic import counter, shift_register, toggle_machine
+
+
+class TestFromNetlist:
+    def test_extraction_basics(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(toggle_machine(), manager)
+        assert fsm.input_names == ["enable"]
+        assert fsm.state_names == ["state"]
+        assert fsm.output_names() == ("state",)
+        assert fsm.reset_state == {"state": False}
+        assert fsm.state_count_bound() == 2
+
+    def test_extraction_with_prefix(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(toggle_machine(), manager, prefix="impl.")
+        assert fsm.input_names == ["impl.enable"]
+        assert fsm.state_names == ["impl.state"]
+        # Output names are not prefixed (they are compared across machines).
+        assert fsm.output_names() == ("state",)
+
+    def test_missing_next_state_rejected(self):
+        manager = BDDManager()
+        with pytest.raises(ValueError):
+            SymbolicFSM(
+                manager,
+                input_names=["x"],
+                state_names=["s"],
+                next_state={},
+                outputs={},
+                reset_state={},
+            )
+
+    def test_reset_cube_and_formulae(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(counter(2), manager)
+        cube = fsm.reset_cube()
+        assert manager.evaluate(cube, {"q0": False, "q1": False}) is True
+        assert manager.evaluate(cube, {"q0": True, "q1": False}) is False
+        formulae = fsm.reset_formulae()
+        assert formulae["q0"] is manager.zero
+
+
+class TestConcreteRun:
+    def test_toggle_run_matches_netlist(self):
+        netlist = toggle_machine()
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(netlist, manager)
+        stimulus = [{"enable": v} for v in (True, True, False, True)]
+        fsm_trace = [t["state"] for t in fsm.run(stimulus)]
+        netlist_trace = [t["state"] for t in netlist.simulate(stimulus)]
+        assert fsm_trace == netlist_trace
+
+    def test_counter_run(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(counter(2), manager)
+        trace = fsm.run([{}] * 5)
+        values = [t["q0"] + 2 * t["q1"] for t in trace]
+        assert values == [0, 1, 2, 3, 0]
+
+
+class TestUnroll:
+    def test_unroll_shapes(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(shift_register(2), manager)
+        trace = fsm.unroll(3)
+        assert trace.cycles == 3
+        assert len(trace.states) == 4
+        assert len(trace.input_names) == 3
+        assert trace.input_names[0] == {"din": "din@0"}
+
+    def test_unroll_semantics_shift_register(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(shift_register(2), manager)
+        trace = fsm.unroll(4)
+        # The output at cycle 3 is the input of cycle 1 (two-stage delay).
+        output_name = fsm.output_names()[0]
+        assert trace.outputs[3][output_name] is manager.var("din@1")
+        # During fill the output is the reset value (constant 0).
+        assert trace.outputs[0][output_name] is manager.zero
+
+    def test_unroll_with_input_constraints(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(toggle_machine(), manager)
+        constraints = [{"enable": manager.one}, {"enable": manager.zero}, None]
+        trace = fsm.unroll(3, input_constraints=constraints)
+        # After forcing enable=1 then 0, the state is constant 1.
+        assert trace.outputs[1]["state"] is manager.one
+        assert trace.outputs[2]["state"] is manager.one
+        # No fresh variable is created for constrained cycles.
+        assert trace.input_names[0] == {}
+        assert trace.input_names[2] == {"enable": "enable@2"}
+
+    def test_unroll_with_initial_state(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(toggle_machine(), manager)
+        initial = {"state": manager.var("s0")}
+        trace = fsm.unroll(1, input_constraints=[{"enable": manager.zero}], initial_state=initial)
+        assert trace.states[1]["state"] is manager.var("s0")
+
+    def test_unroll_matches_concrete_run(self):
+        manager = BDDManager()
+        fsm = SymbolicFSM.from_netlist(counter(3), manager)
+        trace = fsm.unroll(6)
+        concrete = fsm.run([{}] * 6)
+        for cycle in range(6):
+            for name, value in concrete[cycle].items():
+                assert manager.evaluate(trace.outputs[cycle][name], {}) == value

@@ -1,0 +1,310 @@
+"""Tests for the Alpha0 instruction set: encoding, decoding, semantics (Table 2)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import Alpha0Config, Alpha0EncodingError, Alpha0Instruction, CONDENSED_CONFIG
+from repro.isa import alpha0
+
+
+CONFIG = Alpha0Config(data_width=4, memory_words=8)
+
+
+def fresh_state():
+    registers = [(3 * i + 1) % 16 for i in range(32)]
+    memory = [(5 * i + 2) % 16 for i in range(8)]
+    return registers, memory
+
+
+class TestEncodingDecoding:
+    def test_operate_register_form_packing(self):
+        instruction = Alpha0Instruction("add", ra=1, rb=2, rc=3)
+        word = instruction.encode()
+        assert (word >> 26) & 0x3F == 0x10
+        assert (word >> 21) & 0x1F == 1
+        assert (word >> 16) & 0x1F == 2
+        assert (word >> 12) & 1 == 0
+        assert (word >> 5) & 0x7F == 0x20
+        assert word & 0x1F == 3
+
+    def test_operate_literal_form_packing(self):
+        instruction = Alpha0Instruction("and", ra=4, rc=5, literal_flag=True, literal=0xAB)
+        word = instruction.encode()
+        assert (word >> 12) & 1 == 1
+        assert (word >> 13) & 0xFF == 0xAB
+        assert (word >> 5) & 0x7F == 0x00
+
+    def test_memory_format_packing(self):
+        instruction = Alpha0Instruction("ld", ra=7, rb=9, displacement=-4)
+        word = instruction.encode()
+        assert (word >> 26) & 0x3F == 0x29
+        assert word & 0xFFFF == (-4) & 0xFFFF
+
+    def test_branch_format_packing(self):
+        instruction = Alpha0Instruction("bt", ra=2, displacement=-3)
+        word = instruction.encode()
+        assert (word >> 26) & 0x3F == 0x3D
+        assert word & ((1 << 21) - 1) == (-3) & ((1 << 21) - 1)
+
+    def test_roundtrip_all_mnemonics(self):
+        examples = [
+            Alpha0Instruction("add", ra=1, rb=2, rc=3),
+            Alpha0Instruction("sub", ra=1, rb=2, rc=3),
+            Alpha0Instruction("cmpeq", ra=4, rb=5, rc=6),
+            Alpha0Instruction("cmplt", ra=4, rb=5, rc=6),
+            Alpha0Instruction("cmple", ra=4, rb=5, rc=6),
+            Alpha0Instruction("and", ra=7, rb=8, rc=9),
+            Alpha0Instruction("or", ra=7, rc=9, literal_flag=True, literal=3),
+            Alpha0Instruction("xor", ra=7, rb=8, rc=9),
+            Alpha0Instruction("sll", ra=1, rb=2, rc=3),
+            Alpha0Instruction("srl", ra=1, rc=3, literal_flag=True, literal=2),
+            Alpha0Instruction("ld", ra=3, rb=4, displacement=8),
+            Alpha0Instruction("st", ra=3, rb=4, displacement=-8),
+            Alpha0Instruction("br", ra=26, displacement=5),
+            Alpha0Instruction("bf", ra=2, displacement=-1),
+            Alpha0Instruction("bt", ra=2, displacement=1),
+            Alpha0Instruction("jmp", ra=26, rb=27),
+        ]
+        for instruction in examples:
+            assert alpha0.decode(instruction.encode()) == instruction
+
+    def test_decode_rejects_bad_words(self):
+        with pytest.raises(Alpha0EncodingError):
+            alpha0.decode(1 << 32)
+        with pytest.raises(Alpha0EncodingError):
+            alpha0.decode(0x3F << 26)  # undefined opcode
+        with pytest.raises(Alpha0EncodingError):
+            alpha0.decode((0x10 << 26) | (0x7F << 5))  # undefined function
+        assert not alpha0.is_valid_encoding(0x3F << 26)
+
+    def test_constructor_validation(self):
+        with pytest.raises(Alpha0EncodingError):
+            Alpha0Instruction("nope")
+        with pytest.raises(Alpha0EncodingError):
+            Alpha0Instruction("add", ra=32)
+        with pytest.raises(Alpha0EncodingError):
+            Alpha0Instruction("add", literal=256)
+        with pytest.raises(Alpha0EncodingError):
+            Alpha0Instruction("ld", displacement=1 << 16)
+        with pytest.raises(Alpha0EncodingError):
+            Alpha0Instruction("br", displacement=1 << 21)
+
+    def test_sign_extend(self):
+        assert alpha0.sign_extend(0xF, 4) == -1
+        assert alpha0.sign_extend(0x7, 4) == 7
+        assert alpha0.sign_extend(0xFFFF, 16) == -1
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 31), st.integers(0, 31), st.integers(0, 31), st.booleans(), st.integers(0, 255))
+    def test_property_operate_roundtrip(self, ra, rb, rc, literal_flag, literal):
+        instruction = Alpha0Instruction(
+            "xor",
+            ra=ra,
+            rb=0 if literal_flag else rb,
+            rc=rc,
+            literal_flag=literal_flag,
+            literal=literal if literal_flag else 0,
+        )
+        assert alpha0.decode(instruction.encode()) == instruction
+
+
+class TestClassification:
+    def test_control_transfer_and_memory_flags(self):
+        assert Alpha0Instruction("br", ra=1).is_control_transfer
+        assert Alpha0Instruction("jmp", ra=1, rb=2).is_control_transfer
+        assert Alpha0Instruction("ld", ra=1, rb=2).is_memory
+        assert not Alpha0Instruction("add").is_control_transfer
+        assert Alpha0Instruction("add").is_alu
+
+    def test_destinations(self):
+        assert Alpha0Instruction("add", rc=9).destination() == 9
+        assert Alpha0Instruction("ld", ra=7, rb=1).destination() == 7
+        assert Alpha0Instruction("br", ra=26).destination() == 26
+        assert Alpha0Instruction("st", ra=7, rb=1).destination() is None
+        assert Alpha0Instruction("bf", ra=3).destination() is None
+
+    def test_sources(self):
+        assert Alpha0Instruction("add", ra=1, rb=2).sources() == (1, 2)
+        assert Alpha0Instruction("add", ra=1, literal_flag=True, literal=4).sources() == (1,)
+        assert Alpha0Instruction("ld", ra=3, rb=4).sources() == (4,)
+        assert Alpha0Instruction("st", ra=3, rb=4).sources() == (3, 4)
+        assert Alpha0Instruction("bt", ra=5).sources() == (5,)
+        assert Alpha0Instruction("jmp", ra=5, rb=6).sources() == (6,)
+        assert Alpha0Instruction("br", ra=5).sources() == ()
+
+    def test_str_forms(self):
+        assert str(Alpha0Instruction("add", ra=1, rb=2, rc=3)) == "add r3, r1, r2"
+        assert str(Alpha0Instruction("ld", ra=1, rb=2, displacement=-4)) == "ld r1, -4(r2)"
+        assert str(Alpha0Instruction("jmp", ra=1, rb=2)) == "jmp r1, (r2)"
+        assert str(Alpha0Instruction("bf", ra=1, displacement=2)) == "bf r1, 2"
+
+
+class TestALUOperations:
+    @pytest.mark.parametrize(
+        "mnemonic,left,right,expected",
+        [
+            ("add", 9, 9, 2),
+            ("sub", 3, 5, 14),
+            ("and", 0b1100, 0b1010, 0b1000),
+            ("or", 0b1100, 0b1010, 0b1110),
+            ("xor", 0b1100, 0b1010, 0b0110),
+            ("cmpeq", 7, 7, 1),
+            ("cmpeq", 7, 6, 0),
+            ("cmplt", 0b1111, 0b0001, 1),  # -1 < 1 signed
+            ("cmplt", 0b0001, 0b1111, 0),
+            ("cmple", 5, 5, 1),
+            ("sll", 0b0011, 2, 0b1100),
+            ("sll", 0b0011, 9, 0),
+            ("srl", 0b1100, 2, 0b0011),
+            ("srl", 0b1100, 8, 0),
+        ],
+    )
+    def test_alu_operation_table(self, mnemonic, left, right, expected):
+        assert alpha0.alu_operation(mnemonic, left, right, CONFIG) == expected
+
+    def test_alu_operation_rejects_non_operate(self):
+        with pytest.raises(Alpha0EncodingError):
+            alpha0.alu_operation("ld", 0, 0, CONFIG)
+
+
+class TestExecute:
+    def test_alu_register_form(self):
+        registers, memory = fresh_state()
+        instruction = Alpha0Instruction("add", ra=1, rb=2, rc=3)
+        new_registers, pc, new_memory = alpha0.execute(instruction, registers, 0, memory, CONFIG)
+        assert new_registers[3] == (registers[1] + registers[2]) % 16
+        assert pc == 4
+        assert new_memory == memory
+
+    def test_alu_literal_form(self):
+        registers, memory = fresh_state()
+        instruction = Alpha0Instruction("xor", ra=1, rc=0, literal_flag=True, literal=0b0101)
+        new_registers, _, _ = alpha0.execute(instruction, registers, 0, memory, CONFIG)
+        assert new_registers[0] == (registers[1] ^ 0b0101) % 16
+
+    def test_load(self):
+        registers, memory = fresh_state()
+        registers[2] = 8  # byte address 8 -> word 2
+        instruction = Alpha0Instruction("ld", ra=5, rb=2, displacement=0)
+        new_registers, _, _ = alpha0.execute(instruction, registers, 0, memory, CONFIG)
+        assert new_registers[5] == memory[2]
+
+    def test_store(self):
+        registers, memory = fresh_state()
+        registers[2] = 4
+        registers[6] = 0b1010
+        instruction = Alpha0Instruction("st", ra=6, rb=2, displacement=0)
+        _, _, new_memory = alpha0.execute(instruction, registers, 0, memory, CONFIG)
+        assert new_memory[1] == 0b1010
+        assert memory[1] != 0b1010 or memory[1] == 0b1010  # original untouched check below
+        assert new_memory[:1] + new_memory[2:] == memory[:1] + memory[2:]
+
+    def test_load_displacement_wraps_in_data_width(self):
+        registers, memory = fresh_state()
+        registers[2] = 2
+        instruction = Alpha0Instruction("ld", ra=5, rb=2, displacement=6)
+        new_registers, _, _ = alpha0.execute(instruction, registers, 0, memory, CONFIG)
+        # EA = (2 + 6) mod 16 = 8 -> word 2.
+        assert new_registers[5] == memory[2]
+
+    def test_unconditional_branch(self):
+        registers, memory = fresh_state()
+        instruction = Alpha0Instruction("br", ra=26, displacement=2)
+        new_registers, pc, _ = alpha0.execute(instruction, registers, 8, memory, CONFIG)
+        # Link register gets the updated PC (12), target is 12 + 8 = 20.
+        assert new_registers[26] == 12
+        assert pc == 20
+
+    def test_conditional_branches(self):
+        registers, memory = fresh_state()
+        registers[2] = 0
+        taken_bf = Alpha0Instruction("bf", ra=2, displacement=1)
+        _, pc, _ = alpha0.execute(taken_bf, registers, 0, memory, CONFIG)
+        assert pc == 8  # 4 + 4*1
+        not_taken_bt = Alpha0Instruction("bt", ra=2, displacement=1)
+        _, pc, _ = alpha0.execute(not_taken_bt, registers, 0, memory, CONFIG)
+        assert pc == 4
+        registers[2] = 3
+        taken_bt = Alpha0Instruction("bt", ra=2, displacement=2)
+        _, pc, _ = alpha0.execute(taken_bt, registers, 0, memory, CONFIG)
+        assert pc == 12
+
+    def test_jump(self):
+        registers, memory = fresh_state()
+        registers[7] = 0b1110  # target 12 after clearing the low bits
+        instruction = Alpha0Instruction("jmp", ra=26, rb=7)
+        new_registers, pc, _ = alpha0.execute(instruction, registers, 16, memory, CONFIG)
+        assert pc == 12
+        assert new_registers[26] == (16 + 4) & 0xF
+
+    def test_pc_wraps_at_5_bits(self):
+        registers, memory = fresh_state()
+        instruction = Alpha0Instruction("add", ra=0, rb=0, rc=0)
+        _, pc, _ = alpha0.execute(instruction, registers, 28, memory, CONFIG)
+        assert pc == 0
+
+    def test_condensed_subset_enforced(self):
+        registers, memory = fresh_state()
+        with pytest.raises(Alpha0EncodingError):
+            alpha0.execute(
+                Alpha0Instruction("add", ra=0, rb=0, rc=0),
+                registers,
+                0,
+                memory,
+                CONDENSED_CONFIG,
+            )
+        # The retained subset works.
+        alpha0.execute(
+            Alpha0Instruction("and", ra=0, rb=0, rc=0), registers, 0, memory, CONDENSED_CONFIG
+        )
+
+    def test_execute_validates_shapes(self):
+        registers, memory = fresh_state()
+        with pytest.raises(Alpha0EncodingError):
+            alpha0.execute(Alpha0Instruction("add"), registers[:5], 0, memory, CONFIG)
+        with pytest.raises(Alpha0EncodingError):
+            alpha0.execute(Alpha0Instruction("add"), registers, 0, memory[:2], CONFIG)
+
+    def test_inputs_not_mutated(self):
+        registers, memory = fresh_state()
+        snapshot_regs, snapshot_mem = list(registers), list(memory)
+        alpha0.execute(Alpha0Instruction("st", ra=1, rb=2), registers, 0, memory, CONFIG)
+        assert registers == snapshot_regs and memory == snapshot_mem
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.integers(0, 3))
+    def test_property_random_programs_stay_in_range(self, seed):
+        rng = random.Random(seed)
+        registers, memory = fresh_state()
+        pc = 0
+        for _ in range(30):
+            instruction = alpha0.random_instruction(rng, config=CONFIG)
+            registers, pc, memory = alpha0.execute(instruction, registers, pc, memory, CONFIG)
+            assert all(0 <= value < 16 for value in registers)
+            assert all(0 <= value < 16 for value in memory)
+            assert 0 <= pc < 32
+
+
+class TestRandomGeneration:
+    def test_random_instruction_is_decodable(self):
+        rng = random.Random(23)
+        for _ in range(100):
+            instruction = alpha0.random_instruction(rng, config=CONFIG)
+            assert alpha0.decode(instruction.encode()) == instruction
+
+    def test_random_program_respects_flags(self):
+        rng = random.Random(5)
+        program = alpha0.random_program(
+            rng, 30, config=CONFIG, allow_control_transfer=False, allow_memory=False
+        )
+        assert all(instr.is_alu for instr in program)
+
+    def test_random_condensed_instructions_use_subset(self):
+        rng = random.Random(5)
+        for _ in range(50):
+            instruction = alpha0.random_instruction(
+                rng, config=CONDENSED_CONFIG, allow_control_transfer=False, allow_memory=False
+            )
+            assert instruction.mnemonic in CONDENSED_CONFIG.alu_subset

@@ -1,0 +1,169 @@
+"""Tests for the VSM instruction set: encoding, decoding, semantics (Table 1)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import VSMEncodingError, VSMInstruction
+from repro.isa import vsm
+
+
+class TestEncodingDecoding:
+    def test_field_packing(self):
+        instruction = VSMInstruction("add", literal_flag=True, ra=5, rb=3, rc=6)
+        word = instruction.encode()
+        assert (word >> 10) & 0b111 == 0b000
+        assert (word >> 9) & 1 == 1
+        assert (word >> 6) & 0b111 == 5
+        assert (word >> 3) & 0b111 == 3
+        assert word & 0b111 == 6
+
+    def test_roundtrip_all_opcodes(self):
+        for mnemonic in vsm.OPCODES:
+            instruction = VSMInstruction(mnemonic, ra=1, rb=2, rc=3)
+            assert vsm.decode(instruction.encode()) == instruction
+
+    def test_decode_rejects_out_of_range_word(self):
+        with pytest.raises(VSMEncodingError):
+            vsm.decode(1 << 13)
+        with pytest.raises(VSMEncodingError):
+            vsm.decode(-1)
+
+    def test_decode_rejects_undefined_opcode(self):
+        # Opcodes 101, 110, 111 are undefined.
+        with pytest.raises(VSMEncodingError):
+            vsm.decode(0b111 << 10)
+        assert not vsm.is_valid_encoding(0b101 << 10)
+        assert vsm.is_valid_encoding(VSMInstruction("or", ra=1, rb=1, rc=1).encode())
+
+    def test_constructor_validation(self):
+        with pytest.raises(VSMEncodingError):
+            VSMInstruction("mul")
+        with pytest.raises(VSMEncodingError):
+            VSMInstruction("add", ra=8)
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.sampled_from(sorted(vsm.OPCODES)),
+        st.booleans(),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(0, 7),
+    )
+    def test_property_roundtrip(self, mnemonic, literal_flag, ra, rb, rc):
+        instruction = VSMInstruction(mnemonic, literal_flag=literal_flag, ra=ra, rb=rb, rc=rc)
+        word = instruction.encode()
+        assert 0 <= word < (1 << vsm.INSTRUCTION_WIDTH)
+        assert vsm.decode(word) == instruction
+
+
+class TestClassification:
+    def test_branch_is_control_transfer(self):
+        branch = VSMInstruction("br", ra=2, rc=7)
+        assert branch.is_control_transfer
+        assert not branch.is_alu
+        assert branch.displacement == 2
+        assert branch.sources() == ()
+        assert branch.destination() == 7
+
+    def test_alu_sources_and_destination(self):
+        register_form = VSMInstruction("add", ra=1, rb=2, rc=3)
+        literal_form = VSMInstruction("add", literal_flag=True, ra=1, rb=5, rc=3)
+        assert register_form.sources() == (1, 2)
+        assert literal_form.sources() == (1,)
+        assert literal_form.literal == 5
+        assert register_form.destination() == 3
+
+    def test_str_forms(self):
+        assert str(VSMInstruction("and", ra=1, rb=2, rc=3)) == "and r3, r1, r2"
+        assert str(VSMInstruction("or", literal_flag=True, ra=1, rb=6, rc=2)) == "or r2, r1, #6"
+        assert str(VSMInstruction("br", ra=3, rc=7)) == "br r7, 3"
+
+
+class TestSemantics:
+    def setup_method(self):
+        self.registers = [0, 1, 2, 3, 4, 5, 6, 7]
+
+    @pytest.mark.parametrize(
+        "mnemonic,expected",
+        [("add", (2 + 5) % 8), ("xor", 2 ^ 5), ("and", 2 & 5), ("or", 2 | 5)],
+    )
+    def test_alu_register_forms(self, mnemonic, expected):
+        instruction = VSMInstruction(mnemonic, ra=2, rb=5, rc=0)
+        registers, pc = vsm.execute(instruction, self.registers, pc=9)
+        assert registers[0] == expected
+        assert pc == 10
+        # Other registers untouched.
+        assert registers[1:] == self.registers[1:]
+
+    def test_alu_literal_form(self):
+        instruction = VSMInstruction("add", literal_flag=True, ra=7, rb=6, rc=1)
+        registers, pc = vsm.execute(instruction, self.registers, pc=0)
+        assert registers[1] == (7 + 6) % 8
+        assert pc == 1
+
+    def test_branch_semantics(self):
+        instruction = VSMInstruction("br", ra=3, rc=4)
+        registers, pc = vsm.execute(instruction, self.registers, pc=10)
+        # Rc <- PC (masked to the 3-bit data width), PC <- PC + Disp.
+        assert registers[4] == 10 & 0b111
+        assert pc == 13
+
+    def test_branch_pc_wraps(self):
+        instruction = VSMInstruction("br", ra=7, rc=0)
+        _, pc = vsm.execute(instruction, self.registers, pc=30)
+        assert pc == (30 + 7) % 32
+
+    def test_pc_increment_wraps(self):
+        instruction = VSMInstruction("add", ra=0, rb=0, rc=0)
+        _, pc = vsm.execute(instruction, self.registers, pc=31)
+        assert pc == 0
+
+    def test_execute_validates_register_count(self):
+        with pytest.raises(VSMEncodingError):
+            vsm.execute(VSMInstruction("add"), [0, 1, 2], pc=0)
+
+    def test_alu_operation_rejects_branch(self):
+        with pytest.raises(VSMEncodingError):
+            vsm.alu_operation("br", 0, 0)
+
+    def test_inputs_not_mutated(self):
+        registers = [1] * 8
+        vsm.execute(VSMInstruction("add", ra=0, rb=0, rc=5), registers, pc=0)
+        assert registers == [1] * 8
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        st.sampled_from(["add", "xor", "and", "or"]),
+        st.lists(st.integers(0, 7), min_size=8, max_size=8),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(0, 7),
+        st.integers(0, 31),
+    )
+    def test_property_alu_results_in_range(self, mnemonic, registers, ra, rb, rc, pc):
+        instruction = VSMInstruction(mnemonic, ra=ra, rb=rb, rc=rc)
+        new_registers, new_pc = vsm.execute(instruction, registers, pc)
+        assert all(0 <= value < 8 for value in new_registers)
+        assert 0 <= new_pc < 32
+        assert new_pc == (pc + 1) % 32
+
+
+class TestRandomGeneration:
+    def test_random_instruction_is_decodable(self):
+        rng = random.Random(7)
+        for _ in range(50):
+            instruction = vsm.random_instruction(rng)
+            assert vsm.decode(instruction.encode()) == instruction
+
+    def test_random_program_without_control_transfer(self):
+        rng = random.Random(11)
+        program = vsm.random_program(rng, 40, allow_control_transfer=False)
+        assert len(program) == 40
+        assert all(not instruction.is_control_transfer for instruction in program)
+
+    def test_random_instruction_restricted_mnemonics(self):
+        rng = random.Random(3)
+        instruction = vsm.random_instruction(rng, mnemonics=["and"])
+        assert instruction.mnemonic == "and"

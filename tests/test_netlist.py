@@ -1,0 +1,241 @@
+"""Unit tests for the gate library, netlists and generators."""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.logic import (
+    Netlist,
+    NetlistError,
+    counter,
+    equality_comparator,
+    evaluate_gate,
+    parity_shift_register,
+    ripple_adder,
+    serial_accumulator,
+    shift_register,
+    symbolic_gate,
+    toggle_machine,
+    validate_gate,
+)
+
+
+class TestGateLibrary:
+    @pytest.mark.parametrize(
+        "gate,inputs,expected",
+        [
+            ("AND", [True, True], True),
+            ("AND", [True, False], False),
+            ("OR", [False, False], False),
+            ("OR", [False, True], True),
+            ("NOT", [True], False),
+            ("NAND", [True, True], False),
+            ("NOR", [False, False], True),
+            ("XOR", [True, False, True], False),
+            ("XNOR", [True, False], False),
+            ("BUF", [True], True),
+            ("MUX", [True, False, True], True),
+            ("MUX", [False, False, True], False),
+            ("CONST0", [], False),
+            ("CONST1", [], True),
+        ],
+    )
+    def test_concrete_semantics(self, gate, inputs, expected):
+        assert evaluate_gate(gate, inputs) is expected
+
+    def test_validate_unknown_gate(self):
+        with pytest.raises(ValueError):
+            validate_gate("MAJ", 3)
+
+    def test_validate_bad_arity(self):
+        with pytest.raises(ValueError):
+            validate_gate("NOT", 2)
+        with pytest.raises(ValueError):
+            validate_gate("AND", 0)
+
+    def test_symbolic_matches_concrete(self):
+        manager = BDDManager(["a", "b", "c"])
+        nodes = [manager.var("a"), manager.var("b"), manager.var("c")]
+        for gate, arity in [
+            ("AND", 2), ("OR", 2), ("NOT", 1), ("NAND", 2), ("NOR", 2),
+            ("XOR", 2), ("XNOR", 2), ("BUF", 1), ("MUX", 3), ("CONST0", 0), ("CONST1", 0),
+        ]:
+            node = symbolic_gate(manager, gate, nodes[:arity])
+            for a in (False, True):
+                for b in (False, True):
+                    for c in (False, True):
+                        env = {"a": a, "b": b, "c": c}
+                        expected = evaluate_gate(gate, [a, b, c][:arity])
+                        assert manager.evaluate(node, env) == expected
+
+    def test_symbolic_unknown_gate(self):
+        manager = BDDManager(["a"])
+        with pytest.raises(ValueError):
+            symbolic_gate(manager, "MAJ", [manager.var("a")])
+
+
+class TestNetlistConstruction:
+    def test_duplicate_driver_rejected(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        with pytest.raises(NetlistError):
+            netlist.add_gate("a", "NOT", ["a"])
+
+    def test_duplicate_input_is_idempotent(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_input("a")
+        assert netlist.primary_inputs == ["a"]
+
+    def test_validate_detects_undriven_net(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.add_gate("y", "AND", ["a", "ghost"])
+        netlist.set_outputs(["y"])
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_validate_detects_undriven_output(self):
+        netlist = Netlist()
+        netlist.add_input("a")
+        netlist.set_outputs(["nothing"])
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_validate_detects_combinational_cycle(self):
+        netlist = Netlist()
+        netlist.add_gate("p", "NOT", ["q"])
+        netlist.add_gate("q", "NOT", ["p"])
+        netlist.set_outputs(["p"])
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_validate_detects_undriven_latch_data(self):
+        netlist = Netlist()
+        netlist.add_latch("s", "missing")
+        netlist.set_outputs(["s"])
+        with pytest.raises(NetlistError):
+            netlist.validate()
+
+    def test_statistics(self):
+        netlist = toggle_machine()
+        stats = netlist.statistics()
+        assert stats == {
+            "primary_inputs": 1,
+            "primary_outputs": 1,
+            "gates": 1,
+            "latches": 1,
+        }
+
+    def test_state_and_net_names(self):
+        netlist = toggle_machine()
+        assert netlist.state_nets() == ["state"]
+        assert set(netlist.net_names()) == {"enable", "state", "state_next"}
+        assert netlist.gate_count() == 1
+        assert netlist.latch_count() == 1
+
+
+class TestConcreteSimulation:
+    def test_missing_input_raises(self):
+        netlist = toggle_machine()
+        with pytest.raises(NetlistError):
+            netlist.step({}, netlist.reset_state())
+
+    def test_toggle_machine_behaviour(self):
+        netlist = toggle_machine()
+        trace = netlist.simulate([{"enable": True}, {"enable": False}, {"enable": True}])
+        assert [t["state"] for t in trace] == [False, True, True]
+
+    def test_counter_counts(self):
+        netlist = counter(3)
+        state = netlist.reset_state()
+        values = []
+        for _ in range(10):
+            outputs, state = netlist.step({}, state)
+            values.append(sum(outputs[f"q{i}"] << i for i in range(3)))
+        assert values == [0, 1, 2, 3, 4, 5, 6, 7, 0, 1]
+
+    def test_shift_register_delays_input(self):
+        netlist = shift_register(3)
+        pattern = [True, False, True, True, False, False, True]
+        trace = netlist.simulate([{"din": bit} for bit in pattern])
+        observed = [t[netlist.primary_outputs[0]] for t in trace]
+        # Output at cycle t is the input at cycle t-3 (False during fill).
+        expected = [False, False, False] + pattern[:4]
+        assert observed == expected
+
+    def test_parity_shift_register(self):
+        netlist = parity_shift_register(2)
+        pattern = [True, True, False, True]
+        trace = netlist.simulate([{"din": bit} for bit in pattern])
+        outputs = [t[netlist.primary_outputs[0]] for t in trace]
+        # Parity of the last two inputs, with zero fill before they arrive.
+        assert outputs == [False, True, False, True]
+
+    def test_ripple_adder_combinational(self):
+        netlist = ripple_adder(4)
+        state = netlist.reset_state()
+        for a in (0, 3, 9, 15):
+            for b in (0, 5, 15):
+                inputs = {f"a{i}": bool((a >> i) & 1) for i in range(4)}
+                inputs.update({f"b{i}": bool((b >> i) & 1) for i in range(4)})
+                outputs, _ = netlist.step(inputs, state)
+                total = sum(outputs[f"sum{i}"] << i for i in range(4)) + (outputs["cout"] << 4)
+                assert total == a + b
+
+    def test_ripple_adder_registered(self):
+        netlist = ripple_adder(2, registered=True)
+        inputs = {"a0": True, "a1": True, "b0": True, "b1": False}
+        outputs, state = netlist.step(inputs, netlist.reset_state())
+        # Registered outputs lag by one cycle.
+        assert outputs["s0"] is False and outputs["s1"] is False
+        outputs, _ = netlist.step(inputs, state)
+        total = outputs["s0"] + (outputs["s1"] << 1) + (outputs["cout"] << 2)
+        assert total == 3 + 1
+
+    def test_equality_comparator(self):
+        netlist = equality_comparator(3)
+        state = netlist.reset_state()
+        for a in range(8):
+            for b in range(8):
+                inputs = {f"a{i}": bool((a >> i) & 1) for i in range(3)}
+                inputs.update({f"b{i}": bool((b >> i) & 1) for i in range(3)})
+                outputs, _ = netlist.step(inputs, state)
+                assert outputs["equal"] == (a == b)
+
+    def test_serial_accumulator_valid_every_sixth_cycle(self):
+        netlist = serial_accumulator(stages=6)
+        trace = netlist.simulate([{"x": True}] * 12)
+        valids = [t["valid"] for t in trace]
+        assert valids.count(True) == 2
+        assert valids[5] is True and valids[11] is True
+
+
+class TestSymbolicExtraction:
+    def test_build_bdds_counter(self):
+        netlist = counter(2)
+        manager = BDDManager()
+        outputs, next_state = netlist.build_bdds(manager)
+        assert set(outputs) == {"q0", "q1"}
+        assert set(next_state) == {"q0", "q1"}
+        # Next q0 is the negation of q0.
+        assert next_state["q0"] is manager.apply_not(manager.var("q0"))
+
+    def test_build_bdds_prefix(self):
+        netlist = toggle_machine()
+        manager = BDDManager()
+        outputs, next_state = netlist.build_bdds(manager, prefix="impl.")
+        assert manager.support(next_state["state"]) == ("impl.enable", "impl.state")
+        assert manager.support(outputs["state"]) == ("impl.state",)
+
+    def test_symbolic_matches_concrete_simulation(self):
+        netlist = ripple_adder(3)
+        manager = BDDManager()
+        outputs, _ = netlist.build_bdds(manager)
+        state = netlist.reset_state()
+        for a in range(8):
+            for b in range(8):
+                inputs = {f"a{i}": bool((a >> i) & 1) for i in range(3)}
+                inputs.update({f"b{i}": bool((b >> i) & 1) for i in range(3)})
+                concrete, _ = netlist.step(inputs, state)
+                for net, node in outputs.items():
+                    assert manager.evaluate(node, inputs) == concrete[net]

@@ -1,0 +1,153 @@
+"""Tests of the beta- and alpha-relations on executable string functions."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.strings import (
+    LiftedFunction,
+    MachineFunction,
+    alpha_holds,
+    alpha_holds_everywhere,
+    beta_counterexample,
+    beta_holds,
+    beta_holds_everywhere,
+    beta_schedule,
+    delay_filter,
+    modulo_counter_filter,
+    one,
+    relevant,
+)
+
+
+class TestRelevant:
+    def test_basic_selection(self):
+        assert relevant((10, 20, 30, 40), (1, 0, 1, 0)) == (10, 30)
+
+    def test_empty(self):
+        assert relevant((), ()) == ()
+
+    def test_all_kept_and_all_dropped(self):
+        assert relevant((1, 2), (1, 1)) == (1, 2)
+        assert relevant((1, 2), (0, 0)) == ()
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            relevant((1, 2, 3), (1, 0))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.tuples(st.integers(), st.booleans()), max_size=10))
+    def test_relevant_length_is_number_of_ones(self, pairs):
+        x = tuple(value for value, _ in pairs)
+        h = tuple(1 if keep else 0 for _, keep in pairs)
+        assert len(relevant(x, h)) == sum(h)
+
+
+class TestDelayFilter:
+    def test_zero_delay_is_identity(self):
+        assert delay_filter((1, 0, 1), 0) == (1, 0, 1)
+
+    def test_positive_delay_shifts_right(self):
+        assert delay_filter((1, 0, 1, 0), 1) == (0, 1, 0, 1)
+        assert delay_filter((1, 0, 1, 0), 2) == (0, 0, 1, 0)
+
+    def test_delay_longer_than_string(self):
+        assert delay_filter((1, 1), 5) == (0, 0)
+
+    def test_negative_delay_raises(self):
+        with pytest.raises(ValueError):
+            delay_filter((1,), -1)
+
+
+class TestBetaRelationFigure1:
+    """The Figure 1 example: H = modulo-2 counter, n = 1.
+
+    The specification consumes every other input and produces a result
+    immediately; the implementation produces the same results but one
+    cycle later (and produces junk in between).
+    """
+
+    @staticmethod
+    def specification():
+        # G: doubles every character (every character is relevant to G).
+        return LiftedFunction(lambda u: 2 * u)
+
+    @staticmethod
+    def implementation():
+        # F: remembers the last input; outputs twice the *previous* input.
+        # At relevant (odd) cycles this equals the specification's output
+        # on the relevant (even-cycle) inputs, delayed by one.
+        return MachineFunction(lambda state, u: (u, 2 * state), 0)
+
+    def test_beta_holds_on_samples(self):
+        F = self.implementation()
+        G = self.specification()
+        H = modulo_counter_filter(2)
+        for x in [(), (3,), (3, 0), (3, 0, 5, 0), (1, 2, 3, 4, 5, 6)]:
+            assert beta_holds(F, G, H, 1, x)
+
+    def test_beta_holds_exhaustively(self):
+        F = self.implementation()
+        G = self.specification()
+        H = modulo_counter_filter(2)
+        assert beta_holds_everywhere(F, G, H, 1, alphabet=(0, 1, 2), max_length=5)
+
+    def test_beta_fails_for_wrong_implementation(self):
+        # An implementation that forgets to double is caught.
+        broken = MachineFunction(lambda state, u: (u, state), 0)
+        G = self.specification()
+        H = modulo_counter_filter(2)
+        witness = beta_counterexample(broken, G, H, 1, alphabet=(0, 1, 2), max_length=4)
+        assert witness is not None
+        assert not beta_holds(broken, G, H, 1, witness)
+
+    def test_beta_trivially_holds_on_too_short_strings(self):
+        F = self.implementation()
+        G = self.specification()
+        H = modulo_counter_filter(2)
+        assert beta_holds(F, G, H, 5, (1, 2))
+
+
+class TestBetaRelationIdentityFilter:
+    def test_identity_filter_and_zero_delay_is_equality(self):
+        """With H = one and n = 0 the beta-relation degenerates to I/O equality."""
+        F = LiftedFunction(lambda u: u + 1)
+        G = LiftedFunction(lambda u: u + 1)
+        assert beta_holds_everywhere(F, G, one, 0, alphabet=(0, 1), max_length=4)
+        different = LiftedFunction(lambda u: u)
+        assert not beta_holds_everywhere(F, different, one, 0, alphabet=(0, 1), max_length=4)
+
+
+class TestAlphaRelation:
+    def test_alpha_subsumed_by_beta(self):
+        """F alpha_n G with junk prefix z: the pipeline-latency relation."""
+        # F delays its (incremented) input by one cycle, emitting 0 first.
+        F = MachineFunction(lambda state, u: (u + 1, state), 0)
+        G = LiftedFunction(lambda u: u + 1)
+        holds, z = alpha_holds(F, G, 1, (3, 4, 5), padding=(0,))
+        assert holds
+        assert z == (0,)
+        assert alpha_holds_everywhere(F, G, 1, alphabet=(0, 1, 2), max_length=4)
+
+    def test_alpha_fails_when_prefix_depends_on_input(self):
+        # The junk prefix must be the same for every input string.
+        F = MachineFunction(lambda state, u: (u, state), "sentinel")
+        G = LiftedFunction(lambda u: u)
+
+        class FirstCharacterLeaks(MachineFunction):
+            pass
+
+        leaky = MachineFunction(lambda state, u: (u, u if state is None else state), None)
+        assert not alpha_holds_everywhere(leaky, G, 1, alphabet=(0, 1), max_length=3)
+        assert alpha_holds_everywhere(F, G, 1, alphabet=(0, 1), max_length=3)
+
+    def test_alpha_padding_length_must_match(self):
+        F = LiftedFunction(lambda u: u)
+        G = LiftedFunction(lambda u: u)
+        with pytest.raises(ValueError):
+            alpha_holds(F, G, 2, (1,), padding=(0,))
+
+
+class TestBetaSchedule:
+    def test_schedule_lists_one_positions(self):
+        assert beta_schedule((1, 0, 0, 1, 0, 1)) == (0, 3, 5)
+        assert beta_schedule(()) == ()

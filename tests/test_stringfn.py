@@ -1,0 +1,144 @@
+"""Unit tests for strings, string functions and primitive operations."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.strings import (
+    EMPTY,
+    ComposedFunction,
+    ConstantFunction,
+    LiftedFunction,
+    MachineFunction,
+    RegisterFunction,
+    at,
+    concat,
+    filter_from_sequence,
+    last,
+    length,
+    modulo_counter_filter,
+    one,
+    past,
+    periodic_filter,
+    power,
+    prefix,
+    string,
+    substring,
+    zero,
+)
+
+
+class TestStringOperations:
+    def test_string_and_concat(self):
+        assert string([1, 2]) == (1, 2)
+        assert concat((1, 2), (3,)) == (1, 2, 3)
+        assert concat((), ()) == ()
+
+    def test_length(self):
+        assert length(()) == 0
+        assert length((1, 2, 3)) == 3
+
+    def test_prefix(self):
+        assert prefix((), (1, 2))
+        assert prefix((1,), (1, 2))
+        assert prefix((1, 2), (1, 2))
+        assert not prefix((2,), (1, 2))
+        assert not prefix((1, 2, 3), (1, 2))
+
+    def test_last_and_past(self):
+        assert last((1, 2, 3)) == 3
+        assert past((1, 2, 3)) == (1, 2)
+        # Totality conventions from the paper.
+        assert last(()) == EMPTY
+        assert past(()) == ()
+
+    def test_power(self):
+        assert power(0, 3) == (0, 0, 0)
+        assert power("a", 0) == ()
+
+    def test_at_is_one_based(self):
+        assert at((10, 20, 30), 1) == 10
+        assert at((10, 20, 30), 3) == 30
+        with pytest.raises(IndexError):
+            at((10,), 0)
+        with pytest.raises(IndexError):
+            at((10,), 2)
+
+    def test_substring(self):
+        assert substring((1, 2, 3, 4), 2, 3) == (2, 3)
+        assert substring((1, 2, 3, 4), 1, 4) == (1, 2, 3, 4)
+        with pytest.raises(IndexError):
+            substring((1, 2), 0, 1)
+
+
+class TestStringFunctions:
+    def test_lifted_function(self):
+        double = LiftedFunction(lambda u: 2 * u)
+        assert double((1, 2, 3)) == (2, 4, 6)
+        assert double(()) == ()
+
+    def test_register_function(self):
+        reg = RegisterFunction(0)
+        assert reg((5, 6, 7)) == (0, 5, 6)
+        assert reg(()) == ()
+
+    def test_machine_function_is_stateless_between_calls(self):
+        accumulate = MachineFunction(lambda s, u: (s + u, s + u), 0)
+        assert accumulate((1, 2, 3)) == (1, 3, 6)
+        assert accumulate((1, 2, 3)) == (1, 3, 6)
+
+    def test_composed_function(self):
+        double = LiftedFunction(lambda u: 2 * u)
+        reg = RegisterFunction(0)
+        composed = ComposedFunction(double, reg)
+        assert composed((1, 2)) == (0, 2)
+
+    def test_constant_functions(self):
+        assert zero((7, 8, 9)) == (0, 0, 0)
+        assert one((7, 8)) == (1, 1)
+        assert ConstantFunction("x")((1, 2)) == ("x", "x")
+
+    def test_modulo_counter_filter(self):
+        counter = modulo_counter_filter(2)
+        assert counter((0,) * 6) == (1, 0, 1, 0, 1, 0)
+        phased = modulo_counter_filter(3, phase=2)
+        assert phased((0,) * 6) == (0, 0, 1, 0, 0, 1)
+
+    def test_periodic_filter(self):
+        assert periodic_filter(4, offset=3)((0,) * 9) == (0, 0, 0, 1, 0, 0, 0, 1, 0)
+
+    def test_filter_from_sequence(self):
+        fixed = filter_from_sequence([1, 0, 1])
+        assert fixed((9, 9, 9, 9, 9)) == (1, 0, 1, 0, 0)
+
+
+class TestStringFunctionLaws:
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 3), max_size=8))
+    def test_length_preservation(self, values):
+        x = tuple(values)
+        for function in (
+            LiftedFunction(lambda u: u + 1),
+            RegisterFunction(0),
+            MachineFunction(lambda s, u: (u, s), 0),
+            zero,
+        ):
+            assert function.check_length_preserving(x)
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.lists(st.integers(0, 3), max_size=8))
+    def test_prefix_preservation(self, values):
+        x = tuple(values)
+        for function in (
+            LiftedFunction(lambda u: u * 2),
+            RegisterFunction(7),
+            MachineFunction(lambda s, u: (s ^ u, s ^ u), 0),
+            modulo_counter_filter(2),
+        ):
+            assert function.check_prefix_preserving(x)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.lists(st.integers(0, 3), min_size=1, max_size=8))
+    def test_register_shifts_by_one(self, values):
+        x = tuple(values)
+        reg = RegisterFunction("init")
+        assert reg(x) == ("init",) + x[:-1]

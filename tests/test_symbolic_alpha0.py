@@ -1,0 +1,233 @@
+"""Tests for the symbolic Alpha0 models (cross-validation against the
+concrete models and the exact/condensed option handling)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bdd import BDDManager
+from repro.isa import Alpha0Config, Alpha0Instruction
+from repro.isa import alpha0 as isa
+from repro.logic import BitVec
+from repro.processors import (
+    EXACT_OPTIONS,
+    PipelinedAlpha0,
+    SymbolicAlpha0Options,
+    SymbolicPipelinedAlpha0,
+    SymbolicUnpipelinedAlpha0,
+    UnpipelinedAlpha0,
+    symbolic_memory,
+    symbolic_register_file,
+)
+from repro.processors.sym_alpha0 import alu_result, classify, decode_fields
+
+CONCRETE_CONFIG = Alpha0Config(data_width=4, memory_words=8)
+
+
+def constant_instruction(manager, instruction):
+    return BitVec.constant(manager, instruction.encode(), isa.INSTRUCTION_WIDTH)
+
+
+def evaluate_observation(observation, assignment=None):
+    assignment = assignment or {}
+    return {name: value.evaluate(assignment) for name, value in observation.items()}
+
+
+class TestOptions:
+    def test_power_of_two_validation(self):
+        with pytest.raises(ValueError):
+            SymbolicAlpha0Options(num_registers=6)
+        with pytest.raises(ValueError):
+            SymbolicAlpha0Options(memory_words=5)
+
+    def test_index_widths(self):
+        options = SymbolicAlpha0Options(num_registers=8, memory_words=4)
+        assert options.register_index_width == 3
+        assert options.memory_index_width == 2
+
+
+class TestDecodeAndClassify:
+    def test_decode_field_widths(self):
+        manager = BDDManager()
+        fields = decode_fields(BitVec.inputs(manager, "instr", 32))
+        assert fields.opcode.width == 6
+        assert fields.ra.width == fields.rb.width == fields.rc.width == 5
+        assert fields.literal.width == 8
+        assert fields.function.width == 7
+
+    def test_decode_rejects_wrong_width(self):
+        manager = BDDManager()
+        with pytest.raises(ValueError):
+            decode_fields(BitVec.inputs(manager, "instr", 16))
+
+    def test_classification_matches_isa(self):
+        manager = BDDManager()
+        examples = [
+            Alpha0Instruction("add", ra=1, rb=2, rc=3),
+            Alpha0Instruction("ld", ra=1, rb=2),
+            Alpha0Instruction("st", ra=1, rb=2),
+            Alpha0Instruction("br", ra=26, displacement=1),
+            Alpha0Instruction("bf", ra=1, displacement=1),
+            Alpha0Instruction("bt", ra=1, displacement=1),
+            Alpha0Instruction("jmp", ra=26, rb=7),
+        ]
+        for instruction in examples:
+            fields = decode_fields(constant_instruction(manager, instruction))
+            classes = classify(manager, fields, EXACT_OPTIONS)
+            assert manager.is_tautology(classes.is_alu) == instruction.is_alu
+            assert manager.is_tautology(classes.is_load) == (instruction.mnemonic == "ld")
+            assert manager.is_tautology(classes.is_store) == (instruction.mnemonic == "st")
+            assert manager.is_tautology(classes.is_jmp) == (instruction.mnemonic == "jmp")
+
+    def test_condensed_subset_narrows_is_alu(self):
+        manager = BDDManager()
+        options = SymbolicAlpha0Options(alu_subset=("and",))
+        add = Alpha0Instruction("add", ra=1, rb=2, rc=3)
+        fields = decode_fields(constant_instruction(manager, add))
+        classes = classify(manager, fields, options)
+        assert manager.is_contradiction(classes.is_alu)
+
+    @pytest.mark.parametrize(
+        "mnemonic", ["add", "sub", "and", "or", "xor", "cmpeq", "cmplt", "cmple", "sll", "srl"]
+    )
+    def test_alu_result_matches_isa(self, mnemonic):
+        manager = BDDManager()
+        instruction = Alpha0Instruction(mnemonic, ra=0, rb=0, rc=0)
+        fields = decode_fields(constant_instruction(manager, instruction))
+        for a in (0, 3, 7, 12, 15):
+            for b in (0, 1, 5, 15):
+                result = alu_result(
+                    manager,
+                    fields,
+                    BitVec.constant(manager, a, 4),
+                    BitVec.constant(manager, b, 4),
+                    EXACT_OPTIONS,
+                )
+                expected = isa.alu_operation(mnemonic, a, b, CONCRETE_CONFIG)
+                assert result.as_constant() == expected, (mnemonic, a, b)
+
+
+class TestSymbolicUnpipelinedAlpha0:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_concrete_model_on_random_programs(self, seed):
+        rng = random.Random(seed)
+        program = isa.random_program(
+            rng, rng.randint(1, 6), config=CONCRETE_CONFIG, allow_control_transfer=True
+        )
+        manager = BDDManager()
+        symbolic = SymbolicUnpipelinedAlpha0(manager, options=EXACT_OPTIONS)
+        concrete = UnpipelinedAlpha0(config=CONCRETE_CONFIG)
+        for instruction in program:
+            sym_obs = symbolic.execute_instruction(constant_instruction(manager, instruction))
+            conc_obs = concrete.execute_instruction(instruction.encode())
+            assert evaluate_observation(sym_obs) == conc_obs
+
+    def test_symbolic_memory_and_registers_generalize(self):
+        manager = BDDManager()
+        options = SymbolicAlpha0Options(num_registers=8, memory_words=4, alu_subset=None)
+        registers = symbolic_register_file(manager, 8, 4)
+        memory = symbolic_memory(manager, 4, 4)
+        machine = SymbolicUnpipelinedAlpha0(manager, options=options)
+        machine.reset(initial_registers=registers, initial_memory=memory)
+        # ld r3, 0(r1): loads the memory word addressed by the symbolic r1.
+        instruction = Alpha0Instruction("ld", ra=3, rb=1, displacement=0)
+        observation = machine.execute_instruction(constant_instruction(manager, instruction))
+        loaded = observation["reg3"]
+        # For a concrete r1 value the load picks the corresponding memory word.
+        for address in (0, 4, 8, 12):
+            assignment = {f"init.reg1[{i}]": bool((address >> i) & 1) for i in range(4)}
+            word = (address >> 2) % 4
+            expected_bits = {f"init.mem{word}[{i}]" for i in range(4)}
+            restricted = loaded.restrict(assignment)
+            support = set()
+            for bit in restricted.bits:
+                support.update(manager.support(bit))
+            assert support.issubset(expected_bits)
+
+    def test_reset_validation(self):
+        manager = BDDManager()
+        machine = SymbolicUnpipelinedAlpha0(manager, options=EXACT_OPTIONS)
+        with pytest.raises(ValueError):
+            machine.reset(initial_registers=symbolic_register_file(manager, 4, 4))
+        with pytest.raises(ValueError):
+            machine.reset(initial_memory=symbolic_memory(manager, 2, 4))
+
+
+class TestSymbolicPipelinedAlpha0:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_matches_concrete_model_cycle_by_cycle(self, seed):
+        rng = random.Random(seed)
+        program = isa.random_program(
+            rng, rng.randint(1, 6), config=CONCRETE_CONFIG, allow_control_transfer=True
+        )
+        manager = BDDManager()
+        symbolic = SymbolicPipelinedAlpha0(manager, options=EXACT_OPTIONS)
+        concrete = PipelinedAlpha0(config=CONCRETE_CONFIG)
+        junk = Alpha0Instruction("xor", ra=2, rb=2, rc=2)
+        drain = Alpha0Instruction("and", ra=0, rb=0, rc=0)
+        words = []
+        for instruction in program:
+            words.append(instruction)
+            if instruction.is_control_transfer:
+                words.append(junk)
+        words.extend([drain] * isa.PIPELINE_DEPTH)
+        for word in words:
+            sym_obs = symbolic.step(constant_instruction(manager, word))
+            conc_obs = concrete.step(word.encode())
+            assert evaluate_observation(sym_obs) == conc_obs
+
+    def test_unknown_bug_rejected(self):
+        with pytest.raises(ValueError):
+            SymbolicPipelinedAlpha0(BDDManager(), bug="gremlins")
+
+    def test_store_bug_matches_concrete_bug(self):
+        manager = BDDManager()
+        symbolic = SymbolicPipelinedAlpha0(manager, options=EXACT_OPTIONS, bug="store_wrong_word")
+        concrete = PipelinedAlpha0(config=CONCRETE_CONFIG, bug="store_wrong_word")
+        program = [
+            Alpha0Instruction("or", ra=0, rc=1, literal_flag=True, literal=9),
+            Alpha0Instruction("or", ra=0, rc=2, literal_flag=True, literal=4),
+            Alpha0Instruction("st", ra=1, rb=2),
+            Alpha0Instruction("and", ra=0, rb=0, rc=0),
+            Alpha0Instruction("and", ra=0, rb=0, rc=0),
+            Alpha0Instruction("and", ra=0, rb=0, rc=0),
+            Alpha0Instruction("and", ra=0, rb=0, rc=0),
+        ]
+        for word in program:
+            sym_obs = symbolic.step(constant_instruction(manager, word))
+            conc_obs = concrete.step(word.encode())
+            assert evaluate_observation(sym_obs) == conc_obs
+
+
+class TestSharedSymbolicStimulusAlpha0:
+    def test_condensed_alu_instruction_equivalence(self):
+        """Spec and impl agree on every condensed ALU encoding at once."""
+        manager = BDDManager()
+        options = SymbolicAlpha0Options(
+            data_width=4, num_registers=4, memory_words=4, alu_subset=("and", "or", "cmpeq")
+        )
+        # Instruction (selector) variables first, register data variables after.
+        instruction = BitVec.inputs(manager, "instr", isa.INSTRUCTION_WIDTH)
+        # Constrain the opcode to the operate class 0x11 (and/or/xor family).
+        constraint = {}
+        for bit in range(6):
+            constraint[f"instr[{26 + bit}]"] = bool((0x11 >> bit) & 1)
+        instruction = instruction.restrict(constraint)
+
+        registers = symbolic_register_file(manager, 4, 4)
+        spec = SymbolicUnpipelinedAlpha0(manager, options=options)
+        impl = SymbolicPipelinedAlpha0(manager, options=options)
+        spec.reset(initial_registers=registers)
+        impl.reset(initial_registers=registers)
+
+        spec_obs = spec.execute_instruction(instruction)
+        impl_obs = impl.step(instruction)
+        nop = BitVec.constant(manager, 0, isa.INSTRUCTION_WIDTH)
+        for _ in range(isa.PIPELINE_DEPTH - 1):
+            impl_obs = impl.step(nop, fetch_valid=manager.zero)
+
+        for name in ("reg0", "reg1", "reg2", "reg3", "pc_next", "retired_op", "retired_dest"):
+            assert spec_obs[name].identical(impl_obs[name]), name

@@ -1,0 +1,287 @@
+"""Tests for the concrete VSM processor models and their co-simulation.
+
+The central invariant (the one the paper verifies symbolically) is
+checked here concretely: feeding the same instruction stream to the
+unpipelined specification and the pipelined implementation yields the
+same architectural state at corresponding completion points.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import VSMInstruction, assemble_vsm
+from repro.isa import vsm as isa
+from repro.processors import PipelinedVSM, UnpipelinedVSM
+
+
+def drive_unpipelined(program):
+    """Execute `program` (a list of instructions) on the specification."""
+    machine = UnpipelinedVSM()
+    for instruction in program:
+        machine.execute_instruction(instruction.encode())
+    return machine
+
+
+def drive_pipelined(program, **kwargs):
+    """Feed `program` instruction-by-instruction to the implementation.
+
+    A NOP-like padding instruction that writes register 0 with its own
+    value is used to drain the pipeline; after a control transfer the
+    delay slot receives an arbitrary instruction which must be annulled.
+    """
+    machine = PipelinedVSM(**kwargs)
+    junk = VSMInstruction("xor", ra=1, rb=1, rc=1)  # would corrupt r1 if not annulled
+    drain = VSMInstruction("add", ra=0, rb=0, rc=0)
+    for instruction in program:
+        machine.step(instruction.encode())
+        if instruction.is_control_transfer:
+            machine.step(junk.encode())  # delay slot, must be annulled
+    for _ in range(isa.PIPELINE_DEPTH):
+        machine.step(drain.encode(), fetch_valid=False)
+    return machine
+
+
+class TestUnpipelinedVSM:
+    def test_reset_observation(self):
+        machine = UnpipelinedVSM()
+        observation = machine.observe()
+        assert observation["pc_next"] == 0
+        assert all(observation[f"reg{i}"] == 0 for i in range(8))
+
+    def test_instruction_takes_k_cycles(self):
+        machine = UnpipelinedVSM()
+        machine.execute_instruction(VSMInstruction("add", literal_flag=True, ra=0, rb=5, rc=1).encode())
+        assert machine.cycle_count == isa.PIPELINE_DEPTH
+        assert machine.instructions_retired == 1
+        assert machine.state.registers[1] == 5
+
+    def test_state_changes_only_at_last_cycle(self):
+        machine = UnpipelinedVSM()
+        word = VSMInstruction("add", literal_flag=True, ra=0, rb=3, rc=2).encode()
+        machine.step(word)
+        machine.step(None)
+        machine.step(None)
+        assert machine.state.registers[2] == 0
+        machine.step(None)
+        assert machine.state.registers[2] == 3
+
+    def test_requires_instruction_at_fetch_cycle(self):
+        machine = UnpipelinedVSM()
+        with pytest.raises(ValueError):
+            machine.step(None)
+
+    def test_accepts_instruction_flag(self):
+        machine = UnpipelinedVSM()
+        assert machine.accepts_instruction
+        machine.step(VSMInstruction("add").encode())
+        assert not machine.accepts_instruction
+
+    def test_reset(self):
+        machine = UnpipelinedVSM()
+        machine.execute_instruction(VSMInstruction("add", literal_flag=True, rb=7, rc=3).encode())
+        machine.reset()
+        assert machine.state.registers == [0] * 8
+        assert machine.cycle_count == 0
+
+    def test_branch_updates_pc_and_link(self):
+        machine = UnpipelinedVSM()
+        machine.execute_instruction(VSMInstruction("add", literal_flag=True, rb=1, rc=0).encode())
+        machine.execute_instruction(VSMInstruction("br", ra=4, rc=7).encode())
+        assert machine.state.pc == 1 + 4
+        assert machine.state.registers[7] == 1  # PC of the branch itself
+
+    def test_run_program(self):
+        program = assemble_vsm(
+            """
+            add r1, r0, #3
+            add r2, r1, #2
+            xor r3, r1, r2
+            """
+        )
+        machine = UnpipelinedVSM()
+        machine.run_program([i.encode() for i in program])
+        assert machine.state.registers[1] == 3
+        assert machine.state.registers[2] == 5
+        assert machine.state.registers[3] == 3 ^ 5
+
+    def test_invalid_cycles_per_instruction(self):
+        with pytest.raises(ValueError):
+            UnpipelinedVSM(cycles_per_instruction=0)
+
+
+class TestPipelinedVSM:
+    def test_latency_is_pipeline_depth(self):
+        machine = PipelinedVSM()
+        word = VSMInstruction("add", literal_flag=True, ra=0, rb=5, rc=1).encode()
+        nop = VSMInstruction("add").encode()
+        machine.step(word)
+        machine.step(nop, fetch_valid=False)
+        machine.step(nop, fetch_valid=False)
+        assert machine.state.registers[1] == 0  # not yet written back
+        machine.step(nop, fetch_valid=False)
+        assert machine.state.registers[1] == 5
+        assert machine.instructions_retired == 1
+
+    def test_throughput_one_per_cycle(self):
+        program = [
+            VSMInstruction("add", literal_flag=True, ra=0, rb=i, rc=i % 8) for i in range(1, 6)
+        ]
+        machine = drive_pipelined(program)
+        assert machine.instructions_retired == 5
+
+    def test_bypass_resolves_raw_hazard(self):
+        program = assemble_vsm(
+            """
+            add r1, r0, #3
+            add r2, r1, #2   ; reads r1 immediately (distance-1 RAW)
+            add r3, r2, r1   ; distance-1 and distance-2
+            """
+        )
+        machine = drive_pipelined(program)
+        assert machine.state.registers[1] == 3
+        assert machine.state.registers[2] == 5
+        assert machine.state.registers[3] == (5 + 3) % 8
+
+    def test_missing_bypass_breaks_raw_hazard(self):
+        program = assemble_vsm("add r1, r0, #3\nadd r2, r1, #2")
+        machine = drive_pipelined(program, enable_bypassing=False)
+        assert machine.state.registers[2] != 5
+
+    def test_branch_annuls_delay_slot(self):
+        program = assemble_vsm("add r1, r0, #3\nbr r7, 2")
+        machine = drive_pipelined(program)
+        # The junk delay-slot instruction xor r1,r1,r1 would clear r1.
+        assert machine.state.registers[1] == 3
+        assert machine.state.registers[7] == 1  # link = PC of the branch
+        assert machine.fetch_pc != 0
+
+    def test_no_annul_bug_corrupts_state(self):
+        program = assemble_vsm("add r1, r0, #3\nbr r7, 2")
+        machine = drive_pipelined(program, bug="no_annul")
+        assert machine.state.registers[1] == 0  # junk executed
+
+    def test_branch_redirects_fetch_pc(self):
+        machine = PipelinedVSM()
+        machine.step(VSMInstruction("br", ra=5, rc=7).encode())  # fetched at PC 0
+        machine.step(VSMInstruction("add").encode())  # delay slot (annulled)
+        assert machine.fetch_pc == 5
+
+    def test_wrong_branch_target_bug(self):
+        machine = PipelinedVSM(bug="wrong_branch_target")
+        machine.step(VSMInstruction("br", ra=5, rc=7).encode())
+        machine.step(VSMInstruction("add").encode())
+        assert machine.fetch_pc == 6
+
+    def test_and_becomes_or_bug(self):
+        program = assemble_vsm("add r1, r0, #5\nadd r2, r0, #3\nand r3, r1, r2")
+        good = drive_pipelined(program)
+        bad = drive_pipelined(program, bug="and_becomes_or")
+        assert good.state.registers[3] == 5 & 3
+        assert bad.state.registers[3] == 5 | 3
+
+    def test_drop_write_bug(self):
+        program = assemble_vsm("add r3, r0, #5")
+        machine = drive_pipelined(program, bug="drop_write_r3")
+        assert machine.state.registers[3] == 0
+
+    def test_unknown_bug_code_rejected(self):
+        with pytest.raises(ValueError):
+            PipelinedVSM(bug="gremlins")
+
+    def test_reset(self):
+        machine = PipelinedVSM()
+        machine.step(VSMInstruction("add", literal_flag=True, rb=7, rc=1).encode())
+        machine.reset()
+        assert machine.state.registers == [0] * 8
+        assert machine.cycle_count == 0
+        assert not machine.if_id.valid
+
+    def test_run_program_from_memory(self):
+        program = assemble_vsm(
+            """
+            add r1, r0, #2
+            add r2, r1, r1
+            br r7, 2
+            add r2, r0, #7   ; delay slot position: skipped by the taken branch
+            xor r3, r2, r1
+            """
+        )
+        words = [i.encode() for i in program]
+        machine = PipelinedVSM()
+        machine.run_program(words, cycles=12)
+        assert machine.state.registers[1] == 2
+        assert machine.state.registers[2] == 4
+        assert machine.state.registers[3] == 4 ^ 2
+
+
+class TestCoSimulation:
+    """The pipelined implementation matches the unpipelined specification."""
+
+    def check_program(self, program, **pipeline_kwargs):
+        spec = drive_unpipelined(program)
+        impl = drive_pipelined(program, **pipeline_kwargs)
+        assert impl.state.registers == spec.state.registers
+        assert impl.instructions_retired == len(program)
+        assert impl.observe()["pc_next"] == spec.observe()["pc_next"]
+
+    def test_straightline_alu_program(self):
+        program = assemble_vsm(
+            """
+            add r1, r0, #1
+            add r2, r1, #1
+            xor r3, r2, r1
+            or  r4, r3, #4
+            and r5, r4, r2
+            add r6, r5, r5
+            """
+        )
+        self.check_program(program)
+
+    def test_program_with_branches(self):
+        program = [
+            VSMInstruction("add", literal_flag=True, ra=0, rb=3, rc=1),
+            VSMInstruction("br", ra=4, rc=7),
+            VSMInstruction("add", literal_flag=True, ra=1, rb=2, rc=2),
+            VSMInstruction("br", ra=1, rc=6),
+            VSMInstruction("xor", ra=2, rb=1, rc=3),
+        ]
+        self.check_program(program)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_alu_programs(self, seed):
+        rng = random.Random(seed)
+        program = isa.random_program(rng, rng.randint(1, 12), allow_control_transfer=False)
+        self.check_program(program)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_random_programs_with_branches(self, seed):
+        rng = random.Random(seed)
+        program = isa.random_program(rng, rng.randint(1, 10), allow_control_transfer=True)
+        self.check_program(program)
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_property_bugs_are_detectable_on_directed_program(self, seed):
+        """Each injected bug diverges from the specification on a directed workload."""
+        program = assemble_vsm(
+            """
+            add r1, r0, #3
+            add r3, r1, #2
+            and r3, r3, r1
+            br r7, 2
+            xor r2, r1, r3
+            """
+        )
+        spec = drive_unpipelined(program)
+        diverged = []
+        for bug in ("no_bypass", "no_annul", "wrong_branch_target", "and_becomes_or", "drop_write_r3"):
+            impl = drive_pipelined(program, bug=bug)
+            diverged.append(
+                impl.state.registers != spec.state.registers
+                or impl.observe()["pc_next"] != spec.observe()["pc_next"]
+            )
+        assert all(diverged)
