@@ -1,21 +1,35 @@
 """Helpers shared by the benchmark harness (importable without pytest magic)."""
 
 from repro.core import Alpha0Architecture
+from repro.engine import Alpha0Spec, CampaignRunner
 from repro.processors import SymbolicAlpha0Options
+
+#: The Alpha0 condensation used by the benchmark harness, as a Scenario spec.
+#: Follows Section 6.3's condensation strategy (4-bit datapath, restricted
+#: ALU); the register file and data memory are folded to four entries each so
+#: that the pure-Python BDD engine completes in seconds.
+CONDENSED_ALPHA0_SPEC = Alpha0Spec(
+    data_width=4, num_registers=4, memory_words=4, alu_subset=("and", "or", "cmpeq")
+)
+
+#: An even smaller condensation for the smoke tier (sub-second runs).
+SMOKE_ALPHA0_SPEC = Alpha0Spec(
+    data_width=3, num_registers=4, memory_words=2, alu_subset=("and", "or", "cmpeq")
+)
 
 
 def condensed_alpha0_architecture() -> Alpha0Architecture:
-    """The Alpha0 condensation used by the benchmark harness.
-
-    Follows Section 6.3's condensation strategy (4-bit datapath,
-    restricted ALU); the register file and data memory are folded to four
-    entries each so that the pure-Python BDD engine completes in seconds.
-    """
+    """The Alpha0 condensation used by the benchmark harness (adapter form)."""
     return Alpha0Architecture(
         options=SymbolicAlpha0Options(
             data_width=4, num_registers=4, memory_words=4, alu_subset=("and", "or", "cmpeq")
         )
     )
+
+
+def campaign_runner() -> CampaignRunner:
+    """A fresh campaign runner (per-benchmark manager pool)."""
+    return CampaignRunner()
 
 
 def record_paper_comparison(benchmark, **entries):

@@ -148,3 +148,15 @@ def test_crossover_summary(benchmark):
             f"k={length}: baseline {it} iterations vs {cy} cycles" for length, it, cy in rows
         ),
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_baseline_product_machine():
+    """Fast tier: Theorem 4.3.1.1 beats traversal on a 3-cycle delay line."""
+    manager = BDDManager()
+    left, right = delay_line_pair(3, manager)
+    right = align_inputs(manager, left, right)
+    result = verify_definite_equivalence(
+        left, right, 3, output_pairs=[("stage2", "stage2")]
+    )
+    assert result.equivalent

@@ -6,6 +6,8 @@ interleaving example of Section 3.2), and the multiplier-style growth
 trend that motivates the paper's warnings about BDD capacity.
 """
 
+import pytest
+
 from repro.bdd import BDDManager, bit_names, interleave
 from repro.logic import BitVec
 
@@ -120,3 +122,18 @@ def test_bdd_apply_throughput(benchmark):
         paper="(not reported; BDD manipulation is the dominant cost)",
         measured="mixed apply/ite workload over 16 variables",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_bdd_engine():
+    """Fast tier: canonicity and the ordering effect at small width."""
+    manager = BDDManager(["x1", "x2", "x3"])
+    x1, x2, x3 = manager.var("x1"), manager.var("x2"), manager.var("x3")
+    f = manager.apply_or(
+        manager.apply_and(x1, x3),
+        manager.conjoin([manager.apply_not(x1), x2, x3]),
+    )
+    assert f is manager.apply_and(x3, manager.apply_or(x1, x2))
+    good = _adder_msb_size(interleave(bit_names("a", 4), bit_names("b", 4)), 4)
+    bad = _adder_msb_size(bit_names("a", 4) + bit_names("b", 4), 4)
+    assert good < bad

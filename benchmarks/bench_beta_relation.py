@@ -9,6 +9,8 @@ result and is in beta-relation with a specification producing a result
 every cycle.
 """
 
+import pytest
+
 from repro.logic import serial_accumulator
 from repro.strings import (
     LiftedFunction,
@@ -102,4 +104,15 @@ def test_figure2_serial_implementation(benchmark):
         experiment="Figure 2 (serial implementation / combinational specification)",
         paper="six-state serial schedule in beta-relation with its specification",
         measured="relation holds on every 0/1 input string up to length 13",
+    )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_beta_relation():
+    """Fast tier: the Figure-1 pair satisfies the relation on short strings."""
+    specification = LiftedFunction(lambda u: 2 * u)
+    implementation = MachineFunction(lambda state, u: (u, 2 * state), 0)
+    assert beta_holds_everywhere(
+        implementation, specification, modulo_counter_filter(2), 1,
+        alphabet=(0, 1), max_length=4,
     )

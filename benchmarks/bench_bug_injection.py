@@ -4,105 +4,133 @@ Every bug in the injectable catalogue of the pipelined VSM and Alpha0 is
 run against the beta-relation verifier with a workload that exercises
 the relevant instruction class; every one of them must be reported, and
 the golden designs must keep passing.
+
+The sweeps run as engine campaigns: all bug scenarios of one design
+share a pooled BDD manager (an injected bug never changes the variable
+order), so the golden specification BDDs are derived once and every bug
+run replays them from the warmed unique table — the engine's
+scenario-diversity story in one benchmark.
 """
 
-from repro.core import (
-    SimulationInfo,
-    VSMArchitecture,
-    all_normal,
-    control_at,
-    verify_beta_relation,
+from dataclasses import replace
+
+import pytest
+
+from repro.engine import (
+    Scenario,
+    alpha0_bug_scenarios,
+    vsm_bug_scenarios,
 )
-from repro.strings import CONTROL, NORMAL
+from repro.strings import NORMAL
 
-from _bench_utils import condensed_alpha0_architecture, record_paper_comparison
-
-VSM_WORKLOADS = {
-    "no_bypass": all_normal(2),
-    "no_annul": SimulationInfo(slots=(CONTROL, NORMAL)),
-    "wrong_branch_target": control_at(2, 0),
-    "and_becomes_or": all_normal(1),
-    "drop_write_r3": all_normal(1),
-}
-
-def alpha0_bug_runs():
-    """Per-bug (architecture, workload): the slot class must exercise the bug."""
-    base = condensed_alpha0_architecture()
-    from repro.core import Alpha0Architecture
-
-    return {
-        "no_bypass": (base, all_normal(2)),
-        "no_annul": (base, SimulationInfo(slots=(CONTROL, NORMAL))),
-        "cmpeq_inverted": (
-            Alpha0Architecture(options=base.options, normal_opcode=0x10),
-            all_normal(1),
-        ),
-        "store_wrong_word": (
-            Alpha0Architecture(
-                options=base.options, normal_opcode=0x2D, symbolic_initial_state=True
-            ),
-            all_normal(2),
-        ),
-    }
+from _bench_utils import (
+    CONDENSED_ALPHA0_SPEC,
+    SMOKE_ALPHA0_SPEC,
+    campaign_runner,
+    record_paper_comparison,
+)
 
 
 def test_vsm_bug_sweep(benchmark):
-    def run():
-        detected = {}
-        for bug, workload in VSM_WORKLOADS.items():
-            report = verify_beta_relation(
-                VSMArchitecture(), workload, impl_kwargs={"bug": bug}
-            )
-            detected[bug] = (not report.passed, len(report.mismatches))
-        return detected
+    runner = campaign_runner()
+    scenarios = vsm_bug_scenarios()
 
-    detected = benchmark.pedantic(run, rounds=1, iterations=1)
+    def run():
+        runner.clear_memo()
+        return runner.run(scenarios)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    detected = {
+        outcome.scenario: (not outcome.passed, len(outcome.mismatches))
+        for outcome in report.outcomes
+    }
     assert all(flag for flag, _ in detected.values()), detected
     record_paper_comparison(
         benchmark,
-        experiment="Bug injection sweep (VSM)",
+        experiment="Bug injection sweep (VSM, campaign engine)",
         paper="incorrect state changes are detected by the sampled comparisons",
         measured="; ".join(
-            f"{bug}: {count} mismatching observables" for bug, (_, count) in detected.items()
+            f"{name}: {count} mismatching observables"
+            for name, (_, count) in detected.items()
         ),
+        pool_managers=report.pool["managers"],
+        pool_cache_hit_rate=round(report.pool["cache"]["hit_rate"], 3),
     )
 
 
 def test_alpha0_bug_sweep(benchmark):
-    runs = alpha0_bug_runs()
+    runner = campaign_runner()
+    scenarios = alpha0_bug_scenarios(alpha0=CONDENSED_ALPHA0_SPEC)
 
     def run():
-        detected = {}
-        for bug, (architecture, workload) in runs.items():
-            report = verify_beta_relation(architecture, workload, impl_kwargs={"bug": bug})
-            detected[bug] = (not report.passed, len(report.mismatches))
-        return detected
+        runner.clear_memo()
+        return runner.run(scenarios)
 
-    detected = benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    detected = {
+        outcome.scenario: (not outcome.passed, len(outcome.mismatches))
+        for outcome in report.outcomes
+    }
     assert all(flag for flag, _ in detected.values()), detected
     record_paper_comparison(
         benchmark,
-        experiment="Bug injection sweep (Alpha0)",
+        experiment="Bug injection sweep (Alpha0, campaign engine)",
         paper="(implicit) same detection guarantee on the deeper design",
         measured="; ".join(
-            f"{bug}: {count} mismatching observables" for bug, (_, count) in detected.items()
+            f"{name}: {count} mismatching observables"
+            for name, (_, count) in detected.items()
         ),
     )
 
 
 def test_golden_designs_still_pass(benchmark):
     """Control arm of the study: no false alarms on the correct designs."""
-    architecture = condensed_alpha0_architecture()
+    runner = campaign_runner()
+    scenarios = [
+        Scenario(name="golden/vsm", slots=(NORMAL, NORMAL)),
+        Scenario(
+            name="golden/alpha0",
+            design="alpha0",
+            slots=(NORMAL, NORMAL),
+            alpha0=CONDENSED_ALPHA0_SPEC,
+        ),
+    ]
 
     def run():
-        vsm = verify_beta_relation(VSMArchitecture(), all_normal(2))
-        alpha0 = verify_beta_relation(architecture, all_normal(2))
-        return vsm.passed and alpha0.passed
+        runner.clear_memo()
+        return runner.run(scenarios)
 
-    assert benchmark.pedantic(run, rounds=1, iterations=1)
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert report.passed, report.summary()
     record_paper_comparison(
         benchmark,
         experiment="Bug injection control arm",
         paper="correct designs verify",
         measured="no false alarms",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_bug_injection():
+    """Fast tier: one golden + one bug share a pooled manager; only the
+    bug fails, with a decoded counterexample."""
+    runner = campaign_runner()
+    report = runner.run(
+        [
+            Scenario(name="smoke/golden", slots=(NORMAL,)),
+            Scenario(name="smoke/bug", slots=(NORMAL,), bug="and_becomes_or"),
+            Scenario(
+                name="smoke/alpha0-bug",
+                design="alpha0",
+                slots=(NORMAL,),
+                bug="cmpeq_inverted",
+                alpha0=replace(SMOKE_ALPHA0_SPEC, normal_opcode=0x10),
+            ),
+        ]
+    )
+    by_name = {outcome.scenario: outcome for outcome in report.outcomes}
+    assert by_name["smoke/golden"].passed
+    assert not by_name["smoke/bug"].passed
+    assert by_name["smoke/bug"].mismatches[0]["decoded"]
+    assert not by_name["smoke/alpha0-bug"].passed
+    assert report.pool["reuses"] >= 1  # golden and bug shared one manager

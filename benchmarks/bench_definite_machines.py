@@ -88,3 +88,11 @@ def test_non_definite_machine_is_rejected(benchmark):
         paper="non-definite machines have an input sequence of arbitrary length",
         measured="counter classified as not definite up to order 8",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_definite_machines():
+    """Fast tier: a 2-stage shift register is 2-definite."""
+    manager = BDDManager()
+    fsm = SymbolicFSM.from_netlist(shift_register(2), manager)
+    assert definiteness_order(fsm, max_order=4) == 2

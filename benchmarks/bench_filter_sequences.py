@@ -5,6 +5,8 @@ regenerates them from (k, d, siminfo) and checks them character by
 character, then measures the generator itself.
 """
 
+import pytest
+
 from repro.core import alpha0_default, vsm_default
 from repro.strings import format_filter, pipelined_filter, unpipelined_filter
 
@@ -59,3 +61,11 @@ def test_filter_generation_scales_with_k(benchmark):
         paper="(not reported)",
         measured="k = 2..12 schedules generated",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_filter_sequences():
+    """Fast tier: the printed SH1/SH2 sequences regenerate exactly."""
+    filters = generate_all_filters()
+    assert filters["vsm_unpipelined"] == PAPER_VSM_UNPIPELINED
+    assert filters["alpha0_pipelined"] == PAPER_ALPHA0_PIPELINED

@@ -7,6 +7,8 @@ the beta-relation run so the two formulations can be compared on equal
 substrates.
 """
 
+import pytest
+
 from repro.core import VSMArchitecture, all_normal, verify_beta_relation, verify_by_flushing
 from repro.strings import CONTROL
 
@@ -74,3 +76,10 @@ def test_flushing_vs_beta_relation_cost(benchmark):
         paper="(comparison added by this reproduction)",
         measured=f"flushing {flushing.seconds:.2f} s vs beta-relation {beta.total_seconds:.2f} s",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_flushing_baseline():
+    """Fast tier: the flushing diagram commutes for a one-instruction warmup."""
+    report = verify_by_flushing(VSMArchitecture(), warmup_instructions=1)
+    assert report.passed

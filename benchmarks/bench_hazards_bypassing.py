@@ -6,6 +6,8 @@ check catches.  Two back-to-back ordinary slots exercise the distance-1
 hazard for every instruction encoding at once.
 """
 
+import pytest
+
 from repro.core import VSMArchitecture, all_normal, verify_beta_relation
 
 from _bench_utils import condensed_alpha0_architecture, record_paper_comparison
@@ -58,3 +60,20 @@ def test_missing_bypass_detected_on_alpha0(benchmark):
         paper="(implicit) same failure mode on the deeper pipeline",
         measured=f"{len(report.mismatches)} mismatching observables",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_hazards_bypassing():
+    """Fast tier: the RAW-hazard pair through the engine — golden passes,
+    missing bypass fails — on one shared pooled manager."""
+    from repro.engine import CampaignRunner, Scenario
+
+    report = CampaignRunner().run(
+        [
+            Scenario(name="smoke/bypassed", slots=("normal", "normal")),
+            Scenario(name="smoke/no-bypass", slots=("normal", "normal"), bug="no_bypass"),
+        ]
+    )
+    good, bad = report.outcomes
+    assert good.passed and not bad.passed
+    assert report.pool["reuses"] == 1

@@ -3,23 +3,40 @@
 An external event forces a trap into the pipeline; the output filtering
 function is edited on the fly so the squashed slot is irrelevant, and
 the sampled observations must still match the specification (which takes
-the trap atomically).
+the trap atomically).  The sweep runs as an engine campaign of EVENTS
+scenarios.
 """
 
 import pytest
 
-from repro.core import all_normal, verify_with_events, vsm_default
+from repro.engine import Scenario, vsm_verification_scenario
+from repro.strings import NORMAL
 
-from _bench_utils import record_paper_comparison
+from _bench_utils import campaign_runner, record_paper_comparison
+
+
+def _event_scenario(slot, slots=(NORMAL,) * 4, broken=False, name=None):
+    return Scenario(
+        name=name or f"event/slot{slot}" + ("/broken" if broken else ""),
+        kind="events",
+        slots=slots,
+        event_slots=(slot,),
+        break_event_link=broken,
+    )
 
 
 @pytest.mark.parametrize("slot", [0, 1, 3])
 def test_event_at_each_instruction_slot(benchmark, slot):
-    def run():
-        return verify_with_events(all_normal(4), event_slots=[slot])
+    runner = campaign_runner()
+    scenario = _event_scenario(slot)
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert report.passed, report.summary()
+    def run():
+        runner.clear_memo()
+        return runner.run_one(scenario)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.passed, outcome.mismatches
+    assert outcome.structure["extra"] == {"event_slots": [slot]}
     record_paper_comparison(
         benchmark,
         experiment=f"Section 5.5 (event during instruction {slot + 1})",
@@ -29,11 +46,17 @@ def test_event_at_each_instruction_slot(benchmark, slot):
 
 
 def test_event_combined_with_branch_slot(benchmark):
-    def run():
-        return verify_with_events(vsm_default(), event_slots=[1])
+    runner = campaign_runner()
+    scenario = _event_scenario(
+        1, slots=vsm_verification_scenario().slots, name="event/with-branch"
+    )
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert report.passed
+    def run():
+        runner.clear_memo()
+        return runner.run_one(scenario)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.passed
     record_paper_comparison(
         benchmark,
         experiment="Section 5.5 (event plus control transfer in one window)",
@@ -43,16 +66,39 @@ def test_event_combined_with_branch_slot(benchmark):
 
 
 def test_broken_interrupt_link_detected(benchmark):
-    def run():
-        return verify_with_events(
-            all_normal(4), event_slots=[2], impl_kwargs={"break_event_link": True}
-        )
+    runner = campaign_runner()
+    scenario = _event_scenario(2, broken=True)
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert not report.passed
+    def run():
+        runner.clear_memo()
+        return runner.run_one(scenario)
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not outcome.passed
     record_paper_comparison(
         benchmark,
         experiment="Section 5.5 (interrupt handling bug)",
         paper="incorrect pipeline-state saving is detected",
         measured="failure to save the interrupted PC reported as a mismatch",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_interrupts():
+    """Fast tier: a two-slot event scenario passes; the broken link fails.
+
+    The event hits slot 1 (not 0): the interrupted PC must be non-zero
+    for the forgotten link write to be observable.
+    """
+    runner = campaign_runner()
+    report = runner.run(
+        [
+            _event_scenario(1, slots=(NORMAL, NORMAL), name="smoke/event"),
+            _event_scenario(
+                1, slots=(NORMAL, NORMAL), broken=True, name="smoke/event-broken"
+            ),
+        ]
+    )
+    good, bad = report.outcomes
+    assert good.passed and not bad.passed
+    assert bad.mismatches

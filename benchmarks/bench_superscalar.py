@@ -6,6 +6,8 @@ dual-issue VSM that is every retirement cycle; for the scoreboarded VSM
 it can degenerate to the end of the program, exactly as the paper notes.
 """
 
+import pytest
+
 import random
 
 from repro.core import verify_superscalar_schedule
@@ -85,3 +87,15 @@ def test_scoreboard_dynamic_beta_points(benchmark):
         paper="state compared only when completed instructions are in program order",
         measured=f"{comparable_points} comparable points across 10 programs, 0 mismatches",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_superscalar():
+    """Fast tier: a short program through the engine's superscalar path."""
+    from repro.engine import execute_scenario, superscalar_scenario
+
+    rng = random.Random(11)
+    program = isa.random_program(rng, 10, allow_control_transfer=False)
+    outcome = execute_scenario(superscalar_scenario(program, name="smoke/ss"))
+    assert outcome.passed
+    assert 1.0 <= outcome.structure["speedup"] <= 2.0

@@ -7,6 +7,8 @@ semantics.  The benchmark measures decode+execute throughput of the
 reference executor (the substrate every other experiment rests on).
 """
 
+import pytest
+
 import random
 
 from repro.bdd import BDDManager
@@ -98,3 +100,10 @@ def test_table1_executor_throughput(benchmark):
         paper="(not reported; substrate only)",
         measured="500-instruction random workload per round",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_table1():
+    """Fast tier: Table-1 semantics regenerate."""
+    rows = regenerate_table1()
+    assert [row[0] for row in rows] == ["add", "xor", "and", "or", "br"]

@@ -5,6 +5,8 @@ cross-checks the symbolic ALU against the reference executor, then
 measures reference-executor throughput.
 """
 
+import pytest
+
 import random
 
 from repro.bdd import BDDManager
@@ -135,3 +137,11 @@ def test_table2_executor_throughput(benchmark):
         paper="(not reported; substrate only)",
         measured="400-instruction random workload per round",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_table2():
+    """Fast tier: Table-2 encodings regenerate."""
+    rows = regenerate_table2()
+    assert len(rows) == 16
+    assert {row[0] for row in rows} >= {"add", "ld", "st", "br", "jmp"}

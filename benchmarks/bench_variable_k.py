@@ -3,49 +3,69 @@
 A control-transfer instruction creates annulled delay slots, so k varies
 during execution.  The paper verifies the control-transfer instruction
 at every one of the k instruction slots (k * z simulations for z kinds
-of control transfer); this benchmark runs those passes for the VSM and
+of control transfer); this benchmark runs those passes as a single
+engine campaign over :func:`repro.engine.variable_k_scenarios` and
 confirms that a broken annulment is caught.
 """
 
 import pytest
 
-from repro.core import SimulationInfo, VSMArchitecture, control_at, verify_beta_relation
+from repro.engine import Scenario, variable_k_scenarios
 from repro.strings import CONTROL, NORMAL
 
-from _bench_utils import record_paper_comparison
+from _bench_utils import campaign_runner, record_paper_comparison
 
 
-@pytest.mark.parametrize("position", [0, 1, 2, 3])
-def test_control_transfer_at_each_slot(benchmark, position):
-    architecture = VSMArchitecture()
-    siminfo = control_at(4, position)
+def test_control_transfer_at_each_slot(benchmark):
+    runner = campaign_runner()
+    scenarios = variable_k_scenarios(k=4)
 
     def run():
-        return verify_beta_relation(architecture, siminfo)
+        runner.clear_memo()
+        return runner.run(scenarios)
 
     report = benchmark.pedantic(run, rounds=1, iterations=1)
     assert report.passed, report.summary()
-    assert report.implementation_cycles == 9  # one delay slot inserted
+    for outcome in report.outcomes:
+        assert outcome.structure["implementation_cycles"] == 9  # one delay slot
     record_paper_comparison(
         benchmark,
-        experiment=f"Section 5.3 (branch in slot {position + 1} of {4})",
+        experiment="Section 5.3 (branch in each of the 4 slots, one campaign)",
         paper="k*z simulations cover every control-transfer placement",
-        measured="PASSED with the delay slot annulled and smoothed",
+        measured="4 placements PASSED with the delay slot annulled and smoothed",
     )
 
 
 def test_broken_annulment_detected_by_variable_k_run(benchmark):
-    architecture = VSMArchitecture()
-    siminfo = SimulationInfo(slots=(CONTROL, NORMAL))
+    runner = campaign_runner()
+    scenario = Scenario(
+        name="variable-k/no_annul", slots=(CONTROL, NORMAL), bug="no_annul"
+    )
 
     def run():
-        return verify_beta_relation(architecture, siminfo, impl_kwargs={"bug": "no_annul"})
+        runner.clear_memo()
+        return runner.run_one(scenario)
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert not report.passed
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert not outcome.passed
     record_paper_comparison(
         benchmark,
         experiment="Theorem 4.3.4.1 (annulment failure)",
         paper="any incorrect change in state from a non-annulled slot is detected",
-        measured=f"{len(report.mismatches)} mismatching observables reported",
+        measured=f"{len(outcome.mismatches)} mismatching observables reported",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_variable_k():
+    """Fast tier: branch-first placement at k=2 verifies; annulment bug fails."""
+    runner = campaign_runner()
+    report = runner.run(
+        [
+            Scenario(name="smoke/k2-branch-first", slots=(CONTROL, NORMAL)),
+            Scenario(name="smoke/k2-no-annul", slots=(CONTROL, NORMAL), bug="no_annul"),
+        ]
+    )
+    good, bad = report.outcomes
+    assert good.passed and not bad.passed
+    assert report.pool["reuses"] == 1  # both placements share one manager

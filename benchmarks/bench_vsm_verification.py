@@ -8,37 +8,48 @@ simulation-information file ``r 0 0 1 0``:
 * pipelined machine simulated for 2k - 1 + r + c*d = 9 cycles (292 s),
 * verification of the sampled variable formulae by ROBDD comparison.
 
-The benchmark regenerates the same run (same cycle counts, same
-filtering functions) and records the measured times; absolute times are
-hardware- and implementation-bound, but the shape — the pipelined
-simulation costs more than the unpipelined one, and the whole check
-needs only a handful of cycles — is preserved.
+The benchmark regenerates the same run — routed through the campaign
+engine (:mod:`repro.engine`), the same code path campaigns measure —
+and records the measured times; absolute times are hardware- and
+implementation-bound, but the shape — the pipelined simulation costs
+more than the unpipelined one, and the whole check needs only a handful
+of cycles — is preserved.
 """
 
-from repro.core import VSMArchitecture, verify_beta_relation, vsm_default
+import pytest
 
-from _bench_utils import record_paper_comparison
+from repro.engine import Scenario, vsm_verification_scenario
+from repro.strings import NORMAL, format_filter
+
+from _bench_utils import campaign_runner, record_paper_comparison
 
 
 def test_vsm_beta_relation_verification(benchmark):
-    architecture = VSMArchitecture()
-    siminfo = vsm_default()
+    runner = campaign_runner()
+    scenario = vsm_verification_scenario()
 
     def run():
-        return verify_beta_relation(architecture, siminfo)
+        runner.clear_memo()
+        return runner.run_one(scenario)
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert report.passed, report.summary()
-    assert report.specification_cycles == 17
-    assert report.implementation_cycles == 9
-    spec_line, impl_line = report.filter_lines()
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.passed, outcome.mismatches
+    structure = outcome.structure
+    assert structure["specification_cycles"] == 17
+    assert structure["implementation_cycles"] == 9
+    spec_line = format_filter(structure["specification_filter"])
+    impl_line = format_filter(structure["implementation_filter"])
     assert spec_line.endswith("1 0 0 0 1 0 0 0 1 0 0 0 1 0 0 0 1")
     assert impl_line.endswith("1 0 0 0 1 1 1 0 1")
     # Shape check: simulating the pipelined machine is the more expensive phase
     # on a per-cycle basis (9 cycles cost a comparable amount to 17 unpipelined
     # cycles), mirroring the paper's 292 s vs 175 s.
-    per_cycle_spec = report.specification_seconds / report.specification_cycles
-    per_cycle_impl = report.implementation_seconds / report.implementation_cycles
+    per_cycle_spec = (
+        outcome.timings["specification_seconds"] / structure["specification_cycles"]
+    )
+    per_cycle_impl = (
+        outcome.timings["implementation_seconds"] / structure["implementation_cycles"]
+    )
     assert per_cycle_impl > per_cycle_spec
     record_paper_comparison(
         benchmark,
@@ -46,9 +57,9 @@ def test_vsm_beta_relation_verification(benchmark):
         paper_unpipelined_seconds=175.0,
         paper_pipelined_seconds=292.0,
         paper_platform="Sun SPARCstation 10 (sis/BDSYN flow)",
-        measured_unpipelined_seconds=round(report.specification_seconds, 3),
-        measured_pipelined_seconds=round(report.implementation_seconds, 3),
-        measured_bdd_nodes=report.bdd_nodes,
+        measured_unpipelined_seconds=round(outcome.timings["specification_seconds"], 3),
+        measured_pipelined_seconds=round(outcome.timings["implementation_seconds"], 3),
+        measured_bdd_nodes=outcome.bdd_nodes,
         verdict="PASSED",
     )
 
@@ -62,19 +73,31 @@ def test_vsm_verification_from_symbolic_register_file(benchmark):
     initial state tractable and shows the check generalises over every
     starting state.
     """
-    from repro.core import all_normal
-
-    architecture = VSMArchitecture(symbolic_initial_state=True)
-    siminfo = all_normal(1)
+    runner = campaign_runner()
+    scenario = Scenario(
+        name="vsm/symbolic-initial-state",
+        slots=(NORMAL,),
+        symbolic_initial_state=True,
+    )
 
     def run():
-        return verify_beta_relation(architecture, siminfo)
+        runner.clear_memo()
+        return runner.run_one(scenario)
 
-    report = benchmark.pedantic(run, rounds=1, iterations=1)
-    assert report.passed, report.summary()
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    assert outcome.passed, outcome.mismatches
     record_paper_comparison(
         benchmark,
         experiment="Section 6.2 (symbolic initial state variant)",
         paper="single observed register condensation",
         measured="8 symbolic registers, 1 instruction slot, PASSED",
     )
+
+
+@pytest.mark.bench_smoke
+def test_smoke_vsm_verification():
+    """Fast tier: a one-slot VSM scenario through the engine must verify."""
+    outcome = campaign_runner().run_one(Scenario(name="smoke/vsm", slots=(NORMAL,)))
+    assert outcome.passed
+    assert outcome.structure["specification_cycles"] == 5  # k + r
+    assert outcome.structure["implementation_cycles"] == 5  # slots + (k-1) + r

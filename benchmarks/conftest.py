@@ -3,6 +3,14 @@
 Every benchmark regenerates one table or figure of the paper (see the
 per-experiment index in DESIGN.md).  Paper-reported quantities are
 recorded next to the measured ones in ``benchmark.extra_info``.
+
+Smoke tier
+----------
+Every ``bench_*.py`` also carries at least one fast ``bench_smoke``
+test: a sub-second pass over the same code path the full benchmark
+measures, so the perf scripts cannot silently rot.  Run the tier with::
+
+    PYTHONPATH=src python -m pytest benchmarks -m bench_smoke -q
 """
 
 import pytest
@@ -10,6 +18,8 @@ import pytest
 from repro.core import VSMArchitecture
 
 from _bench_utils import condensed_alpha0_architecture
+
+# (The bench_smoke marker is registered once, in the root pytest.ini.)
 
 
 @pytest.fixture()

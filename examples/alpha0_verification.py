@@ -3,23 +3,24 @@
 
 The Alpha0 is condensed exactly as the paper condenses it to fit BDD
 capacity: a 4-bit datapath, the ALU restricted to and/or/cmpeq, and a
-folded register file / data memory.  Two passes are run, one for the
-operate instruction class and one for the memory (load) class, mirroring
-how the paper cofactors the transition relation to one instruction class
-at a time.
+folded register file / data memory.  Two passes run as one engine
+campaign, one for the operate instruction class and one for the memory
+(load) class, mirroring how the paper cofactors the transition relation
+to one instruction class at a time.  (The slot plans differ, so each
+pass gets its own pooled manager; the memory pass is cheap on its own
+because loads from the constant reset-state memory stay concrete.)
 
 Run with:  python examples/alpha0_verification.py
 """
 
-from repro.core import (
-    Alpha0Architecture,
-    all_normal,
-    alpha0_default,
-    verify_beta_relation,
+from repro.engine import (
+    Alpha0Spec,
+    CampaignRunner,
+    alpha0_memory_scenario,
+    alpha0_operate_scenario,
 )
-from repro.processors import SymbolicAlpha0Options
 
-CONDENSATION = SymbolicAlpha0Options(
+CONDENSATION = Alpha0Spec(
     data_width=4, num_registers=4, memory_words=4, alu_subset=("and", "or", "cmpeq")
 )
 
@@ -28,21 +29,44 @@ def main() -> int:
     print("Alpha0 condensation:", CONDENSATION)
     print()
 
-    print("Pass 1: operate class (opcode 0x11) in the ordinary slots, one branch slot")
-    operate = Alpha0Architecture(options=CONDENSATION)
-    report = verify_beta_relation(operate, alpha0_default())
-    print(report.summary())
-    print()
+    campaign = [
+        alpha0_operate_scenario(alpha0=CONDENSATION),
+        alpha0_memory_scenario(
+            alpha0=Alpha0Spec(
+                data_width=4,
+                num_registers=4,
+                memory_words=4,
+                alu_subset=("and", "or", "cmpeq"),
+                normal_opcode=0x29,
+            )
+        ),
+    ]
+    report = CampaignRunner().run(campaign)
 
-    print("Pass 2: memory class (ld, opcode 0x29) in the ordinary slots")
-    memory = Alpha0Architecture(options=CONDENSATION, normal_opcode=0x29)
-    memory_report = verify_beta_relation(memory, all_normal(5))
-    print(memory_report.summary())
-    print()
+    labels = {
+        "alpha0/operate": "Pass 1: operate class (opcode 0x11), one branch slot",
+        "alpha0/memory": "Pass 2: memory class (ld, opcode 0x29)",
+    }
+    for outcome in report.outcomes:
+        print(labels[outcome.scenario])
+        structure = outcome.structure
+        print(
+            f"  {'PASSED' if outcome.passed else 'FAILED'} — "
+            f"{structure['specification_cycles']} spec cycles, "
+            f"{structure['implementation_cycles']} impl cycles, "
+            f"{structure['samples_compared']} samples, "
+            f"{outcome.seconds:.2f} s "
+            f"(cache hit rate {outcome.cache.get('hit_rate', 0.0):.1%})"
+        )
+        print()
 
-    passed = report.passed and memory_report.passed
-    print("Overall verdict:", "PASSED" if passed else "FAILED")
-    return 0 if passed else 1
+    pool = report.pool
+    print(
+        f"Pool: {pool['managers']} manager(s) for the two passes "
+        f"({pool['reuses']} reuse(s))."
+    )
+    print("Overall verdict:", "PASSED" if report.passed else "FAILED")
+    return 0 if report.passed else 1
 
 
 if __name__ == "__main__":

@@ -8,33 +8,57 @@ squashed.  The output filtering function is edited on the fly (the
 dynamic beta-relation) and the sampled observations must still match the
 specification, which takes the trap atomically.
 
-The example verifies an event arriving at every instruction slot, then
-shows that a broken handler (one that forgets to save the interrupted
-PC) is caught.
+The example runs one engine campaign: an event arriving at every
+instruction slot, plus a broken handler (one that forgets to save the
+interrupted PC) that must be caught.
 
 Run with:  python examples/interrupt_verification.py
 """
 
-from repro.core import all_normal, verify_with_events
-from repro.strings import format_filter
+from repro.engine import CampaignRunner, Scenario, event_scenarios
+from repro.strings import NORMAL, format_filter
 
 
 def main() -> int:
+    campaign = event_scenarios(num_slots=4)
+    campaign.append(
+        Scenario(
+            name="vsm/event/slot2/broken-link",
+            kind="events",
+            slots=(NORMAL,) * 4,
+            event_slots=(2,),
+            break_event_link=True,
+        )
+    )
+    report = CampaignRunner().run(campaign)
+
     all_passed = True
-    for slot in range(4):
-        report = verify_with_events(all_normal(4), event_slots=[slot])
-        all_passed &= report.passed
-        print(f"Event during instruction {slot + 1}: {'PASSED' if report.passed else 'FAILED'}")
-        print(f"  dynamic SH2: {format_filter(report.implementation_filter)}")
+    for outcome in report.outcomes:
+        if outcome.scenario.endswith("broken-link"):
+            continue
+        slot = int(outcome.scenario.rsplit("slot", 1)[-1])
+        all_passed &= outcome.passed
+        print(
+            f"Event during instruction {slot + 1}: "
+            f"{'PASSED' if outcome.passed else 'FAILED'}"
+        )
+        print(
+            "  dynamic SH2:",
+            format_filter(outcome.structure["implementation_filter"]),
+        )
     print()
 
-    broken = verify_with_events(
-        all_normal(4), event_slots=[2], impl_kwargs={"break_event_link": True}
+    broken = report.outcome("vsm/event/slot2/broken-link")
+    print(
+        "Handler that forgets to save the interrupted PC:",
+        "DETECTED" if not broken.passed else "ESCAPED",
     )
-    print("Handler that forgets to save the interrupted PC:",
-          "DETECTED" if not broken.passed else "ESCAPED")
     for mismatch in broken.mismatches[:3]:
-        print("  mismatch:", mismatch.describe())
+        print(
+            f"  mismatch: {mismatch['observable']} at sample "
+            f"{mismatch['sample_index']} under "
+            f"{sorted(mismatch['decoded'].items())[:2]}"
+        )
 
     ok = all_passed and not broken.passed
     print()

@@ -1,9 +1,12 @@
 #!/usr/bin/env python
 """Quickstart: verify the pipelined VSM against its instruction set.
 
-This reproduces the headline experiment of Section 6.2 end to end:
+This reproduces the headline experiment of Section 6.2 end to end,
+through the campaign engine (the same code path benchmarks and
+campaigns measure):
 
-1. the simulation-information file ``r 0 0 1 0`` is parsed,
+1. the simulation-information file ``r 0 0 1 0`` is parsed and wrapped
+   into a declarative :class:`repro.engine.Scenario`,
 2. the unpipelined specification is symbolically simulated for k^2 + r
    cycles and the 4-stage pipelined implementation for 2k - 1 + r + c*d
    cycles, with shared symbolic instruction variables,
@@ -14,7 +17,9 @@ This reproduces the headline experiment of Section 6.2 end to end:
 Run with:  python examples/quickstart.py
 """
 
-from repro.core import VSMArchitecture, parse_simulation_info, verify_beta_relation
+from repro.core import VSMArchitecture, parse_simulation_info
+from repro.engine import CampaignRunner
+from repro.strings import format_filter
 
 SIMULATION_INFO = """
 # Simulation Information File for VSM.
@@ -29,22 +34,43 @@ r #Simulate a reset cycle
 def main() -> int:
     siminfo = parse_simulation_info(SIMULATION_INFO)
     architecture = VSMArchitecture()
+    scenario = architecture.scenario("vsm/quickstart", siminfo)
 
     print("Verifying the pipelined VSM against its unpipelined specification ...")
     print(f"  order of definiteness k = {architecture.order_k}")
     print(f"  delay slots d = {architecture.delay_slots}")
-    print(f"  instruction slots: {', '.join(siminfo.slots)}")
+    print(f"  instruction slots: {', '.join(scenario.slots)}")
     print()
 
-    report = verify_beta_relation(architecture, siminfo)
-    print(report.summary())
+    outcome = CampaignRunner().run_one(scenario)
+    structure = outcome.structure
+    print(f"{scenario.name}: verification {'PASSED' if outcome.passed else 'FAILED'}")
+    print(
+        f"  simulated {structure['specification_cycles']} specification cycles "
+        f"and {structure['implementation_cycles']} implementation cycles"
+    )
+    print("  UNPIPELINED:", format_filter(structure["specification_filter"]))
+    print("  PIPELINED:  ", format_filter(structure["implementation_filter"]))
+    print(
+        f"  compared {structure['observables_compared']} observables at "
+        f"{structure['samples_compared']} sampled cycles "
+        f"(covering {structure['sequences_covered']} instruction sequences)"
+    )
+    print(
+        f"  BDD manager: {outcome.bdd_variables} variables, "
+        f"{outcome.bdd_nodes} live nodes; "
+        f"operation-cache hit rate {outcome.cache.get('hit_rate', 0.0):.1%}"
+    )
     print()
-    if report.passed:
+    if outcome.passed:
         print("The implementation is in beta-relation with the specification.")
     else:
         print("Verification FAILED; first counterexample:")
-        print(" ", report.mismatches[0].describe())
-    return 0 if report.passed else 1
+        first = outcome.mismatches[0]
+        print(f"  {first['observable']} differs at sample {first['sample_index']}:")
+        for slot, text in sorted(first["decoded"].items()):
+            print(f"    {slot}: {text}")
+    return 0 if outcome.passed else 1
 
 
 if __name__ == "__main__":

@@ -3,52 +3,62 @@
 
 Each injected bug (missing bypass path, missing delay-slot annulment,
 off-by-one branch target, mis-decoded ALU operation, dropped register
-write) is run against the beta-relation verifier with a short workload
-that exercises the relevant instruction class.  Every bug must produce a
-mismatch, and the report decodes a concrete counterexample instruction
-sequence for debugging.
+write) runs as one scenario of a single engine campaign.  Because a bug
+never changes the BDD variable order, every scenario shares the pooled
+manager of its workload shape: the golden specification BDDs are built
+once and each bug run replays them from the warmed unique table.
+
+Every bug must produce a mismatch, and the campaign report decodes a
+concrete counterexample instruction sequence for debugging.
 
 Run with:  python examples/vsm_bug_hunt.py
 """
 
-from repro.core import (
-    SimulationInfo,
-    VSMArchitecture,
-    all_normal,
-    control_at,
-    verify_beta_relation,
-)
-from repro.strings import CONTROL, NORMAL
+from repro.engine import CampaignRunner, Scenario, vsm_bug_scenarios
+from repro.strings import NORMAL
 
-WORKLOADS = {
-    "no_bypass": ("back-to-back ALU instructions", all_normal(2)),
-    "no_annul": ("branch followed by an ordinary instruction", SimulationInfo(slots=(CONTROL, NORMAL))),
-    "wrong_branch_target": ("branch in the first slot", control_at(2, 0)),
-    "and_becomes_or": ("a single ALU instruction", all_normal(1)),
-    "drop_write_r3": ("a single ALU instruction", all_normal(1)),
+DESCRIPTIONS = {
+    "no_bypass": "back-to-back ALU instructions",
+    "no_annul": "branch followed by an ordinary instruction",
+    "wrong_branch_target": "branch in the first slot",
+    "and_becomes_or": "a single ALU instruction",
+    "drop_write_r3": "a single ALU instruction",
 }
 
 
 def main() -> int:
+    runner = CampaignRunner()
+
     print("Golden design first (control arm):")
-    golden = verify_beta_relation(VSMArchitecture(), all_normal(2))
+    golden = runner.run_one(Scenario(name="vsm/golden", slots=(NORMAL, NORMAL)))
     print(f"  golden VSM: {'PASSED' if golden.passed else 'FAILED'}")
     print()
 
+    report = runner.run(vsm_bug_scenarios())
     escaped = []
-    for bug, (description, workload) in WORKLOADS.items():
-        report = verify_beta_relation(VSMArchitecture(), workload, impl_kwargs={"bug": bug})
-        verdict = "DETECTED" if not report.passed else "ESCAPED"
-        print(f"Bug {bug!r} ({description}): {verdict}")
-        if report.mismatches:
-            first = report.mismatches[0]
-            print(f"  first mismatch: {first.observable} at sample {first.sample_index}")
-            for slot, text in sorted(first.decoded_instructions.items()):
+    for outcome in report.outcomes:
+        bug = outcome.scenario.rsplit("/", 1)[-1]
+        verdict = "DETECTED" if not outcome.passed else "ESCAPED"
+        print(f"Bug {bug!r} ({DESCRIPTIONS.get(bug, '?')}): {verdict}")
+        if outcome.mismatches:
+            first = outcome.mismatches[0]
+            print(
+                f"  first mismatch: {first['observable']} "
+                f"at sample {first['sample_index']}"
+            )
+            for slot, text in sorted(first["decoded"].items()):
                 print(f"    {slot}: {text}")
-        if report.passed:
+        if outcome.passed:
             escaped.append(bug)
         print()
 
+    pool = report.pool
+    print(
+        f"Campaign pool: {pool['managers']} manager(s) served "
+        f"{pool['acquisitions']} scenario(s) "
+        f"({pool['reuses']} reuse(s); cache hit rate "
+        f"{pool['cache']['hit_rate']:.1%})."
+    )
     if escaped:
         print(f"BUGS ESCAPED VERIFICATION: {escaped}")
         return 1

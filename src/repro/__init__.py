@@ -4,8 +4,10 @@ The package verifies pipelined microprocessor implementations against
 their unpipelined instruction-set specifications using the paper's
 beta-relation / definite-machine methodology with BDD-based symbolic
 simulation.  See :mod:`repro.core` for the top-level entry points
-(:func:`repro.core.verify_beta_relation`) and DESIGN.md for the system
-inventory and per-experiment index.
+(:func:`repro.core.verify_beta_relation`), :mod:`repro.engine` for the
+campaign engine (:class:`repro.engine.CampaignRunner` over declarative
+:class:`repro.engine.Scenario` jobs with pooled BDD managers), and
+DESIGN.md for the system inventory and per-experiment index.
 """
 
 __version__ = "1.0.0"

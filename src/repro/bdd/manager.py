@@ -32,15 +32,33 @@ class BDDOrderError(ValueError):
 
 
 class BDDManager:
-    """Owner of a variable order, unique table and operation caches."""
+    """Owner of a variable order, unique table and operation caches.
 
-    def __init__(self, variables: Optional[Sequence[str]] = None) -> None:
+    ``cache_limit`` bounds the number of entries each operation cache may
+    hold: when a cache grows past the limit it is dropped wholesale (the
+    unique table — and therefore every constructed function — is kept, so
+    results are unaffected; only recomputation cost changes).  Long
+    campaigns that reuse one manager across many verification runs use
+    this to keep memory flat.  ``None`` leaves the caches unbounded.
+    """
+
+    def __init__(
+        self,
+        variables: Optional[Sequence[str]] = None,
+        cache_limit: Optional[int] = None,
+    ) -> None:
+        if cache_limit is not None and cache_limit < 1:
+            raise ValueError("cache_limit must be a positive integer or None")
         self._level_of: Dict[str, int] = {}
         self._name_of: List[str] = []
         self._unique: Dict[Tuple[int, int, int], BDDNode] = {}
         self._ite_cache: Dict[Tuple[int, int, int], BDDNode] = {}
         self._quant_cache: Dict[Tuple[str, int, frozenset], BDDNode] = {}
-        self._compose_cache: Dict[Tuple[int, int], BDDNode] = {}
+        self._cache_limit = cache_limit
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evicted_entries = 0
+        self._cache_clears = 0
         self._next_id = 2
         self.zero = BDDNode(TERMINAL_LEVEL, None, None, 0, 0)
         self.one = BDDNode(TERMINAL_LEVEL, None, None, 1, 1)
@@ -137,7 +155,9 @@ class BDDManager:
         key = (f.node_id, g.node_id, h.node_id)
         cached = self._ite_cache.get(key)
         if cached is not None:
+            self._cache_hits += 1
             return cached
+        self._cache_misses += 1
 
         level = min(f.level, g.level, h.level)
         f0, f1 = self._cofactors_at(f, level)
@@ -147,6 +167,8 @@ class BDDManager:
         high = self.ite(f1, g1, h1)
         result = self._mk(level, low, high)
         self._ite_cache[key] = result
+        if self._cache_limit is not None and len(self._ite_cache) > self._cache_limit:
+            self._drop_cache(self._ite_cache)
         return result
 
     @staticmethod
@@ -268,7 +290,9 @@ class BDDManager:
         key = (kind, f.node_id, levels)
         cached = self._quant_cache.get(key)
         if cached is not None:
+            self._cache_hits += 1
             return cached
+        self._cache_misses += 1
         if f.is_terminal or f.level > max(levels):
             result = f
         else:
@@ -282,6 +306,8 @@ class BDDManager:
             else:
                 result = self._mk(f.level, low, high)
         self._quant_cache[key] = result
+        if self._cache_limit is not None and len(self._quant_cache) > self._cache_limit:
+            self._drop_cache(self._quant_cache)
         return result
 
     def and_exists(self, names: Iterable[str], f: BDDNode, g: BDDNode) -> BDDNode:
@@ -509,11 +535,57 @@ class BDDManager:
     # ------------------------------------------------------------------
     # Housekeeping
     # ------------------------------------------------------------------
+    def _drop_cache(self, cache: Dict) -> None:
+        """Drop one operation cache, keeping the eviction accounting."""
+        self._cache_evicted_entries += len(cache)
+        cache.clear()
+        self._cache_clears += 1
+
+    @property
+    def cache_limit(self) -> Optional[int]:
+        """Per-cache entry bound (``None`` when unbounded)."""
+        return self._cache_limit
+
+    @cache_limit.setter
+    def cache_limit(self, limit: Optional[int]) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("cache_limit must be a positive integer or None")
+        self._cache_limit = limit
+        if limit is not None:
+            for cache in (self._ite_cache, self._quant_cache):
+                if len(cache) > limit:
+                    self._drop_cache(cache)
+
+    def cache_size(self) -> int:
+        """Total number of entries currently held by the operation caches."""
+        return len(self._ite_cache) + len(self._quant_cache)
+
     def clear_caches(self) -> None:
-        """Drop operation caches (the unique table is kept)."""
-        self._ite_cache.clear()
-        self._quant_cache.clear()
-        self._compose_cache.clear()
+        """Drop operation caches (the unique table is kept).
+
+        Clearing never changes results — every function already built
+        stays canonical in the unique table — it only forces later
+        operations to recompute; the property tests pin this down.
+        """
+        for cache in (self._ite_cache, self._quant_cache):
+            if cache:
+                self._drop_cache(cache)
+
+    def cache_statistics(self) -> Dict[str, object]:
+        """Operation-cache size accounting and hit rates."""
+        lookups = self._cache_hits + self._cache_misses
+        return {
+            "limit": self._cache_limit,
+            "ite_entries": len(self._ite_cache),
+            "quantify_entries": len(self._quant_cache),
+            "total_entries": self.cache_size(),
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "lookups": lookups,
+            "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+            "evicted_entries": self._cache_evicted_entries,
+            "clears": self._cache_clears,
+        }
 
     def statistics(self) -> Dict[str, int]:
         """Basic manager statistics for reporting."""
@@ -521,4 +593,7 @@ class BDDManager:
             "variables": self.num_vars(),
             "unique_table_nodes": len(self._unique),
             "ite_cache_entries": len(self._ite_cache),
+            "quantify_cache_entries": len(self._quant_cache),
+            "cache_hits": self._cache_hits,
+            "cache_misses": self._cache_misses,
         }

@@ -60,6 +60,20 @@ class Architecture:
         """Human-readable rendering of a counterexample instruction word."""
         raise NotImplementedError
 
+    def scenario(self, name, siminfo, bug=None, tags=()):
+        """Describe one verification job on this design as an engine Scenario.
+
+        The declarative form is what the campaign engine pools, memoises
+        and ships to workers; architecture adapters are otherwise only
+        the *resolution* of a scenario (``Scenario.architecture()``).
+        Delegates to :meth:`repro.engine.Scenario.from_architecture`
+        (imported lazily: core does not depend on the engine at import
+        time), which rejects custom adapters it cannot describe.
+        """
+        from ..engine.scenario import Scenario
+
+        return Scenario.from_architecture(self, name, siminfo, bug=bug, tags=tags)
+
 
 @dataclass
 class VSMArchitecture(Architecture):

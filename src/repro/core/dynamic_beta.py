@@ -7,7 +7,10 @@ retirements per cycle in a superscalar machine — require the filtering
 functions to be edited on the fly; the paper calls the result the
 *dynamic* beta-relation.
 
-This module provides two drivers:
+This module provides two entry points (both thin adapters over the
+campaign engine's execution path in :mod:`repro.engine.executor`, so
+standalone calls and :class:`repro.engine.CampaignRunner` campaigns
+measure the same code):
 
 * :func:`verify_with_events` — symbolic verification of the
   interrupt-capable VSM (``repro.processors.interrupts``): the event
@@ -29,28 +32,12 @@ This module provides two drivers:
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence, Tuple
 
-from ..bdd import BDDManager, find_distinguishing_assignment
-from ..isa import vsm as vsm_isa
-from ..logic import BitVec
-from ..processors.interrupts import (
-    SymbolicPipelinedVSMWithEvents,
-    SymbolicUnpipelinedVSMWithEvents,
-)
-from ..processors import symbolic_register_file
-from ..strings import (
-    CONTROL,
-    NORMAL,
-    pipelined_filter,
-    sample_cycles,
-    superscalar_specification_filter,
-    unpipelined_filter,
-)
-from .observation import ObservationSpec, vsm_observables
-from .report import Mismatch, VerificationReport
+from ..bdd import BDDManager
+from .observation import ObservationSpec
+from .report import VerificationReport
 from .siminfo import SimulationInfo
 
 
@@ -71,157 +58,15 @@ def verify_with_events(
     handler, and the filtering function treats the slot like a
     control-transfer slot (its delay slot is irrelevant).
     """
-    manager = manager if manager is not None else BDDManager()
-    observation = observation if observation is not None else vsm_observables()
-    impl_kwargs = impl_kwargs or {}
-    event_set = set(event_slots)
-    for slot in event_set:
-        if not 0 <= slot < siminfo.num_slots:
-            raise ValueError(f"event slot {slot} outside 0..{siminfo.num_slots - 1}")
-        if siminfo.slots[slot] == CONTROL:
-            raise ValueError(
-                f"slot {slot} is a control-transfer slot; events are modelled on "
-                "ordinary instruction slots"
-            )
+    from ..engine.executor import run_events
 
-    k = vsm_isa.PIPELINE_DEPTH
-    delay_slots = vsm_isa.DELAY_SLOTS
-
-    # Effective slot kinds for the filtering functions: an event slot
-    # squashes the fetch behind it exactly like a control transfer.
-    effective_kinds = tuple(
-        CONTROL if (kind == CONTROL or index in event_set) else NORMAL
-        for index, kind in enumerate(siminfo.slots)
-    )
-
-    # Stimulus: instruction variables above the register data variables.
-    instructions: List[BitVec] = []
-    free_bits = 0
-    for index, kind in enumerate(siminfo.slots):
-        bits = []
-        for bit in range(vsm_isa.INSTRUCTION_WIDTH):
-            if kind == CONTROL and bit in (10, 11, 12):
-                bits.append(manager.constant(bit == 12))
-            elif kind == NORMAL and bit == 12:
-                bits.append(manager.zero)
-            else:
-                bits.append(manager.var(f"instr{index}[{bit}]"))
-                free_bits += 1
-        instructions.append(BitVec.from_bits(manager, bits))
-    # Squashed (smoothed) words behind every control-transfer or event slot.
-    # Events are taken when the affected instruction reaches the execute
-    # stage, so two younger fetch slots are squashed; ordinary branches
-    # squash one (the architectural delay slot).
-    squashed = {}
-    for index, kind in enumerate(siminfo.slots):
-        count = 2 if index in event_set else (1 if kind == CONTROL else 0)
-        if count:
-            squashed[index] = [
-                BitVec.inputs(manager, f"squashed{index}.{j}", vsm_isa.INSTRUCTION_WIDTH)
-                for j in range(count)
-            ]
-            free_bits += count * vsm_isa.INSTRUCTION_WIDTH
-
-    if symbolic_initial_state:
-        registers = symbolic_register_file(manager, vsm_isa.NUM_REGISTERS, vsm_isa.DATA_WIDTH)
-    else:
-        registers = None
-    specification = SymbolicUnpipelinedVSMWithEvents(manager)
-    implementation = SymbolicPipelinedVSMWithEvents(manager, **impl_kwargs)
-    specification.reset(initial_registers=registers)
-    implementation.reset(initial_registers=registers)
-
-    # --- Specification -----------------------------------------------------
-    started = time.perf_counter()
-    spec_samples = [observation.select(specification.observe())]
-    for index, instruction in enumerate(instructions):
-        observed = specification.execute_instruction(instruction, event=index in event_set)
-        spec_samples.append(observation.select(observed))
-    spec_seconds = time.perf_counter() - started
-    spec_total = siminfo.reset_cycles + k * siminfo.num_slots
-
-    # --- Implementation ----------------------------------------------------
-    # The sampling schedule is derived from the feeding schedule (this is the
-    # dynamic beta-relation): a slot fed at cycle c retires, and is sampled,
-    # at cycle c + k - 1; squashed fetches never retire.
-    started = time.perf_counter()
-    cycle = siminfo.reset_cycles - 1
-    observations_by_cycle = {cycle: observation.select(implementation.observe())}
-    nop = BitVec.constant(manager, 0, vsm_isa.INSTRUCTION_WIDTH)
-    wanted = set()
-    feed_cursor = cycle + 1
-    for index, kind in enumerate(siminfo.slots):
-        wanted.add(feed_cursor + k - 1)
-        feed_cursor += 1 + len(squashed.get(index, []))
-
-    def advance(word: BitVec, fetch_valid, event: bool) -> None:
-        nonlocal cycle
-        observed = implementation.step(word, fetch_valid=fetch_valid, event=event)
-        cycle += 1
-        if cycle in wanted:
-            observations_by_cycle[cycle] = observation.select(observed)
-
-    for index, instruction in enumerate(instructions):
-        advance(instruction, manager.one, event=False)
-        extras = squashed.get(index, [])
-        for position, word in enumerate(extras):
-            # For an event slot the event line is asserted while the affected
-            # instruction sits in the execute stage, i.e. two cycles after it
-            # was fetched (the second squashed fetch).
-            is_event_cycle = index in event_set and position == len(extras) - 1
-            advance(word, manager.one, event=is_event_cycle)
-    while cycle < max(wanted):
-        advance(nop, manager.zero, event=False)
-    impl_seconds = time.perf_counter() - started
-    ordered = sorted(observations_by_cycle)
-    impl_samples = [observations_by_cycle[c] for c in ordered]
-    impl_total = cycle + 1
-    impl_filter = tuple(1 if c in wanted or c == siminfo.reset_cycles - 1 else 0
-                        for c in range(impl_total))
-
-    # --- Comparison ---------------------------------------------------------
-    started = time.perf_counter()
-    mismatches: List[Mismatch] = []
-    spec_cycles = [siminfo.reset_cycles - 1 + k * i for i in range(siminfo.num_slots + 1)]
-    for index, (spec_obs, impl_obs) in enumerate(zip(spec_samples, impl_samples)):
-        for name in observation:
-            if spec_obs[name].identical(impl_obs[name]):
-                continue
-            witness = find_distinguishing_assignment(
-                manager, spec_obs[name].bits, impl_obs[name].bits
-            )
-            mismatches.append(
-                Mismatch(
-                    sample_index=index,
-                    observable=name,
-                    specification_cycle=spec_cycles[index],
-                    implementation_cycle=ordered[index],
-                    counterexample=witness or {},
-                )
-            )
-    comparison_seconds = time.perf_counter() - started
-
-    return VerificationReport(
-        design="VSM+events",
-        passed=not mismatches,
-        order_k=k,
-        delay_slots=delay_slots,
-        reset_cycles=siminfo.reset_cycles,
-        slot_kinds=effective_kinds,
-        specification_cycles=spec_total,
-        implementation_cycles=impl_total,
-        specification_filter=unpipelined_filter(k, siminfo.num_slots, siminfo.reset_cycles),
-        implementation_filter=impl_filter,
-        samples_compared=len(spec_samples),
-        observables_compared=len(observation),
-        sequences_covered=2 ** free_bits,
-        mismatches=mismatches,
-        specification_seconds=spec_seconds,
-        implementation_seconds=impl_seconds,
-        comparison_seconds=comparison_seconds,
-        bdd_nodes=manager.size(),
-        bdd_variables=manager.num_vars(),
-        extra={"event_slots": sorted(event_set)},
+    return run_events(
+        siminfo,
+        event_slots,
+        manager=manager,
+        impl_kwargs=impl_kwargs,
+        observation=observation,
+        symbolic_initial_state=symbolic_initial_state,
     )
 
 
@@ -256,45 +101,6 @@ def verify_superscalar_schedule(program, issue_width: int = 2) -> SuperscalarChe
     retired instructions as the implementation at each of its retirement
     cycles, and the architectural states must agree at every such point.
     """
-    from ..isa import vsm as isa
-    from ..processors.superscalar import SuperscalarVSM
-    from ..processors.vsm_unpipelined import UnpipelinedVSM
+    from ..engine.executor import run_superscalar
 
-    implementation = SuperscalarVSM(issue_width=issue_width)
-    specification = UnpipelinedVSM()
-
-    completions, impl_states = implementation.run(program)
-    mismatches: List[str] = []
-    executed = 0
-    spec_observation = specification.observe()
-    spec_states = [spec_observation]
-    for instruction in program:
-        spec_observation = specification.execute_instruction(instruction.encode())
-        spec_states.append(spec_observation)
-
-    cumulative = 0
-    for cycle, retired in enumerate(completions):
-        if retired == 0:
-            continue
-        cumulative += retired
-        impl_obs = impl_states[cycle]
-        spec_obs = spec_states[cumulative]
-        for name in spec_obs:
-            if name in ("retired_op", "retired_dest"):
-                continue
-            if impl_obs[name] != spec_obs[name]:
-                mismatches.append(
-                    f"cycle {cycle} (after {cumulative} instructions): {name} "
-                    f"impl={impl_obs[name]} spec={spec_obs[name]}"
-                )
-    impl_filter = tuple(1 if retired else 0 for retired in completions)
-    spec_filter = superscalar_specification_filter(completions, k=isa.PIPELINE_DEPTH)
-    return SuperscalarCheckResult(
-        passed=not mismatches,
-        instructions_executed=len(program),
-        implementation_cycles=len(completions),
-        completions_per_cycle=tuple(completions),
-        specification_filter=spec_filter,
-        implementation_filter=impl_filter,
-        mismatches=mismatches,
-    )
+    return run_superscalar(program, issue_width=issue_width)

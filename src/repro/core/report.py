@@ -27,6 +27,9 @@ class Mismatch:
     implementation_cycle: int
     counterexample: Dict[str, bool] = field(default_factory=dict)
     decoded_instructions: Dict[str, str] = field(default_factory=dict)
+    #: Raw instruction words of the counterexample (slot label -> word),
+    #: suitable for concrete replay of the failing sequence.
+    instruction_words: Dict[str, int] = field(default_factory=dict)
 
     def describe(self) -> str:
         """One-line human-readable description."""

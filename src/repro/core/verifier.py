@@ -1,4 +1,4 @@
-"""The beta-relation verification engine (paper Figure 8 and Section 5.3).
+"""The beta-relation verification entry point (paper Figure 8 and Section 5.3).
 
 The engine verifies a pipelined implementation against its unpipelined
 specification in four phases:
@@ -28,27 +28,25 @@ specification in four phases:
    record with a concrete counterexample: an assignment of the
    instruction variables and the initial state, decoded back into
    assembly for the report.
+
+This module keeps the public stimulus API (:class:`StimulusPlan`,
+:func:`build_stimulus`); the simulation orchestration itself lives in
+:mod:`repro.engine.executor`, and :func:`verify_beta_relation` is a thin
+adapter over that single engine code path — the same one that campaigns
+(:class:`repro.engine.CampaignRunner`) execute and measure.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional
 
-from ..bdd import BDDManager, find_distinguishing_assignment
+from ..bdd import BDDManager
 from ..logic import BitVec
-from ..strings import (
-    CONTROL,
-    pipelined_cycle_count,
-    pipelined_filter,
-    sample_cycles,
-    unpipelined_cycle_count,
-    unpipelined_filter,
-)
+from ..strings import CONTROL
 from .architectures import Architecture
 from .observation import ObservationSpec
-from .report import Mismatch, VerificationReport
+from .report import VerificationReport
 from .siminfo import SimulationInfo
 
 
@@ -93,99 +91,6 @@ def build_stimulus(
     return plan
 
 
-def _simulate_specification(
-    specification,
-    plan: StimulusPlan,
-    siminfo: SimulationInfo,
-    observation: ObservationSpec,
-) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
-    """Run the unpipelined machine; return (samples, sample cycles, total cycles)."""
-    samples = [observation.select(specification.observe())]
-    cycles = [siminfo.reset_cycles - 1]
-    cycle = siminfo.reset_cycles - 1
-    for instruction in plan.slot_instructions:
-        observed = specification.execute_instruction(instruction)
-        cycle += specification.cycles_per_instruction
-        samples.append(observation.select(observed))
-        cycles.append(cycle)
-    total = siminfo.reset_cycles + specification.cycles_per_instruction * len(
-        plan.slot_instructions
-    )
-    return samples, cycles, total
-
-
-def _simulate_implementation(
-    implementation,
-    architecture: Architecture,
-    plan: StimulusPlan,
-    siminfo: SimulationInfo,
-    observation: ObservationSpec,
-) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
-    """Run the pipelined machine; return (samples, sample cycles, total cycles)."""
-    manager = implementation.manager
-    filter_values = pipelined_filter(
-        architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
-    )
-    wanted = set(sample_cycles(filter_values))
-    observations_by_cycle: Dict[int, Dict[str, BitVec]] = {}
-    cycle = siminfo.reset_cycles - 1
-    observations_by_cycle[cycle] = observation.select(implementation.observe())
-
-    nop = BitVec.constant(manager, 0, architecture.instruction_width)
-
-    def advance(instruction: BitVec, fetch_valid) -> None:
-        nonlocal cycle
-        observed = implementation.step(instruction, fetch_valid=fetch_valid)
-        cycle += 1
-        if cycle in wanted:
-            observations_by_cycle[cycle] = observation.select(observed)
-
-    for index, instruction in enumerate(plan.slot_instructions):
-        advance(instruction, manager.one)
-        for delay_vector in plan.delay_instructions.get(index, []):
-            advance(delay_vector, manager.one)
-    for _ in range(architecture.order_k - 1):
-        advance(nop, manager.zero)
-
-    ordered_cycles = sorted(observations_by_cycle)
-    samples = [observations_by_cycle[c] for c in ordered_cycles]
-    total = pipelined_cycle_count(
-        architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
-    )
-    return samples, ordered_cycles, total
-
-
-def _decode_counterexample(
-    architecture: Architecture,
-    plan: StimulusPlan,
-    assignment: Dict[str, bool],
-) -> Dict[str, str]:
-    """Turn a witness assignment into per-slot assembly text."""
-    decoded: Dict[str, str] = {}
-    width = architecture.instruction_width
-    for index, instruction in enumerate(plan.slot_instructions):
-        word = 0
-        for bit in range(width):
-            bit_function = instruction[bit]
-            if bit_function.is_terminal:
-                value = bool(bit_function.value)
-            else:
-                name = f"instr{index}[{bit}]"
-                value = assignment.get(name, False)
-            if value:
-                word |= 1 << bit
-        decoded[f"instr{index}"] = architecture.disassemble(word)
-    relevant_state = {
-        name: value for name, value in assignment.items() if name.startswith("init.")
-    }
-    if relevant_state:
-        names = sorted(relevant_state)
-        decoded["initial_state"] = ", ".join(
-            f"{name}={'1' if relevant_state[name] else '0'}" for name in names
-        )
-    return decoded
-
-
 def verify_beta_relation(
     architecture: Architecture,
     siminfo: SimulationInfo,
@@ -197,86 +102,16 @@ def verify_beta_relation(
 
     This is the top-level entry point of the reproduction: the Figure-8
     algorithm generalised to variable ``k`` (delay slots) per Section 5.3.
+    Thin adapter over :func:`repro.engine.executor.run_beta` — the
+    campaign engine's code path — so standalone calls and campaign runs
+    measure identical work.
     """
-    manager = manager if manager is not None else BDDManager()
-    observation = observation if observation is not None else architecture.observation_spec()
+    from ..engine.executor import run_beta
 
-    specification, implementation = architecture.make_models(manager, impl_kwargs=impl_kwargs)
-
-    # Variable-ordering note: the instruction variables act as selectors into
-    # the register file, so they must sit *above* the initial-state data
-    # variables in the BDD order (Section 3.2's ordering discussion).  The
-    # stimulus is therefore built before the shared initial state.
-    plan = build_stimulus(manager, architecture, siminfo)
-    initial_state = architecture.make_initial_state(manager)
-    specification.reset(**initial_state)
-    implementation.reset(**initial_state)
-
-    started = time.perf_counter()
-    spec_samples, spec_cycles, spec_total = _simulate_specification(
-        specification, plan, siminfo, observation
-    )
-    spec_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    impl_samples, impl_cycles, impl_total = _simulate_implementation(
-        implementation, architecture, plan, siminfo, observation
-    )
-    impl_seconds = time.perf_counter() - started
-
-    started = time.perf_counter()
-    mismatches: List[Mismatch] = []
-    if len(spec_samples) != len(impl_samples):
-        raise RuntimeError(
-            "internal error: the sampling schedules of the two machines disagree "
-            f"({len(spec_samples)} vs {len(impl_samples)} samples)"
-        )
-    for index, (spec_obs, impl_obs) in enumerate(zip(spec_samples, impl_samples)):
-        for name in observation:
-            spec_value = spec_obs[name]
-            impl_value = impl_obs[name]
-            if spec_value.identical(impl_value):
-                continue
-            witness = find_distinguishing_assignment(manager, spec_value.bits, impl_value.bits)
-            mismatches.append(
-                Mismatch(
-                    sample_index=index,
-                    observable=name,
-                    specification_cycle=spec_cycles[index],
-                    implementation_cycle=impl_cycles[index],
-                    counterexample=witness or {},
-                    decoded_instructions=_decode_counterexample(
-                        architecture, plan, witness or {}
-                    ),
-                )
-            )
-    comparison_seconds = time.perf_counter() - started
-
-    spec_filter = unpipelined_filter(
-        architecture.order_k, siminfo.num_slots, siminfo.reset_cycles
-    )
-    impl_filter = pipelined_filter(
-        architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
-    )
-
-    return VerificationReport(
-        design=architecture.name,
-        passed=not mismatches,
-        order_k=architecture.order_k,
-        delay_slots=architecture.delay_slots,
-        reset_cycles=siminfo.reset_cycles,
-        slot_kinds=siminfo.slots,
-        specification_cycles=spec_total,
-        implementation_cycles=impl_total,
-        specification_filter=spec_filter,
-        implementation_filter=impl_filter,
-        samples_compared=len(spec_samples),
-        observables_compared=len(observation),
-        sequences_covered=2 ** plan.free_variable_count,
-        mismatches=mismatches,
-        specification_seconds=spec_seconds,
-        implementation_seconds=impl_seconds,
-        comparison_seconds=comparison_seconds,
-        bdd_nodes=manager.size(),
-        bdd_variables=manager.num_vars(),
+    return run_beta(
+        architecture,
+        siminfo,
+        manager=manager,
+        impl_kwargs=impl_kwargs,
+        observation=observation,
     )

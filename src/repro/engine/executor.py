@@ -1,0 +1,642 @@
+"""Scenario execution: the single code path behind every verification driver.
+
+This module owns the simulation orchestration that used to be duplicated
+across :func:`repro.core.verifier.verify_beta_relation`,
+:func:`repro.core.dynamic_beta.verify_with_events` and
+:func:`repro.core.dynamic_beta.verify_superscalar_schedule`; those entry
+points are now thin adapters over the functions here, so examples,
+benchmarks and campaigns all measure the same code.
+
+* :func:`run_beta` — the Figure-8 beta-relation check (static filters).
+* :func:`run_events` — the Section 5.5 dynamic beta-relation with an
+  external event (interrupt) schedule.
+* :func:`run_superscalar` — the Section 5.7 concrete dynamic-beta check
+  of the dual-issue VSM.
+* :func:`execute_scenario` — the campaign entry: resolves a
+  :class:`~repro.engine.scenario.Scenario`, runs the right driver on a
+  (possibly pooled) manager and wraps the result in a deterministic
+  :class:`~repro.engine.report.ScenarioOutcome`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, find_distinguishing_assignment
+from ..isa import vsm as vsm_isa
+from ..logic import BitVec
+from ..strings import (
+    CONTROL,
+    NORMAL,
+    pipelined_cycle_count,
+    pipelined_filter,
+    sample_cycles,
+    superscalar_specification_filter,
+    unpipelined_filter,
+)
+from ..core.architectures import Architecture, VSMArchitecture
+from ..core.observation import ObservationSpec, vsm_observables
+from ..core.report import Mismatch, VerificationReport
+from ..core.siminfo import SimulationInfo
+from .report import ScenarioOutcome
+from .scenario import BETA, EVENTS, SUPERSCALAR, Scenario
+
+
+# ----------------------------------------------------------------------
+# Counterexample decoding
+# ----------------------------------------------------------------------
+def _word_from_vector(vector: BitVec, label: str, assignment: Mapping[str, bool]) -> int:
+    """Concrete instruction word of a stimulus vector under ``assignment``.
+
+    Stimulus bits are either constants (class-cube bits) or single
+    positive literals named ``{label}[{bit}]``; unassigned free bits
+    default to 0, matching :meth:`BDDManager.pick_assignment`'s minimal
+    witnesses.
+    """
+    word = 0
+    for bit in range(vector.width):
+        bit_function = vector[bit]
+        if bit_function.is_terminal:
+            value = bool(bit_function.value)
+        else:
+            value = assignment.get(f"{label}[{bit}]", False)
+        if value:
+            word |= 1 << bit
+    return word
+
+
+def decode_counterexample(
+    architecture: Architecture,
+    labelled_vectors: Sequence[Tuple[str, BitVec]],
+    assignment: Mapping[str, bool],
+) -> Tuple[Dict[str, str], Dict[str, int]]:
+    """Decode a witness assignment into per-slot assembly and raw words."""
+    decoded: Dict[str, str] = {}
+    words: Dict[str, int] = {}
+    for label, vector in labelled_vectors:
+        word = _word_from_vector(vector, label, assignment)
+        words[label] = word
+        decoded[label] = architecture.disassemble(word)
+    relevant_state = {
+        name: value for name, value in assignment.items() if name.startswith("init.")
+    }
+    if relevant_state:
+        names = sorted(relevant_state)
+        decoded["initial_state"] = ", ".join(
+            f"{name}={'1' if relevant_state[name] else '0'}" for name in names
+        )
+    return decoded, words
+
+
+# ----------------------------------------------------------------------
+# Static beta-relation (paper Figure 8, Section 5.3)
+# ----------------------------------------------------------------------
+def _simulate_specification(
+    specification,
+    plan,
+    siminfo: SimulationInfo,
+    observation: ObservationSpec,
+) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
+    """Run the unpipelined machine; return (samples, sample cycles, total cycles)."""
+    samples = [observation.select(specification.observe())]
+    cycles = [siminfo.reset_cycles - 1]
+    cycle = siminfo.reset_cycles - 1
+    for instruction in plan.slot_instructions:
+        observed = specification.execute_instruction(instruction)
+        cycle += specification.cycles_per_instruction
+        samples.append(observation.select(observed))
+        cycles.append(cycle)
+    total = siminfo.reset_cycles + specification.cycles_per_instruction * len(
+        plan.slot_instructions
+    )
+    return samples, cycles, total
+
+
+def _simulate_implementation(
+    implementation,
+    architecture: Architecture,
+    plan,
+    siminfo: SimulationInfo,
+    observation: ObservationSpec,
+) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
+    """Run the pipelined machine; return (samples, sample cycles, total cycles)."""
+    manager = implementation.manager
+    filter_values = pipelined_filter(
+        architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
+    )
+    wanted = set(sample_cycles(filter_values))
+    observations_by_cycle: Dict[int, Dict[str, BitVec]] = {}
+    cycle = siminfo.reset_cycles - 1
+    observations_by_cycle[cycle] = observation.select(implementation.observe())
+
+    nop = BitVec.constant(manager, 0, architecture.instruction_width)
+
+    def advance(instruction: BitVec, fetch_valid) -> None:
+        nonlocal cycle
+        observed = implementation.step(instruction, fetch_valid=fetch_valid)
+        cycle += 1
+        if cycle in wanted:
+            observations_by_cycle[cycle] = observation.select(observed)
+
+    for index, instruction in enumerate(plan.slot_instructions):
+        advance(instruction, manager.one)
+        for delay_vector in plan.delay_instructions.get(index, []):
+            advance(delay_vector, manager.one)
+    for _ in range(architecture.order_k - 1):
+        advance(nop, manager.zero)
+
+    ordered_cycles = sorted(observations_by_cycle)
+    samples = [observations_by_cycle[c] for c in ordered_cycles]
+    total = pipelined_cycle_count(
+        architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
+    )
+    return samples, ordered_cycles, total
+
+
+def run_beta(
+    architecture: Architecture,
+    siminfo: SimulationInfo,
+    manager: Optional[BDDManager] = None,
+    impl_kwargs: Optional[dict] = None,
+    observation: Optional[ObservationSpec] = None,
+) -> VerificationReport:
+    """Verify a pipelined implementation against its unpipelined specification.
+
+    This is the Figure-8 algorithm generalised to variable ``k`` (delay
+    slots) per Section 5.3 — the code path behind
+    :func:`repro.core.verifier.verify_beta_relation` and every BETA
+    campaign scenario.
+    """
+    from ..core.verifier import build_stimulus
+
+    manager = manager if manager is not None else BDDManager()
+    observation = observation if observation is not None else architecture.observation_spec()
+
+    specification, implementation = architecture.make_models(manager, impl_kwargs=impl_kwargs)
+
+    # Variable-ordering note: the instruction variables act as selectors into
+    # the register file, so they must sit *above* the initial-state data
+    # variables in the BDD order (Section 3.2's ordering discussion).  The
+    # stimulus is therefore built before the shared initial state.
+    plan = build_stimulus(manager, architecture, siminfo)
+    initial_state = architecture.make_initial_state(manager)
+    specification.reset(**initial_state)
+    implementation.reset(**initial_state)
+
+    started = time.perf_counter()
+    spec_samples, spec_cycles, spec_total = _simulate_specification(
+        specification, plan, siminfo, observation
+    )
+    spec_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    impl_samples, impl_cycles, impl_total = _simulate_implementation(
+        implementation, architecture, plan, siminfo, observation
+    )
+    impl_seconds = time.perf_counter() - started
+
+    labelled_vectors = [
+        (f"instr{index}", vector) for index, vector in enumerate(plan.slot_instructions)
+    ]
+    for index, delay_list in sorted(plan.delay_instructions.items()):
+        labelled_vectors.extend(
+            (f"delay{index}.{slot}", vector) for slot, vector in enumerate(delay_list)
+        )
+
+    started = time.perf_counter()
+    mismatches: List[Mismatch] = []
+    if len(spec_samples) != len(impl_samples):
+        raise RuntimeError(
+            "internal error: the sampling schedules of the two machines disagree "
+            f"({len(spec_samples)} vs {len(impl_samples)} samples)"
+        )
+    for index, (spec_obs, impl_obs) in enumerate(zip(spec_samples, impl_samples)):
+        for name in observation:
+            spec_value = spec_obs[name]
+            impl_value = impl_obs[name]
+            if spec_value.identical(impl_value):
+                continue
+            witness = find_distinguishing_assignment(manager, spec_value.bits, impl_value.bits)
+            decoded, words = decode_counterexample(
+                architecture, labelled_vectors, witness or {}
+            )
+            mismatches.append(
+                Mismatch(
+                    sample_index=index,
+                    observable=name,
+                    specification_cycle=spec_cycles[index],
+                    implementation_cycle=impl_cycles[index],
+                    counterexample=witness or {},
+                    decoded_instructions=decoded,
+                    instruction_words=words,
+                )
+            )
+    comparison_seconds = time.perf_counter() - started
+
+    spec_filter = unpipelined_filter(
+        architecture.order_k, siminfo.num_slots, siminfo.reset_cycles
+    )
+    impl_filter = pipelined_filter(
+        architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
+    )
+
+    return VerificationReport(
+        design=architecture.name,
+        passed=not mismatches,
+        order_k=architecture.order_k,
+        delay_slots=architecture.delay_slots,
+        reset_cycles=siminfo.reset_cycles,
+        slot_kinds=siminfo.slots,
+        specification_cycles=spec_total,
+        implementation_cycles=impl_total,
+        specification_filter=spec_filter,
+        implementation_filter=impl_filter,
+        samples_compared=len(spec_samples),
+        observables_compared=len(observation),
+        sequences_covered=2 ** plan.free_variable_count,
+        mismatches=mismatches,
+        specification_seconds=spec_seconds,
+        implementation_seconds=impl_seconds,
+        comparison_seconds=comparison_seconds,
+        bdd_nodes=manager.size(),
+        bdd_variables=manager.num_vars(),
+    )
+
+
+# ----------------------------------------------------------------------
+# Dynamic beta-relation with events (paper Section 5.5)
+# ----------------------------------------------------------------------
+def run_events(
+    siminfo: SimulationInfo,
+    event_slots: Sequence[int],
+    manager: Optional[BDDManager] = None,
+    impl_kwargs: Optional[dict] = None,
+    observation: Optional[ObservationSpec] = None,
+    symbolic_initial_state: bool = False,
+) -> VerificationReport:
+    """Verify the interrupt-capable pipelined VSM with the dynamic beta-relation.
+
+    ``event_slots`` lists the instruction-slot indices at which an
+    external event (interrupt) arrives.  The affected slot behaves like
+    a forced trap: the specification performs the trap atomically, the
+    implementation must squash the following fetch and redirect to the
+    handler, and the filtering function treats the slot like a
+    control-transfer slot (its delay slot is irrelevant).
+    """
+    from ..processors import symbolic_register_file
+    from ..processors.interrupts import (
+        SymbolicPipelinedVSMWithEvents,
+        SymbolicUnpipelinedVSMWithEvents,
+    )
+
+    manager = manager if manager is not None else BDDManager()
+    observation = observation if observation is not None else vsm_observables()
+    impl_kwargs = impl_kwargs or {}
+    event_set = set(event_slots)
+    for slot in event_set:
+        if not 0 <= slot < siminfo.num_slots:
+            raise ValueError(f"event slot {slot} outside 0..{siminfo.num_slots - 1}")
+        if siminfo.slots[slot] == CONTROL:
+            raise ValueError(
+                f"slot {slot} is a control-transfer slot; events are modelled on "
+                "ordinary instruction slots"
+            )
+
+    k = vsm_isa.PIPELINE_DEPTH
+    delay_slots = vsm_isa.DELAY_SLOTS
+
+    # Effective slot kinds for the filtering functions: an event slot
+    # squashes the fetch behind it exactly like a control transfer.
+    effective_kinds = tuple(
+        CONTROL if (kind == CONTROL or index in event_set) else NORMAL
+        for index, kind in enumerate(siminfo.slots)
+    )
+
+    # Stimulus: instruction variables above the register data variables.
+    instructions: List[BitVec] = []
+    free_bits = 0
+    for index, kind in enumerate(siminfo.slots):
+        bits = []
+        for bit in range(vsm_isa.INSTRUCTION_WIDTH):
+            if kind == CONTROL and bit in (10, 11, 12):
+                bits.append(manager.constant(bit == 12))
+            elif kind == NORMAL and bit == 12:
+                bits.append(manager.zero)
+            else:
+                bits.append(manager.var(f"instr{index}[{bit}]"))
+                free_bits += 1
+        instructions.append(BitVec.from_bits(manager, bits))
+    # Squashed (smoothed) words behind every control-transfer or event slot.
+    # Events are taken when the affected instruction reaches the execute
+    # stage, so two younger fetch slots are squashed; ordinary branches
+    # squash one (the architectural delay slot).
+    squashed = {}
+    for index, kind in enumerate(siminfo.slots):
+        count = 2 if index in event_set else (1 if kind == CONTROL else 0)
+        if count:
+            squashed[index] = [
+                BitVec.inputs(manager, f"squashed{index}.{j}", vsm_isa.INSTRUCTION_WIDTH)
+                for j in range(count)
+            ]
+            free_bits += count * vsm_isa.INSTRUCTION_WIDTH
+
+    if symbolic_initial_state:
+        registers = symbolic_register_file(manager, vsm_isa.NUM_REGISTERS, vsm_isa.DATA_WIDTH)
+    else:
+        registers = None
+    specification = SymbolicUnpipelinedVSMWithEvents(manager)
+    implementation = SymbolicPipelinedVSMWithEvents(manager, **impl_kwargs)
+    specification.reset(initial_registers=registers)
+    implementation.reset(initial_registers=registers)
+
+    # --- Specification -----------------------------------------------------
+    started = time.perf_counter()
+    spec_samples = [observation.select(specification.observe())]
+    for index, instruction in enumerate(instructions):
+        observed = specification.execute_instruction(instruction, event=index in event_set)
+        spec_samples.append(observation.select(observed))
+    spec_seconds = time.perf_counter() - started
+    spec_total = siminfo.reset_cycles + k * siminfo.num_slots
+
+    # --- Implementation ----------------------------------------------------
+    # The sampling schedule is derived from the feeding schedule (this is the
+    # dynamic beta-relation): a slot fed at cycle c retires, and is sampled,
+    # at cycle c + k - 1; squashed fetches never retire.
+    started = time.perf_counter()
+    cycle = siminfo.reset_cycles - 1
+    observations_by_cycle = {cycle: observation.select(implementation.observe())}
+    nop = BitVec.constant(manager, 0, vsm_isa.INSTRUCTION_WIDTH)
+    wanted = set()
+    feed_cursor = cycle + 1
+    for index, kind in enumerate(siminfo.slots):
+        wanted.add(feed_cursor + k - 1)
+        feed_cursor += 1 + len(squashed.get(index, []))
+
+    def advance(word: BitVec, fetch_valid, event: bool) -> None:
+        nonlocal cycle
+        observed = implementation.step(word, fetch_valid=fetch_valid, event=event)
+        cycle += 1
+        if cycle in wanted:
+            observations_by_cycle[cycle] = observation.select(observed)
+
+    for index, instruction in enumerate(instructions):
+        advance(instruction, manager.one, event=False)
+        extras = squashed.get(index, [])
+        for position, word in enumerate(extras):
+            # For an event slot the event line is asserted while the affected
+            # instruction sits in the execute stage, i.e. two cycles after it
+            # was fetched (the second squashed fetch).
+            is_event_cycle = index in event_set and position == len(extras) - 1
+            advance(word, manager.one, event=is_event_cycle)
+    while cycle < max(wanted):
+        advance(nop, manager.zero, event=False)
+    impl_seconds = time.perf_counter() - started
+    ordered = sorted(observations_by_cycle)
+    impl_samples = [observations_by_cycle[c] for c in ordered]
+    impl_total = cycle + 1
+    impl_filter = tuple(1 if c in wanted or c == siminfo.reset_cycles - 1 else 0
+                        for c in range(impl_total))
+
+    labelled_vectors = [
+        (f"instr{index}", vector) for index, vector in enumerate(instructions)
+    ]
+    for index, squashed_list in sorted(squashed.items()):
+        labelled_vectors.extend(
+            (f"squashed{index}.{j}", vector) for j, vector in enumerate(squashed_list)
+        )
+    disassembler = VSMArchitecture()
+
+    # --- Comparison ---------------------------------------------------------
+    started = time.perf_counter()
+    mismatches: List[Mismatch] = []
+    spec_cycles = [siminfo.reset_cycles - 1 + k * i for i in range(siminfo.num_slots + 1)]
+    for index, (spec_obs, impl_obs) in enumerate(zip(spec_samples, impl_samples)):
+        for name in observation:
+            if spec_obs[name].identical(impl_obs[name]):
+                continue
+            witness = find_distinguishing_assignment(
+                manager, spec_obs[name].bits, impl_obs[name].bits
+            )
+            decoded, words = decode_counterexample(
+                disassembler, labelled_vectors, witness or {}
+            )
+            mismatches.append(
+                Mismatch(
+                    sample_index=index,
+                    observable=name,
+                    specification_cycle=spec_cycles[index],
+                    implementation_cycle=ordered[index],
+                    counterexample=witness or {},
+                    decoded_instructions=decoded,
+                    instruction_words=words,
+                )
+            )
+    comparison_seconds = time.perf_counter() - started
+
+    return VerificationReport(
+        design="VSM+events",
+        passed=not mismatches,
+        order_k=k,
+        delay_slots=delay_slots,
+        reset_cycles=siminfo.reset_cycles,
+        slot_kinds=effective_kinds,
+        specification_cycles=spec_total,
+        implementation_cycles=impl_total,
+        specification_filter=unpipelined_filter(k, siminfo.num_slots, siminfo.reset_cycles),
+        implementation_filter=impl_filter,
+        samples_compared=len(spec_samples),
+        observables_compared=len(observation),
+        sequences_covered=2 ** free_bits,
+        mismatches=mismatches,
+        specification_seconds=spec_seconds,
+        implementation_seconds=impl_seconds,
+        comparison_seconds=comparison_seconds,
+        bdd_nodes=manager.size(),
+        bdd_variables=manager.num_vars(),
+        extra={"event_slots": sorted(event_set)},
+    )
+
+
+# ----------------------------------------------------------------------
+# Concrete superscalar dynamic beta-relation (paper Section 5.7)
+# ----------------------------------------------------------------------
+def run_superscalar(program, issue_width: int = 2):
+    """Dynamic-beta check of the dual-issue VSM on a concrete program.
+
+    The implementation (``repro.processors.superscalar.SuperscalarVSM``)
+    retires a variable number of instructions per cycle; the
+    specification is the architectural VSM executor.  The observation
+    points are derived *from the execution* (the dynamic beta-relation):
+    the specification is sampled after the same cumulative number of
+    retired instructions as the implementation at each of its retirement
+    cycles, and the architectural states must agree at every such point.
+    """
+    from ..core.dynamic_beta import SuperscalarCheckResult
+    from ..processors.superscalar import SuperscalarVSM
+    from ..processors.vsm_unpipelined import UnpipelinedVSM
+
+    implementation = SuperscalarVSM(issue_width=issue_width)
+    specification = UnpipelinedVSM()
+
+    completions, impl_states = implementation.run(program)
+    mismatches: List[str] = []
+    spec_observation = specification.observe()
+    spec_states = [spec_observation]
+    for instruction in program:
+        spec_observation = specification.execute_instruction(instruction.encode())
+        spec_states.append(spec_observation)
+
+    cumulative = 0
+    for cycle, retired in enumerate(completions):
+        if retired == 0:
+            continue
+        cumulative += retired
+        impl_obs = impl_states[cycle]
+        spec_obs = spec_states[cumulative]
+        for name in spec_obs:
+            if name in ("retired_op", "retired_dest"):
+                continue
+            if impl_obs[name] != spec_obs[name]:
+                mismatches.append(
+                    f"cycle {cycle} (after {cumulative} instructions): {name} "
+                    f"impl={impl_obs[name]} spec={spec_obs[name]}"
+                )
+    impl_filter = tuple(1 if retired else 0 for retired in completions)
+    spec_filter = superscalar_specification_filter(
+        completions, k=vsm_isa.PIPELINE_DEPTH
+    )
+    return SuperscalarCheckResult(
+        passed=not mismatches,
+        instructions_executed=len(program),
+        implementation_cycles=len(completions),
+        completions_per_cycle=tuple(completions),
+        specification_filter=spec_filter,
+        implementation_filter=impl_filter,
+        mismatches=mismatches,
+    )
+
+
+# ----------------------------------------------------------------------
+# Campaign entry point
+# ----------------------------------------------------------------------
+def _serialize_mismatch(mismatch: Mismatch) -> Dict[str, object]:
+    """Deterministic JSON form of one mismatch record."""
+    return {
+        "sample_index": mismatch.sample_index,
+        "observable": mismatch.observable,
+        "specification_cycle": mismatch.specification_cycle,
+        "implementation_cycle": mismatch.implementation_cycle,
+        "counterexample": {
+            name: bool(value) for name, value in sorted(mismatch.counterexample.items())
+        },
+        "decoded": dict(sorted(mismatch.decoded_instructions.items())),
+        "words": dict(sorted(mismatch.instruction_words.items())),
+    }
+
+
+def _cache_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[str, object]:
+    hits = after["hits"] - before["hits"]
+    misses = after["misses"] - before["misses"]
+    lookups = hits + misses
+    return {
+        "hits": hits,
+        "misses": misses,
+        "hit_rate": (hits / lookups) if lookups else 0.0,
+        "evicted_entries": after["evicted_entries"] - before["evicted_entries"],
+        "clears": after["clears"] - before["clears"],
+        # Absolute size after the run (a pooled manager carries entries over).
+        "entries_after": after["total_entries"],
+    }
+
+
+def execute_scenario(
+    scenario: Scenario, manager: Optional[BDDManager] = None
+) -> ScenarioOutcome:
+    """Execute one scenario on ``manager`` (fresh if ``None``)."""
+    if scenario.needs_manager() and manager is None:
+        manager = BDDManager()
+    cache_before = manager.cache_statistics() if manager is not None else None
+
+    started = time.perf_counter()
+    if scenario.kind == BETA:
+        report = run_beta(
+            scenario.architecture(),
+            scenario.siminfo(),
+            manager=manager,
+            impl_kwargs=scenario.impl_kwargs(),
+            observation=scenario.observation(),
+        )
+        outcome = _outcome_from_verification(scenario, report)
+    elif scenario.kind == EVENTS:
+        report = run_events(
+            scenario.siminfo(),
+            scenario.event_slots,
+            manager=manager,
+            impl_kwargs=scenario.impl_kwargs(),
+            observation=scenario.observation(),
+            symbolic_initial_state=scenario.symbolic_initial_state,
+        )
+        outcome = _outcome_from_verification(scenario, report)
+    elif scenario.kind == SUPERSCALAR:
+        result = run_superscalar(scenario.decoded_program(), issue_width=scenario.issue_width)
+        outcome = ScenarioOutcome(
+            scenario=scenario.name,
+            kind=scenario.kind,
+            design=scenario.design,
+            passed=result.passed,
+            mismatches=[{"description": text} for text in result.mismatches],
+            structure={
+                "instructions_executed": result.instructions_executed,
+                "implementation_cycles": result.implementation_cycles,
+                "completions_per_cycle": list(result.completions_per_cycle),
+                "specification_filter": list(result.specification_filter),
+                "implementation_filter": list(result.implementation_filter),
+                "issue_width": scenario.issue_width,
+                "speedup": round(result.speedup, 6),
+            },
+        )
+    else:  # pragma: no cover - Scenario.__post_init__ rejects unknown kinds
+        raise ValueError(f"unknown scenario kind {scenario.kind!r}")
+    outcome.seconds = time.perf_counter() - started
+
+    if manager is not None and cache_before is not None:
+        outcome.cache = _cache_delta(cache_before, manager.cache_statistics())
+    return outcome
+
+
+def _outcome_from_verification(
+    scenario: Scenario, report: VerificationReport
+) -> ScenarioOutcome:
+    """Wrap a :class:`VerificationReport` into a deterministic outcome."""
+    structure = {
+        "design": report.design,
+        "k": report.order_k,
+        "delay_slots": report.delay_slots,
+        "reset_cycles": report.reset_cycles,
+        "slot_kinds": list(report.slot_kinds),
+        "specification_cycles": report.specification_cycles,
+        "implementation_cycles": report.implementation_cycles,
+        "specification_filter": list(report.specification_filter),
+        "implementation_filter": list(report.implementation_filter),
+        "samples_compared": report.samples_compared,
+        "observables_compared": report.observables_compared,
+        "sequences_covered": report.sequences_covered,
+    }
+    if report.extra:
+        structure["extra"] = report.extra
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        kind=scenario.kind,
+        design=scenario.design,
+        passed=report.passed,
+        mismatches=[_serialize_mismatch(mismatch) for mismatch in report.mismatches],
+        structure=structure,
+        timings={
+            "specification_seconds": report.specification_seconds,
+            "implementation_seconds": report.implementation_seconds,
+            "comparison_seconds": report.comparison_seconds,
+        },
+        bdd_nodes=report.bdd_nodes,
+        bdd_variables=report.bdd_variables,
+    )

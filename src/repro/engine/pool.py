@@ -1,0 +1,88 @@
+"""BDD manager pooling for the campaign engine.
+
+Re-constructing a :class:`~repro.bdd.BDDManager` per verification run
+throws away every hash-consed node and every warmed operation cache.
+The pool keys managers by :meth:`Scenario.order_signature`, so all
+scenarios that declare the same variables in the same order — a golden
+run and its bug-injection variants, repeated runs of one workload —
+share one manager and therefore one unique table: the specification
+simulation of the second run re-derives the exact nodes of the first at
+cache speed.
+
+Sharing is deliberately *not* extended across different variable orders:
+a pooled manager must declare variables in the same order a fresh one
+would, which keeps every pooled result (including counterexample
+assignments) bit-identical to an isolated run — the property the
+parallel campaign mode relies on.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..bdd import BDDManager
+
+
+class ManagerPool:
+    """Managers keyed by variable-order signature, created on demand."""
+
+    def __init__(self, cache_limit: Optional[int] = None) -> None:
+        self.cache_limit = cache_limit
+        self._managers: Dict[Tuple, BDDManager] = {}
+        self._acquisitions = 0
+        self._reuses = 0
+
+    def acquire(self, signature: Tuple) -> BDDManager:
+        """The pooled manager for ``signature`` (created on first use)."""
+        self._acquisitions += 1
+        manager = self._managers.get(signature)
+        if manager is None:
+            manager = BDDManager(cache_limit=self.cache_limit)
+            self._managers[signature] = manager
+        else:
+            self._reuses += 1
+        return manager
+
+    def clear_caches(self) -> None:
+        """Drop the operation caches of every pooled manager."""
+        for manager in self._managers.values():
+            manager.clear_caches()
+
+    def clear(self) -> None:
+        """Drop every pooled manager (and its unique table)."""
+        self._managers.clear()
+
+    def __len__(self) -> int:
+        return len(self._managers)
+
+    @property
+    def reuse_count(self) -> int:
+        """How many acquisitions were served by an existing manager."""
+        return self._reuses
+
+    def statistics(self) -> Dict[str, object]:
+        """Aggregate pool statistics for campaign reports."""
+        total_nodes = sum(manager.size() for manager in self._managers.values())
+        cache = {
+            "hits": 0,
+            "misses": 0,
+            "evicted_entries": 0,
+            "clears": 0,
+            "total_entries": 0,
+        }
+        for manager in self._managers.values():
+            stats = manager.cache_statistics()
+            cache["hits"] += stats["hits"]
+            cache["misses"] += stats["misses"]
+            cache["evicted_entries"] += stats["evicted_entries"]
+            cache["clears"] += stats["clears"]
+            cache["total_entries"] += stats["total_entries"]
+        lookups = cache["hits"] + cache["misses"]
+        cache["hit_rate"] = (cache["hits"] / lookups) if lookups else 0.0
+        return {
+            "managers": len(self._managers),
+            "acquisitions": self._acquisitions,
+            "reuses": self._reuses,
+            "total_nodes": total_nodes,
+            "cache": cache,
+        }

@@ -1,0 +1,250 @@
+"""The campaign runner: many scenarios, one orchestrator.
+
+:class:`CampaignRunner` executes lists of scenarios through
+:func:`repro.engine.executor.execute_scenario` with
+
+* **manager pooling** — scenarios sharing an
+  :meth:`~repro.engine.scenario.Scenario.order_signature` share one
+  :class:`~repro.bdd.BDDManager`, so a bug sweep re-derives the golden
+  run's BDDs at cache speed instead of rebuilding them;
+* **memoisation** — scenarios with identical
+  :meth:`~repro.engine.scenario.Scenario.cache_key` (same job under a
+  different name, or re-run in a later campaign on the same runner)
+  reuse the previous outcome;
+* an optional **parallel mode** — scenarios are distributed over a
+  ``multiprocessing`` pool with per-worker manager isolation.  Because
+  pooled results are bit-identical to fresh-manager results (see
+  :mod:`repro.engine.pool`), the parallel campaign report carries the
+  same verdicts, byte for byte, as the serial one.
+"""
+
+from __future__ import annotations
+
+import copy
+import multiprocessing
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from .executor import execute_scenario
+from .pool import ManagerPool
+from .report import CampaignReport, ScenarioOutcome
+from .scenario import Scenario, ScenarioRegistry, default_registry
+
+ScenarioLike = Union[Scenario, str]
+
+#: Per-worker state of the parallel mode (set by the pool initializer).
+_WORKER_POOL: Optional[ManagerPool] = None
+_WORKER_MEMO: Dict[Tuple, ScenarioOutcome] = {}
+_WORKER_MEMOIZE: bool = True
+
+
+def _failed_outcome(scenario: Scenario, error: BaseException) -> ScenarioOutcome:
+    """An outcome recording that the scenario raised instead of completing."""
+    return ScenarioOutcome(
+        scenario=scenario.name,
+        kind=scenario.kind,
+        design=scenario.design,
+        passed=False,
+        error=f"{type(error).__name__}: {error}",
+    )
+
+
+def _execute_pooled(
+    scenario: Scenario,
+    pool: ManagerPool,
+    memo: Optional[Dict[Tuple, ScenarioOutcome]],
+) -> Tuple[ScenarioOutcome, bool]:
+    """Run one scenario against a pool + memo; returns (outcome, memo_hit)."""
+    key = (scenario.order_signature(), scenario.cache_key()) if memo is not None else None
+    if key is not None and key in memo:
+        # Deep copy so memo hits never alias the containers of earlier
+        # outcomes (a caller mutating one must not poison later hits).
+        outcome = copy.deepcopy(memo[key])
+        outcome.scenario = scenario.name
+        outcome.memoized = True
+        # Measurements describe *this* occurrence, which did no BDD work;
+        # read the original outcome for the compute-time footprint.
+        outcome.seconds = 0.0
+        outcome.timings = {}
+        outcome.cache = {}
+        outcome.bdd_nodes = 0
+        outcome.bdd_variables = 0
+        return outcome, True
+    manager = pool.acquire(scenario.order_signature()) if scenario.needs_manager() else None
+    try:
+        outcome = execute_scenario(scenario, manager=manager)
+    except Exception as error:  # noqa: BLE001 - campaign isolation
+        return _failed_outcome(scenario, error), False
+    if key is not None:
+        # Store an isolated copy: the returned object stays caller-owned.
+        memo[key] = copy.deepcopy(outcome)
+    return outcome, False
+
+
+def _pool_campaign_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Pool statistics attributable to one campaign run.
+
+    Counters (acquisitions, reuses, cache activity) are reported as the
+    delta over the campaign; sizes (managers, live nodes, cache entries)
+    are the absolute state after it.
+    """
+    cache_before, cache_after = before["cache"], after["cache"]
+    hits = cache_after["hits"] - cache_before["hits"]
+    misses = cache_after["misses"] - cache_before["misses"]
+    lookups = hits + misses
+    return {
+        "managers": after["managers"],
+        "acquisitions": after["acquisitions"] - before["acquisitions"],
+        "reuses": after["reuses"] - before["reuses"],
+        "total_nodes": after["total_nodes"],
+        "cache": {
+            "hits": hits,
+            "misses": misses,
+            "hit_rate": (hits / lookups) if lookups else 0.0,
+            "evicted_entries": cache_after["evicted_entries"]
+            - cache_before["evicted_entries"],
+            "clears": cache_after["clears"] - cache_before["clears"],
+            "total_entries": cache_after["total_entries"],
+        },
+    }
+
+
+def _init_worker(cache_limit: Optional[int], memoize: bool) -> None:
+    """Initialise per-process state for the parallel mode."""
+    global _WORKER_POOL, _WORKER_MEMOIZE
+    _WORKER_POOL = ManagerPool(cache_limit=cache_limit)
+    _WORKER_MEMOIZE = memoize
+    _WORKER_MEMO.clear()
+
+
+def _execute_in_worker(scenario: Scenario) -> ScenarioOutcome:
+    """Parallel-mode entry: run one scenario on this worker's own pool."""
+    global _WORKER_POOL
+    if _WORKER_POOL is None:  # pragma: no cover - initializer always runs
+        _WORKER_POOL = ManagerPool()
+    outcome, _ = _execute_pooled(
+        scenario, _WORKER_POOL, _WORKER_MEMO if _WORKER_MEMOIZE else None
+    )
+    return outcome
+
+
+class CampaignRunner:
+    """Executes scenario campaigns with pooled managers and memoisation."""
+
+    def __init__(
+        self,
+        pool: Optional[ManagerPool] = None,
+        registry: Optional[ScenarioRegistry] = None,
+        memoize: bool = True,
+        cache_limit: Optional[int] = None,
+    ) -> None:
+        if pool is not None and cache_limit is not None:
+            raise ValueError(
+                "pass cache_limit either to the runner or to the explicit pool, not both"
+            )
+        self.pool = pool if pool is not None else ManagerPool(cache_limit=cache_limit)
+        self._registry = registry
+        self.memoize = memoize
+        self._memo: Dict[Tuple, ScenarioOutcome] = {}
+
+    @property
+    def registry(self) -> ScenarioRegistry:
+        """The scenario registry used to resolve names (built lazily)."""
+        if self._registry is None:
+            self._registry = default_registry()
+        return self._registry
+
+    def resolve(self, scenarios: Iterable[ScenarioLike]) -> List[Scenario]:
+        """Resolve scenario names through the registry; pass objects through."""
+        return [self.registry.resolve(item) for item in scenarios]
+
+    def clear_memo(self) -> None:
+        """Forget memoised scenario outcomes."""
+        self._memo.clear()
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run_one(self, scenario: ScenarioLike) -> ScenarioOutcome:
+        """Run a single scenario through the shared pool."""
+        resolved = self.registry.resolve(scenario)
+        outcome, _ = _execute_pooled(
+            resolved, self.pool, self._memo if self.memoize else None
+        )
+        return outcome
+
+    def run(
+        self,
+        scenarios: Iterable[ScenarioLike],
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        mp_context: Optional[str] = None,
+    ) -> CampaignReport:
+        """Execute a campaign and return its report.
+
+        Serial mode shares this runner's manager pool and memo across
+        the whole campaign.  Parallel mode distributes scenarios over a
+        process pool; every worker owns an isolated :class:`ManagerPool`,
+        and the resulting verdicts are byte-identical to serial mode.
+        """
+        resolved = self.resolve(scenarios)
+        if not resolved:
+            return CampaignReport(outcomes=[], mode="serial")
+        started = time.perf_counter()
+        if parallel:
+            outcomes, pool_stats = self._run_parallel(resolved, max_workers, mp_context)
+            mode = "parallel"
+        else:
+            before = self.pool.statistics()
+            outcomes = []
+            for scenario in resolved:
+                outcome, _ = _execute_pooled(
+                    scenario, self.pool, self._memo if self.memoize else None
+                )
+                outcomes.append(outcome)
+            pool_stats = _pool_campaign_delta(before, self.pool.statistics())
+            mode = "serial"
+        return CampaignReport(
+            outcomes=outcomes,
+            mode=mode,
+            pool=pool_stats,
+            memo_hits=sum(int(outcome.memoized) for outcome in outcomes),
+            total_seconds=time.perf_counter() - started,
+        )
+
+    def _run_parallel(
+        self,
+        scenarios: Sequence[Scenario],
+        max_workers: Optional[int],
+        mp_context: Optional[str],
+    ) -> Tuple[List[ScenarioOutcome], Dict[str, object]]:
+        context = multiprocessing.get_context(mp_context)
+        if max_workers is None:
+            max_workers = min(len(scenarios), max(2, os.cpu_count() or 1))
+        max_workers = max(1, min(max_workers, len(scenarios)))
+        with context.Pool(
+            processes=max_workers,
+            initializer=_init_worker,
+            initargs=(self.pool.cache_limit, self.memoize),
+        ) as workers:
+            outcomes = workers.map(_execute_in_worker, scenarios)
+        pool_stats = {
+            "managers": None,
+            "workers": max_workers,
+            "note": "parallel mode: per-worker manager pools",
+        }
+        return list(outcomes), pool_stats
+
+
+def run_campaign(
+    scenarios: Iterable[ScenarioLike],
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    cache_limit: Optional[int] = None,
+) -> CampaignReport:
+    """One-shot convenience wrapper around :class:`CampaignRunner`."""
+    runner = CampaignRunner(cache_limit=cache_limit)
+    return runner.run(scenarios, parallel=parallel, max_workers=max_workers)

@@ -1,0 +1,592 @@
+"""Scenario descriptions for the verification campaign engine.
+
+A :class:`Scenario` is a declarative, picklable description of one
+verification job: which design is checked (VSM or Alpha0, with its
+datapath condensation), which driver runs it (static beta-relation,
+dynamic beta-relation with events, or the concrete superscalar check),
+the stimulus plan (instruction slots / event schedule / program), and
+any injected implementation bug.  Because a scenario is pure data it can
+be stored in a registry, shipped to a worker process, hashed into a
+memoisation key, and mapped onto a pooled :class:`~repro.bdd.BDDManager`
+whose variable order it shares with every other scenario of the same
+:meth:`Scenario.order_signature`.
+
+The module also provides a :class:`ScenarioRegistry` plus catalogue
+builders for the standard campaigns of the reproduction: the headline
+VSM/Alpha0 verifications, the bug-injection sweeps, the variable-k
+placements and the interrupt (event) sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields, replace
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.architectures import Alpha0Architecture, Architecture, VSMArchitecture
+from ..core.observation import ObservationSpec
+from ..core.siminfo import SimulationInfo
+from ..isa import vsm as vsm_isa
+from ..processors import SymbolicAlpha0Options
+from ..strings import CONTROL, NORMAL
+
+#: Scenario kinds (which driver executes the scenario).
+BETA = "beta"
+EVENTS = "events"
+SUPERSCALAR = "superscalar"
+KINDS = (BETA, EVENTS, SUPERSCALAR)
+
+#: Design families.
+VSM = "vsm"
+ALPHA0 = "alpha0"
+DESIGNS = (VSM, ALPHA0)
+
+
+@dataclass(frozen=True)
+class Alpha0Spec:
+    """Declarative Alpha0 condensation (mirrors :class:`SymbolicAlpha0Options`)."""
+
+    data_width: int = 4
+    num_registers: int = 4
+    memory_words: int = 4
+    alu_subset: Optional[Tuple[str, ...]] = ("and", "or", "cmpeq")
+    normal_opcode: int = 0x11
+    control_opcode: int = 0x30
+
+    def __post_init__(self) -> None:
+        if self.alu_subset is not None:
+            object.__setattr__(self, "alu_subset", tuple(self.alu_subset))
+
+    def options(self) -> SymbolicAlpha0Options:
+        """The symbolic-model options this spec describes."""
+        return SymbolicAlpha0Options(
+            data_width=self.data_width,
+            num_registers=self.num_registers,
+            memory_words=self.memory_words,
+            alu_subset=self.alu_subset,
+        )
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One verification job for the campaign engine.
+
+    Every field is hashable pure data, so scenarios can cross process
+    boundaries and serve as memoisation keys.  ``name`` and ``tags`` are
+    identity/bookkeeping only — they do not take part in
+    :meth:`cache_key`, so two scenarios that differ only in name share
+    memoised results.
+    """
+
+    name: str
+    kind: str = BETA
+    design: str = VSM
+    #: Instruction slots of the simulation-information file.
+    slots: Tuple[str, ...] = (NORMAL,)
+    reset_cycles: int = 1
+    #: Injected implementation bug code (``None`` = golden design).
+    bug: Optional[str] = None
+    #: EVENTS only: instruction slots that coincide with an interrupt.
+    event_slots: Tuple[int, ...] = ()
+    #: EVENTS only: inject the broken interrupt-link bug.
+    break_event_link: bool = False
+    symbolic_initial_state: bool = False
+    #: Alpha0 condensation; ignored for VSM scenarios.
+    alpha0: Alpha0Spec = field(default_factory=Alpha0Spec)
+    #: Observable subset; ``None`` selects the architecture default.
+    observe: Optional[Tuple[str, ...]] = None
+    #: SUPERSCALAR only: encoded instruction words of the concrete program.
+    program: Tuple[int, ...] = ()
+    issue_width: int = 2
+    tags: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        # Coerce sequence fields so list-valued arguments stay hashable
+        # (cache_key/order_signature are used as dict keys).
+        for field_name in ("slots", "event_slots", "program", "tags"):
+            object.__setattr__(self, field_name, tuple(getattr(self, field_name)))
+        if self.observe is not None:
+            object.__setattr__(self, "observe", tuple(self.observe))
+        if not self.name:
+            raise ValueError("a scenario needs a non-empty name")
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown scenario kind {self.kind!r}; valid: {KINDS}")
+        if self.design not in DESIGNS:
+            raise ValueError(f"unknown design {self.design!r}; valid: {DESIGNS}")
+        for slot in self.slots:
+            if slot not in (NORMAL, CONTROL):
+                raise ValueError(f"unknown slot kind {slot!r}")
+        if self.kind != SUPERSCALAR and not self.slots:
+            raise ValueError("at least one instruction slot is required")
+        if self.kind in (EVENTS, SUPERSCALAR) and self.design != VSM:
+            raise ValueError(f"{self.kind} scenarios are VSM-only")
+        if self.kind == SUPERSCALAR and not self.program:
+            raise ValueError("a superscalar scenario needs a concrete program")
+        if self.kind != SUPERSCALAR and self.program:
+            raise ValueError("only superscalar scenarios carry a concrete program")
+        if self.event_slots and self.kind != EVENTS:
+            raise ValueError("event slots are only meaningful for events scenarios")
+        if self.break_event_link and self.kind != EVENTS:
+            raise ValueError("break_event_link is only meaningful for events scenarios")
+        if self.reset_cycles < 1:
+            raise ValueError("at least one reset cycle is required")
+
+    # ------------------------------------------------------------------
+    # Resolution to the core objects
+    # ------------------------------------------------------------------
+    def siminfo(self) -> SimulationInfo:
+        """The simulation-information file this scenario drives."""
+        return SimulationInfo(reset_cycles=self.reset_cycles, slots=self.slots)
+
+    def architecture(self) -> Architecture:
+        """The architecture adapter (BETA scenarios)."""
+        if self.design == VSM:
+            return VSMArchitecture(symbolic_initial_state=self.symbolic_initial_state)
+        return Alpha0Architecture(
+            options=self.alpha0.options(),
+            normal_opcode=self.alpha0.normal_opcode,
+            control_opcode=self.alpha0.control_opcode,
+            symbolic_initial_state=self.symbolic_initial_state,
+        )
+
+    def impl_kwargs(self) -> Dict[str, object]:
+        """Keyword arguments for the implementation model."""
+        kwargs: Dict[str, object] = {}
+        if self.bug is not None:
+            kwargs["bug"] = self.bug
+        if self.break_event_link:
+            kwargs["break_event_link"] = True
+        return kwargs
+
+    def observation(self) -> Optional[ObservationSpec]:
+        """Explicit observation spec, or ``None`` for the design default."""
+        if self.observe is None:
+            return None
+        return ObservationSpec(tuple(self.observe))
+
+    def decoded_program(self) -> List[vsm_isa.VSMInstruction]:
+        """The concrete program of a superscalar scenario, decoded."""
+        return [vsm_isa.decode(word) for word in self.program]
+
+    # ------------------------------------------------------------------
+    # Pooling / memoisation keys
+    # ------------------------------------------------------------------
+    def order_signature(self) -> Tuple:
+        """Key identifying the BDD variable order this scenario induces.
+
+        Two scenarios with the same signature declare exactly the same
+        variables in exactly the same order when run from a fresh
+        manager, so they can safely share a pooled manager: the second
+        run reuses the hash-consed nodes (and warmed operation caches)
+        of the first, and its results — including counterexample
+        assignments — are bit-identical to a fresh-manager run.
+        """
+        if self.kind == SUPERSCALAR:
+            return ("concrete",)
+        base = (
+            self.design,
+            self.kind,
+            self.slots,
+            self.reset_cycles,
+            self.event_slots,
+            self.symbolic_initial_state,
+        )
+        if self.design == ALPHA0:
+            # The instruction-class opcodes only change which stimulus bits
+            # are *constants*; the free-variable set and order depend on the
+            # datapath condensation alone, so runs that differ only in the
+            # simulated instruction class still share a manager.
+            condensation = (
+                self.alpha0.data_width,
+                self.alpha0.num_registers,
+                self.alpha0.memory_words,
+                self.alpha0.alu_subset,
+            )
+            return base + (condensation,)
+        return base
+
+    def needs_manager(self) -> bool:
+        """Whether the scenario runs on a BDD manager at all."""
+        return self.kind != SUPERSCALAR
+
+    def cache_key(self) -> Tuple:
+        """Memoisation key: everything that determines the outcome."""
+        return tuple(
+            getattr(self, spec.name)
+            for spec in fields(self)
+            if spec.name not in ("name", "tags")
+        )
+
+    # ------------------------------------------------------------------
+    # Serialisation
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-serialisable description of the scenario."""
+        payload: Dict[str, object] = {
+            "name": self.name,
+            "kind": self.kind,
+            "design": self.design,
+            "slots": list(self.slots),
+            "reset_cycles": self.reset_cycles,
+            "bug": self.bug,
+            "event_slots": list(self.event_slots),
+            "break_event_link": self.break_event_link,
+            "symbolic_initial_state": self.symbolic_initial_state,
+            "observe": list(self.observe) if self.observe is not None else None,
+            "program": list(self.program),
+            "issue_width": self.issue_width,
+            "tags": list(self.tags),
+        }
+        if self.design == ALPHA0:
+            payload["alpha0"] = {
+                "data_width": self.alpha0.data_width,
+                "num_registers": self.alpha0.num_registers,
+                "memory_words": self.alpha0.memory_words,
+                "alu_subset": list(self.alpha0.alu_subset)
+                if self.alpha0.alu_subset is not None
+                else None,
+                "normal_opcode": self.alpha0.normal_opcode,
+                "control_opcode": self.alpha0.control_opcode,
+            }
+        return payload
+
+    @classmethod
+    def from_architecture(
+        cls,
+        architecture: Architecture,
+        name: str,
+        siminfo: SimulationInfo,
+        bug: Optional[str] = None,
+        tags: Tuple[str, ...] = (),
+    ) -> "Scenario":
+        """Describe a verification job on a bundled architecture adapter.
+
+        The inverse of :meth:`architecture`; only the two bundled
+        designs have a declarative form (a custom
+        :class:`~repro.core.architectures.Architecture` has no pure-data
+        description the engine could pool or ship to workers).
+        """
+        if isinstance(architecture, VSMArchitecture):
+            return cls(
+                name=name,
+                design=VSM,
+                slots=siminfo.slots,
+                reset_cycles=siminfo.reset_cycles,
+                bug=bug,
+                symbolic_initial_state=architecture.symbolic_initial_state,
+                tags=tuple(tags),
+            )
+        if isinstance(architecture, Alpha0Architecture):
+            subset = architecture.options.alu_subset
+            return cls(
+                name=name,
+                design=ALPHA0,
+                slots=siminfo.slots,
+                reset_cycles=siminfo.reset_cycles,
+                bug=bug,
+                symbolic_initial_state=architecture.symbolic_initial_state,
+                alpha0=Alpha0Spec(
+                    data_width=architecture.options.data_width,
+                    num_registers=architecture.options.num_registers,
+                    memory_words=architecture.options.memory_words,
+                    alu_subset=tuple(subset) if subset is not None else None,
+                    normal_opcode=architecture.normal_opcode,
+                    control_opcode=architecture.control_opcode,
+                ),
+                tags=tuple(tags),
+            )
+        raise TypeError(
+            f"{type(architecture).__name__} has no declarative scenario form; "
+            "run it through repro.core.verify_beta_relation directly"
+        )
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, object]) -> "Scenario":
+        """Rebuild a scenario from :meth:`to_dict` output."""
+        alpha0_payload = payload.get("alpha0")
+        if alpha0_payload:
+            subset = alpha0_payload.get("alu_subset")
+            alpha0 = Alpha0Spec(
+                data_width=alpha0_payload.get("data_width", 4),
+                num_registers=alpha0_payload.get("num_registers", 4),
+                memory_words=alpha0_payload.get("memory_words", 4),
+                alu_subset=tuple(subset) if subset is not None else None,
+                normal_opcode=alpha0_payload.get("normal_opcode", 0x11),
+                control_opcode=alpha0_payload.get("control_opcode", 0x30),
+            )
+        else:
+            alpha0 = Alpha0Spec()
+        observe = payload.get("observe")
+        return cls(
+            name=payload["name"],
+            kind=payload.get("kind", BETA),
+            design=payload.get("design", VSM),
+            slots=tuple(payload.get("slots", (NORMAL,))),
+            reset_cycles=payload.get("reset_cycles", 1),
+            bug=payload.get("bug"),
+            event_slots=tuple(payload.get("event_slots", ())),
+            break_event_link=payload.get("break_event_link", False),
+            symbolic_initial_state=payload.get("symbolic_initial_state", False),
+            alpha0=alpha0,
+            observe=tuple(observe) if observe is not None else None,
+            program=tuple(payload.get("program", ())),
+            issue_width=payload.get("issue_width", 2),
+            tags=tuple(payload.get("tags", ())),
+        )
+
+    def renamed(self, name: str) -> "Scenario":
+        """A copy of the scenario under a different name."""
+        return replace(self, name=name)
+
+
+class ScenarioRegistry:
+    """Named collection of scenarios, resolvable by name or tag."""
+
+    def __init__(self, scenarios: Iterable[Scenario] = ()) -> None:
+        self._scenarios: Dict[str, Scenario] = {}
+        for scenario in scenarios:
+            self.register(scenario)
+
+    def register(self, scenario: Scenario, replace_existing: bool = False) -> Scenario:
+        """Add a scenario; re-registering a name requires ``replace_existing``."""
+        if scenario.name in self._scenarios and not replace_existing:
+            raise ValueError(f"scenario {scenario.name!r} is already registered")
+        self._scenarios[scenario.name] = scenario
+        return scenario
+
+    def register_all(self, scenarios: Iterable[Scenario]) -> None:
+        for scenario in scenarios:
+            self.register(scenario)
+
+    def get(self, name: str) -> Scenario:
+        try:
+            return self._scenarios[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario {name!r}; registered: {sorted(self._scenarios)}"
+            ) from None
+
+    def resolve(self, item) -> Scenario:
+        """Accept either a scenario or a registered scenario name."""
+        if isinstance(item, Scenario):
+            return item
+        return self.get(item)
+
+    def names(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._scenarios))
+
+    def tagged(self, tag: str) -> List[Scenario]:
+        """All registered scenarios carrying ``tag``, in name order."""
+        return [self._scenarios[name] for name in self.names() if tag in self._scenarios[name].tags]
+
+    def __iter__(self) -> Iterator[Scenario]:
+        return iter(self._scenarios.values())
+
+    def __len__(self) -> int:
+        return len(self._scenarios)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._scenarios
+
+
+# ----------------------------------------------------------------------
+# Catalogue builders
+# ----------------------------------------------------------------------
+#: Workloads exercising each injectable VSM bug (mirrors the bug-hunt example).
+VSM_BUG_WORKLOADS: Dict[str, Tuple[str, ...]] = {
+    "no_bypass": (NORMAL, NORMAL),
+    "no_annul": (CONTROL, NORMAL),
+    "wrong_branch_target": (CONTROL, NORMAL),
+    "and_becomes_or": (NORMAL,),
+    "drop_write_r3": (NORMAL,),
+}
+
+
+def vsm_verification_scenario(name: str = "vsm/default") -> Scenario:
+    """The Section 6.2 headline run (``r 0 0 1 0``)."""
+    return Scenario(
+        name=name,
+        design=VSM,
+        slots=(NORMAL, NORMAL, CONTROL, NORMAL),
+        tags=("vsm", "golden"),
+    )
+
+
+def alpha0_operate_scenario(
+    name: str = "alpha0/operate", alpha0: Alpha0Spec = Alpha0Spec()
+) -> Scenario:
+    """The Section 6.3 operate-class run (``r 0 0 1 0 0``)."""
+    return Scenario(
+        name=name,
+        design=ALPHA0,
+        slots=(NORMAL, NORMAL, CONTROL, NORMAL, NORMAL),
+        alpha0=alpha0,
+        tags=("alpha0", "golden"),
+    )
+
+
+def alpha0_memory_scenario(
+    name: str = "alpha0/memory", alpha0: Alpha0Spec = Alpha0Spec(normal_opcode=0x29)
+) -> Scenario:
+    """The Section 6.3 memory-class pass (loads in the ordinary slots)."""
+    return Scenario(
+        name=name,
+        design=ALPHA0,
+        slots=(NORMAL,) * 5,
+        alpha0=alpha0,
+        tags=("alpha0", "golden"),
+    )
+
+
+def vsm_bug_scenarios(prefix: str = "vsm/bug") -> List[Scenario]:
+    """One scenario per injectable VSM bug, with its exercising workload."""
+    return [
+        Scenario(
+            name=f"{prefix}/{bug}",
+            design=VSM,
+            slots=slots,
+            bug=bug,
+            tags=("vsm", "bug-injection"),
+        )
+        for bug, slots in VSM_BUG_WORKLOADS.items()
+    ]
+
+
+def alpha0_bug_scenarios(
+    prefix: str = "alpha0/bug", alpha0: Alpha0Spec = Alpha0Spec()
+) -> List[Scenario]:
+    """Alpha0 bug-injection scenarios (mirrors the bug-injection benchmark)."""
+    return [
+        Scenario(
+            name=f"{prefix}/no_bypass",
+            design=ALPHA0,
+            slots=(NORMAL, NORMAL),
+            bug="no_bypass",
+            alpha0=alpha0,
+            tags=("alpha0", "bug-injection"),
+        ),
+        Scenario(
+            name=f"{prefix}/no_annul",
+            design=ALPHA0,
+            slots=(CONTROL, NORMAL),
+            bug="no_annul",
+            alpha0=alpha0,
+            tags=("alpha0", "bug-injection"),
+        ),
+        Scenario(
+            name=f"{prefix}/cmpeq_inverted",
+            design=ALPHA0,
+            slots=(NORMAL,),
+            bug="cmpeq_inverted",
+            alpha0=replace(alpha0, normal_opcode=0x10),
+            tags=("alpha0", "bug-injection"),
+        ),
+        Scenario(
+            name=f"{prefix}/store_wrong_word",
+            design=ALPHA0,
+            slots=(NORMAL, NORMAL),
+            bug="store_wrong_word",
+            alpha0=replace(alpha0, normal_opcode=0x2D),
+            symbolic_initial_state=True,
+            tags=("alpha0", "bug-injection"),
+        ),
+    ]
+
+
+def variable_k_scenarios(k: int = 4, prefix: str = "vsm/variable-k") -> List[Scenario]:
+    """Control transfer placed at each of the ``k`` slots (Section 5.3)."""
+    scenarios = []
+    for position in range(k):
+        slots = [NORMAL] * k
+        slots[position] = CONTROL
+        scenarios.append(
+            Scenario(
+                name=f"{prefix}/slot{position}",
+                design=VSM,
+                slots=tuple(slots),
+                tags=("vsm", "variable-k"),
+            )
+        )
+    return scenarios
+
+
+def event_scenarios(
+    num_slots: int = 4, prefix: str = "vsm/event", broken: bool = False
+) -> List[Scenario]:
+    """An interrupt arriving at each ordinary instruction slot (Section 5.5)."""
+    return [
+        Scenario(
+            name=f"{prefix}/slot{slot}" + ("/broken-link" if broken else ""),
+            kind=EVENTS,
+            design=VSM,
+            slots=(NORMAL,) * num_slots,
+            event_slots=(slot,),
+            break_event_link=broken,
+            tags=("vsm", "events") + (("bug-injection",) if broken else ()),
+        )
+        for slot in range(num_slots)
+    ]
+
+
+def superscalar_scenario(
+    program: Sequence[vsm_isa.VSMInstruction],
+    name: str = "vsm/superscalar",
+    issue_width: int = 2,
+) -> Scenario:
+    """A concrete dynamic-beta check of the dual-issue VSM."""
+    return Scenario(
+        name=name,
+        kind=SUPERSCALAR,
+        design=VSM,
+        program=tuple(instruction.encode() for instruction in program),
+        issue_width=issue_width,
+        tags=("vsm", "superscalar"),
+    )
+
+
+def mixed_campaign(alpha0: Alpha0Spec = Alpha0Spec()) -> List[Scenario]:
+    """The standard mixed campaign: VSM, Alpha0, interrupts and one bug.
+
+    This is the acceptance workload of the engine: six-plus scenarios
+    spanning both designs, the dynamic beta-relation, and an injected
+    bug, all sharing one manager pool.  ``alpha0`` picks the Alpha0
+    condensation (tests use a smaller one than the paper's default).
+    """
+    return [
+        vsm_verification_scenario(),
+        Scenario(
+            name="vsm/straightline",
+            design=VSM,
+            slots=(NORMAL, NORMAL),
+            tags=("vsm", "golden"),
+        ),
+        alpha0_operate_scenario(alpha0=alpha0),
+        alpha0_memory_scenario(alpha0=replace(alpha0, normal_opcode=0x29)),
+        Scenario(
+            name="vsm/event/slot1",
+            kind=EVENTS,
+            design=VSM,
+            slots=(NORMAL,) * 4,
+            event_slots=(1,),
+            tags=("vsm", "events"),
+        ),
+        Scenario(
+            name="vsm/bug/no_bypass",
+            design=VSM,
+            slots=VSM_BUG_WORKLOADS["no_bypass"],
+            bug="no_bypass",
+            tags=("vsm", "bug-injection"),
+        ),
+    ]
+
+
+def default_registry() -> ScenarioRegistry:
+    """A registry pre-populated with the standard catalogue."""
+    registry = ScenarioRegistry()
+    registry.register(vsm_verification_scenario())
+    registry.register(alpha0_operate_scenario())
+    registry.register(alpha0_memory_scenario())
+    registry.register_all(vsm_bug_scenarios())
+    registry.register_all(alpha0_bug_scenarios())
+    registry.register_all(variable_k_scenarios())
+    registry.register_all(event_scenarios())
+    return registry
