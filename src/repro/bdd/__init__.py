@@ -3,7 +3,8 @@
 This package is the Boolean-function substrate of the reproduction
 (paper Chapter 3): canonical ROBDDs with the apply/ite operation,
 cofactoring, the smoothing operator, relational products, composition
-and counting queries, plus static variable-ordering helpers.
+and counting queries, plus static variable-ordering helpers and dynamic
+reordering (sifting) in :mod:`repro.bdd.reorder`.
 """
 
 from .manager import BDDManager, BDDOrderError
@@ -28,13 +29,25 @@ from .ordering import (
     interleave,
     state_then_inputs,
 )
+from .reorder import (
+    SiftResult,
+    converge_sift,
+    sift_to_order,
+    sift_variable,
+    swap_adjacent,
+)
 
 __all__ = [
     "BDDManager",
     "BDDNode",
     "BDDOrderError",
+    "SiftResult",
     "TERMINAL_LEVEL",
     "bit_names",
+    "converge_sift",
+    "sift_to_order",
+    "sift_variable",
+    "swap_adjacent",
     "bits_to_int",
     "compose_vector",
     "cycle_major_order",

@@ -22,7 +22,17 @@ what makes node identity a sound equivalence check.
 from __future__ import annotations
 
 import itertools
-from typing import Callable, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 from .node import BDDNode, TERMINAL_LEVEL
 
@@ -59,6 +69,8 @@ class BDDManager:
         self._cache_misses = 0
         self._cache_evicted_entries = 0
         self._cache_clears = 0
+        self._reorder_count = 0
+        self._reorder_hooks: List[Callable[["BDDManager"], None]] = []
         self._next_id = 2
         self.zero = BDDNode(TERMINAL_LEVEL, None, None, 0, 0)
         self.one = BDDNode(TERMINAL_LEVEL, None, None, 1, 1)
@@ -100,6 +112,74 @@ class BDDManager:
     def num_vars(self) -> int:
         """Number of declared variables."""
         return len(self._name_of)
+
+    # ------------------------------------------------------------------
+    # Dynamic reordering support (see repro.bdd.reorder)
+    # ------------------------------------------------------------------
+    def add_reorder_hook(self, hook: Callable[["BDDManager"], None]) -> None:
+        """Register ``hook`` to be called after any variable-order change.
+
+        Hooks let owners of derived state — the campaign engine's manager
+        pool, memo tables keyed by variable order — invalidate themselves
+        when :mod:`repro.bdd.reorder` changes the order under them.
+        """
+        self._reorder_hooks.append(hook)
+
+    def remove_reorder_hook(self, hook: Callable[["BDDManager"], None]) -> None:
+        """Unregister a previously added reorder hook (no-op if absent)."""
+        try:
+            self._reorder_hooks.remove(hook)
+        except ValueError:
+            pass
+
+    @property
+    def reorder_count(self) -> int:
+        """How many variable-order changes this manager has undergone."""
+        return self._reorder_count
+
+    def _note_order_change(self) -> None:
+        """Invalidate order-dependent state after a level swap.
+
+        The quantification cache keys results by *level sets*, which are
+        renumbered by a swap, so it must be dropped; the ``ite`` cache is
+        dropped too (entries stay semantically valid because nodes are
+        mutated function-preservingly, but correctness is cheap to make
+        obvious).  Registered reorder hooks fire last so pool owners can
+        re-key or evict this manager.
+        """
+        for cache in (self._ite_cache, self._quant_cache):
+            if cache:
+                self._drop_cache(cache)
+        self._reorder_count += 1
+        for hook in list(self._reorder_hooks):
+            hook(self)
+
+    def sift(
+        self,
+        roots: Optional[Iterable[BDDNode]] = None,
+        converge: bool = True,
+        max_passes: int = 4,
+        max_variables: Optional[int] = None,
+    ):
+        """Dynamically reorder this manager's variables by Rudell sifting.
+
+        Convenience wrapper over :func:`repro.bdd.reorder.converge_sift`
+        (one pass when ``converge`` is false).  ``roots`` — the functions
+        the caller still cares about — make the size metric exact; without
+        them the unique-table size (which includes dead intermediate
+        nodes) is used.  ``max_variables`` bounds how many variables each
+        pass sifts (the time budget on big tables; every swap costs time
+        proportional to the two levels' populations).  Returns the
+        :class:`~repro.bdd.reorder.SiftResult`.
+        """
+        from .reorder import converge_sift
+
+        return converge_sift(
+            self,
+            roots=roots,
+            max_passes=max_passes if converge else 1,
+            max_variables=max_variables,
+        )
 
     # ------------------------------------------------------------------
     # Node construction
@@ -287,28 +367,71 @@ class BDDManager:
         return self._quantify("forall", f, levels)
 
     def _quantify(self, kind: str, f: BDDNode, levels: frozenset) -> BDDNode:
-        key = (kind, f.node_id, levels)
-        cached = self._quant_cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            return cached
-        self._cache_misses += 1
-        if f.is_terminal or f.level > max(levels):
-            result = f
-        else:
-            low = self._quantify(kind, f.low, levels)
-            high = self._quantify(kind, f.high, levels)
-            if f.level in levels:
-                if kind == "exists":
-                    result = self.apply_or(low, high)
-                else:
-                    result = self.apply_and(low, high)
+        """Quantify the variables at ``levels`` out of ``f``.
+
+        Implemented with an explicit work stack instead of recursion on the
+        BDD structure: quantification descends one level per frame, so a
+        deep BDD (late-branch k=4 verification declares hundreds of
+        variables) would otherwise flirt with CPython's default recursion
+        limit.  The only remaining recursion is inside :meth:`ite` (via
+        ``apply_or``/``apply_and``), whose depth is bounded by the number
+        of variable levels *below* the quantified node — strictly smaller
+        than the bound this method avoids, and halved again because every
+        combine step strips at least the topmost quantified level.
+
+        ``memo`` shadows the shared ``_quant_cache`` so that a mid-run
+        cache eviction (``cache_limit``) can never drop a result this
+        computation still needs.
+        """
+        combine = self.apply_or if kind == "exists" else self.apply_and
+        max_level = max(levels)
+        memo: Dict[int, BDDNode] = {}
+        shared = self._quant_cache
+
+        def lookup(node: BDDNode) -> Optional[BDDNode]:
+            result = memo.get(node.node_id)
+            if result is None:
+                result = shared.get((kind, node.node_id, levels))
+                if result is not None:
+                    # One hit per distinct node served by the shared
+                    # cache (the memo absorbs repeat visits).
+                    self._cache_hits += 1
+                    memo[node.node_id] = result
+            return result
+
+        top = lookup(f)
+        if top is not None:
+            return top
+
+        stack: List[BDDNode] = [f]
+        while stack:
+            node = stack[-1]
+            if node.node_id in memo:
+                stack.pop()
+                continue
+            if node.is_terminal or node.level > max_level:
+                memo[node.node_id] = node
+                stack.pop()
+                continue
+            low = lookup(node.low)
+            high = lookup(node.high)
+            if low is None or high is None:
+                if high is None:
+                    stack.append(node.high)
+                if low is None:
+                    stack.append(node.low)
+                continue
+            self._cache_misses += 1
+            if node.level in levels:
+                result = combine(low, high)
             else:
-                result = self._mk(f.level, low, high)
-        self._quant_cache[key] = result
-        if self._cache_limit is not None and len(self._quant_cache) > self._cache_limit:
-            self._drop_cache(self._quant_cache)
-        return result
+                result = self._mk(node.level, low, high)
+            memo[node.node_id] = result
+            shared[(kind, node.node_id, levels)] = result
+            if self._cache_limit is not None and len(shared) > self._cache_limit:
+                self._drop_cache(shared)
+            stack.pop()
+        return memo[f.node_id]
 
     def and_exists(self, names: Iterable[str], f: BDDNode, g: BDDNode) -> BDDNode:
         """Relational product: ``exists names . (f AND g)``.

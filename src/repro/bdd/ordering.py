@@ -14,10 +14,9 @@ static orders built with the helpers below:
 * a simple greedy reordering of declared groups by first-use, used when
   building BDDs from netlists.
 
-Dynamic reordering (sifting) is intentionally not implemented; the
-designs in the paper are small enough that a sensible static order
-suffices, and the paper itself relies on problem-specific condensation
-rather than reordering to keep BDDs tractable.
+These heuristics pick the *initial* order; when a verification run
+outgrows it, :mod:`repro.bdd.reorder` moves variables dynamically
+(Rudell-style sifting on top of an adjacent level-swap primitive).
 """
 
 from __future__ import annotations

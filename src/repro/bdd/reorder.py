@@ -1,0 +1,395 @@
+"""Dynamic variable reordering: level swaps and Rudell-style sifting.
+
+Section 3.2 of the paper stresses that ROBDD size is critically
+dependent on the variable order; the static heuristics in
+:mod:`repro.bdd.ordering` pick the initial order, and this module moves
+variables *after* construction.  The primitive is the classic adjacent
+**level swap**: exchanging levels ``i`` and ``i+1`` only touches the
+nodes at those two levels, and every node is mutated
+*function-preservingly* — a :class:`~repro.bdd.node.BDDNode` object held
+by a caller keeps denoting the same Boolean function before and after
+the swap, so canonicity (node identity as equivalence) survives
+reordering.  On top of the primitive sit Rudell's **sifting** procedure
+(move one variable through every position, keep the best) and its
+converging variant.
+
+Every swap invalidates the manager's operation caches and fires the
+manager's reorder hooks (see :meth:`BDDManager.add_reorder_hook`); the
+campaign engine's :class:`~repro.engine.pool.ManagerPool` uses the hook
+to retire a reordered manager from its pool, because pooled scenarios
+expect the declared variable order.
+
+Size metric
+-----------
+Sifting needs "how big are the BDDs right now" after every swap.  With
+explicit ``roots`` (the functions the caller still cares about) the
+metric counts exactly the live nodes reachable from them — precise, but
+a full traversal per swap, so meant for modest tables.  Without roots
+the unique-table size is used: O(1) to read, but it also counts dead
+intermediate nodes (this manager has no reference counting), so swap
+garbage biases the search toward the starting position.  Semantics are
+unaffected either way; ``max_variables`` is the time-budget knob for
+big tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .manager import BDDManager
+from .node import BDDNode
+
+
+def _live_size(manager: BDDManager, roots: Sequence[BDDNode]) -> int:
+    """Number of distinct nodes reachable from ``roots`` (iterative DFS)."""
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node.node_id in seen:
+            continue
+        seen.add(node.node_id)
+        if not node.is_terminal:
+            stack.append(node.low)
+            stack.append(node.high)
+    return len(seen)
+
+
+def _swap_indexed(
+    manager: BDDManager,
+    level: int,
+    x_nodes: List[BDDNode],
+    y_nodes: List[BDDNode],
+) -> Tuple[List[BDDNode], List[BDDNode]]:
+    """Swap the variables at ``level``/``level + 1`` given their node lists.
+
+    Returns the node lists of the two levels *after* the swap, so a
+    caller sifting one variable across the order can keep a per-level
+    index instead of rescanning the unique table before every swap.
+
+    Let ``x`` be the variable at ``level`` and ``y`` the one below it:
+
+    * nodes testing ``y`` keep their structure — ``y`` simply moved up,
+      so only their level number changes;
+    * nodes testing ``x`` that do not depend on ``y`` likewise just move
+      down one level;
+    * nodes testing ``x`` with a ``y``-child are rebuilt through the
+      Shannon expansion ``f = y ? (x ? f11 : f01) : (x ? f10 : f00)``,
+      reusing the object for the new top node so every external
+      reference to ``f`` stays valid.
+    """
+    unique = manager._unique
+
+    # Plan the rebuilds against the *old* structure before any relabelling.
+    y_ids = {node.node_id for node in y_nodes}
+    independent: List[BDDNode] = []
+    rebuilds: List[Tuple[BDDNode, BDDNode, BDDNode, BDDNode, BDDNode]] = []
+    for node in x_nodes:
+        low, high = node.low, node.high
+        low_tests_y = low.node_id in y_ids
+        high_tests_y = high.node_id in y_ids
+        if not low_tests_y and not high_tests_y:
+            independent.append(node)
+            continue
+        f00, f01 = (low.low, low.high) if low_tests_y else (low, low)
+        f10, f11 = (high.low, high.high) if high_tests_y else (high, high)
+        rebuilds.append((node, f00, f01, f10, f11))
+
+    # Drop the affected unique-table entries (their keys are about to change).
+    for node in x_nodes:
+        unique.pop((level, node.low.node_id, node.high.node_id), None)
+    for node in y_nodes:
+        unique.pop((level + 1, node.low.node_id, node.high.node_id), None)
+
+    # y moves up: structure unchanged, only the level number changes.
+    for node in y_nodes:
+        node.level = level
+        unique[(level, node.low.node_id, node.high.node_id)] = node
+    # x-nodes independent of y move down unchanged.
+    for node in independent:
+        node.level = level + 1
+        unique[(level + 1, node.low.node_id, node.high.node_id)] = node
+    # Dependent x-nodes are rebuilt in place; their new children at
+    # ``level + 1`` test x and are hash-consed against the re-keyed table.
+    created: List[BDDNode] = []
+
+    def child(low: BDDNode, high: BDDNode) -> BDDNode:
+        mark = manager._next_id
+        node = manager._mk(level + 1, low, high)
+        if node.node_id >= mark:
+            created.append(node)
+        return node
+
+    for node, f00, f01, f10, f11 in rebuilds:
+        new_low = child(f00, f10)
+        new_high = child(f01, f11)
+        node.low = new_low
+        node.high = new_high
+        unique[(level, new_low.node_id, new_high.node_id)] = node
+
+    # Exchange the variable names and levels.
+    names = manager._name_of
+    names[level], names[level + 1] = names[level + 1], names[level]
+    manager._level_of[names[level]] = level
+    manager._level_of[names[level + 1]] = level + 1
+
+    manager._note_order_change()
+    return y_nodes + [entry[0] for entry in rebuilds], independent + created
+
+
+def swap_adjacent(manager: BDDManager, level: int) -> None:
+    """Exchange the variables at ``level`` and ``level + 1`` in place.
+
+    The standalone reordering primitive: scans the unique table for the
+    two levels' nodes and performs the indexed swap.  All affected
+    unique-table entries are re-keyed, the operation caches are dropped
+    and the manager's reorder hooks fire.
+    """
+    num = manager.num_vars()
+    if not 0 <= level < num - 1:
+        raise ValueError(f"cannot swap levels {level} and {level + 1} of {num} variables")
+    x_nodes = [node for node in manager._unique.values() if node.level == level]
+    y_nodes = [node for node in manager._unique.values() if node.level == level + 1]
+    _swap_indexed(manager, level, x_nodes, y_nodes)
+
+
+@dataclass
+class SiftResult:
+    """Outcome of a sifting run."""
+
+    initial_size: int
+    final_size: int
+    passes: int = 0
+    swaps: int = 0
+    sifted_variables: int = 0
+    order: Tuple[str, ...] = ()
+    sizes_by_pass: List[int] = field(default_factory=list)
+
+    @property
+    def improved(self) -> bool:
+        return self.final_size < self.initial_size
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "initial_size": self.initial_size,
+            "final_size": self.final_size,
+            "passes": self.passes,
+            "swaps": self.swaps,
+            "sifted_variables": self.sifted_variables,
+        }
+
+
+class _Sifter:
+    """Per-level node index plus size metric, swap accounting and cleanup.
+
+    Without reference counting, every rebuild leaves the node it replaced
+    in the unique table, and repeated excursions rebuild that garbage
+    again — table growth compounds exponentially across sifted variables
+    if left alone.  The sifter therefore sweeps after every sifted
+    variable: nodes *created during this sifting session* (their ids are
+    past ``session_floor``) cannot be referenced by any caller, so the
+    ones no longer reachable from pre-session nodes or the roots are
+    safely reclaimed.  Pre-session nodes are never collected — external
+    code may hold them, and dropping a held node would break canonicity.
+    """
+
+    def __init__(self, manager: BDDManager, roots: Optional[Iterable[BDDNode]]):
+        self.manager = manager
+        self.roots: Optional[List[BDDNode]] = list(roots) if roots is not None else None
+        self.swaps = 0
+        self.session_floor = manager._next_id
+        self.index: Dict[int, List[BDDNode]] = {}
+        for node in manager._unique.values():
+            self.index.setdefault(node.level, []).append(node)
+
+    def sweep(self) -> int:
+        """Reclaim dead session-created nodes; return how many were dropped."""
+        unique = self.manager._unique
+        floor = self.session_floor
+        marked: Set[int] = set()
+        stack: List[BDDNode] = [
+            node for node in unique.values() if node.node_id < floor
+        ]
+        if self.roots is not None:
+            stack.extend(self.roots)
+        while stack:
+            node = stack.pop()
+            if node.node_id in marked:
+                continue
+            marked.add(node.node_id)
+            if not node.is_terminal:
+                stack.append(node.low)
+                stack.append(node.high)
+        dead = [
+            (key, node)
+            for key, node in unique.items()
+            if node.node_id >= floor and node.node_id not in marked
+        ]
+        if not dead:
+            return 0
+        for key, _ in dead:
+            del unique[key]
+        dead_ids = {node.node_id for _, node in dead}
+        for level, nodes in self.index.items():
+            self.index[level] = [
+                node for node in nodes if node.node_id not in dead_ids
+            ]
+        return len(dead)
+
+    def size(self) -> int:
+        if self.roots is not None:
+            return _live_size(self.manager, self.roots)
+        return len(self.manager._unique)
+
+    def population(self) -> Dict[int, int]:
+        """Node count per level (live when roots are known, table otherwise)."""
+        counts: Dict[int, int] = {}
+        if self.roots is not None:
+            seen: Set[int] = set()
+            stack = list(self.roots)
+            while stack:
+                node = stack.pop()
+                if node.node_id in seen or node.is_terminal:
+                    continue
+                seen.add(node.node_id)
+                counts[node.level] = counts.get(node.level, 0) + 1
+                stack.append(node.low)
+                stack.append(node.high)
+        else:
+            for level, nodes in self.index.items():
+                counts[level] = len(nodes)
+        return counts
+
+    def swap(self, level: int) -> None:
+        at_level, below = _swap_indexed(
+            self.manager,
+            level,
+            self.index.get(level, []),
+            self.index.get(level + 1, []),
+        )
+        self.index[level] = at_level
+        self.index[level + 1] = below
+        self.swaps += 1
+
+    def sift_variable(self, name: str) -> int:
+        """Move ``name`` to its locally optimal level; return the best size."""
+        manager = self.manager
+        num = manager.num_vars()
+        position = manager.level(name)
+        best_size = self.size()
+        best_position = position
+        # Downward excursion to the bottom...
+        for level in range(position, num - 1):
+            self.swap(level)
+            size = self.size()
+            if size < best_size:
+                best_size, best_position = size, level + 1
+        # ...then up through every remaining position to the top...
+        for level in range(num - 1, 0, -1):
+            self.swap(level - 1)
+            size = self.size()
+            if size < best_size:
+                best_size, best_position = size, level - 1
+        # ...and settle at the best position seen.
+        for level in range(0, best_position):
+            self.swap(level)
+        self.sweep()
+        return best_size
+
+
+def sift_variable(
+    manager: BDDManager, name: str, roots: Optional[Iterable[BDDNode]] = None
+) -> SiftResult:
+    """Sift a single variable to its locally optimal position."""
+    sifter = _Sifter(manager, roots)
+    initial = sifter.size()
+    final = sifter.sift_variable(name)
+    return SiftResult(
+        initial_size=initial,
+        final_size=final,
+        passes=1,
+        swaps=sifter.swaps,
+        sifted_variables=1,
+        order=manager.variables,
+    )
+
+
+def converge_sift(
+    manager: BDDManager,
+    roots: Optional[Iterable[BDDNode]] = None,
+    max_passes: int = 4,
+    max_variables: Optional[int] = None,
+) -> SiftResult:
+    """Rudell's converging sifting over the whole variable order.
+
+    Each pass sifts the variables in descending order of their current
+    node population (the classic heuristic: fat levels first), then the
+    next pass re-ranks and repeats until a pass stops improving the size
+    or ``max_passes`` is exhausted.  ``max_variables`` bounds how many
+    variables each pass touches (the time budget on big orders).
+    """
+    if max_passes < 1:
+        raise ValueError("max_passes must be at least 1")
+    sifter = _Sifter(manager, roots)
+    initial = sifter.size()
+    best_size = initial
+    best_order = manager.variables
+    passes = 0
+    sifted = 0
+    sizes_by_pass: List[int] = []
+    for _ in range(max_passes):
+        passes += 1
+        population = sifter.population()
+        ranked = sorted(
+            (name for name in manager.variables if population.get(manager.level(name))),
+            key=lambda name: population.get(manager.level(name), 0),
+            reverse=True,
+        )
+        if max_variables is not None:
+            ranked = ranked[:max_variables]
+        for name in ranked:
+            sifter.sift_variable(name)
+            sifted += 1
+        size = sifter.size()
+        sizes_by_pass.append(size)
+        improved = size < best_size
+        if improved:
+            best_size, best_order = size, manager.variables
+        if not improved:
+            break
+    # A pass may end worse than the best point seen (the rootless table
+    # metric in particular drifts with swap garbage); restore the best
+    # order so the result describes the manager's actual state.
+    if manager.variables != best_order:
+        sifter.swaps += sift_to_order(manager, best_order)
+    return SiftResult(
+        initial_size=initial,
+        final_size=sifter.size(),
+        passes=passes,
+        swaps=sifter.swaps,
+        sifted_variables=sifted,
+        order=manager.variables,
+        sizes_by_pass=sizes_by_pass,
+    )
+
+
+def sift_to_order(manager: BDDManager, order: Sequence[str]) -> int:
+    """Reorder the manager to an explicit target ``order`` via level swaps.
+
+    ``order`` must be a permutation of the declared variables.  Returns
+    the number of swaps performed.  Mostly useful in tests and for
+    restoring a known-good order after an experiment.
+    """
+    if sorted(order) != sorted(manager.variables):
+        raise ValueError("target order must be a permutation of the declared variables")
+    swaps = 0
+    sifter = _Sifter(manager, roots=None)
+    for target_level, name in enumerate(order):
+        current = manager.level(name)
+        while current > target_level:
+            sifter.swap(current - 1)
+            swaps += 1
+            current -= 1
+        sifter.sweep()
+    return swaps

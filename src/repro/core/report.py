@@ -69,6 +69,9 @@ class VerificationReport:
     bdd_nodes: int = 0
     bdd_variables: int = 0
     extra: Dict[str, object] = field(default_factory=dict)
+    #: Dynamic-reordering activity (measurement, not verdict): swap and
+    #: size accounting when a relational policy sifted the manager.
+    reorder: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -106,6 +109,7 @@ class VerificationReport:
             "bdd_nodes": self.bdd_nodes,
             "bdd_variables": self.bdd_variables,
             "extra": self.extra,
+            "reorder": self.reorder,
         }
 
     def to_json(self) -> str:

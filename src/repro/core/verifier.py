@@ -97,6 +97,7 @@ def verify_beta_relation(
     manager: Optional[BDDManager] = None,
     impl_kwargs: Optional[dict] = None,
     observation: Optional[ObservationSpec] = None,
+    relational=None,
 ) -> VerificationReport:
     """Verify the pipelined implementation against the unpipelined specification.
 
@@ -104,7 +105,11 @@ def verify_beta_relation(
     algorithm generalised to variable ``k`` (delay slots) per Section 5.3.
     Thin adapter over :func:`repro.engine.executor.run_beta` — the
     campaign engine's code path — so standalone calls and campaign runs
-    measure identical work.
+    measure identical work.  ``relational`` optionally enables dynamic
+    variable reordering between the simulation phases (a
+    :class:`~repro.relational.RelationalPolicy`); the pass/fail verdict
+    is unaffected, though a failing run's counterexample don't-care
+    bits follow the final variable order.
     """
     from ..engine.executor import run_beta
 
@@ -114,4 +119,5 @@ def verify_beta_relation(
         manager=manager,
         impl_kwargs=impl_kwargs,
         observation=observation,
+        relational=relational,
     )

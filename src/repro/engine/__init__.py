@@ -17,6 +17,7 @@ One orchestrator for every verification workload of the reproduction:
   verdict view.
 """
 
+from ..relational.policy import RelationalPolicy
 from .executor import execute_scenario, run_beta, run_events, run_superscalar
 from .pool import ManagerPool
 from .report import CampaignReport, ScenarioOutcome
@@ -51,6 +52,7 @@ __all__ = [
     "CampaignRunner",
     "EVENTS",
     "ManagerPool",
+    "RelationalPolicy",
     "SUPERSCALAR",
     "Scenario",
     "ScenarioOutcome",

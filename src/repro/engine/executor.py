@@ -39,8 +39,66 @@ from ..core.architectures import Architecture, VSMArchitecture
 from ..core.observation import ObservationSpec, vsm_observables
 from ..core.report import Mismatch, VerificationReport
 from ..core.siminfo import SimulationInfo
+from ..relational.policy import RelationalPolicy
 from .report import ScenarioOutcome
 from .scenario import BETA, EVENTS, SUPERSCALAR, Scenario
+
+
+# ----------------------------------------------------------------------
+# Dynamic reordering (relational policy)
+# ----------------------------------------------------------------------
+#: Sifting budget per reorder point: at most this many variables per pass.
+REORDER_MAX_VARIABLES = 8
+
+
+def _maybe_reorder(
+    manager: BDDManager,
+    policy: Optional[RelationalPolicy],
+    phase: str,
+    samples: Sequence[Dict[str, BitVec]] = (),
+) -> Dict[str, object]:
+    """Sift the manager if the scenario's policy asks for it.
+
+    Runs between simulation phases (after the specification machine, when
+    the unique table holds the formulae the implementation phase will
+    re-derive against); the sampled specification observables serve as
+    sifting roots, making the size metric exact.  Reordering mutates
+    nodes function-preservingly, so the pass/fail verdict is unaffected
+    (a passing run's report is byte-identical; a failing run reports the
+    same mismatching observables, though a counterexample's don't-care
+    bits may legitimately differ — minimal witnesses follow the
+    order).  The campaign runner gives reordering scenarios a private
+    manager (a pooled table's size depends on campaign history, which
+    would make this trigger — and failing scenarios' counterexample
+    don't-cares — mode-dependent); a caller who sifts a pooled manager
+    directly is still covered by the pool's retire-on-reorder hook.  In this
+    pure-Python substrate a swap costs time proportional to the two
+    levels' populations, so mid-run sifting is an explicit opt-in
+    (``RelationalPolicy.reorder``) with a bounded per-pass variable
+    budget — worthwhile for order repair on long-lived managers and for
+    relational image workloads, not for shaving one functional run.
+    Returns the measurement record (empty if nothing ran).
+    """
+    if policy is None or not policy.reorders:
+        return {}
+    if manager.size() < policy.reorder_threshold:
+        return {}
+    roots = [
+        bit
+        for sample in samples
+        for vector in sample.values()
+        for bit in vector.bits
+    ]
+    started = time.perf_counter()
+    result = manager.sift(
+        roots=roots or None,
+        converge=policy.reorder == "converge",
+        max_variables=REORDER_MAX_VARIABLES,
+    )
+    record = result.to_dict()
+    record["phase"] = phase
+    record["seconds"] = round(time.perf_counter() - started, 4)
+    return record
 
 
 # ----------------------------------------------------------------------
@@ -160,13 +218,17 @@ def run_beta(
     manager: Optional[BDDManager] = None,
     impl_kwargs: Optional[dict] = None,
     observation: Optional[ObservationSpec] = None,
+    relational: Optional[RelationalPolicy] = None,
 ) -> VerificationReport:
     """Verify a pipelined implementation against its unpipelined specification.
 
     This is the Figure-8 algorithm generalised to variable ``k`` (delay
     slots) per Section 5.3 — the code path behind
     :func:`repro.core.verifier.verify_beta_relation` and every BETA
-    campaign scenario.
+    campaign scenario.  ``relational`` optionally enables dynamic
+    variable reordering between the simulation phases (see
+    :class:`~repro.relational.RelationalPolicy`); the verdict is
+    unaffected (see :func:`_maybe_reorder` for the exact guarantee).
     """
     from ..core.verifier import build_stimulus
 
@@ -189,6 +251,12 @@ def run_beta(
         specification, plan, siminfo, observation
     )
     spec_seconds = time.perf_counter() - started
+
+    # Reorder point: the specification formulae are built, the (more
+    # expensive) implementation simulation is still ahead.
+    reorder_record = _maybe_reorder(
+        manager, relational, phase="post-specification", samples=spec_samples
+    )
 
     started = time.perf_counter()
     impl_samples, impl_cycles, impl_total = _simulate_implementation(
@@ -261,6 +329,7 @@ def run_beta(
         comparison_seconds=comparison_seconds,
         bdd_nodes=manager.size(),
         bdd_variables=manager.num_vars(),
+        reorder=reorder_record,
     )
 
 
@@ -274,6 +343,7 @@ def run_events(
     impl_kwargs: Optional[dict] = None,
     observation: Optional[ObservationSpec] = None,
     symbolic_initial_state: bool = False,
+    relational: Optional[RelationalPolicy] = None,
 ) -> VerificationReport:
     """Verify the interrupt-capable pipelined VSM with the dynamic beta-relation.
 
@@ -358,6 +428,10 @@ def run_events(
         spec_samples.append(observation.select(observed))
     spec_seconds = time.perf_counter() - started
     spec_total = siminfo.reset_cycles + k * siminfo.num_slots
+
+    reorder_record = _maybe_reorder(
+        manager, relational, phase="post-specification", samples=spec_samples
+    )
 
     # --- Implementation ----------------------------------------------------
     # The sampling schedule is derived from the feeding schedule (this is the
@@ -455,6 +529,7 @@ def run_events(
         bdd_nodes=manager.size(),
         bdd_variables=manager.num_vars(),
         extra={"event_slots": sorted(event_set)},
+        reorder=reorder_record,
     )
 
 
@@ -566,6 +641,7 @@ def execute_scenario(
             manager=manager,
             impl_kwargs=scenario.impl_kwargs(),
             observation=scenario.observation(),
+            relational=scenario.relational,
         )
         outcome = _outcome_from_verification(scenario, report)
     elif scenario.kind == EVENTS:
@@ -576,6 +652,7 @@ def execute_scenario(
             impl_kwargs=scenario.impl_kwargs(),
             observation=scenario.observation(),
             symbolic_initial_state=scenario.symbolic_initial_state,
+            relational=scenario.relational,
         )
         outcome = _outcome_from_verification(scenario, report)
     elif scenario.kind == SUPERSCALAR:
@@ -639,4 +716,5 @@ def _outcome_from_verification(
         },
         bdd_nodes=report.bdd_nodes,
         bdd_variables=report.bdd_variables,
+        reorder=dict(report.reorder),
     )

@@ -13,7 +13,14 @@ Sharing is deliberately *not* extended across different variable orders:
 a pooled manager must declare variables in the same order a fresh one
 would, which keeps every pooled result (including counterexample
 assignments) bit-identical to an isolated run — the property the
-parallel campaign mode relies on.
+parallel campaign mode relies on.  For the same reason a manager whose
+order has been *dynamically changed* (sifting,
+:mod:`repro.bdd.reorder`) is retired from the pool the moment the first
+swap fires: its final variable order no longer matches what the
+signature declares, so handing it to the next scenario would silently
+break the declared-order contract.  The scenario that triggered the
+reorder keeps using it safely — canonicity survives reordering — but
+the next acquisition for that signature gets a fresh manager.
 """
 
 from __future__ import annotations
@@ -31,17 +38,42 @@ class ManagerPool:
         self._managers: Dict[Tuple, BDDManager] = {}
         self._acquisitions = 0
         self._reuses = 0
+        self._reorder_evictions = 0
+        #: Cache activity of managers retired from the pool, folded into
+        #: :meth:`statistics` so campaign deltas never go negative when a
+        #: reorder eviction removes a manager mid-campaign.
+        self._retired_cache = {"hits": 0, "misses": 0, "evicted_entries": 0, "clears": 0}
 
     def acquire(self, signature: Tuple) -> BDDManager:
-        """The pooled manager for ``signature`` (created on first use)."""
+        """The pooled manager for ``signature`` (created on first use).
+
+        Every pooled manager carries a reorder hook: the first dynamic
+        order change retires it from the pool (see module docstring).
+        """
         self._acquisitions += 1
         manager = self._managers.get(signature)
         if manager is None:
             manager = BDDManager(cache_limit=self.cache_limit)
             self._managers[signature] = manager
+            manager.add_reorder_hook(self._make_reorder_hook(signature))
         else:
             self._reuses += 1
         return manager
+
+    def _make_reorder_hook(self, signature: Tuple):
+        def evict(manager: BDDManager) -> None:
+            if self._managers.get(signature) is manager:
+                del self._managers[signature]
+                self._reorder_evictions += 1
+                self._retire_counters(manager)
+
+        return evict
+
+    def _retire_counters(self, manager: BDDManager) -> None:
+        """Preserve a departing manager's cumulative cache activity."""
+        stats = manager.cache_statistics()
+        for key in self._retired_cache:
+            self._retired_cache[key] += stats[key]
 
     def clear_caches(self) -> None:
         """Drop the operation caches of every pooled manager."""
@@ -50,6 +82,8 @@ class ManagerPool:
 
     def clear(self) -> None:
         """Drop every pooled manager (and its unique table)."""
+        for manager in self._managers.values():
+            self._retire_counters(manager)
         self._managers.clear()
 
     def __len__(self) -> int:
@@ -60,14 +94,28 @@ class ManagerPool:
         """How many acquisitions were served by an existing manager."""
         return self._reuses
 
+    @property
+    def reorder_evictions(self) -> int:
+        """How many managers were retired because their order changed."""
+        return self._reorder_evictions
+
     def statistics(self) -> Dict[str, object]:
-        """Aggregate pool statistics for campaign reports."""
+        """Aggregate pool statistics for campaign reports.
+
+        Counters cover the currently pooled managers plus, for managers
+        retired by a reorder eviction or :meth:`clear`, their activity
+        up to the moment of retirement — enough to keep campaign deltas
+        monotonic.  Activity a still-running scenario accrues on a
+        retired manager afterwards is attributed to that scenario's own
+        ``outcome.cache`` delta, not the pool.  Sizes (nodes, cache
+        entries) describe only the managers currently pooled.
+        """
         total_nodes = sum(manager.size() for manager in self._managers.values())
         cache = {
-            "hits": 0,
-            "misses": 0,
-            "evicted_entries": 0,
-            "clears": 0,
+            "hits": self._retired_cache["hits"],
+            "misses": self._retired_cache["misses"],
+            "evicted_entries": self._retired_cache["evicted_entries"],
+            "clears": self._retired_cache["clears"],
             "total_entries": 0,
         }
         for manager in self._managers.values():
@@ -83,6 +131,7 @@ class ManagerPool:
             "managers": len(self._managers),
             "acquisitions": self._acquisitions,
             "reuses": self._reuses,
+            "reorder_evictions": self._reorder_evictions,
             "total_nodes": total_nodes,
             "cache": cache,
         }

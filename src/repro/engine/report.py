@@ -41,6 +41,9 @@ class ScenarioOutcome:
     bdd_variables: int = 0
     #: Operation-cache activity attributable to this run (delta).
     cache: Dict[str, object] = field(default_factory=dict)
+    #: Dynamic-reordering activity (measurement, not verdict): present
+    #: when the scenario's relational policy sifted the manager.
+    reorder: Dict[str, object] = field(default_factory=dict)
     #: Whether the outcome was served from the campaign memo.
     memoized: bool = False
     #: Error string when the scenario raised instead of completing.
@@ -72,6 +75,7 @@ class ScenarioOutcome:
                 "bdd_nodes": self.bdd_nodes,
                 "bdd_variables": self.bdd_variables,
                 "cache": self.cache,
+                "reorder": self.reorder,
                 "memoized": self.memoized,
             }
         )

@@ -26,6 +26,7 @@ import os
 import time
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
+from ..bdd import BDDManager
 from .executor import execute_scenario
 from .pool import ManagerPool
 from .report import CampaignReport, ScenarioOutcome
@@ -68,10 +69,22 @@ def _execute_pooled(
         outcome.seconds = 0.0
         outcome.timings = {}
         outcome.cache = {}
+        outcome.reorder = {}
         outcome.bdd_nodes = 0
         outcome.bdd_variables = 0
         return outcome, True
-    manager = pool.acquire(scenario.order_signature()) if scenario.needs_manager() else None
+    if not scenario.needs_manager():
+        manager = None
+    elif scenario.relational is not None and scenario.relational.reorders:
+        # A scenario that may reorder runs on a private manager: the
+        # sifting trigger compares the table size against the policy
+        # threshold, and a pooled manager's table carries whatever
+        # earlier scenarios left in it — the trigger (and with it the
+        # counterexample don't-cares) would then depend on campaign
+        # history, breaking serial/parallel verdict parity.
+        manager = BDDManager(cache_limit=pool.cache_limit)
+    else:
+        manager = pool.acquire(scenario.order_signature())
     try:
         outcome = execute_scenario(scenario, manager=manager)
     except Exception as error:  # noqa: BLE001 - campaign isolation
@@ -99,6 +112,8 @@ def _pool_campaign_delta(
         "managers": after["managers"],
         "acquisitions": after["acquisitions"] - before["acquisitions"],
         "reuses": after["reuses"] - before["reuses"],
+        "reorder_evictions": after.get("reorder_evictions", 0)
+        - before.get("reorder_evictions", 0),
         "total_nodes": after["total_nodes"],
         "cache": {
             "hits": hits,

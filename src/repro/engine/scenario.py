@@ -27,6 +27,7 @@ from ..core.observation import ObservationSpec
 from ..core.siminfo import SimulationInfo
 from ..isa import vsm as vsm_isa
 from ..processors import SymbolicAlpha0Options
+from ..relational.policy import RelationalPolicy
 from ..strings import CONTROL, NORMAL
 
 #: Scenario kinds (which driver executes the scenario).
@@ -97,6 +98,9 @@ class Scenario:
     #: SUPERSCALAR only: encoded instruction words of the concrete program.
     program: Tuple[int, ...] = ()
     issue_width: int = 2
+    #: Relational-subsystem policy (partitioning bounds, dynamic
+    #: reordering); ``None`` leaves both features off.
+    relational: Optional[RelationalPolicy] = None
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -129,6 +133,19 @@ class Scenario:
             raise ValueError("break_event_link is only meaningful for events scenarios")
         if self.reset_cycles < 1:
             raise ValueError("at least one reset cycle is required")
+        if isinstance(self.relational, dict):
+            object.__setattr__(
+                self, "relational", RelationalPolicy.from_dict(self.relational)
+            )
+        if self.relational is not None and not isinstance(
+            self.relational, RelationalPolicy
+        ):
+            raise TypeError("relational must be a RelationalPolicy, dict or None")
+        if self.relational is not None and self.kind == SUPERSCALAR:
+            raise ValueError(
+                "superscalar scenarios run concretely (no BDD manager); "
+                "a relational policy would be silently ignored"
+            )
 
     # ------------------------------------------------------------------
     # Resolution to the core objects
@@ -190,6 +207,11 @@ class Scenario:
             self.event_slots,
             self.symbolic_initial_state,
         )
+        if self.relational is not None:
+            # A scenario that may reorder its manager mid-run must never
+            # share one with scenarios expecting the declared order (the
+            # pool additionally retires the manager once a reorder fires).
+            base = base + self.relational.pool_signature()
         if self.design == ALPHA0:
             # The instruction-class opcodes only change which stimulus bits
             # are *constants*; the free-variable set and order depend on the
@@ -234,6 +256,9 @@ class Scenario:
             "observe": list(self.observe) if self.observe is not None else None,
             "program": list(self.program),
             "issue_width": self.issue_width,
+            "relational": self.relational.to_dict()
+            if self.relational is not None
+            else None,
             "tags": list(self.tags),
         }
         if self.design == ALPHA0:
@@ -316,6 +341,12 @@ class Scenario:
         else:
             alpha0 = Alpha0Spec()
         observe = payload.get("observe")
+        relational_payload = payload.get("relational")
+        relational = (
+            RelationalPolicy.from_dict(relational_payload)
+            if relational_payload is not None
+            else None
+        )
         return cls(
             name=payload["name"],
             kind=payload.get("kind", BETA),
@@ -330,6 +361,7 @@ class Scenario:
             observe=tuple(observe) if observe is not None else None,
             program=tuple(payload.get("program", ())),
             issue_width=payload.get("issue_width", 2),
+            relational=relational,
             tags=tuple(payload.get("tags", ())),
         )
 

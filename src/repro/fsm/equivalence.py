@@ -17,7 +17,6 @@ from ..bdd import BDDNode
 from .machine import SymbolicFSM
 from .product import EQUAL_OUTPUT, build_product
 from .reachability import ReachabilityResult, reachable_states
-from .transition import build_transition_relation
 
 
 @dataclass
@@ -35,8 +34,16 @@ def check_equivalence(
     left: SymbolicFSM,
     right: SymbolicFSM,
     max_iterations: Optional[int] = None,
+    relation=None,
+    policy=None,
 ) -> EquivalenceResult:
     """Check strict input/output equivalence of two machines.
+
+    The traversal runs over the partitioned transition relation with
+    early quantification by default (see
+    :func:`~repro.fsm.reachability.reachable_states`); pass an explicit
+    monolithic ``relation`` to measure the classical baseline, or a
+    ``policy`` to tune the clustering.
 
     Returns an :class:`EquivalenceResult`; when the machines differ, the
     counterexample gives a reachable product state and an input
@@ -44,8 +51,9 @@ def check_equivalence(
     construction, though the witness input string is not reconstructed).
     """
     product = build_product(left, right)
-    relation = build_transition_relation(product)
-    reach = reachable_states(product, relation, max_iterations=max_iterations)
+    reach = reachable_states(
+        product, relation, max_iterations=max_iterations, policy=policy
+    )
     manager = product.manager
     equal = product.outputs[EQUAL_OUTPUT]
     # Outputs must agree for every reachable state and every input:

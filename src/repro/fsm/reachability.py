@@ -19,7 +19,9 @@ from typing import List, Optional
 
 from ..bdd import BDDNode
 from .machine import SymbolicFSM
-from .transition import TransitionRelation, build_transition_relation
+from .transition import build_transition_relation  # noqa: F401 (baseline route)
+
+__all__ = ["ReachabilityResult", "reachable_states"]
 
 
 @dataclass
@@ -39,11 +41,22 @@ class ReachabilityResult:
 
 def reachable_states(
     machine: SymbolicFSM,
-    relation: Optional[TransitionRelation] = None,
+    relation=None,
     input_constraint: Optional[BDDNode] = None,
     max_iterations: Optional[int] = None,
+    policy=None,
 ) -> ReachabilityResult:
     """Fixpoint of breadth-first image computation from the reset state.
+
+    ``relation`` is anything with an ``image(states, input_constraint)``
+    method: the monolithic :class:`~repro.fsm.transition.TransitionRelation`
+    (the classical build-then-smooth baseline, still constructible via
+    :func:`build_transition_relation`) or a
+    :class:`~repro.relational.ImageComputer`.  When omitted, the
+    traversal runs over the **partitioned** relation with early
+    quantification — the relational subsystem is the default image
+    engine; ``policy`` (a :class:`~repro.relational.RelationalPolicy`)
+    tunes its clustering.
 
     ``input_constraint`` limits the inputs considered at every step;
     ``max_iterations`` aborts long traversals (used by benchmarks to
@@ -52,7 +65,10 @@ def reachable_states(
     """
     manager = machine.manager
     if relation is None:
-        relation = build_transition_relation(machine)
+        from ..relational import ImageComputer
+        from ..relational import TransitionRelation as PartitionedRelation
+
+        relation = ImageComputer(PartitionedRelation.from_fsm(machine), policy=policy)
     current = machine.reset_cube()
     counts = [manager.sat_count(current, machine.state_names)]
     sizes = [manager.count_nodes(current)]

@@ -20,6 +20,7 @@ from .generators import (
     counter,
     equality_comparator,
     parity_shift_register,
+    random_netlist,
     ripple_adder,
     serial_accumulator,
     shift_register,
@@ -42,6 +43,7 @@ __all__ = [
     "evaluate_gate",
     "mux",
     "parity_shift_register",
+    "random_netlist",
     "ripple_adder",
     "serial_accumulator",
     "shift_register",

@@ -9,6 +9,7 @@ comparators, and the serially-scheduled datapath of Figure 2.
 
 from __future__ import annotations
 
+import random
 from typing import List, Sequence
 
 from .netlist import Netlist
@@ -135,6 +136,44 @@ def equality_comparator(width: int, name: str = "comparator") -> Netlist:
         terms.append(term)
     netlist.add_gate("equal", "AND", terms)
     netlist.set_outputs(["equal"])
+    return netlist
+
+
+def random_netlist(
+    seed: int,
+    num_inputs: int = 3,
+    num_latches: int = 4,
+    num_gates: int = 12,
+    name: str = "random",
+) -> Netlist:
+    """A seeded pseudo-random sequential netlist.
+
+    Used by the property tests: the relational subsystem's image
+    computation and the dynamic-reordering invariants are checked
+    against machines with no hand-designed structure.  The same seed
+    always produces the same netlist.
+    """
+    rng = random.Random(seed)
+    netlist = Netlist(f"{name}{seed}")
+    readable: List[str] = []
+    for i in range(num_inputs):
+        netlist.add_input(f"in{i}")
+        readable.append(f"in{i}")
+    for i in range(num_latches):
+        netlist.add_latch(f"state{i}", f"state{i}_next", reset_value=rng.random() < 0.5)
+        readable.append(f"state{i}")
+    gates: List[str] = []
+    for i in range(num_gates):
+        net = f"g{i}"
+        kind = rng.choice(["AND", "OR", "XOR", "XNOR", "NOT", "BUF"])
+        arity = 1 if kind in ("NOT", "BUF") else 2
+        netlist.add_gate(net, kind, [rng.choice(readable) for _ in range(arity)])
+        readable.append(net)
+        gates.append(net)
+    for i in range(num_latches):
+        netlist.add_gate(f"state{i}_next", "BUF", [rng.choice(gates)])
+    outputs = rng.sample(gates, k=min(2, len(gates)))
+    netlist.set_outputs(outputs)
     return netlist
 
 

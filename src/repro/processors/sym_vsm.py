@@ -173,6 +173,42 @@ class SymbolicUnpipelinedVSM:
         observation["retired_dest"] = self.retired_dest
         return observation
 
+    # ------------------------------------------------------------------
+    # State injection (relational subsystem protocol)
+    # ------------------------------------------------------------------
+    def state_layout(self) -> List[tuple]:
+        """Flattened architectural state as ``(field, width)`` pairs.
+
+        The unpipelined machine's symbolic state is purely architectural;
+        the fetch-stage bookkeeping (``_stage``/``_pending``) is concrete
+        scheduling metadata, so its instruction-level transition relation
+        is taken over one :meth:`execute_instruction` window.
+        """
+        layout = [(f"reg{i}", DATA_WIDTH) for i in range(NUM_REGISTERS)]
+        layout += [("pc", PC_WIDTH), ("retired_op", 3), ("retired_dest", 3)]
+        return layout
+
+    def state_formulae(self) -> Dict[str, BitVec]:
+        """Current latch contents, keyed by :meth:`state_layout` field name."""
+        state = {f"reg{i}": value for i, value in enumerate(self.registers)}
+        state["pc"] = self.pc
+        state["retired_op"] = self.retired_op
+        state["retired_dest"] = self.retired_dest
+        return state
+
+    def load_state(self, state: Dict[str, BitVec]) -> None:
+        """Overwrite every latch with caller-supplied formulae.
+
+        Used by :mod:`repro.relational.models` to drive the machine from
+        a fully symbolic state when extracting its transition relation.
+        """
+        self.registers = [state[f"reg{i}"] for i in range(NUM_REGISTERS)]
+        self.pc = state["pc"]
+        self.retired_op = state["retired_op"]
+        self.retired_dest = state["retired_dest"]
+        self._stage = 0
+        self._pending = None
+
 
 @dataclass
 class _SymFetchLatch:
@@ -345,3 +381,111 @@ class SymbolicPipelinedVSM:
         observation["retired_op"] = self.retired_op
         observation["retired_dest"] = self.retired_dest
         return observation
+
+    # ------------------------------------------------------------------
+    # State injection (relational subsystem protocol)
+    # ------------------------------------------------------------------
+    def state_layout(self) -> List[tuple]:
+        """Flattened machine state — architectural plus every pipeline latch.
+
+        Field order is the declaration order
+        :func:`repro.relational.models.pipelined_vsm_relation` uses when
+        it lays out present/next variable pairs.
+        """
+        layout = [(f"reg{i}", DATA_WIDTH) for i in range(NUM_REGISTERS)]
+        layout += [
+            ("fetch_pc", PC_WIDTH),
+            ("arch_pc", PC_WIDTH),
+            ("retired_op", 3),
+            ("retired_dest", 3),
+            ("if.word", isa.INSTRUCTION_WIDTH),
+            ("if.pc", PC_WIDTH),
+            ("if.valid", 1),
+            ("id.opcode", 3),
+            ("id.lit", 1),
+            ("id.ra", 3),
+            ("id.rb", 3),
+            ("id.rc", 3),
+            ("id.pc", PC_WIDTH),
+            ("id.a", DATA_WIDTH),
+            ("id.b", DATA_WIDTH),
+            ("id.valid", 1),
+            ("ex.dest", 3),
+            ("ex.value", DATA_WIDTH),
+            ("ex.opcode", 3),
+            ("ex.pc", PC_WIDTH),
+            ("ex.valid", 1),
+        ]
+        return layout
+
+    def state_formulae(self) -> Dict[str, BitVec]:
+        """Current latch contents, keyed by :meth:`state_layout` field name.
+
+        Single-bit control signals are wrapped as 1-wide BitVecs so every
+        field has a uniform shape.
+        """
+        manager = self.manager
+        one_bit = lambda node: BitVec.from_bits(manager, [node])  # noqa: E731
+        state = {f"reg{i}": value for i, value in enumerate(self.registers)}
+        state.update(
+            {
+                "fetch_pc": self.fetch_pc,
+                "arch_pc": self.arch_pc,
+                "retired_op": self.retired_op,
+                "retired_dest": self.retired_dest,
+                "if.word": self.if_id.word,
+                "if.pc": self.if_id.pc,
+                "if.valid": one_bit(self.if_id.valid),
+                "id.opcode": self.id_ex.fields.opcode,
+                "id.lit": one_bit(self.id_ex.fields.literal_flag),
+                "id.ra": self.id_ex.fields.ra,
+                "id.rb": self.id_ex.fields.rb,
+                "id.rc": self.id_ex.fields.rc,
+                "id.pc": self.id_ex.pc,
+                "id.a": self.id_ex.operand_a,
+                "id.b": self.id_ex.operand_b,
+                "id.valid": one_bit(self.id_ex.valid),
+                "ex.dest": self.ex_wb.destination,
+                "ex.value": self.ex_wb.value,
+                "ex.opcode": self.ex_wb.opcode,
+                "ex.pc": self.ex_wb.next_pc,
+                "ex.valid": one_bit(self.ex_wb.valid),
+            }
+        )
+        return state
+
+    def load_state(self, state: Dict[str, BitVec]) -> None:
+        """Overwrite every latch with caller-supplied formulae.
+
+        The inverse of :meth:`state_formulae`; used by
+        :mod:`repro.relational.models` to step the machine from a fully
+        symbolic state when extracting its per-bit transition relation.
+        """
+        self.registers = [state[f"reg{i}"] for i in range(NUM_REGISTERS)]
+        self.fetch_pc = state["fetch_pc"]
+        self.arch_pc = state["arch_pc"]
+        self.retired_op = state["retired_op"]
+        self.retired_dest = state["retired_dest"]
+        self.if_id = _SymFetchLatch(
+            word=state["if.word"], pc=state["if.pc"], valid=state["if.valid"][0]
+        )
+        self.id_ex = _SymDecodeLatch(
+            fields=DecodedFields(
+                opcode=state["id.opcode"],
+                literal_flag=state["id.lit"][0],
+                ra=state["id.ra"],
+                rb=state["id.rb"],
+                rc=state["id.rc"],
+            ),
+            pc=state["id.pc"],
+            operand_a=state["id.a"],
+            operand_b=state["id.b"],
+            valid=state["id.valid"][0],
+        )
+        self.ex_wb = _SymExecuteLatch(
+            destination=state["ex.dest"],
+            value=state["ex.value"],
+            opcode=state["ex.opcode"],
+            next_pc=state["ex.pc"],
+            valid=state["ex.valid"][0],
+        )

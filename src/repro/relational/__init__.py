@@ -1,0 +1,55 @@
+"""Partitioned transition relations, early quantification, image computation.
+
+The relational subsystem attacks the cost centre named in ROADMAP.md:
+smoothing (existential quantification) out of one monolithic
+conjunction.  It is layered:
+
+* :mod:`repro.relational.relation` — :class:`TransitionRelation`, the
+  relation kept as per-bit conjuncts instead of one BDD;
+* :mod:`repro.relational.partition` — :class:`ConjunctivePartition`,
+  greedy bounded clustering of the conjuncts;
+* :mod:`repro.relational.schedule` — :class:`QuantificationSchedule`,
+  cluster ordering plus earliest-dead-point smoothing sets;
+* :mod:`repro.relational.image` — :class:`ImageComputer`, the scheduled
+  relational product (with the monolithic baseline kept for
+  measurement), and :func:`smooth_conjunction`, the generic
+  build-then-smooth replacement;
+* :mod:`repro.relational.models` — per-bit relation extraction from the
+  symbolic processor models;
+* :mod:`repro.relational.policy` — :class:`RelationalPolicy`, the pure-
+  data knob bundle that campaign :class:`~repro.engine.scenario.Scenario`
+  objects carry.
+
+Dynamic variable reordering, the other knob the policy controls, lives
+with the BDD substrate in :mod:`repro.bdd.reorder`.
+"""
+
+from .image import ImageComputer, ImageStats, smooth_conjunction
+from .models import pipelined_vsm_relation, unpipelined_vsm_relation
+from .partition import Cluster, ConjunctivePartition
+from .policy import (
+    MONOLITHIC_POLICY,
+    PARTITIONED_POLICY,
+    REORDER_MODES,
+    RelationalPolicy,
+)
+from .relation import NEXT_SUFFIX, TransitionRelation
+from .schedule import QuantificationSchedule, ScheduleStep
+
+__all__ = [
+    "Cluster",
+    "ConjunctivePartition",
+    "ImageComputer",
+    "ImageStats",
+    "MONOLITHIC_POLICY",
+    "NEXT_SUFFIX",
+    "PARTITIONED_POLICY",
+    "QuantificationSchedule",
+    "REORDER_MODES",
+    "RelationalPolicy",
+    "ScheduleStep",
+    "TransitionRelation",
+    "pipelined_vsm_relation",
+    "smooth_conjunction",
+    "unpipelined_vsm_relation",
+]

@@ -1,0 +1,128 @@
+"""Partitioned transition relations over per-bit next-state functions.
+
+The classical image computation of Section 3.3 conjoins every per-bit
+relation ``ns_i XNOR f_i(pi, ps)`` into **one** monolithic BDD and then
+smooths (existentially quantifies) the inputs and present-state
+variables out of ``relation AND frontier``.  The monolithic conjunction
+is routinely the largest BDD of the whole run — far larger than either
+the frontier or the image.
+
+This module keeps the conjunction *implicit*: a
+:class:`TransitionRelation` holds the per-bit conjuncts separately, so
+downstream layers (:mod:`repro.relational.partition`,
+:mod:`repro.relational.schedule`, :mod:`repro.relational.image`) can
+cluster them, order the clusters and interleave smoothing with the
+conjunctions — quantifying every variable at its earliest dead point
+instead of at the very end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, BDDNode
+
+#: Suffix deriving next-state variable names — shared with the monolithic
+#: route so both declare the same next-state variable family and results
+#: stay comparable on one manager.
+from ..fsm.transition import NEXT_SUFFIX  # noqa: E402
+
+
+@dataclass
+class TransitionRelation:
+    """A conjunctively partitioned transition relation A(pi, ps, ns').
+
+    ``parts[i]`` is the per-bit conjunct ``next_names[i] XNOR
+    f_i(inputs, state)``; the full relation is the (never explicitly
+    built, unless :meth:`monolithic` is asked for) conjunction of all
+    parts.
+    """
+
+    manager: BDDManager
+    parts: Tuple[BDDNode, ...]
+    input_names: Tuple[str, ...]
+    state_names: Tuple[str, ...]
+    next_names: Tuple[str, ...]
+    _monolithic: Optional[BDDNode] = field(default=None, repr=False)
+
+    @classmethod
+    def from_functions(
+        cls,
+        manager: BDDManager,
+        next_state: Mapping[str, BDDNode],
+        input_names: Sequence[str],
+        state_names: Optional[Sequence[str]] = None,
+        next_suffix: str = NEXT_SUFFIX,
+    ) -> "TransitionRelation":
+        """Build the partitioned relation from per-bit next-state functions.
+
+        ``next_state`` maps each present-state bit name to its next-state
+        function over (inputs, present state).  A next-state variable
+        ``name + next_suffix`` is declared per bit, and one conjunct
+        ``ns XNOR f`` is formed — the parts are *not* conjoined.
+        """
+        if state_names is None:
+            state_names = tuple(next_state)
+        parts = []
+        next_names = []
+        for name in state_names:
+            next_name = name + next_suffix
+            next_names.append(next_name)
+            parts.append(
+                manager.apply_xnor(manager.var(next_name), next_state[name])
+            )
+        return cls(
+            manager=manager,
+            parts=tuple(parts),
+            input_names=tuple(input_names),
+            state_names=tuple(state_names),
+            next_names=tuple(next_names),
+        )
+
+    @classmethod
+    def from_fsm(cls, machine) -> "TransitionRelation":
+        """Partitioned relation of a :class:`~repro.fsm.machine.SymbolicFSM`."""
+        return cls.from_functions(
+            machine.manager,
+            machine.next_state,
+            input_names=machine.input_names,
+            state_names=machine.state_names,
+        )
+
+    # ------------------------------------------------------------------
+    # Variable bookkeeping
+    # ------------------------------------------------------------------
+    @property
+    def next_of(self) -> Dict[str, str]:
+        """Present-state variable -> next-state variable."""
+        return dict(zip(self.state_names, self.next_names))
+
+    @property
+    def present_of(self) -> Dict[str, str]:
+        """Next-state variable -> present-state variable."""
+        return dict(zip(self.next_names, self.state_names))
+
+    def part_supports(self) -> Tuple[Tuple[str, ...], ...]:
+        """Support (variable names) of every conjunct, in part order."""
+        return tuple(self.manager.support(part) for part in self.parts)
+
+    # ------------------------------------------------------------------
+    # The monolithic baseline
+    # ------------------------------------------------------------------
+    def monolithic(self) -> BDDNode:
+        """The full conjunction of all parts (the build-then-smooth BDD).
+
+        Built on first use and cached; this is the object whose size the
+        partitioned path exists to avoid.
+        """
+        if self._monolithic is None:
+            self._monolithic = self.manager.conjoin(self.parts)
+        return self._monolithic
+
+    def monolithic_node_count(self) -> int:
+        """Size of the monolithic conjunction (forces building it)."""
+        return self.manager.count_nodes(self.monolithic())
+
+    def __len__(self) -> int:
+        return len(self.parts)

@@ -1,0 +1,138 @@
+"""Early-quantification scheduling over a conjunctive partition.
+
+Existential quantification distributes over a conjunction for every
+variable that the remaining conjuncts do not mention:
+
+    exists v . (f AND g)  =  (exists v . f) AND g      when v not in g
+
+so during the relational product each variable can be smoothed out at
+its **earliest dead point** — immediately after the last cluster whose
+support contains it has been conjoined — instead of at the very end.
+A :class:`QuantificationSchedule` fixes the cluster order and records,
+per step, exactly which variables die there; the
+:class:`~repro.relational.image.ImageComputer` then interleaves
+``and_exists`` calls along the schedule.
+
+The cluster order is chosen greedily: at every step the candidate that
+retires the most quantifiable variables (tie-break: introduces the
+fewest new variables) is scheduled next — the standard lifetime-
+minimising heuristic of partitioned-relation traversal.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Set, Tuple
+
+from .partition import Cluster, ConjunctivePartition
+
+
+@dataclass
+class ScheduleStep:
+    """One conjunction step plus the variables quantified right after it."""
+
+    cluster: Cluster
+    quantify: Tuple[str, ...]
+
+
+@dataclass
+class QuantificationSchedule:
+    """An ordered relational product with per-step smoothing sets."""
+
+    steps: List[ScheduleStep]
+    #: Quantifiable variables no cluster mentions: smoothed out of the
+    #: frontier before the product starts (their earliest dead point).
+    pre_quantify: Tuple[str, ...]
+    quantify: FrozenSet[str]
+
+    @classmethod
+    def build(
+        cls,
+        partition: ConjunctivePartition,
+        quantify: Iterable[str],
+        keep: Iterable[str] = (),
+    ) -> "QuantificationSchedule":
+        """Order the clusters and place each variable's quantification.
+
+        ``quantify`` lists the variables to smooth out; ``keep`` marks
+        variables that must survive even if they look dead (defensive —
+        a variable may be in both, ``keep`` wins).
+        """
+        keep_set = frozenset(keep)
+        quantifiable = frozenset(quantify) - keep_set
+
+        remaining: List[int] = list(range(len(partition.clusters)))
+        supports = [cluster.support for cluster in partition.clusters]
+        ordered: List[int] = []
+        introduced: Set[str] = set()
+        while remaining:
+            # How many remaining clusters mention each variable: a
+            # quantifiable variable with count 1 dies with the single
+            # cluster that carries it.
+            occurrences: dict = {}
+            for position in remaining:
+                for name in supports[position]:
+                    occurrences[name] = occurrences.get(name, 0) + 1
+            best_index = None
+            best_score = None
+            for position in remaining:
+                support = supports[position]
+                dead = sum(
+                    1
+                    for name in support
+                    if name in quantifiable and occurrences[name] == 1
+                )
+                intro = len(support - introduced)
+                score = (dead, -intro, -position)
+                if best_score is None or score > best_score:
+                    best_score = score
+                    best_index = position
+            ordered.append(best_index)
+            introduced |= supports[best_index]
+            remaining.remove(best_index)
+
+        # A variable dies right after the last scheduled cluster that
+        # mentions it; variables mentioned by no cluster die before step 0.
+        last_seen = {}
+        for step_number, position in enumerate(ordered):
+            for name in supports[position] & quantifiable:
+                last_seen[name] = step_number
+        steps = []
+        for step_number, position in enumerate(ordered):
+            dead_here = tuple(
+                sorted(
+                    name
+                    for name, last in last_seen.items()
+                    if last == step_number
+                )
+            )
+            steps.append(
+                ScheduleStep(cluster=partition.clusters[position], quantify=dead_here)
+            )
+        pre = tuple(sorted(quantifiable - set(last_seen)))
+        return cls(steps=steps, pre_quantify=pre, quantify=quantifiable)
+
+    # ------------------------------------------------------------------
+    def scheduled_variables(self) -> FrozenSet[str]:
+        """Every variable the schedule quantifies somewhere (sanity check)."""
+        names: Set[str] = set(self.pre_quantify)
+        for step in self.steps:
+            names.update(step.quantify)
+        return frozenset(names)
+
+    def validate(self) -> None:
+        """Assert that each quantifiable variable dies exactly once."""
+        seen: Set[str] = set(self.pre_quantify)
+        if len(self.pre_quantify) != len(set(self.pre_quantify)):
+            raise AssertionError("duplicate names in pre_quantify")
+        for step in self.steps:
+            for name in step.quantify:
+                if name in seen:
+                    raise AssertionError(f"{name!r} quantified twice")
+                seen.add(name)
+        if seen != set(self.quantify):
+            missing = set(self.quantify) - seen
+            raise AssertionError(f"variables never quantified: {sorted(missing)}")
+
+    def __len__(self) -> int:
+        return len(self.steps)

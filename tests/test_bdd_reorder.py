@@ -1,0 +1,227 @@
+"""Dynamic-reordering invariants: sifting must never change semantics.
+
+Every function held by a caller must denote the same minterm set before
+and after any sequence of level swaps, and canonicity (node identity as
+the equivalence check) must survive: rebuilding a function under the
+new order finds the *same* node object.
+"""
+
+import itertools
+import random
+
+import pytest
+
+from repro.bdd import (
+    BDDManager,
+    converge_sift,
+    sift_to_order,
+    sift_variable,
+    swap_adjacent,
+)
+
+NUM_VARS = 6
+
+
+def random_functions(manager, names, seed, count=4):
+    rng = random.Random(seed)
+
+    def build(depth=0):
+        if depth > 3 or rng.random() < 0.2:
+            if rng.random() < 0.8:
+                return manager.var(rng.choice(names))
+            return manager.constant(rng.random() < 0.5)
+        op = rng.choice(
+            [manager.apply_and, manager.apply_or, manager.apply_xor]
+        )
+        return op(build(depth + 1), build(depth + 1))
+
+    return [build() for _ in range(count)]
+
+
+def minterms(manager, names, function):
+    """The function's satisfying assignments over ``names`` (name-keyed)."""
+    return frozenset(
+        bits
+        for bits in itertools.product([False, True], repeat=len(names))
+        if manager.evaluate(function, dict(zip(names, bits)))
+    )
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_random_swaps_preserve_minterm_sets(seed):
+    manager = BDDManager()
+    names = [f"v{i}" for i in range(NUM_VARS)]
+    manager.declare_all(names)
+    functions = random_functions(manager, names, seed)
+    before = [minterms(manager, names, f) for f in functions]
+    rng = random.Random(seed + 99)
+    for _ in range(25):
+        swap_adjacent(manager, rng.randrange(NUM_VARS - 1))
+    assert [minterms(manager, names, f) for f in functions] == before
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_sifting_preserves_minterm_sets_and_canonicity(seed):
+    manager = BDDManager()
+    names = [f"v{i}" for i in range(NUM_VARS)]
+    manager.declare_all(names)
+    functions = random_functions(manager, names, seed)
+    before = [minterms(manager, names, f) for f in functions]
+    result = converge_sift(manager, roots=functions, max_passes=3)
+    assert result.final_size <= result.initial_size
+    assert [minterms(manager, names, f) for f in functions] == before
+    # Canonicity: rebuilding an equivalent function under the new order
+    # must return the very same node object.
+    rebuilt = manager.apply_or(
+        manager.apply_and(functions[0], functions[1]),
+        manager.apply_and(functions[0], functions[1]),
+    )
+    assert rebuilt is manager.apply_and(functions[0], functions[1])
+    # And the manager's order bookkeeping stays consistent.
+    assert sorted(manager.variables) == sorted(names)
+    for name in names:
+        assert manager.name_at_level(manager.level(name)) == name
+
+
+def test_sift_to_order_reaches_requested_order():
+    manager = BDDManager()
+    names = [f"v{i}" for i in range(NUM_VARS)]
+    manager.declare_all(names)
+    functions = random_functions(manager, names, 42)
+    before = [minterms(manager, names, f) for f in functions]
+    target = list(reversed(names))
+    sift_to_order(manager, target)
+    assert manager.variables == tuple(target)
+    assert [minterms(manager, names, f) for f in functions] == before
+    with pytest.raises(ValueError):
+        sift_to_order(manager, names[:-1])
+
+
+def test_sifting_shrinks_badly_ordered_comparator():
+    """The classic win: a block-ordered equality comparator re-interleaves."""
+    width = 6
+    manager = BDDManager(
+        [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    )
+    function = manager.one
+    for i in range(width):
+        function = manager.apply_and(
+            function, manager.apply_xnor(manager.var(f"a{i}"), manager.var(f"b{i}"))
+        )
+    block_order_size = manager.count_nodes(function)
+    result = converge_sift(manager, roots=[function], max_passes=4)
+    interleaved_size = manager.count_nodes(function)
+    assert interleaved_size < block_order_size
+    assert interleaved_size == 3 * width + 2  # the optimal interleaved size
+    assert result.improved
+
+
+def test_single_variable_sift():
+    manager = BDDManager(["a0", "a1", "b0", "b1"])
+    f = manager.apply_and(
+        manager.apply_xnor(manager.var("a0"), manager.var("b0")),
+        manager.apply_xnor(manager.var("a1"), manager.var("b1")),
+    )
+    before = minterms(manager, ["a0", "a1", "b0", "b1"], f)
+    result = sift_variable(manager, "b0", roots=[f])
+    assert result.final_size <= result.initial_size
+    assert minterms(manager, ["a0", "a1", "b0", "b1"], f) == before
+
+
+def test_swap_rejects_bad_level():
+    manager = BDDManager(["x", "y"])
+    with pytest.raises(ValueError):
+        swap_adjacent(manager, 1)
+    with pytest.raises(ValueError):
+        swap_adjacent(manager, -1)
+
+
+def test_reorder_hooks_fire_and_caches_clear():
+    manager = BDDManager(["x", "y", "z"])
+    f = manager.apply_and(manager.var("x"), manager.var("y"))
+    manager.exists(["y"], f)  # populate the quantify cache
+    assert manager.cache_size() > 0
+    events = []
+    hook = events.append
+    manager.add_reorder_hook(hook)
+    swap_adjacent(manager, 0)
+    assert events == [manager]
+    assert manager.reorder_count == 1
+    assert manager.cache_size() == 0  # order-dependent caches dropped
+    manager.remove_reorder_hook(hook)
+    swap_adjacent(manager, 0)
+    assert events == [manager]
+    assert manager.reorder_count == 2
+    manager.remove_reorder_hook(hook)  # absent hook: no-op
+
+
+def test_manager_sift_convenience():
+    manager = BDDManager(
+        [f"a{i}" for i in range(4)] + [f"b{i}" for i in range(4)]
+    )
+    f = manager.one
+    for i in range(4):
+        f = manager.apply_and(
+            f, manager.apply_xnor(manager.var(f"a{i}"), manager.var(f"b{i}"))
+        )
+    result = manager.sift(roots=[f])
+    assert result.final_size <= result.initial_size
+    assert manager.count_nodes(f) == 3 * 4 + 2
+
+
+def test_sifting_table_growth_is_bounded():
+    """The session sweep reclaims swap garbage (no exponential table)."""
+    width = 8
+    manager = BDDManager(
+        [f"a{i}" for i in range(width)] + [f"b{i}" for i in range(width)]
+    )
+    f = manager.one
+    for i in range(width):
+        f = manager.apply_and(
+            f, manager.apply_xnor(manager.var(f"a{i}"), manager.var(f"b{i}"))
+        )
+    table_before = manager.size()
+    converge_sift(manager, roots=[f], max_passes=4)
+    # Without the sweep this explodes past a million nodes.
+    assert manager.size() < 4 * table_before
+
+
+class TestDeepQuantification:
+    """Satellite: _quantify must survive BDDs deeper than the recursion limit."""
+
+    DEPTH = 3000
+
+    def deep_cube(self, manager, names):
+        """AND of thousands of literals, built bottom-up (no recursion)."""
+        node = manager.one
+        for level in range(len(names) - 1, -1, -1):
+            node = manager._mk(level, manager.zero, node)
+        return node
+
+    def test_exists_on_deep_cube(self):
+        names = [f"x{i}" for i in range(self.DEPTH)]
+        manager = BDDManager(names)
+        cube = self.deep_cube(manager, names)
+        # Quantify every other variable out of a 3000-deep conjunction;
+        # the recursive implementation would exhaust CPython's stack.
+        quantified = manager.exists(names[1::2], cube)
+        expected = manager.one
+        for level in range(self.DEPTH - 2, -1, -2):
+            expected = manager._mk(level, manager.zero, expected)
+        assert quantified is expected
+
+    def test_forall_on_deep_cube(self):
+        names = [f"x{i}" for i in range(self.DEPTH)]
+        manager = BDDManager(names)
+        cube = self.deep_cube(manager, names)
+        # For a cube, forall over any variable collapses to zero.
+        assert manager.forall([names[17]], cube) is manager.zero
+
+    def test_deep_quantify_respects_cache_limit(self):
+        names = [f"x{i}" for i in range(self.DEPTH)]
+        manager = BDDManager(names, cache_limit=64)
+        cube = self.deep_cube(manager, names)
+        quantified = manager.exists(names[1::2], cube)
+        assert quantified is not manager.zero
+        stats = manager.cache_statistics()
+        assert stats["clears"] > 0  # evictions happened mid-computation
