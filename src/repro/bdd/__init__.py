@@ -32,6 +32,7 @@ from .ordering import (
 from .reorder import (
     SiftResult,
     converge_sift,
+    live_size,
     sift_to_order,
     sift_variable,
     swap_adjacent,
@@ -57,6 +58,7 @@ __all__ = [
     "first_use_order",
     "int_to_bits",
     "interleave",
+    "live_size",
     "restrict_vector",
     "state_then_inputs",
     "vector_equal",

@@ -62,6 +62,12 @@ class BDDManager:
         self._level_of: Dict[str, int] = {}
         self._name_of: List[str] = []
         self._unique: Dict[Tuple[int, int, int], BDDNode] = {}
+        #: Per-level node index: level -> {node_id: node} for every live
+        #: non-terminal node.  Maintained on allocation (:meth:`_mk`),
+        #: reorder sweeps and level swaps (:mod:`repro.bdd.reorder`), so
+        #: a level swap touches only the two affected levels' populations
+        #: instead of scanning the whole unique table.
+        self._level_index: Dict[int, Dict[int, BDDNode]] = {}
         self._ite_cache: Dict[Tuple[int, int, int], BDDNode] = {}
         self._quant_cache: Dict[Tuple[str, int, frozenset], BDDNode] = {}
         self._cache_limit = cache_limit
@@ -114,6 +120,42 @@ class BDDManager:
         return len(self._name_of)
 
     # ------------------------------------------------------------------
+    # Per-level node index
+    # ------------------------------------------------------------------
+    def nodes_at_level(self, level: int) -> List[BDDNode]:
+        """Live non-terminal nodes currently testing the variable at ``level``.
+
+        Served from the per-level index in O(population) — no unique-table
+        scan — which is what makes engine-scale sifting affordable: an
+        adjacent level swap reads exactly the two levels it touches.
+        """
+        bucket = self._level_index.get(level)
+        return list(bucket.values()) if bucket else []
+
+    def level_population(self) -> Dict[int, int]:
+        """Node count per level (only levels with at least one node)."""
+        return {
+            level: len(bucket)
+            for level, bucket in self._level_index.items()
+            if bucket
+        }
+
+    def _index_discard(self, node: BDDNode) -> None:
+        """Drop one node from the per-level index (reorder sweep support)."""
+        bucket = self._level_index.get(node.level)
+        if bucket is not None:
+            bucket.pop(node.node_id, None)
+
+    def _index_set_level(self, level: int, nodes: Iterable[BDDNode]) -> None:
+        """Replace one level's index bucket (level-swap support).
+
+        Callers (:mod:`repro.bdd.reorder`) must pass exactly the live
+        nodes now testing ``level``; nodes subsequently hash-consed at
+        this level by :meth:`_mk` keep being added incrementally.
+        """
+        self._level_index[level] = {node.node_id: node for node in nodes}
+
+    # ------------------------------------------------------------------
     # Dynamic reordering support (see repro.bdd.reorder)
     # ------------------------------------------------------------------
     def add_reorder_hook(self, hook: Callable[["BDDManager"], None]) -> None:
@@ -160,6 +202,7 @@ class BDDManager:
         converge: bool = True,
         max_passes: int = 4,
         max_variables: Optional[int] = None,
+        max_excursion: Optional[int] = None,
     ):
         """Dynamically reorder this manager's variables by Rudell sifting.
 
@@ -168,9 +211,10 @@ class BDDManager:
         the caller still cares about — make the size metric exact; without
         them the unique-table size (which includes dead intermediate
         nodes) is used.  ``max_variables`` bounds how many variables each
-        pass sifts (the time budget on big tables; every swap costs time
-        proportional to the two levels' populations).  Returns the
-        :class:`~repro.bdd.reorder.SiftResult`.
+        pass sifts and ``max_excursion`` how many levels each travels
+        (the time budgets on big tables; swaps themselves are served by
+        the per-level node index, so the metric traversal dominates).
+        Returns the :class:`~repro.bdd.reorder.SiftResult`.
         """
         from .reorder import converge_sift
 
@@ -179,6 +223,7 @@ class BDDManager:
             roots=roots,
             max_passes=max_passes if converge else 1,
             max_variables=max_variables,
+            max_excursion=max_excursion,
         )
 
     # ------------------------------------------------------------------
@@ -194,6 +239,10 @@ class BDDManager:
             node = BDDNode(level, low, high, None, self._next_id)
             self._next_id += 1
             self._unique[key] = node
+            bucket = self._level_index.get(level)
+            if bucket is None:
+                bucket = self._level_index[level] = {}
+            bucket[node.node_id] = node
         return node
 
     def constant(self, value: bool) -> BDDNode:

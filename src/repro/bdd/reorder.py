@@ -41,8 +41,13 @@ from .manager import BDDManager
 from .node import BDDNode
 
 
-def _live_size(manager: BDDManager, roots: Sequence[BDDNode]) -> int:
-    """Number of distinct nodes reachable from ``roots`` (iterative DFS)."""
+def live_size(manager: BDDManager, roots: Sequence[BDDNode]) -> int:
+    """Number of distinct nodes reachable from ``roots`` (iterative DFS).
+
+    This is sifting's exact size metric; callers budgeting a sift (the
+    campaign executor) use it once up front to decide whether the exact
+    metric is affordable at all.
+    """
     seen: Set[int] = set()
     stack = list(roots)
     while stack:
@@ -56,17 +61,16 @@ def _live_size(manager: BDDManager, roots: Sequence[BDDNode]) -> int:
     return len(seen)
 
 
-def _swap_indexed(
-    manager: BDDManager,
-    level: int,
-    x_nodes: List[BDDNode],
-    y_nodes: List[BDDNode],
-) -> Tuple[List[BDDNode], List[BDDNode]]:
-    """Swap the variables at ``level``/``level + 1`` given their node lists.
+def _swap_levels(manager: BDDManager, level: int) -> bool:
+    """Swap the variables at ``level``/``level + 1`` in place.
 
-    Returns the node lists of the two levels *after* the swap, so a
-    caller sifting one variable across the order can keep a per-level
-    index instead of rescanning the unique table before every swap.
+    The two levels' node lists come from the manager's own per-level
+    index (maintained on allocation, sweep and swap), so the cost of a
+    swap is proportional to the two levels' populations — never to the
+    whole unique table.  Returns whether any node was *rebuilt*: a swap
+    that only relabelled levels (no ``x`` node depended on ``y``) cannot
+    change any size metric, which lets sifting skip the per-swap size
+    traversal on the — typically dominant — non-interacting steps.
 
     Let ``x`` be the variable at ``level`` and ``y`` the one below it:
 
@@ -80,6 +84,8 @@ def _swap_indexed(
       reference to ``f`` stays valid.
     """
     unique = manager._unique
+    x_nodes = manager.nodes_at_level(level)
+    y_nodes = manager.nodes_at_level(level + 1)
 
     # Plan the rebuilds against the *old* structure before any relabelling.
     y_ids = {node.node_id for node in y_nodes}
@@ -110,23 +116,20 @@ def _swap_indexed(
     for node in independent:
         node.level = level + 1
         unique[(level + 1, node.low.node_id, node.high.node_id)] = node
+    # Re-bucket the per-level index before the rebuilds: nodes the
+    # rebuild loop hash-conses at ``level + 1`` are appended to the new
+    # bucket incrementally by ``_mk``.
+    manager._index_set_level(level, y_nodes)
+    manager._index_set_level(level + 1, independent)
     # Dependent x-nodes are rebuilt in place; their new children at
     # ``level + 1`` test x and are hash-consed against the re-keyed table.
-    created: List[BDDNode] = []
-
-    def child(low: BDDNode, high: BDDNode) -> BDDNode:
-        mark = manager._next_id
-        node = manager._mk(level + 1, low, high)
-        if node.node_id >= mark:
-            created.append(node)
-        return node
-
     for node, f00, f01, f10, f11 in rebuilds:
-        new_low = child(f00, f10)
-        new_high = child(f01, f11)
+        new_low = manager._mk(level + 1, f00, f10)
+        new_high = manager._mk(level + 1, f01, f11)
         node.low = new_low
         node.high = new_high
         unique[(level, new_low.node_id, new_high.node_id)] = node
+        manager._level_index[level][node.node_id] = node
 
     # Exchange the variable names and levels.
     names = manager._name_of
@@ -135,23 +138,21 @@ def _swap_indexed(
     manager._level_of[names[level + 1]] = level + 1
 
     manager._note_order_change()
-    return y_nodes + [entry[0] for entry in rebuilds], independent + created
+    return bool(rebuilds)
 
 
 def swap_adjacent(manager: BDDManager, level: int) -> None:
     """Exchange the variables at ``level`` and ``level + 1`` in place.
 
-    The standalone reordering primitive: scans the unique table for the
-    two levels' nodes and performs the indexed swap.  All affected
-    unique-table entries are re-keyed, the operation caches are dropped
-    and the manager's reorder hooks fire.
+    The standalone reordering primitive, served entirely from the
+    manager's per-level node index.  All affected unique-table entries
+    are re-keyed, the operation caches are dropped and the manager's
+    reorder hooks fire.
     """
     num = manager.num_vars()
     if not 0 <= level < num - 1:
         raise ValueError(f"cannot swap levels {level} and {level + 1} of {num} variables")
-    x_nodes = [node for node in manager._unique.values() if node.level == level]
-    y_nodes = [node for node in manager._unique.values() if node.level == level + 1]
-    _swap_indexed(manager, level, x_nodes, y_nodes)
+    _swap_levels(manager, level)
 
 
 @dataclass
@@ -181,7 +182,12 @@ class SiftResult:
 
 
 class _Sifter:
-    """Per-level node index plus size metric, swap accounting and cleanup.
+    """Size metric, swap accounting and session cleanup for sifting.
+
+    The per-level node lists live on the manager itself
+    (:meth:`BDDManager.nodes_at_level`), updated by every allocation,
+    swap and sweep, so the sifter no longer scans the unique table — not
+    at construction and not per swap.
 
     Without reference counting, every rebuild leaves the node it replaced
     in the unique table, and repeated excursions rebuild that garbage
@@ -199,9 +205,21 @@ class _Sifter:
         self.roots: Optional[List[BDDNode]] = list(roots) if roots is not None else None
         self.swaps = 0
         self.session_floor = manager._next_id
-        self.index: Dict[int, List[BDDNode]] = {}
-        for node in manager._unique.values():
-            self.index.setdefault(node.level, []).append(node)
+        self._allocated_at_sweep = manager._next_id
+
+    def maybe_sweep(self) -> int:
+        """Sweep only once enough session nodes piled up to matter.
+
+        The mark phase scans the whole table, so sweeping after every
+        sifted variable costs O(table) x variables even when the
+        excursions rebuilt almost nothing.  Deferring until the session
+        allocated a table-relative amount of garbage keeps the
+        compounding in check at a fraction of the price.
+        """
+        allocated = self.manager._next_id - self._allocated_at_sweep
+        if allocated <= max(1024, len(self.manager._unique) // 8):
+            return 0
+        return self.sweep()
 
     def sweep(self) -> int:
         """Reclaim dead session-created nodes; return how many were dropped."""
@@ -227,84 +245,101 @@ class _Sifter:
             if node.node_id >= floor and node.node_id not in marked
         ]
         if not dead:
+            self._allocated_at_sweep = self.manager._next_id
             return 0
-        for key, _ in dead:
+        for key, node in dead:
             del unique[key]
-        dead_ids = {node.node_id for _, node in dead}
-        for level, nodes in self.index.items():
-            self.index[level] = [
-                node for node in nodes if node.node_id not in dead_ids
-            ]
+            self.manager._index_discard(node)
+        self._allocated_at_sweep = self.manager._next_id
         return len(dead)
 
     def size(self) -> int:
         if self.roots is not None:
-            return _live_size(self.manager, self.roots)
+            return live_size(self.manager, self.roots)
         return len(self.manager._unique)
 
     def population(self) -> Dict[int, int]:
         """Node count per level (live when roots are known, table otherwise)."""
+        if self.roots is None:
+            return self.manager.level_population()
         counts: Dict[int, int] = {}
-        if self.roots is not None:
-            seen: Set[int] = set()
-            stack = list(self.roots)
-            while stack:
-                node = stack.pop()
-                if node.node_id in seen or node.is_terminal:
-                    continue
-                seen.add(node.node_id)
-                counts[node.level] = counts.get(node.level, 0) + 1
-                stack.append(node.low)
-                stack.append(node.high)
-        else:
-            for level, nodes in self.index.items():
-                counts[level] = len(nodes)
+        seen: Set[int] = set()
+        stack = list(self.roots)
+        while stack:
+            node = stack.pop()
+            if node.node_id in seen or node.is_terminal:
+                continue
+            seen.add(node.node_id)
+            counts[node.level] = counts.get(node.level, 0) + 1
+            stack.append(node.low)
+            stack.append(node.high)
         return counts
 
-    def swap(self, level: int) -> None:
-        at_level, below = _swap_indexed(
-            self.manager,
-            level,
-            self.index.get(level, []),
-            self.index.get(level + 1, []),
-        )
-        self.index[level] = at_level
-        self.index[level + 1] = below
+    def swap(self, level: int) -> bool:
+        """Swap two levels; returns whether any node was rebuilt."""
+        rebuilt = _swap_levels(self.manager, level)
         self.swaps += 1
+        return rebuilt
 
-    def sift_variable(self, name: str) -> int:
-        """Move ``name`` to its locally optimal level; return the best size."""
+    def sift_variable(self, name: str, max_excursion: Optional[int] = None) -> int:
+        """Move ``name`` to its locally optimal level; return the best size.
+
+        ``max_excursion`` bounds how many levels the variable travels in
+        each direction (Rudell's bounded-distance sifting): the per-swap
+        cost is small thanks to the manager's per-level index, but the
+        size *metric* costs a live-node traversal per swap, so the
+        excursion length is the remaining time knob for sifting inside
+        fast verification runs.  ``None`` keeps the classic full
+        excursion.
+        """
         manager = self.manager
         num = manager.num_vars()
         position = manager.level(name)
-        best_size = self.size()
+        if max_excursion is not None and max_excursion < 1:
+            raise ValueError("max_excursion must be a positive integer or None")
+        down_limit = num - 1
+        up_limit = 0
+        if max_excursion is not None:
+            down_limit = min(num - 1, position + max_excursion)
+            up_limit = max(0, position - max_excursion)
+        size = best_size = self.size()
         best_position = position
-        # Downward excursion to the bottom...
-        for level in range(position, num - 1):
-            self.swap(level)
-            size = self.size()
+        # A relabelling-only swap provably leaves every size metric
+        # unchanged, so the (comparatively expensive) metric traversal
+        # runs only after swaps that actually rebuilt nodes.
+        # Downward excursion...
+        for level in range(position, down_limit):
+            if self.swap(level):
+                size = self.size()
             if size < best_size:
                 best_size, best_position = size, level + 1
-        # ...then up through every remaining position to the top...
-        for level in range(num - 1, 0, -1):
-            self.swap(level - 1)
-            size = self.size()
+        # ...then up through every remaining position in range...
+        for level in range(down_limit, up_limit, -1):
+            if self.swap(level - 1):
+                size = self.size()
             if size < best_size:
                 best_size, best_position = size, level - 1
         # ...and settle at the best position seen.
-        for level in range(0, best_position):
+        for level in range(up_limit, best_position):
             self.swap(level)
-        self.sweep()
+        self.maybe_sweep()
         return best_size
 
 
 def sift_variable(
-    manager: BDDManager, name: str, roots: Optional[Iterable[BDDNode]] = None
+    manager: BDDManager,
+    name: str,
+    roots: Optional[Iterable[BDDNode]] = None,
+    max_excursion: Optional[int] = None,
 ) -> SiftResult:
     """Sift a single variable to its locally optimal position."""
     sifter = _Sifter(manager, roots)
     initial = sifter.size()
-    final = sifter.sift_variable(name)
+    final = sifter.sift_variable(name, max_excursion=max_excursion)
+    # The per-variable sweep is allocation-thresholded; the session end
+    # always sweeps so no dead session node outlives the sift (a later
+    # session's floor would make it uncollectable forever).
+    sifter.sweep()
     return SiftResult(
         initial_size=initial,
         final_size=final,
@@ -320,6 +355,7 @@ def converge_sift(
     roots: Optional[Iterable[BDDNode]] = None,
     max_passes: int = 4,
     max_variables: Optional[int] = None,
+    max_excursion: Optional[int] = None,
 ) -> SiftResult:
     """Rudell's converging sifting over the whole variable order.
 
@@ -327,7 +363,8 @@ def converge_sift(
     node population (the classic heuristic: fat levels first), then the
     next pass re-ranks and repeats until a pass stops improving the size
     or ``max_passes`` is exhausted.  ``max_variables`` bounds how many
-    variables each pass touches (the time budget on big orders).
+    variables each pass touches and ``max_excursion`` how far each
+    travels (the time budgets on big orders).
     """
     if max_passes < 1:
         raise ValueError("max_passes must be at least 1")
@@ -349,7 +386,7 @@ def converge_sift(
         if max_variables is not None:
             ranked = ranked[:max_variables]
         for name in ranked:
-            sifter.sift_variable(name)
+            sifter.sift_variable(name, max_excursion=max_excursion)
             sifted += 1
         size = sifter.size()
         sizes_by_pass.append(size)
@@ -363,6 +400,10 @@ def converge_sift(
     # order so the result describes the manager's actual state.
     if manager.variables != best_order:
         sifter.swaps += sift_to_order(manager, best_order)
+    # Session end always sweeps (see sift_variable): dead session nodes
+    # left behind would sit above every later session's floor, making
+    # them permanently uncollectable.
+    sifter.sweep()
     return SiftResult(
         initial_size=initial,
         final_size=sifter.size(),

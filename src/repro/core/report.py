@@ -72,6 +72,11 @@ class VerificationReport:
     #: Dynamic-reordering activity (measurement, not verdict): swap and
     #: size accounting when a relational policy sifted the manager.
     reorder: Dict[str, object] = field(default_factory=dict)
+    #: Which beta backend produced the run (measurement, not verdict):
+    #: ``compose``, ``relational``, or ``relational+fallback`` when a
+    #: refuting relational run re-derived its records classically; empty
+    #: for non-beta drivers (events), which have a single code path.
+    backend: str = ""
 
     @property
     def total_seconds(self) -> float:
@@ -110,6 +115,7 @@ class VerificationReport:
             "bdd_variables": self.bdd_variables,
             "extra": self.extra,
             "reorder": self.reorder,
+            "backend": self.backend,
         }
 
     def to_json(self) -> str:

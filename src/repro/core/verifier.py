@@ -105,11 +105,16 @@ def verify_beta_relation(
     algorithm generalised to variable ``k`` (delay slots) per Section 5.3.
     Thin adapter over :func:`repro.engine.executor.run_beta` — the
     campaign engine's code path — so standalone calls and campaign runs
-    measure identical work.  ``relational`` optionally enables dynamic
-    variable reordering between the simulation phases (a
-    :class:`~repro.relational.RelationalPolicy`); the pass/fail verdict
-    is unaffected, though a failing run's counterexample don't-care
-    bits follow the final variable order.
+    measure identical work.  By default the check runs on the relational
+    backend (:mod:`repro.relational.beta`: per-bit beta-correspondence
+    relations, cofactor-specialised products, selector-above-data
+    stimulus order); ``relational`` — a
+    :class:`~repro.relational.RelationalPolicy` — selects the classical
+    compose path (``beta_backend="compose"``) and/or dynamic variable
+    reordering between the simulation phases.  Verdicts are
+    byte-identical across backends: passing reports carry no witnesses,
+    and a refuting relational run re-derives its mismatch records on the
+    classical path.
     """
     from ..engine.executor import run_beta
 

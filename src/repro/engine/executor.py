@@ -39,7 +39,12 @@ from ..core.architectures import Architecture, VSMArchitecture
 from ..core.observation import ObservationSpec, vsm_observables
 from ..core.report import Mismatch, VerificationReport
 from ..core.siminfo import SimulationInfo
-from ..relational.policy import RelationalPolicy
+from ..relational.policy import (
+    BETA_COMPOSE,
+    BETA_RELATIONAL,
+    RelationalPolicy,
+    effective_beta_backend,
+)
 from .report import ScenarioOutcome
 from .scenario import BETA, EVENTS, SUPERSCALAR, Scenario
 
@@ -49,6 +54,17 @@ from .scenario import BETA, EVENTS, SUPERSCALAR, Scenario
 # ----------------------------------------------------------------------
 #: Sifting budget per reorder point: at most this many variables per pass.
 REORDER_MAX_VARIABLES = 8
+#: Sifting budget per variable: at most this many levels per direction.
+#: Swaps are cheap under the per-level node index; the exact (live-root)
+#: size metric is a traversal per swap, so bounding the excursion is
+#: what keeps default sifting inside the 1.2x-of-plain-run budget.
+REORDER_MAX_EXCURSION = 12
+#: Above this many live root nodes the exact size metric (one traversal
+#: per interacting swap) costs more than the verification it serves;
+#: the sift falls back to the O(1) unique-table metric, whose garbage
+#: bias stays bounded by the per-variable session sweep.  Deterministic
+#: either way, so verdict parity is unaffected.
+REORDER_EXACT_METRIC_LIMIT = 50_000
 
 
 def _maybe_reorder(
@@ -83,17 +99,22 @@ def _maybe_reorder(
         return {}
     if manager.size() < policy.reorder_threshold:
         return {}
+    from ..bdd.reorder import live_size
+
     roots = [
         bit
         for sample in samples
         for vector in sample.values()
         for bit in vector.bits
     ]
+    if roots and live_size(manager, roots) > REORDER_EXACT_METRIC_LIMIT:
+        roots = []
     started = time.perf_counter()
     result = manager.sift(
         roots=roots or None,
         converge=policy.reorder == "converge",
         max_variables=REORDER_MAX_VARIABLES,
+        max_excursion=REORDER_MAX_EXCURSION,
     )
     record = result.to_dict()
     record["phase"] = phase
@@ -150,52 +171,64 @@ def decode_counterexample(
 # ----------------------------------------------------------------------
 # Static beta-relation (paper Figure 8, Section 5.3)
 # ----------------------------------------------------------------------
-def _simulate_specification(
-    specification,
+def _drive_specification(
     plan,
     siminfo: SimulationInfo,
-    observation: ObservationSpec,
+    cycles_per_instruction: int,
+    step,
+    sample,
 ) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
-    """Run the unpipelined machine; return (samples, sample cycles, total cycles)."""
-    samples = [observation.select(specification.observe())]
+    """Drive the unpipelined machine's instruction schedule.
+
+    ``step(instruction)`` advances one instruction window;
+    ``sample()`` reads the selected observation of the current state.
+    Shared by the functional and relational beta backends so the
+    sampling schedule — and with it the verdict alignment — has exactly
+    one definition.
+    """
+    samples = [sample()]
     cycles = [siminfo.reset_cycles - 1]
     cycle = siminfo.reset_cycles - 1
     for instruction in plan.slot_instructions:
-        observed = specification.execute_instruction(instruction)
-        cycle += specification.cycles_per_instruction
-        samples.append(observation.select(observed))
+        step(instruction)
+        cycle += cycles_per_instruction
+        samples.append(sample())
         cycles.append(cycle)
-    total = siminfo.reset_cycles + specification.cycles_per_instruction * len(
-        plan.slot_instructions
-    )
+    total = siminfo.reset_cycles + cycles_per_instruction * len(plan.slot_instructions)
     return samples, cycles, total
 
 
-def _simulate_implementation(
-    implementation,
+def _drive_implementation(
+    manager: BDDManager,
     architecture: Architecture,
     plan,
     siminfo: SimulationInfo,
-    observation: ObservationSpec,
+    step,
+    sample,
 ) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
-    """Run the pipelined machine; return (samples, sample cycles, total cycles)."""
-    manager = implementation.manager
+    """Drive the pipelined machine's feeding schedule (SH2 sampling).
+
+    ``step(instruction, fetch_valid)`` advances one pipeline cycle;
+    ``sample()`` reads the selected observation of the current state
+    (called only at sampled cycles, so a relational stepper installs its
+    state lazily).  Shared by both beta backends.
+    """
     filter_values = pipelined_filter(
         architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
     )
     wanted = set(sample_cycles(filter_values))
     observations_by_cycle: Dict[int, Dict[str, BitVec]] = {}
     cycle = siminfo.reset_cycles - 1
-    observations_by_cycle[cycle] = observation.select(implementation.observe())
+    observations_by_cycle[cycle] = sample()
 
     nop = BitVec.constant(manager, 0, architecture.instruction_width)
 
     def advance(instruction: BitVec, fetch_valid) -> None:
         nonlocal cycle
-        observed = implementation.step(instruction, fetch_valid=fetch_valid)
+        step(instruction, fetch_valid)
         cycle += 1
         if cycle in wanted:
-            observations_by_cycle[cycle] = observation.select(observed)
+            observations_by_cycle[cycle] = sample()
 
     for index, instruction in enumerate(plan.slot_instructions):
         advance(instruction, manager.one)
@@ -212,6 +245,42 @@ def _simulate_implementation(
     return samples, ordered_cycles, total
 
 
+def _simulate_specification(
+    specification,
+    plan,
+    siminfo: SimulationInfo,
+    observation: ObservationSpec,
+) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
+    """Run the unpipelined machine; return (samples, sample cycles, total cycles)."""
+    return _drive_specification(
+        plan,
+        siminfo,
+        specification.cycles_per_instruction,
+        step=specification.execute_instruction,
+        sample=lambda: observation.select(specification.observe()),
+    )
+
+
+def _simulate_implementation(
+    implementation,
+    architecture: Architecture,
+    plan,
+    siminfo: SimulationInfo,
+    observation: ObservationSpec,
+) -> Tuple[List[Dict[str, BitVec]], List[int], int]:
+    """Run the pipelined machine; return (samples, sample cycles, total cycles)."""
+    return _drive_implementation(
+        implementation.manager,
+        architecture,
+        plan,
+        siminfo,
+        step=lambda instruction, fetch_valid: implementation.step(
+            instruction, fetch_valid=fetch_valid
+        ),
+        sample=lambda: observation.select(implementation.observe()),
+    )
+
+
 def run_beta(
     architecture: Architecture,
     siminfo: SimulationInfo,
@@ -225,17 +294,50 @@ def run_beta(
     This is the Figure-8 algorithm generalised to variable ``k`` (delay
     slots) per Section 5.3 — the code path behind
     :func:`repro.core.verifier.verify_beta_relation` and every BETA
-    campaign scenario.  ``relational`` optionally enables dynamic
-    variable reordering between the simulation phases (see
-    :class:`~repro.relational.RelationalPolicy`); the verdict is
-    unaffected (see :func:`_maybe_reorder` for the exact guarantee).
+    campaign scenario.  ``relational`` carries the
+    :class:`~repro.relational.RelationalPolicy` knobs: which beta
+    backend runs the check (the relational formulation by default, the
+    classical compose path as the differential opt-out — verdicts are
+    byte-identical either way, see :mod:`repro.relational.beta`) and
+    whether dynamic variable reordering runs between the simulation
+    phases (see :func:`_maybe_reorder` for the exact guarantee).
     """
-    from ..core.verifier import build_stimulus
+    from ..relational.beta import supports_state_injection
 
     manager = manager if manager is not None else BDDManager()
     observation = observation if observation is not None else architecture.observation_spec()
+    models = None
+    if effective_beta_backend(relational) == BETA_RELATIONAL:
+        models = architecture.make_models(manager, impl_kwargs=impl_kwargs)
+        if all(supports_state_injection(model) for model in models):
+            return _run_beta_relational(
+                architecture, siminfo, manager, impl_kwargs, observation, relational, models
+            )
+        # The design's models predate the state-injection protocol —
+        # fall through to the classical path on the same (still
+        # declaration-free) manager, reusing the constructed models.
+    return _run_beta_compose(
+        architecture, siminfo, manager, impl_kwargs, observation, relational, models
+    )
 
-    specification, implementation = architecture.make_models(manager, impl_kwargs=impl_kwargs)
+
+def _run_beta_compose(
+    architecture: Architecture,
+    siminfo: SimulationInfo,
+    manager: BDDManager,
+    impl_kwargs: Optional[dict],
+    observation: ObservationSpec,
+    relational: Optional[RelationalPolicy],
+    models=None,
+) -> VerificationReport:
+    """The classical beta path: functional simulation by composition."""
+    from ..core.verifier import build_stimulus
+
+    specification, implementation = (
+        models
+        if models is not None
+        else architecture.make_models(manager, impl_kwargs=impl_kwargs)
+    )
 
     # Variable-ordering note: the instruction variables act as selectors into
     # the register file, so they must sit *above* the initial-state data
@@ -264,6 +366,180 @@ def run_beta(
     )
     impl_seconds = time.perf_counter() - started
 
+    started = time.perf_counter()
+    mismatches = _compare_samples(
+        manager,
+        architecture,
+        observation,
+        plan,
+        spec_samples,
+        impl_samples,
+        spec_cycles,
+        impl_cycles,
+    )
+    comparison_seconds = time.perf_counter() - started
+
+    return _beta_report(
+        architecture,
+        siminfo,
+        manager,
+        observation,
+        plan,
+        mismatches,
+        spec_total,
+        impl_total,
+        len(spec_samples),
+        spec_seconds,
+        impl_seconds,
+        comparison_seconds,
+        reorder_record,
+        backend=BETA_COMPOSE,
+    )
+
+
+def _run_beta_relational(
+    architecture: Architecture,
+    siminfo: SimulationInfo,
+    manager: BDDManager,
+    impl_kwargs: Optional[dict],
+    observation: ObservationSpec,
+    relational: Optional[RelationalPolicy],
+    models,
+) -> VerificationReport:
+    """The relational beta backend (see :mod:`repro.relational.beta`).
+
+    ``models`` is the (specification, implementation) pair the
+    dispatcher already built and protocol-checked.
+
+    On a mismatch the classical path is re-run on a fresh manager and
+    *its* report returned: the relational backend proves or refutes the
+    relation under its own (selector-above-data) variable order, whose
+    minimal witnesses would decode to different — though equally valid —
+    counterexample bits; canonicity guarantees both backends refute
+    exactly the same (sample, observable) pairs, and the golden
+    counterexample suite pins the records down byte for byte.
+    """
+    from ..core.verifier import build_stimulus
+    from ..relational.beta import beta_stimulus_order, extract_steppers
+
+    specification, implementation = models
+
+    manager.declare_all(beta_stimulus_order(architecture, siminfo))
+    plan = build_stimulus(manager, architecture, siminfo)
+    initial_state = architecture.make_initial_state(manager)
+
+    started = time.perf_counter()
+    spec_stepper, impl_stepper = extract_steppers(
+        manager,
+        specification,
+        implementation,
+        architecture.instruction_width,
+        policy=relational,
+    )
+    extraction_seconds = time.perf_counter() - started
+    specification.reset(**initial_state)
+    implementation.reset(**initial_state)
+
+    # --- Specification: one relation step per instruction slot ---------
+    started = time.perf_counter()
+    spec_state = spec_stepper.initial_state()
+
+    def spec_step(instruction: BitVec) -> None:
+        nonlocal spec_state
+        spec_state = spec_stepper.advance(spec_state, instruction)
+
+    def spec_sample() -> Dict[str, BitVec]:
+        spec_stepper.install(spec_state)
+        return observation.select(specification.observe())
+
+    spec_samples, spec_cycles, spec_total = _drive_specification(
+        plan,
+        siminfo,
+        specification.cycles_per_instruction,
+        step=spec_step,
+        sample=spec_sample,
+    )
+    spec_seconds = time.perf_counter() - started
+
+    reorder_record = _maybe_reorder(
+        manager, relational, phase="post-specification", samples=spec_samples
+    )
+
+    # --- Implementation: one relation step per pipeline cycle ----------
+    started = time.perf_counter()
+    impl_state = impl_stepper.initial_state()
+
+    def impl_step(instruction: BitVec, fetch_valid) -> None:
+        nonlocal impl_state
+        impl_state = impl_stepper.advance(impl_state, instruction, fetch_valid)
+
+    def impl_sample() -> Dict[str, BitVec]:
+        impl_stepper.install(impl_state)
+        return observation.select(implementation.observe())
+
+    impl_samples, ordered_cycles, impl_total = _drive_implementation(
+        manager, architecture, plan, siminfo, step=impl_step, sample=impl_sample
+    )
+    impl_seconds = time.perf_counter() - started
+
+    started = time.perf_counter()
+    mismatches = _compare_samples(
+        manager,
+        architecture,
+        observation,
+        plan,
+        spec_samples,
+        impl_samples,
+        spec_cycles,
+        ordered_cycles,
+    )
+    comparison_seconds = time.perf_counter() - started
+
+    if mismatches:
+        # Witness bits follow the variable order; re-derive the records
+        # on the classical path so failing verdicts are byte-identical
+        # to the compose backend's (same mismatch set by canonicity).
+        report = _run_beta_compose(
+            architecture, siminfo, BDDManager(), impl_kwargs, observation, relational
+        )
+        report.backend = "relational+fallback"
+        return report
+
+    return _beta_report(
+        architecture,
+        siminfo,
+        manager,
+        observation,
+        plan,
+        mismatches,
+        spec_total,
+        impl_total,
+        len(spec_samples),
+        spec_seconds + extraction_seconds,
+        impl_seconds,
+        comparison_seconds,
+        reorder_record,
+        backend=BETA_RELATIONAL,
+    )
+
+
+def _compare_samples(
+    manager: BDDManager,
+    architecture: Architecture,
+    observation: ObservationSpec,
+    plan,
+    spec_samples: Sequence[Dict[str, BitVec]],
+    impl_samples: Sequence[Dict[str, BitVec]],
+    spec_cycles: Sequence[int],
+    impl_cycles: Sequence[int],
+) -> List[Mismatch]:
+    """Pairwise canonical comparison of the sampled observables.
+
+    Shared verbatim by both beta backends: the samples are canonical
+    ROBDDs of the same Boolean functions, so the mismatch *set* cannot
+    depend on the backend — only witness bits can, which is why the
+    relational backend defers failing records to the classical path.
+    """
     labelled_vectors = [
         (f"instr{index}", vector) for index, vector in enumerate(plan.slot_instructions)
     ]
@@ -272,7 +548,6 @@ def run_beta(
             (f"delay{index}.{slot}", vector) for slot, vector in enumerate(delay_list)
         )
 
-    started = time.perf_counter()
     mismatches: List[Mismatch] = []
     if len(spec_samples) != len(impl_samples):
         raise RuntimeError(
@@ -300,15 +575,32 @@ def run_beta(
                     instruction_words=words,
                 )
             )
-    comparison_seconds = time.perf_counter() - started
+    return mismatches
 
+
+def _beta_report(
+    architecture: Architecture,
+    siminfo: SimulationInfo,
+    manager: BDDManager,
+    observation: ObservationSpec,
+    plan,
+    mismatches: List[Mismatch],
+    spec_total: int,
+    impl_total: int,
+    samples_compared: int,
+    spec_seconds: float,
+    impl_seconds: float,
+    comparison_seconds: float,
+    reorder_record: Dict[str, object],
+    backend: str,
+) -> VerificationReport:
+    """Assemble the beta report (structure identical across backends)."""
     spec_filter = unpipelined_filter(
         architecture.order_k, siminfo.num_slots, siminfo.reset_cycles
     )
     impl_filter = pipelined_filter(
         architecture.order_k, siminfo.slots, architecture.delay_slots, siminfo.reset_cycles
     )
-
     return VerificationReport(
         design=architecture.name,
         passed=not mismatches,
@@ -320,7 +612,7 @@ def run_beta(
         implementation_cycles=impl_total,
         specification_filter=spec_filter,
         implementation_filter=impl_filter,
-        samples_compared=len(spec_samples),
+        samples_compared=samples_compared,
         observables_compared=len(observation),
         sequences_covered=2 ** plan.free_variable_count,
         mismatches=mismatches,
@@ -330,6 +622,7 @@ def run_beta(
         bdd_nodes=manager.size(),
         bdd_variables=manager.num_vars(),
         reorder=reorder_record,
+        backend=backend,
     )
 
 
@@ -717,4 +1010,5 @@ def _outcome_from_verification(
         bdd_nodes=report.bdd_nodes,
         bdd_variables=report.bdd_variables,
         reorder=dict(report.reorder),
+        backend=report.backend,
     )

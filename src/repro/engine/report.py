@@ -44,6 +44,10 @@ class ScenarioOutcome:
     #: Dynamic-reordering activity (measurement, not verdict): present
     #: when the scenario's relational policy sifted the manager.
     reorder: Dict[str, object] = field(default_factory=dict)
+    #: Which beta backend executed the scenario (measurement, not
+    #: verdict — verdicts are byte-identical across backends): empty for
+    #: non-beta scenarios.
+    backend: str = ""
     #: Whether the outcome was served from the campaign memo.
     memoized: bool = False
     #: Error string when the scenario raised instead of completing.
@@ -76,6 +80,7 @@ class ScenarioOutcome:
                 "bdd_variables": self.bdd_variables,
                 "cache": self.cache,
                 "reorder": self.reorder,
+                "backend": self.backend,
                 "memoized": self.memoized,
             }
         )

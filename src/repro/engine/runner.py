@@ -75,13 +75,22 @@ def _execute_pooled(
         return outcome, True
     if not scenario.needs_manager():
         manager = None
-    elif scenario.relational is not None and scenario.relational.reorders:
-        # A scenario that may reorder runs on a private manager: the
-        # sifting trigger compares the table size against the policy
+    elif (
+        scenario.relational is not None
+        and scenario.relational.reorders
+        and scenario.relational.reorder_threshold > 0
+    ):
+        # A thresholded reordering scenario runs on a private manager:
+        # the sifting trigger compares the table size against the policy
         # threshold, and a pooled manager's table carries whatever
         # earlier scenarios left in it — the trigger (and with it the
         # counterexample don't-cares) would then depend on campaign
-        # history, breaking serial/parallel verdict parity.
+        # history, breaking serial/parallel verdict parity.  With a zero
+        # threshold the trigger is unconditional and the sift metric is
+        # exact over the scenario's own sample roots, so default-sifting
+        # scenarios may share pooled managers; the pool retires each
+        # manager at its first swap (reorder_evictions), which is what
+        # keeps the next acquisition bit-identical to a fresh run.
         manager = BDDManager(cache_limit=pool.cache_limit)
     else:
         manager = pool.acquire(scenario.order_signature())

@@ -207,6 +207,14 @@ class Scenario:
             self.event_slots,
             self.symbolic_initial_state,
         )
+        if self.kind == BETA:
+            # The two beta backends declare different variable families
+            # in different orders (the relational backend pre-declares a
+            # selector-above-data stimulus order plus per-machine
+            # relation variables), so they must never share a manager.
+            from ..relational.policy import effective_beta_backend
+
+            base = base + ("beta", effective_beta_backend(self.relational))
         if self.relational is not None:
             # A scenario that may reorder its manager mid-run must never
             # share one with scenarios expecting the declared order (the

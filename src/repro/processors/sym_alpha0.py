@@ -96,6 +96,27 @@ def decode_fields(instruction: BitVec) -> DecodedAlpha0Fields:
     )
 
 
+def encode_fields(manager: BDDManager, fields: DecodedAlpha0Fields) -> BitVec:
+    """Reassemble the 32-bit word whose :func:`decode_fields` is ``fields``.
+
+    The decoded fields are overlapping slices of one word; the
+    non-redundant covering is ``rc`` (0-4), ``function`` (5-11),
+    ``literal_flag`` (12), ``literal`` (13-20, containing ``rb``),
+    ``ra`` (21-25) and ``opcode`` (26-31).  Used by the state-injection
+    protocol, whose flattened layout stores the decode latch as the
+    latched word rather than as redundant field slices.
+    """
+    bits = (
+        list(fields.rc.bits)
+        + list(fields.function.bits)
+        + [fields.literal_flag]
+        + list(fields.literal.bits)
+        + list(fields.ra.bits)
+        + list(fields.opcode.bits)
+    )
+    return BitVec.from_bits(manager, bits)
+
+
 @dataclass
 class InstructionClass:
     """One-hot symbolic classification of an instruction."""
@@ -390,6 +411,51 @@ class SymbolicUnpipelinedAlpha0(_Alpha0SymbolicBase):
         )
         self.instructions_retired += 1
 
+    # ------------------------------------------------------------------
+    # State injection (relational subsystem protocol)
+    # ------------------------------------------------------------------
+    def state_layout(self) -> List[tuple]:
+        """Flattened architectural state as ``(field, width)`` pairs."""
+        options = self.options
+        layout = [(f"reg{i}", options.data_width) for i in range(options.num_registers)]
+        layout += [(f"mem{i}", options.data_width) for i in range(options.memory_words)]
+        layout += [("pc", PC_WIDTH), ("retired_op", 6), ("retired_dest", 5)]
+        return layout
+
+    def state_formulae(self) -> Dict[str, BitVec]:
+        """Current latch contents, keyed by :meth:`state_layout` field name."""
+        state = {f"reg{i}": value for i, value in enumerate(self.registers)}
+        state.update({f"mem{i}": value for i, value in enumerate(self.memory)})
+        state["pc"] = self.pc
+        state["retired_op"] = self.retired_op
+        state["retired_dest"] = self.retired_dest
+        return state
+
+    def load_state(self, state: Dict[str, BitVec]) -> None:
+        """Overwrite every latch with caller-supplied formulae."""
+        options = self.options
+        self.registers = [state[f"reg{i}"] for i in range(options.num_registers)]
+        self.memory = [state[f"mem{i}"] for i in range(options.memory_words)]
+        self.pc = state["pc"]
+        self.retired_op = state["retired_op"]
+        self.retired_dest = state["retired_dest"]
+        self._stage = 0
+        self._pending = None
+
+    def observable_fields(self) -> Dict[str, str]:
+        """Observation name -> :meth:`state_layout` field carrying it."""
+        options = self.options
+        mapping = {f"reg{i}": f"reg{i}" for i in range(options.num_registers)}
+        mapping.update({f"mem{i}": f"mem{i}" for i in range(options.memory_words)})
+        mapping.update(
+            {"pc_next": "pc", "retired_op": "retired_op", "retired_dest": "retired_dest"}
+        )
+        return mapping
+
+    def state_guards(self) -> Dict[str, Tuple[str, ...]]:
+        """No validity-gated state: the architectural machine is all live."""
+        return {}
+
 
 @dataclass
 class _SymAlphaFetchLatch:
@@ -665,3 +731,138 @@ class SymbolicPipelinedAlpha0(_Alpha0SymbolicBase):
         observation["retired_op"] = self.retired_op
         observation["retired_dest"] = self.retired_dest
         return observation
+
+    # ------------------------------------------------------------------
+    # State injection (relational subsystem protocol)
+    # ------------------------------------------------------------------
+    def state_layout(self) -> List[tuple]:
+        """Flattened machine state — architectural plus every pipeline latch.
+
+        The decode latch is stored as the *latched word* (its decoded
+        fields are overlapping slices, reassembled by
+        :func:`encode_fields` / re-split by :func:`decode_fields`), so
+        the layout stays a redundancy-free bit partition.
+        """
+        options = self.options
+        width = options.data_width
+        result_latch = [
+            ("dest", options.register_index_width),
+            ("value", width),
+            ("wr", 1),
+            ("opcode", 6),
+            ("rdest", 5),
+            ("pc", PC_WIDTH),
+            ("valid", 1),
+        ]
+        layout = [(f"reg{i}", width) for i in range(options.num_registers)]
+        layout += [(f"mem{i}", width) for i in range(options.memory_words)]
+        layout += [
+            ("fetch_pc", PC_WIDTH),
+            ("arch_pc", PC_WIDTH),
+            ("retired_op", 6),
+            ("retired_dest", 5),
+            ("if.word", isa.INSTRUCTION_WIDTH),
+            ("if.pc", PC_WIDTH),
+            ("if.valid", 1),
+            ("id.word", isa.INSTRUCTION_WIDTH),
+            ("id.pc", PC_WIDTH),
+            ("id.a", width),
+            ("id.b", width),
+            ("id.valid", 1),
+        ]
+        layout += [(f"ex.{field}", bits) for field, bits in result_latch]
+        layout += [(f"wb.{field}", bits) for field, bits in result_latch]
+        return layout
+
+    def state_formulae(self) -> Dict[str, BitVec]:
+        """Current latch contents, keyed by :meth:`state_layout` field name."""
+        manager = self.manager
+        one_bit = lambda node: BitVec.from_bits(manager, [node])  # noqa: E731
+        state = {f"reg{i}": value for i, value in enumerate(self.registers)}
+        state.update({f"mem{i}": value for i, value in enumerate(self.memory)})
+        state.update(
+            {
+                "fetch_pc": self.fetch_pc,
+                "arch_pc": self.arch_pc,
+                "retired_op": self.retired_op,
+                "retired_dest": self.retired_dest,
+                "if.word": self.if_id.word,
+                "if.pc": self.if_id.pc,
+                "if.valid": one_bit(self.if_id.valid),
+                "id.word": encode_fields(manager, self.id_ex.fields),
+                "id.pc": self.id_ex.pc,
+                "id.a": self.id_ex.operand_a,
+                "id.b": self.id_ex.operand_b,
+                "id.valid": one_bit(self.id_ex.valid),
+            }
+        )
+        for prefix, latch in (("ex", self.ex_mem), ("wb", self.mem_wb)):
+            state.update(
+                {
+                    f"{prefix}.dest": latch.destination,
+                    f"{prefix}.value": latch.value,
+                    f"{prefix}.wr": one_bit(latch.writes_register),
+                    f"{prefix}.opcode": latch.opcode,
+                    f"{prefix}.rdest": latch.retired_dest_field,
+                    f"{prefix}.pc": latch.next_pc,
+                    f"{prefix}.valid": one_bit(latch.valid),
+                }
+            )
+        return state
+
+    def load_state(self, state: Dict[str, BitVec]) -> None:
+        """Overwrite every latch with caller-supplied formulae."""
+        options = self.options
+        self.registers = [state[f"reg{i}"] for i in range(options.num_registers)]
+        self.memory = [state[f"mem{i}"] for i in range(options.memory_words)]
+        self.fetch_pc = state["fetch_pc"]
+        self.arch_pc = state["arch_pc"]
+        self.retired_op = state["retired_op"]
+        self.retired_dest = state["retired_dest"]
+        self.if_id = _SymAlphaFetchLatch(
+            word=state["if.word"], pc=state["if.pc"], valid=state["if.valid"][0]
+        )
+        self.id_ex = _SymAlphaDecodeLatch(
+            fields=decode_fields(state["id.word"]),
+            pc=state["id.pc"],
+            operand_a=state["id.a"],
+            operand_b=state["id.b"],
+            valid=state["id.valid"][0],
+        )
+        latches = {}
+        for prefix in ("ex", "wb"):
+            latches[prefix] = _SymAlphaResultLatch(
+                destination=state[f"{prefix}.dest"],
+                value=state[f"{prefix}.value"],
+                writes_register=state[f"{prefix}.wr"][0],
+                opcode=state[f"{prefix}.opcode"],
+                retired_dest_field=state[f"{prefix}.rdest"],
+                next_pc=state[f"{prefix}.pc"],
+                valid=state[f"{prefix}.valid"][0],
+            )
+        self.ex_mem = latches["ex"]
+        self.mem_wb = latches["wb"]
+
+    def observable_fields(self) -> Dict[str, str]:
+        """Observation name -> :meth:`state_layout` field carrying it."""
+        options = self.options
+        mapping = {f"reg{i}": f"reg{i}" for i in range(options.num_registers)}
+        mapping.update({f"mem{i}": f"mem{i}" for i in range(options.memory_words)})
+        mapping.update(
+            {
+                "pc_next": "arch_pc",
+                "retired_op": "retired_op",
+                "retired_dest": "retired_dest",
+            }
+        )
+        return mapping
+
+    def state_guards(self) -> Dict[str, Tuple[str, ...]]:
+        """Validity bits and the latch fields they gate (see the VSM twin)."""
+        result_fields = ("dest", "value", "wr", "opcode", "rdest", "pc")
+        return {
+            "if.valid": ("if.word", "if.pc"),
+            "id.valid": ("id.word", "id.pc", "id.a", "id.b"),
+            "ex.valid": tuple(f"ex.{field}" for field in result_fields),
+            "wb.valid": tuple(f"wb.{field}" for field in result_fields),
+        }

@@ -16,7 +16,7 @@ information file has not constrained away.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from ..bdd import BDDManager, BDDNode
 from ..isa import vsm as isa
@@ -208,6 +208,18 @@ class SymbolicUnpipelinedVSM:
         self.retired_dest = state["retired_dest"]
         self._stage = 0
         self._pending = None
+
+    def observable_fields(self) -> Dict[str, str]:
+        """Observation name -> :meth:`state_layout` field carrying it."""
+        mapping = {f"reg{i}": f"reg{i}" for i in range(NUM_REGISTERS)}
+        mapping.update(
+            {"pc_next": "pc", "retired_op": "retired_op", "retired_dest": "retired_dest"}
+        )
+        return mapping
+
+    def state_guards(self) -> Dict[str, Tuple[str, ...]]:
+        """No validity-gated state: the architectural machine is all live."""
+        return {}
 
 
 @dataclass
@@ -489,3 +501,42 @@ class SymbolicPipelinedVSM:
             next_pc=state["ex.pc"],
             valid=state["ex.valid"][0],
         )
+
+    def observable_fields(self) -> Dict[str, str]:
+        """Observation name -> :meth:`state_layout` field carrying it."""
+        mapping = {f"reg{i}": f"reg{i}" for i in range(NUM_REGISTERS)}
+        mapping.update(
+            {
+                "pc_next": "arch_pc",
+                "retired_op": "retired_op",
+                "retired_dest": "retired_dest",
+            }
+        )
+        return mapping
+
+    def state_guards(self) -> Dict[str, Tuple[str, ...]]:
+        """Validity bits and the latch fields they gate.
+
+        Every downstream read of a gated field — operand bypass, register
+        writeback, retirement bookkeeping, branch redirect — is muxed by
+        the named guard in :meth:`step`, so when a guard's next value is
+        the constant-0 function the gated fields' values are
+        unobservable: a relational stepper may replace them with any
+        function (canonically: constant 0) without changing a single
+        observable formula.  ``tests/test_beta_relational.py`` pins the
+        invariant down per machine.
+        """
+        return {
+            "if.valid": ("if.word", "if.pc"),
+            "id.valid": (
+                "id.opcode",
+                "id.lit",
+                "id.ra",
+                "id.rb",
+                "id.rc",
+                "id.pc",
+                "id.a",
+                "id.b",
+            ),
+            "ex.valid": ("ex.dest", "ex.value", "ex.opcode", "ex.pc"),
+        }

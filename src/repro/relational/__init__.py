@@ -24,24 +24,42 @@ Dynamic variable reordering, the other knob the policy controls, lives
 with the BDD substrate in :mod:`repro.bdd.reorder`.
 """
 
+from .beta import (
+    MachineStepper,
+    beta_stimulus_order,
+    extract_steppers,
+    supports_state_injection,
+)
 from .image import ImageComputer, ImageStats, smooth_conjunction
 from .models import pipelined_vsm_relation, unpipelined_vsm_relation
 from .partition import Cluster, ConjunctivePartition
 from .policy import (
+    BETA_BACKENDS,
+    BETA_COMPOSE,
+    BETA_PRODUCTS,
+    BETA_RELATIONAL,
+    COMPOSE_BETA_POLICY,
     MONOLITHIC_POLICY,
     PARTITIONED_POLICY,
     REORDER_MODES,
     RelationalPolicy,
+    effective_beta_backend,
 )
 from .relation import NEXT_SUFFIX, TransitionRelation
 from .schedule import QuantificationSchedule, ScheduleStep
 
 __all__ = [
+    "BETA_BACKENDS",
+    "BETA_COMPOSE",
+    "BETA_PRODUCTS",
+    "BETA_RELATIONAL",
+    "COMPOSE_BETA_POLICY",
     "Cluster",
     "ConjunctivePartition",
     "ImageComputer",
     "ImageStats",
     "MONOLITHIC_POLICY",
+    "MachineStepper",
     "NEXT_SUFFIX",
     "PARTITIONED_POLICY",
     "QuantificationSchedule",
@@ -49,7 +67,11 @@ __all__ = [
     "RelationalPolicy",
     "ScheduleStep",
     "TransitionRelation",
+    "beta_stimulus_order",
+    "effective_beta_backend",
+    "extract_steppers",
     "pipelined_vsm_relation",
     "smooth_conjunction",
+    "supports_state_injection",
     "unpipelined_vsm_relation",
 ]

@@ -1,0 +1,364 @@
+"""Relational formulation of the beta-relation check (paper Figure 8).
+
+The classical beta path advances both machines by *functional
+simulation*: every cycle re-evaluates the whole datapath — decode
+muxes, register-file read ports, the ALU's carry chains — as BitVec
+operations over formulae that grow with the instruction window.  Two
+structural facts make that the dominant cost of the reproduction:
+
+* **Dead cones are evaluated eagerly.**  A control-transfer slot fixed
+  by its instruction-class cube makes the branch decision a constant,
+  and the annulled delay-slot instruction's validity bit a constant 0 —
+  yet the functional simulator still builds the annulled instruction's
+  operand reads and ALU results (at k=4 late-branch, ~95% of the whole
+  run) before a mux discards them.
+* **Selector-below-data ordering.**  Declaring stimulus variables in
+  slot order puts a late slot's register-selector bits *below* the
+  register formulae (functions of the earlier slots) they select over,
+  which is the textbook exponential mux order.
+
+This module replaces that path with per-bit **beta-correspondence
+relations**: each machine is driven once, via the PR-2 state-injection
+protocol (``state_layout`` / ``state_formulae`` / ``load_state``), from
+a fully symbolic state over dedicated relation variables, yielding the
+canonical per-bit next-state function of every latch.  A verification
+cycle is then the relational product
+
+    next_i(v)  =  exists pi, ps . F_i(pi, ps)
+                  AND  (pi == stimulus(v))  AND  (ps == state(v))
+
+whose bindings split by shape: constant bindings (class-cube bits,
+drained inputs, annulment-killed validity bits) are applied by
+*cofactoring* — the paper's own "cofactor the transition relation with
+respect to the inputs" step, which deletes dead cones before any
+expensive formula is touched — and the surviving function bindings by
+simultaneous composition (the compose normal form of the product; the
+literal :class:`~repro.relational.partition.ConjunctivePartition` +
+:class:`~repro.relational.schedule.QuantificationSchedule` product is
+kept selectable via ``RelationalPolicy.beta_product`` for differential
+measurement).  Latch fields gated by a constant-0 validity guard
+(:meth:`state_guards`) are not computed at all: canonicity guarantees
+the observables cannot depend on them.
+
+Because every observable the backend produces is the canonical ROBDD of
+the same Boolean function the functional path builds, the sampled
+observations — and therefore the pass/fail verdict — are *node
+identical* on a shared manager and byte-identical across backends.
+Counterexample witness bits, however, follow the variable order, so the
+backend declares its own (selector-above-data) stimulus order and, on
+any mismatch, the executor re-runs the classical path to produce the
+exact witness records the compose backend would have reported.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..bdd import BDDManager, BDDNode
+from ..logic import BitVec
+from ..strings import CONTROL
+from .image import smooth_conjunction
+from .policy import BETA_PRODUCT_SCHEDULE, RelationalPolicy
+
+#: Relation-variable prefixes (one family per machine role).
+SPEC_PREFIX = "beta.s."
+IMPL_PREFIX = "beta.i."
+
+#: The state-injection protocol the backend needs from a symbolic model.
+PROTOCOL_METHODS = (
+    "state_layout",
+    "state_formulae",
+    "load_state",
+    "observable_fields",
+    "state_guards",
+)
+
+
+def supports_state_injection(model) -> bool:
+    """Whether ``model`` exposes the full beta-extraction protocol."""
+    return all(callable(getattr(model, name, None)) for name in PROTOCOL_METHODS)
+
+
+def beta_stimulus_order(architecture, siminfo) -> List[str]:
+    """Selector-above-data stimulus variable order for the beta backend.
+
+    Later slots' instruction bits act as selectors (register addresses,
+    opcodes) over datapath formulae built from the *earlier* slots, so
+    they are declared first — the reverse of the classical slot-major
+    order — with each control slot's fully symbolic delay words directly
+    above it.  On the k=4 late-branch window this order alone shrinks
+    the functional construction by an order of magnitude; the relational
+    backend both declares it and exploits it.  (Initial-state variables
+    stay below all instruction variables, exactly as on the classical
+    path.)
+    """
+    width = architecture.instruction_width
+    names: List[str] = []
+    for index in reversed(range(siminfo.num_slots)):
+        if siminfo.slots[index] == CONTROL and architecture.delay_slots:
+            for slot in range(architecture.delay_slots):
+                names.extend(
+                    f"delay{index}.{slot}[{bit}]" for bit in range(width)
+                )
+        names.extend(f"instr{index}[{bit}]" for bit in range(width))
+    return names
+
+
+class MachineStepper:
+    """Per-bit beta-correspondence relation of one symbolic machine.
+
+    Extracted once per verification run by driving the machine through
+    a single (instruction- or cycle-level) step from a fully symbolic
+    state; :meth:`advance` then replays arbitrary stimulus against the
+    extracted relation instead of re-simulating the datapath.
+    """
+
+    def __init__(
+        self,
+        manager: BDDManager,
+        model,
+        prefix: str,
+        layout: Sequence[Tuple[str, int]],
+        input_names: Sequence[str],
+        fetch_valid_name: Optional[str],
+        next_functions: Dict[Tuple[str, int], BDDNode],
+        policy: RelationalPolicy,
+    ) -> None:
+        self.manager = manager
+        self.model = model
+        self.prefix = prefix
+        self.layout = list(layout)
+        self.input_names = list(input_names)
+        self.fetch_valid_name = fetch_valid_name
+        self.next_functions = next_functions
+        self.policy = policy
+        self.guards = model.state_guards()
+        widths = dict(self.layout)
+        for guard in self.guards:
+            if widths.get(guard) != 1:
+                raise ValueError(
+                    f"state_guards() names {guard!r} as a guard, but the "
+                    f"layout gives it width {widths.get(guard)}; validity "
+                    "guards must be single-bit fields"
+                )
+        self._gated_by: Dict[str, str] = {
+            field: guard
+            for guard, fields in self.guards.items()
+            for field in fields
+        }
+        self.supports: Dict[Tuple[str, int], Tuple[str, ...]] = {
+            key: manager.support(function)
+            for key, function in next_functions.items()
+        }
+        #: How many gated field-bit products the guards short-circuited.
+        self.gated_skips = 0
+
+    # ------------------------------------------------------------------
+    # Extraction
+    # ------------------------------------------------------------------
+    @classmethod
+    def extract(
+        cls,
+        manager: BDDManager,
+        model,
+        prefix: str,
+        input_width: int,
+        advance: Callable,
+        with_fetch_valid: bool,
+        policy: Optional[RelationalPolicy] = None,
+    ) -> "MachineStepper":
+        """Derive the per-bit relation via the state-injection protocol.
+
+        ``advance(model, word, fetch_valid)`` drives the machine through
+        one relation step (one pipeline cycle, or one full instruction
+        window for the specification).  The model's latches are restored
+        afterwards; callers typically ``reset`` it anyway.
+        """
+        policy = policy if policy is not None else RelationalPolicy()
+        layout = model.state_layout()
+        input_names = [f"{prefix}in[{bit}]" for bit in range(input_width)]
+        fetch_valid_name = f"{prefix}fetch_valid" if with_fetch_valid else None
+        manager.declare_all(input_names)
+        if fetch_valid_name is not None:
+            manager.declare(fetch_valid_name)
+        for field, width in layout:
+            for bit in range(width):
+                manager.declare(f"{prefix}{field}[{bit}]")
+
+        saved = model.state_formulae()
+        symbolic = {
+            field: BitVec.from_bits(
+                manager,
+                [manager.var(f"{prefix}{field}[{bit}]") for bit in range(width)],
+            )
+            for field, width in layout
+        }
+        model.load_state(symbolic)
+        word = BitVec.from_bits(manager, [manager.var(name) for name in input_names])
+        advance(
+            model,
+            word,
+            manager.var(fetch_valid_name) if fetch_valid_name is not None else None,
+        )
+        after = model.state_formulae()
+        next_functions = {
+            (field, bit): after[field][bit]
+            for field, width in layout
+            for bit in range(width)
+        }
+        model.load_state(saved)
+        return cls(
+            manager,
+            model,
+            prefix,
+            layout,
+            input_names,
+            fetch_valid_name,
+            next_functions,
+            policy,
+        )
+
+    # ------------------------------------------------------------------
+    # State plumbing
+    # ------------------------------------------------------------------
+    def initial_state(self) -> Dict[Tuple[str, int], BDDNode]:
+        """The model's current latches as a flat per-bit state."""
+        formulae = self.model.state_formulae()
+        return {
+            (field, bit): formulae[field][bit]
+            for field, width in self.layout
+            for bit in range(width)
+        }
+
+    def install(self, state: Mapping[Tuple[str, int], BDDNode]) -> None:
+        """Load a flat per-bit state back into the model's latches.
+
+        The model's own ``observe`` then derives the observation exactly
+        as on the functional path — one observation mapping, zero
+        duplication.
+        """
+        self.model.load_state(
+            {
+                field: BitVec.from_bits(
+                    self.manager, [state[(field, bit)] for bit in range(width)]
+                )
+                for field, width in self.layout
+            }
+        )
+
+    # ------------------------------------------------------------------
+    # The relational advance
+    # ------------------------------------------------------------------
+    def advance(
+        self,
+        state: Mapping[Tuple[str, int], BDDNode],
+        instruction: BitVec,
+        fetch_valid: Optional[BDDNode] = None,
+    ) -> Dict[Tuple[str, int], BDDNode]:
+        """One relation step: bind, specialise, take per-bit products."""
+        manager = self.manager
+        sources: Dict[str, BDDNode] = {}
+        for bit, name in enumerate(self.input_names):
+            sources[name] = instruction[bit]
+        if self.fetch_valid_name is not None:
+            sources[self.fetch_valid_name] = (
+                fetch_valid if fetch_valid is not None else manager.one
+            )
+        for field, width in self.layout:
+            for bit in range(width):
+                sources[f"{self.prefix}{field}[{bit}]"] = state[(field, bit)]
+        constants = {
+            name: bool(function.value)
+            for name, function in sources.items()
+            if function.is_terminal
+        }
+
+        new_state: Dict[Tuple[str, int], BDDNode] = {}
+        # Guards first: a guard whose next value is the constant-0
+        # function renders its gated fields unobservable, so their
+        # products are skipped outright (the annulment short-circuit).
+        guard_next: Dict[str, BDDNode] = {
+            guard: self._product(guard, 0, sources, constants)
+            for guard in self.guards
+        }
+        for field, width in self.layout:
+            guard = self._gated_by.get(field)
+            for bit in range(width):
+                if field in guard_next:
+                    new_state[(field, bit)] = guard_next[field]
+                elif guard is not None and guard_next[guard] is manager.zero:
+                    new_state[(field, bit)] = manager.zero
+                    self.gated_skips += 1
+                else:
+                    new_state[(field, bit)] = self._product(
+                        field, bit, sources, constants
+                    )
+        return new_state
+
+    def _product(
+        self,
+        field: str,
+        bit: int,
+        sources: Mapping[str, BDDNode],
+        constants: Mapping[str, bool],
+    ) -> BDDNode:
+        """``exists vars . F_(field,bit) AND (vars == sources)``.
+
+        Constant bindings are applied by cofactoring — restriction by a
+        literal is linear and erases the dead cone entirely — and the
+        surviving function bindings by the configured product strategy.
+        """
+        manager = self.manager
+        function = self.next_functions[(field, bit)]
+        support = self.supports[(field, bit)]
+        fixed = {name: constants[name] for name in support if name in constants}
+        if fixed:
+            function = manager.restrict(function, fixed)
+            support = manager.support(function)
+        substitution = {name: sources[name] for name in support}
+        if not substitution:
+            return function
+        if self.policy.beta_product == BETA_PRODUCT_SCHEDULE:
+            conjuncts = [function] + [
+                manager.apply_xnor(manager.var(name), bound)
+                for name, bound in substitution.items()
+            ]
+            return smooth_conjunction(
+                manager, conjuncts, list(substitution), self.policy
+            )
+        return manager.compose(function, substitution)
+
+
+def extract_steppers(
+    manager: BDDManager,
+    specification,
+    implementation,
+    instruction_width: int,
+    policy: Optional[RelationalPolicy] = None,
+) -> Tuple[MachineStepper, MachineStepper]:
+    """Extract the (specification, implementation) stepper pair.
+
+    The specification's relation is instruction-level (one step = one
+    ``execute_instruction`` window); the implementation's is cycle-level
+    with the fetch-valid control input.  Extraction order is fixed so
+    pooled managers see one deterministic declaration sequence.
+    """
+    spec_stepper = MachineStepper.extract(
+        manager,
+        specification,
+        SPEC_PREFIX,
+        instruction_width,
+        lambda model, word, fetch_valid: model.execute_instruction(word),
+        with_fetch_valid=False,
+        policy=policy,
+    )
+    impl_stepper = MachineStepper.extract(
+        manager,
+        implementation,
+        IMPL_PREFIX,
+        instruction_width,
+        lambda model, word, fetch_valid: model.step(word, fetch_valid=fetch_valid),
+        with_fetch_valid=True,
+        policy=policy,
+    )
+    return spec_stepper, impl_stepper

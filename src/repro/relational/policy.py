@@ -24,6 +24,26 @@ REORDER_SIFT = "sift"
 REORDER_CONVERGE = "converge"
 REORDER_MODES = (REORDER_NONE, REORDER_SIFT, REORDER_CONVERGE)
 
+#: Beta-relation verification backends (see :mod:`repro.relational.beta`).
+#: ``relational`` drives both machines through per-bit transition
+#: relations extracted via the state-injection protocol; ``compose`` is
+#: the classical functional-simulation path, kept as the differential
+#: reference.
+BETA_RELATIONAL = "relational"
+BETA_COMPOSE = "compose"
+BETA_BACKENDS = (BETA_RELATIONAL, BETA_COMPOSE)
+
+#: Product strategies for the relational beta backend's per-bit advance.
+#: ``cofactor`` applies constant bindings by restriction and the rest by
+#: simultaneous composition (the compose normal form of the relational
+#: product — fastest); ``schedule`` builds the literal binding-conjunct
+#: product through :class:`~repro.relational.partition.ConjunctivePartition`
+#: and :class:`~repro.relational.schedule.QuantificationSchedule`
+#: (canonically identical; kept measurable for differential testing).
+BETA_PRODUCT_COFACTOR = "cofactor"
+BETA_PRODUCT_SCHEDULE = "schedule"
+BETA_PRODUCTS = (BETA_PRODUCT_COFACTOR, BETA_PRODUCT_SCHEDULE)
+
 
 @dataclass(frozen=True)
 class RelationalPolicy:
@@ -42,6 +62,12 @@ class RelationalPolicy:
     #: Reordering only triggers once the manager holds at least this many
     #: live unique-table nodes (keeps small runs swap-free).
     reorder_threshold: int = 10000
+    #: Which backend executes BETA scenarios: the relational formulation
+    #: (default) or the classical compose path (the differential
+    #: reference).  Ignored by the events and superscalar drivers.
+    beta_backend: str = BETA_RELATIONAL
+    #: Per-bit product strategy of the relational beta backend.
+    beta_product: str = BETA_PRODUCT_COFACTOR
 
     def __post_init__(self) -> None:
         if self.max_cluster_size < 1:
@@ -54,6 +80,15 @@ class RelationalPolicy:
             )
         if self.reorder_threshold < 0:
             raise ValueError("reorder_threshold must be non-negative")
+        if self.beta_backend not in BETA_BACKENDS:
+            raise ValueError(
+                f"unknown beta backend {self.beta_backend!r}; valid: {BETA_BACKENDS}"
+            )
+        if self.beta_product not in BETA_PRODUCTS:
+            raise ValueError(
+                f"unknown beta product strategy {self.beta_product!r}; "
+                f"valid: {BETA_PRODUCTS}"
+            )
 
     @property
     def reorders(self) -> bool:
@@ -78,6 +113,8 @@ class RelationalPolicy:
             "cluster_node_limit": self.cluster_node_limit,
             "reorder": self.reorder,
             "reorder_threshold": self.reorder_threshold,
+            "beta_backend": self.beta_backend,
+            "beta_product": self.beta_product,
         }
 
     @classmethod
@@ -88,6 +125,8 @@ class RelationalPolicy:
             cluster_node_limit=payload.get("cluster_node_limit", 5000),
             reorder=payload.get("reorder", REORDER_NONE),
             reorder_threshold=payload.get("reorder_threshold", 10000),
+            beta_backend=payload.get("beta_backend", BETA_RELATIONAL),
+            beta_product=payload.get("beta_product", BETA_PRODUCT_COFACTOR),
         )
 
 
@@ -95,3 +134,15 @@ class RelationalPolicy:
 MONOLITHIC_POLICY = RelationalPolicy(partition=False)
 #: The default fast path.
 PARTITIONED_POLICY = RelationalPolicy()
+#: The classical functional-simulation beta path (differential reference).
+COMPOSE_BETA_POLICY = RelationalPolicy(beta_backend=BETA_COMPOSE)
+
+
+def effective_beta_backend(policy: Optional["RelationalPolicy"]) -> str:
+    """The beta backend a (possibly absent) policy selects.
+
+    ``None`` — no policy on the scenario — selects the default relational
+    backend, so plain :func:`repro.core.verify_beta_relation` calls and
+    policy-free campaign scenarios take the fast path.
+    """
+    return policy.beta_backend if policy is not None else BETA_RELATIONAL

@@ -1,0 +1,343 @@
+"""Unit and property tests for the relational beta backend.
+
+``repro.relational.beta`` rests on three claims, each pinned here:
+
+* **Extraction fidelity** — advancing a machine through its extracted
+  per-bit beta-correspondence relation yields observables that are
+  *node identical* (same canonical ROBDD objects on one manager) to
+  functional simulation, for every product strategy;
+* **Guard soundness** — zeroing latch fields whose validity guard is
+  the constant-0 function never changes an observable formula;
+* **Protocol completeness** — the four bundled symbolic processor
+  models expose a coherent state-injection protocol (layout partitions
+  the state, observables map onto layout fields, guards name real
+  fields, the Alpha0 decode-latch word round-trips).
+
+All scenarios are tiny and deterministic; the backend-vs-backend
+verdict byte-identity at engine level lives in
+``tests/test_engine_differential.py``.
+"""
+
+import pytest
+
+from repro.bdd import BDDManager
+from repro.core.architectures import Alpha0Architecture, VSMArchitecture
+from repro.core.siminfo import SimulationInfo
+from repro.core.verifier import build_stimulus, verify_beta_relation
+from repro.logic import BitVec
+from repro.processors import SymbolicAlpha0Options
+from repro.processors.sym_alpha0 import decode_fields, encode_fields
+from repro.relational import (
+    BETA_COMPOSE,
+    RelationalPolicy,
+    beta_stimulus_order,
+    extract_steppers,
+    supports_state_injection,
+)
+from repro.strings import CONTROL, NORMAL
+
+SMALL_ALPHA0 = Alpha0Architecture(
+    options=SymbolicAlpha0Options(
+        data_width=3, num_registers=4, memory_words=2, alu_subset=("and", "or", "cmpeq")
+    )
+)
+
+
+def functional_samples(architecture, siminfo, manager, observation):
+    """Reference run: functional simulation on ``manager`` (classic loop)."""
+    from repro.strings import pipelined_filter, sample_cycles
+
+    specification, implementation = architecture.make_models(manager)
+    plan = build_stimulus(manager, architecture, siminfo)
+    specification.reset()
+    implementation.reset()
+    samples = [observation.select(specification.observe())]
+    for instruction in plan.slot_instructions:
+        samples.append(observation.select(specification.execute_instruction(instruction)))
+
+    wanted = set(
+        sample_cycles(
+            pipelined_filter(
+                architecture.order_k,
+                siminfo.slots,
+                architecture.delay_slots,
+                siminfo.reset_cycles,
+            )
+        )
+    )
+    cycle = siminfo.reset_cycles - 1
+    by_cycle = {cycle: observation.select(implementation.observe())}
+    nop = BitVec.constant(manager, 0, architecture.instruction_width)
+
+    def advance(word, fetch_valid):
+        nonlocal cycle
+        observed = implementation.step(word, fetch_valid=fetch_valid)
+        cycle += 1
+        if cycle in wanted:
+            by_cycle[cycle] = observation.select(observed)
+
+    for index, instruction in enumerate(plan.slot_instructions):
+        advance(instruction, manager.one)
+        for delay in plan.delay_instructions.get(index, []):
+            advance(delay, manager.one)
+    for _ in range(architecture.order_k - 1):
+        advance(nop, manager.zero)
+    return samples, [by_cycle[c] for c in sorted(by_cycle)], plan
+
+
+def relational_samples(
+    architecture, siminfo, manager, observation, plan, policy=None, strip_guards=False
+):
+    """The backend's stepping, replayed manually on the same manager."""
+    from repro.strings import pipelined_filter, sample_cycles
+
+    specification, implementation = architecture.make_models(manager)
+    spec_stepper, impl_stepper = extract_steppers(
+        manager, specification, implementation, architecture.instruction_width, policy
+    )
+    if strip_guards:
+        for stepper in (spec_stepper, impl_stepper):
+            stepper.guards = {}
+            stepper._gated_by = {}
+    specification.reset()
+    implementation.reset()
+
+    samples = [observation.select(specification.observe())]
+    state = spec_stepper.initial_state()
+    for instruction in plan.slot_instructions:
+        state = spec_stepper.advance(state, instruction)
+        spec_stepper.install(state)
+        samples.append(observation.select(specification.observe()))
+
+    wanted = set(
+        sample_cycles(
+            pipelined_filter(
+                architecture.order_k,
+                siminfo.slots,
+                architecture.delay_slots,
+                siminfo.reset_cycles,
+            )
+        )
+    )
+    cycle = siminfo.reset_cycles - 1
+    by_cycle = {cycle: observation.select(implementation.observe())}
+    impl_state = impl_stepper.initial_state()
+    nop = BitVec.constant(manager, 0, architecture.instruction_width)
+
+    def advance(word, fetch_valid):
+        nonlocal cycle, impl_state
+        impl_state = impl_stepper.advance(impl_state, word, fetch_valid)
+        cycle += 1
+        if cycle in wanted:
+            impl_stepper.install(impl_state)
+            by_cycle[cycle] = observation.select(implementation.observe())
+
+    for index, instruction in enumerate(plan.slot_instructions):
+        advance(instruction, manager.one)
+        for delay in plan.delay_instructions.get(index, []):
+            advance(delay, manager.one)
+    for _ in range(architecture.order_k - 1):
+        advance(nop, manager.zero)
+    return samples, [by_cycle[c] for c in sorted(by_cycle)], impl_stepper
+
+
+def assert_node_identical(reference, candidate):
+    assert len(reference) == len(candidate)
+    for index, (left, right) in enumerate(zip(reference, candidate)):
+        for name in left:
+            assert left[name].identical(right[name]), (index, name)
+
+
+class TestExtractionFidelity:
+    """Stepper observables are node identical to functional simulation."""
+
+    @pytest.mark.parametrize("slots", [(NORMAL,), (NORMAL, CONTROL), (CONTROL, NORMAL)])
+    def test_vsm_windows(self, slots):
+        architecture = VSMArchitecture()
+        siminfo = SimulationInfo(reset_cycles=1, slots=slots)
+        observation = architecture.observation_spec()
+        manager = BDDManager()
+        spec_ref, impl_ref, plan = functional_samples(
+            architecture, siminfo, manager, observation
+        )
+        spec_rel, impl_rel, _ = relational_samples(
+            architecture, siminfo, manager, observation, plan
+        )
+        assert_node_identical(spec_ref, spec_rel)
+        assert_node_identical(impl_ref, impl_rel)
+
+    def test_alpha0_window(self):
+        siminfo = SimulationInfo(reset_cycles=1, slots=(NORMAL, NORMAL))
+        observation = SMALL_ALPHA0.observation_spec()
+        manager = BDDManager()
+        spec_ref, impl_ref, plan = functional_samples(
+            SMALL_ALPHA0, siminfo, manager, observation
+        )
+        spec_rel, impl_rel, _ = relational_samples(
+            SMALL_ALPHA0, siminfo, manager, observation, plan
+        )
+        assert_node_identical(spec_ref, spec_rel)
+        assert_node_identical(impl_ref, impl_rel)
+
+    def test_schedule_product_is_node_identical_too(self):
+        architecture = VSMArchitecture()
+        siminfo = SimulationInfo(reset_cycles=1, slots=(NORMAL,))
+        observation = architecture.observation_spec()
+        manager = BDDManager()
+        spec_ref, impl_ref, plan = functional_samples(
+            architecture, siminfo, manager, observation
+        )
+        policy = RelationalPolicy(beta_product="schedule")
+        spec_rel, impl_rel, _ = relational_samples(
+            architecture, siminfo, manager, observation, plan, policy
+        )
+        assert_node_identical(spec_ref, spec_rel)
+        assert_node_identical(impl_ref, impl_rel)
+
+
+class TestGuardSoundness:
+    """Annulment short-circuits fire and never touch an observable."""
+
+    def test_guards_fire_on_annulled_delay_slots(self):
+        architecture = VSMArchitecture()
+        siminfo = SimulationInfo(reset_cycles=1, slots=(NORMAL, CONTROL))
+        observation = architecture.observation_spec()
+        manager = BDDManager()
+        _, _, plan = functional_samples(architecture, siminfo, manager, observation)
+        _, _, impl_stepper = relational_samples(
+            architecture, siminfo, manager, observation, plan
+        )
+        # The control slot's annulled delay instruction makes if.valid a
+        # constant 0, so the gated fetch/decode fields must be skipped.
+        assert impl_stepper.gated_skips > 0
+
+    def test_disabling_guards_changes_no_observable(self):
+        architecture = VSMArchitecture()
+        siminfo = SimulationInfo(reset_cycles=1, slots=(NORMAL, CONTROL))
+        observation = architecture.observation_spec()
+        manager = BDDManager()
+        _, _, plan = functional_samples(architecture, siminfo, manager, observation)
+        spec_a, impl_a, _ = relational_samples(
+            architecture, siminfo, manager, observation, plan
+        )
+
+        # Re-run with guards stripped from the steppers: every latch bit
+        # is computed in full.  The observables must not move by a node.
+        spec_b, impl_b, stepper_b = relational_samples(
+            architecture, siminfo, manager, observation, plan, strip_guards=True
+        )
+        assert stepper_b.gated_skips == 0
+        assert_node_identical(spec_a, spec_b)
+        assert_node_identical(impl_a, impl_b)
+
+
+class TestProtocolCompleteness:
+    """Static coherence of the state-injection protocol on every model."""
+
+    def models(self):
+        manager = BDDManager()
+        vsm_spec, vsm_impl = VSMArchitecture().make_models(manager)
+        a0_spec, a0_impl = SMALL_ALPHA0.make_models(manager)
+        return [vsm_spec, vsm_impl, a0_spec, a0_impl]
+
+    def test_all_bundled_models_support_the_protocol(self):
+        for model in self.models():
+            assert supports_state_injection(model), type(model).__name__
+
+    def test_layout_formulae_and_guards_are_coherent(self):
+        for model in self.models():
+            layout = dict(model.state_layout())
+            formulae = model.state_formulae()
+            assert set(layout) == set(formulae), type(model).__name__
+            for field, width in layout.items():
+                assert formulae[field].width == width, (type(model).__name__, field)
+            for name, field in model.observable_fields().items():
+                assert field in layout, (type(model).__name__, name)
+            for guard, gated in model.state_guards().items():
+                assert layout.get(guard) == 1, (type(model).__name__, guard)
+                observables = set(model.observable_fields().values())
+                for field in gated:
+                    assert field in layout, (type(model).__name__, field)
+                    assert field not in observables, (type(model).__name__, field)
+
+    def test_load_state_round_trips(self):
+        for model in self.models():
+            before = model.state_formulae()
+            model.load_state(before)
+            after = model.state_formulae()
+            for field, vector in before.items():
+                assert vector.identical(after[field]), (type(model).__name__, field)
+
+    def test_alpha0_decode_latch_word_round_trips(self):
+        manager = BDDManager()
+        word = BitVec.inputs(manager, "w", 32)
+        fields = decode_fields(word)
+        assert encode_fields(manager, fields).identical(word)
+
+    def test_object_without_protocol_is_rejected(self):
+        assert not supports_state_injection(object())
+
+
+class TestBackendDispatch:
+    """run_beta routes, falls back and marks backends correctly."""
+
+    def test_custom_architecture_falls_back_to_compose(self):
+        """Models without the protocol run classically, same as ever."""
+
+        class Stripped(VSMArchitecture):
+            def make_models(self, manager, impl_kwargs=None):
+                specification, implementation = super().make_models(
+                    manager, impl_kwargs=impl_kwargs
+                )
+
+                class Opaque:
+                    def __init__(self, inner):
+                        self._inner = inner
+
+                    def __getattr__(self, name):
+                        if name in ("state_layout", "load_state"):
+                            raise AttributeError(name)
+                        return getattr(self._inner, name)
+
+                return Opaque(specification), Opaque(implementation)
+
+        report = verify_beta_relation(
+            Stripped(), SimulationInfo(reset_cycles=1, slots=(NORMAL,))
+        )
+        assert report.passed
+        assert report.backend == "compose"
+
+    def test_backend_markers(self):
+        siminfo = SimulationInfo(reset_cycles=1, slots=(NORMAL,))
+        relational = verify_beta_relation(VSMArchitecture(), siminfo)
+        assert relational.backend == "relational"
+        compose = verify_beta_relation(
+            VSMArchitecture(), siminfo, relational=RelationalPolicy(beta_backend=BETA_COMPOSE)
+        )
+        assert compose.backend == "compose"
+        failing = verify_beta_relation(
+            VSMArchitecture(), siminfo, impl_kwargs={"bug": "and_becomes_or"}
+        )
+        assert not failing.passed
+        assert failing.backend == "relational+fallback"
+
+    def test_stimulus_order_matches_the_stimulus_plan(self):
+        """Pre-declared names are exactly the plan's variable families."""
+        architecture = VSMArchitecture()
+        siminfo = SimulationInfo(reset_cycles=1, slots=(NORMAL, CONTROL, NORMAL))
+        names = beta_stimulus_order(architecture, siminfo)
+        assert len(names) == len(set(names))
+        # Later slots strictly precede earlier slots; delay words sit
+        # directly above their control slot.
+        first_of = {}
+        for position, name in enumerate(names):
+            label = name.split("[")[0]
+            first_of.setdefault(label, position)
+        assert first_of["instr2"] < first_of["delay1.0"] < first_of["instr1"] < first_of["instr0"]
+        # Every free variable build_stimulus creates is pre-declared.
+        manager = BDDManager()
+        manager.declare_all(names)
+        declared = set(manager.variables)
+        plan = build_stimulus(manager, architecture, siminfo)
+        assert set(manager.variables) == declared  # nothing new appeared
+        assert plan.free_variable_count > 0

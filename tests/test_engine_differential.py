@@ -9,16 +9,24 @@ The campaign engine's symbolic verdicts are checked against the concrete
   with and without interrupts);
 * **counterexample replay** — where the engine refutes the relation for
   an injected bug, the decoded counterexample instruction sequence must
-  concretely distinguish the two machines at the reported sample.
+  concretely distinguish the two machines at the reported sample;
+* **backend agreement** — the relational beta backend (the default) and
+  the classical compose path must produce byte-identical verdicts —
+  pass/fail, mismatch records, counterexample assignments, decoded
+  instruction sequences, structure — on every scenario shape: VSM and
+  Alpha0, windows of 1, 2 and 4 slots, early and late branch placement,
+  golden and injected-bug implementations.
 
 All randomness is seeded; the suite is deterministic.
 """
 
+import json
 import random
 
 import pytest
 
 from repro.engine import Alpha0Spec, Scenario, execute_scenario
+from repro.relational import BETA_COMPOSE, BETA_RELATIONAL, RelationalPolicy
 from repro.isa import alpha0 as alpha0_isa
 from repro.isa import vsm as vsm_isa
 from repro.processors import (
@@ -184,6 +192,126 @@ class TestVSMBugCounterexampleReplay:
         spec_samples, impl_samples = cosimulate_vsm(slots, slot_words, delay_words)
         for spec_obs, impl_obs in zip(spec_samples, impl_samples):
             assert spec_obs == impl_obs
+
+
+# ----------------------------------------------------------------------
+# Relational-beta vs compose-beta backend agreement
+# ----------------------------------------------------------------------
+def verdict_bytes(outcome) -> str:
+    """Canonical JSON of the deterministic portion of an outcome."""
+    return json.dumps(outcome.verdict(), indent=2, sort_keys=True)
+
+
+def run_both_backends(**scenario_kwargs):
+    """One scenario through each beta backend; returns the two outcomes."""
+    relational = execute_scenario(
+        Scenario(name="backend-diff", **scenario_kwargs)
+    )
+    compose = execute_scenario(
+        Scenario(
+            name="backend-diff",
+            relational=RelationalPolicy(beta_backend=BETA_COMPOSE),
+            **scenario_kwargs,
+        )
+    )
+    return relational, compose
+
+
+class TestBetaBackendDifferential:
+    """The relational backend's verdicts are byte-identical to compose.
+
+    The expensive k=4 late-branch window is covered by
+    ``benchmarks/bench_beta_relational.py`` (its compose side alone costs
+    minutes); tier-1 pins the equivalence on every other shape — window
+    lengths 1, 2 and 4, early and late branch placement, both designs,
+    golden and buggy implementations, symbolic initial state.
+    """
+
+    VSM_GOLDEN_WINDOWS = [
+        (NORMAL,),
+        (CONTROL,),
+        (NORMAL, CONTROL),  # late branch, k=2 window
+        (CONTROL, NORMAL),  # early branch, k=2 window
+        (CONTROL, NORMAL, NORMAL, NORMAL),  # early branch, k=4 window
+    ]
+
+    @pytest.mark.parametrize("slots", VSM_GOLDEN_WINDOWS)
+    def test_vsm_golden_windows(self, slots):
+        relational, compose = run_both_backends(slots=slots)
+        assert relational.passed and compose.passed
+        assert verdict_bytes(relational) == verdict_bytes(compose)
+        assert relational.backend == "relational"
+        assert compose.backend == "compose"
+
+    @pytest.mark.parametrize(
+        "bug,slots",
+        [
+            ("and_becomes_or", (NORMAL,)),
+            ("drop_write_r3", (NORMAL,)),
+            ("no_bypass", (NORMAL, NORMAL)),
+            ("no_annul", (CONTROL, NORMAL)),
+            ("wrong_branch_target", (NORMAL, CONTROL)),
+        ],
+    )
+    def test_vsm_injected_bugs(self, bug, slots):
+        """Refuting verdicts match byte for byte: same mismatch records,
+        same counterexample assignments, same decoded sequences."""
+        relational, compose = run_both_backends(slots=slots, bug=bug)
+        assert not relational.passed and not compose.passed
+        assert verdict_bytes(relational) == verdict_bytes(compose)
+        assert relational.backend == "relational+fallback"
+
+    def test_vsm_symbolic_initial_state(self):
+        relational, compose = run_both_backends(
+            slots=(NORMAL, NORMAL), symbolic_initial_state=True
+        )
+        assert relational.passed
+        assert verdict_bytes(relational) == verdict_bytes(compose)
+
+    SMALL_ALPHA0 = Alpha0Spec(data_width=3, num_registers=4, memory_words=2)
+
+    @pytest.mark.parametrize(
+        "slots", [(NORMAL,), (NORMAL, NORMAL), (CONTROL, NORMAL)]
+    )
+    def test_alpha0_golden_windows(self, slots):
+        relational, compose = run_both_backends(
+            design="alpha0", slots=slots, alpha0=self.SMALL_ALPHA0
+        )
+        assert relational.passed and compose.passed
+        assert verdict_bytes(relational) == verdict_bytes(compose)
+
+    def test_alpha0_injected_bug(self):
+        relational, compose = run_both_backends(
+            design="alpha0",
+            slots=(NORMAL,),
+            bug="cmpeq_inverted",
+            alpha0=Alpha0Spec(
+                data_width=3, num_registers=4, memory_words=2, normal_opcode=0x10
+            ),
+        )
+        assert not relational.passed
+        assert verdict_bytes(relational) == verdict_bytes(compose)
+
+    def test_backend_choice_never_leaks_into_the_verdict(self):
+        """The backend marker lives outside the deterministic verdict."""
+        relational, compose = run_both_backends(slots=(NORMAL,))
+        assert "backend" not in relational.verdict()
+        assert relational.backend != compose.backend
+
+    def test_schedule_product_strategy_matches(self):
+        """The literal partition+schedule product is verdict-identical."""
+        base = dict(slots=(NORMAL, CONTROL))
+        scheduled = execute_scenario(
+            Scenario(
+                name="backend-diff",
+                relational=RelationalPolicy(
+                    beta_backend=BETA_RELATIONAL, beta_product="schedule"
+                ),
+                **base,
+            )
+        )
+        plain = execute_scenario(Scenario(name="backend-diff", **base))
+        assert verdict_bytes(scheduled) == verdict_bytes(plain)
 
 
 # ----------------------------------------------------------------------

@@ -79,6 +79,16 @@ def test_counterexamples_decode_to_the_same_sequences(name, outcomes):
         assert actual["counterexample"] == expected["counterexample"], context
 
 
+def test_beta_goldens_exercise_the_relational_backend(outcomes):
+    """The default (relational) beta backend reproduces every stored
+    counterexample: it refutes exactly the scenarios the compose path
+    refutes, then re-derives the byte-identical records classically."""
+    beta_outcomes = [o for o in outcomes.values() if o.kind == "beta"]
+    assert beta_outcomes
+    for outcome in beta_outcomes:
+        assert outcome.backend == "relational+fallback", outcome.scenario
+
+
 @pytest.mark.parametrize("name", sorted(GOLDENS))
 def test_counterexample_words_match_their_disassembly(name):
     """Internal consistency of the stored goldens themselves."""

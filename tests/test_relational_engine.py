@@ -192,10 +192,24 @@ class TestVerdictsUnderReordering:
         assert outcome.reorder  # sifting ran...
         assert outcome.reorder["phase"] == "post-specification"
         assert "reorder" not in outcome.verdict()  # ...but is not a verdict
-        # Reordering scenarios run on a private manager (the sifting
-        # trigger must not depend on what earlier scenarios left in a
-        # pooled table), so the pool never saw this manager at all.
+        # A zero-threshold sifting scenario sifts unconditionally with an
+        # exact root metric, so it may run on a pooled manager; the pool
+        # retires that manager at the first swap, leaving it empty again.
         assert len(runner.pool) == 0
+        assert runner.pool.statistics()["reorder_evictions"] == 1
+
+    def test_thresholded_reordering_scenario_stays_private(self):
+        """A size-triggered sift depends on pool history -> private manager."""
+        thresholded = Scenario(
+            name="t/thresholded",
+            slots=(NORMAL, CONTROL),
+            relational=RelationalPolicy(reorder="sift", reorder_threshold=10),
+        )
+        runner = CampaignRunner()
+        outcome = runner.run_one(thresholded)
+        assert outcome.passed
+        assert len(runner.pool) == 0
+        assert runner.pool.statistics()["acquisitions"] == 0
         assert runner.pool.statistics()["reorder_evictions"] == 0
 
     def test_campaign_with_reordering_scenario_keeps_pool_stats_sane(self):
@@ -215,9 +229,71 @@ class TestVerdictsUnderReordering:
         cache = report.pool["cache"]
         assert cache["hits"] >= 0 and cache["misses"] >= 0
         assert cache["clears"] >= 0 and cache["evicted_entries"] >= 0
-        # The sifted scenario ran privately; the plain one reused the pool.
-        assert report.pool["reorder_evictions"] == 0
+        # The sifted scenario's pooled manager was retired at its first
+        # swap; the plain one reused the warm manager.
+        assert report.pool["reorder_evictions"] == 1
         assert report.pool["reuses"] == 1
+
+
+class TestDefaultSiftingCampaignStatistics:
+    """Pool retirement accounting under a campaign that sifts by default.
+
+    Zero-threshold sifting scenarios run on pooled managers and retire
+    them at their first swap, so one campaign can retire several
+    managers.  Every pool counter — ``reorder_evictions`` and the folded
+    cache counters of retired managers — must stay monotonic throughout,
+    and the verdicts must match fresh-runner runs byte for byte.
+    """
+
+    SCENARIOS = [
+        Scenario(name="t/sift-a", slots=(NORMAL, CONTROL), relational=SIFT_ALWAYS),
+        Scenario(name="t/sift-b", slots=(CONTROL, NORMAL), relational=SIFT_ALWAYS),
+        Scenario(name="t/sift-c", slots=(NORMAL, NORMAL), relational=SIFT_ALWAYS),
+    ]
+
+    MONOTONIC_COUNTERS = ("hits", "misses", "evicted_entries", "clears")
+
+    def test_multiple_retirements_keep_counters_monotonic(self):
+        runner = CampaignRunner(memoize=False)
+        previous = runner.pool.statistics()
+        evictions_seen = previous["reorder_evictions"]
+        for scenario in self.SCENARIOS:
+            outcome = runner.run_one(scenario)
+            assert outcome.passed
+            assert outcome.reorder["swaps"] > 0  # sifting really ran
+            stats = runner.pool.statistics()
+            assert stats["reorder_evictions"] >= evictions_seen
+            for counter in self.MONOTONIC_COUNTERS:
+                assert stats["cache"][counter] >= previous["cache"][counter], counter
+            previous, evictions_seen = stats, stats["reorder_evictions"]
+        # Every sifting scenario's manager was acquired from the pool and
+        # retired again by its first swap.
+        assert previous["acquisitions"] == len(self.SCENARIOS)
+        assert previous["reorder_evictions"] == len(self.SCENARIOS)
+        assert previous["managers"] == 0
+        # Folded counters survive a full pool clear, still monotonic.
+        runner.pool.clear()
+        final = runner.pool.statistics()
+        for counter in self.MONOTONIC_COUNTERS:
+            assert final["cache"][counter] >= previous["cache"][counter], counter
+
+    def test_pooled_sifting_verdicts_match_fresh_runs(self):
+        campaign = CampaignRunner(memoize=False).run(self.SCENARIOS)
+        fresh = [CampaignRunner().run([scenario]) for scenario in self.SCENARIOS]
+        for outcome, single in zip(campaign.outcomes, fresh):
+            assert [outcome.verdict()] == [o.verdict() for o in single.outcomes]
+        assert campaign.pool["reorder_evictions"] == len(self.SCENARIOS)
+
+    def test_same_signature_scenarios_each_get_a_fresh_manager(self):
+        """After a retirement the next acquisition must not see the old order."""
+        runner = CampaignRunner(memoize=False)
+        first = runner.run_one(self.SCENARIOS[0])
+        second = runner.run_one(self.SCENARIOS[0].renamed("t/sift-a2"))
+        assert first.verdict()["passed"] and second.verdict()["passed"]
+        stats = runner.pool.statistics()
+        assert stats["acquisitions"] == 2
+        assert stats["reuses"] == 0
+        assert stats["reorder_evictions"] == 2
 
     def test_events_scenario_with_reordering(self):
         plain = Scenario(
@@ -230,4 +306,5 @@ class TestVerdictsUnderReordering:
             event_slots=(1,),
             relational=SIFT_ALWAYS,
         )
-        assert self.verdicts(plain) == self.verdicts(sifted)
+        verdicts = lambda s: CampaignRunner().run([s]).verdict_json()  # noqa: E731
+        assert verdicts(plain) == verdicts(sifted)
