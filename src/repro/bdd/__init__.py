@@ -5,10 +5,17 @@ This package is the Boolean-function substrate of the reproduction
 cofactoring, the smoothing operator, relational products, composition
 and counting queries, plus static variable-ordering helpers and dynamic
 reordering (sifting) in :mod:`repro.bdd.reorder`.
+
+Representation: an array-backed integer-handle kernel
+(:mod:`repro.bdd.kernel` — struct-of-arrays node storage, one iterative
+ITE core, mark-and-sweep arena GC) beneath the
+:class:`~repro.bdd.manager.BDDManager` facade; consumers see immutable
+:class:`~repro.bdd.node.BDD` wrappers (``BDDNode`` is the same class).
 """
 
+from .kernel import BDDKernel
 from .manager import BDDManager, BDDOrderError
-from .node import BDDNode, TERMINAL_LEVEL
+from .node import BDD, BDDNode, TERMINAL_LEVEL
 from .ops import (
     bits_to_int,
     compose_vector,
@@ -39,6 +46,8 @@ from .reorder import (
 )
 
 __all__ = [
+    "BDD",
+    "BDDKernel",
     "BDDManager",
     "BDDNode",
     "BDDOrderError",

@@ -1,0 +1,1060 @@
+"""Array-backed ROBDD kernel: integer handles, unified ITE core, arena GC.
+
+This module is the representation layer beneath
+:class:`~repro.bdd.manager.BDDManager`.  Nodes are not heap objects:
+they live in parallel Python lists — ``_level[h]``, ``_low[h]``,
+``_high[h]`` plus a ``_mark[h]`` word for the collector — and a node
+*is* its index ``h`` (the CUDD-style struct-of-arrays layout).  Handle
+0 is the constant-0 terminal, handle 1 the constant-1 terminal,
+decision nodes start at 2.  The unique table maps ``(level, low,
+high)`` int-triples to handles, which is what keeps the diagrams
+reduced and canonical: equal functions have equal handles.
+
+Three properties distinguish this kernel from the object-graph one it
+replaced:
+
+* **One iterative ITE core.**  Every Boolean connective is a call into
+  :meth:`BDDKernel._ite3`, an explicit-stack if-then-else with CUDD's
+  standard-triple normalisation (``ite(f,f,h) = ite(f,1,h)``,
+  commutative AND/OR argument ordering, negation pairs cached both
+  ways).  Restriction, composition, quantification and the relational
+  product are explicit-stack walkers over the same arrays that bottom
+  out in the core; nothing in the kernel recurses on BDD structure, so
+  3000-level diagrams are as safe as 3-level ones.
+* **Int-tuple-keyed shared memo caches.**  The ITE cache and the
+  operation cache (restrict/compose/quantify/and-exists, keyed by a
+  small opcode, the operand handles and an interned signature of the
+  variable set) carry the hit/miss/eviction accounting the campaign
+  engine reports; ``cache_limit`` bounds each cache by wholesale drop,
+  exactly as before.
+* **Arena GC.**  Dead nodes are reclaimed by mark-and-sweep
+  (:meth:`BDDKernel.collect`): roots are every handle external code can
+  still name (the manager's weakly-interned wrappers, see
+  :mod:`repro.bdd.node`) plus any handles the caller passes; unmarked
+  nodes leave the unique table and per-level index and their handles go
+  onto a free-list for reuse, so the arena stops growing across
+  reorder sessions and long campaigns.  Collection only runs at safe
+  points (explicit calls, sifting sweeps) — never inside an operation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .node import TERMINAL_LEVEL
+
+#: Opcodes of the shared operation cache (first element of every key).
+OP_EXISTS = 1
+OP_FORALL = 2
+OP_RESTRICT = 3
+OP_COMPOSE = 4
+OP_ANDEX = 5
+OP_XOR = 6
+OP_XNOR = 7
+
+
+class BDDKernel:
+    """Handle-level ROBDD arena: arrays, unique table, caches, GC.
+
+    Knows nothing about variable *names* or wrapper objects — that is
+    :class:`~repro.bdd.manager.BDDManager`'s job (which subclasses this
+    kernel so the hot loops read the arrays without indirection).  All
+    methods here take and return integer handles.
+    """
+
+    def __init__(self, cache_limit: Optional[int] = None) -> None:
+        if cache_limit is not None and cache_limit < 1:
+            raise ValueError("cache_limit must be a positive integer or None")
+        # Parallel node arrays; slots 0/1 are the terminals (self-loop
+        # children so the arrays are total; traversals stop at h < 2).
+        self._level: List[int] = [TERMINAL_LEVEL, TERMINAL_LEVEL]
+        self._low: List[int] = [0, 1]
+        self._high: List[int] = [0, 1]
+        self._mark: List[int] = [0, 0]
+        #: Unique table, split into per-level subtables (CUDD-style):
+        #: level -> {(low, high) -> handle}.  The split is what makes an
+        #: adjacent level swap cheap: nodes that only change *level*
+        #: keep their subtable keys and move as a whole dict, so a swap
+        #: re-keys only the rebuilt nodes.
+        self._table: Dict[int, Dict[Tuple[int, int], int]] = {}
+        #: Live non-terminal node count (the subtables' total size).
+        self._live = 0
+        #: Reclaimed handles awaiting reuse (LIFO).
+        self._free: List[int] = []
+        #: Per-level index: level -> bucket of live handles at that level.
+        #: The bucket type is supplied by the subclass via _new_bucket
+        #: (the manager's buckets double as mapping views for tests).
+        self._level_index: Dict[int, set] = {}
+        # Operation caches (int-tuple keys only).
+        self._ite_cache: Dict[Tuple[int, int, int], int] = {}
+        self._op_cache: Dict[Tuple[int, int, int], int] = {}
+        self._sig_intern: Dict[object, int] = {}
+        self._cache_limit = cache_limit
+        self._cache_hits = 0
+        self._cache_misses = 0
+        self._cache_evicted_entries = 0
+        self._cache_clears = 0
+        # Arena accounting.
+        self._nodes_allocated = 0  # total allocations (incl. free-list reuse)
+        self._peak_live = 0
+        self._gc_runs = 0
+        self._gc_reclaimed = 0
+        self._mark_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Subclass hooks
+    # ------------------------------------------------------------------
+    def _new_bucket(self, handles: Iterable[int] = ()) -> set:
+        """A fresh per-level index bucket (a set of handles)."""
+        return set(handles)
+
+    def _external_roots(self) -> List[int]:
+        """Handles external code can still name (GC roots).
+
+        The manager overrides this to report its live weak wrappers.
+        """
+        return []
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _mk_int(self, lvl: int, lo: int, hi: int) -> int:
+        """Hash-consed node constructor on handles (reduction rules applied)."""
+        if lo == hi:
+            return lo
+        sub = self._table.get(lvl)
+        if sub is None:
+            sub = self._table[lvl] = {}
+        key = (lo, hi)
+        h = sub.get(key)
+        if h is None:
+            free = self._free
+            if free:
+                h = free.pop()
+                self._level[h] = lvl
+                self._low[h] = lo
+                self._high[h] = hi
+            else:
+                h = len(self._level)
+                self._level.append(lvl)
+                self._low.append(lo)
+                self._high.append(hi)
+                self._mark.append(0)
+            sub[key] = h
+            self._nodes_allocated += 1
+            self._live += 1
+            if self._live > self._peak_live:
+                self._peak_live = self._live
+            bucket = self._level_index.get(lvl)
+            if bucket is None:
+                bucket = self._level_index[lvl] = self._new_bucket()
+            bucket.add(h)
+        return h
+
+    # ------------------------------------------------------------------
+    # The unified ITE core
+    # ------------------------------------------------------------------
+    def _ite3(self, f: int, g: int, h: int) -> int:
+        """``if f then g else h`` on handles — the one apply operation.
+
+        Explicit-stack (no recursion on BDD structure), with the node
+        constructor inlined into the reduce step and CUDD's
+        standard-triple normalisation ahead of every cache lookup:
+        ``ite(f,f,h)`` becomes the OR form, ``ite(f,g,f)`` the AND form,
+        and commutative AND/OR operand pairs are ordered by handle so
+        both argument orders share one cache line.  Negations
+        (``ite(f,0,1)``) are cached in both directions.
+
+        Cofactor triples are *resolved inline*: a child that is trivial
+        or already cached contributes its result without a stack
+        round-trip, and a child that is not carries its normalised
+        triple and cache key in its task so nothing is looked up twice.
+        Task tags: 4 = expand a known cache miss; 1/2/3 = reduce with
+        both / only-high / only-low results still on the result stack.
+        """
+        # --- resolve the root triple (trivial cases + cache) -----------
+        # Deliberately ahead of the heavy local binding: on warm
+        # (pooled) managers most calls end right here.
+        if f < 2:
+            return g if f else h
+        if f == g:
+            g = 1
+        elif f == h:
+            h = 0
+        if g == h:
+            return g
+        if h == 0:
+            if g == 1:
+                return f
+            if g < f:
+                f, g = g, f
+        elif g == 1 and h < f:
+            f, h = h, f
+        cache = self._ite_cache
+        key = (f, g, h)
+        r = cache.get(key)
+        if r is not None:
+            self._cache_hits += 1
+            return r
+        level = self._level
+        low = self._low
+        high = self._high
+        table = self._table
+        free = self._free
+        lidx = self._level_index
+        limit = self._cache_limit
+        hits = 0
+        misses = 0
+        bounded = limit is not None
+        allocated = 0
+        tasks: List[tuple] = [(4, f, g, h, key)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            t = pop()
+            tag = t[0]
+            if tag == 4:
+                misses += 1
+                tag, f, g, h, key = t
+                lf = level[f]
+                lg = level[g]
+                top = lf if lf < lg else lg
+                lh = level[h]
+                if lh < top:
+                    top = lh
+                if lf == top:
+                    f0 = low[f]
+                    f1 = high[f]
+                else:
+                    f0 = f1 = f
+                if lg == top:
+                    g0 = low[g]
+                    g1 = high[g]
+                else:
+                    g0 = g1 = g
+                if lh == top:
+                    h0 = low[h]
+                    h1 = high[h]
+                else:
+                    h0 = h1 = h
+                # --- resolve the low cofactor inline -------------------
+                if f0 < 2:
+                    r0 = g0 if f0 else h0
+                    k0 = None
+                else:
+                    if f0 == g0:
+                        g0 = 1
+                    elif f0 == h0:
+                        h0 = 0
+                    if g0 == h0:
+                        r0 = g0
+                        k0 = None
+                    else:
+                        if h0 == 0:
+                            if g0 == 1:
+                                r0 = f0
+                                k0 = None
+                            else:
+                                if g0 < f0:
+                                    f0, g0 = g0, f0
+                                k0 = (f0, g0, 0)
+                                r0 = cache.get(k0)
+                        else:
+                            if g0 == 1 and h0 < f0:
+                                f0, h0 = h0, f0
+                            k0 = (f0, g0, h0)
+                            r0 = cache.get(k0)
+                        if r0 is not None and k0 is not None:
+                            # Trivial reductions (k0 is None) are not
+                            # cache hits; only real lookups count.
+                            hits += 1
+                # --- resolve the high cofactor inline ------------------
+                if f1 < 2:
+                    r1 = g1 if f1 else h1
+                    k1 = None
+                else:
+                    if f1 == g1:
+                        g1 = 1
+                    elif f1 == h1:
+                        h1 = 0
+                    if g1 == h1:
+                        r1 = g1
+                        k1 = None
+                    else:
+                        if h1 == 0:
+                            if g1 == 1:
+                                r1 = f1
+                                k1 = None
+                            else:
+                                if g1 < f1:
+                                    f1, g1 = g1, f1
+                                k1 = (f1, g1, 0)
+                                r1 = cache.get(k1)
+                        else:
+                            if g1 == 1 and h1 < f1:
+                                f1, h1 = h1, f1
+                            k1 = (f1, g1, h1)
+                            r1 = cache.get(k1)
+                        if r1 is not None and k1 is not None:
+                            hits += 1
+                if r0 is None:
+                    if r1 is None:
+                        push((1, top, key))
+                        push((4, f1, g1, h1, k1))
+                        push((4, f0, g0, h0, k0))
+                    else:
+                        push((3, top, key, r1))
+                        push((4, f0, g0, h0, k0))
+                    continue
+                if r1 is None:
+                    push((2, top, key, r0))
+                    push((4, f1, g1, h1, k1))
+                    continue
+                lo = r0
+                hi = r1
+            elif tag == 1:
+                hi = rpop()
+                lo = rpop()
+                key = t[2]
+                top = t[1]
+            elif tag == 2:
+                tag, top, key, lo = t
+                hi = rpop()
+            else:
+                tag, top, key, hi = t
+                lo = rpop()
+            # --- shared reduce tail: hash-cons and memoise -------------
+            if lo == hi:
+                r = lo
+            else:
+                sub = table.get(top)
+                if sub is None:
+                    sub = table[top] = {}
+                k2 = (lo, hi)
+                r = sub.get(k2)
+                if r is None:
+                    if free:
+                        r = free.pop()
+                        level[r] = top
+                        low[r] = lo
+                        high[r] = hi
+                    else:
+                        r = len(level)
+                        level.append(top)
+                        low.append(lo)
+                        high.append(hi)
+                        self._mark.append(0)
+                    sub[k2] = r
+                    allocated += 1
+                    bucket = lidx.get(top)
+                    if bucket is None:
+                        bucket = lidx[top] = self._new_bucket()
+                    bucket.add(r)
+            cache[key] = r
+            if key[1] == 0 and key[2] == 1:
+                # r = NOT key[0]; negation is an involution, so the
+                # reverse lookup is free to memoise as well.
+                cache[(r, 0, 1)] = key[0]
+            if bounded and len(cache) > limit:
+                self._drop_cache(cache)
+            rpush(r)
+        self._cache_hits += hits
+        self._cache_misses += misses
+        if allocated:
+            self._nodes_allocated += allocated
+            self._live += allocated
+            if self._live > self._peak_live:
+                self._peak_live = self._live
+        return results[0]
+
+    # Convenience forms used by the other walkers.
+    def _and_int(self, f: int, g: int) -> int:
+        return self._ite3(f, g, 0)
+
+    def _or_int(self, f: int, g: int) -> int:
+        return self._ite3(f, 1, g)
+
+    def _not_int(self, f: int) -> int:
+        return self._ite3(f, 0, 1)
+
+    def _xor2(self, f: int, g: int, xnor: bool = False) -> int:
+        """XOR (or XNOR) of two handles as a first-class core operation.
+
+        Without complement edges, routing XOR through ``ite(f, NOT g,
+        g)`` materialises the full negation of ``g`` before the combine
+        even starts; datapath construction (ALU carry chains) and the
+        verifier's ``vector_equal`` compare loops are XOR/XNOR-heavy, so
+        the core descends on both operands directly and only negates the
+        small terminal-adjacent cofactors.  Commutative pairs are
+        ordered by handle; results memoised under ``(OP_XOR/OP_XNOR, f,
+        g)`` in the shared op cache.
+        """
+        one_result = 1 if xnor else 0
+        if f == g:
+            return one_result
+        if f < 2:
+            if g < 2:  # f != g, both terminal
+                return 0 if xnor else 1
+            if f == (0 if xnor else 1):
+                return self._ite3(g, 0, 1)
+            return g
+        if g < 2:
+            if g == (0 if xnor else 1):
+                return self._ite3(f, 0, 1)
+            return f
+        if g < f:
+            f, g = g, f
+        op = OP_XNOR if xnor else OP_XOR
+        cache = self._op_cache
+        key = (op, f, g)
+        r = cache.get(key)
+        if r is not None:
+            self._cache_hits += 1
+            return r
+        level = self._level
+        low = self._low
+        high = self._high
+        table = self._table
+        free = self._free
+        lidx = self._level_index
+        limit = self._cache_limit
+        bounded = limit is not None
+        neg_terminal = 0 if xnor else 1
+        hits = 0
+        misses = 0
+        allocated = 0
+        # Task tags: 4 expand (known miss), 1 both pending, 2 low known,
+        # 3 high known.
+        tasks: List[tuple] = [(4, f, g, key)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            t = pop()
+            tag = t[0]
+            if tag == 4:
+                misses += 1
+                tag, f, g, key = t
+                lf = level[f]
+                lg = level[g]
+                top = lf if lf < lg else lg
+                if lf == top:
+                    f0 = low[f]
+                    f1 = high[f]
+                else:
+                    f0 = f1 = f
+                if lg == top:
+                    g0 = low[g]
+                    g1 = high[g]
+                else:
+                    g0 = g1 = g
+                # --- resolve the low cofactor inline -------------------
+                k0 = None
+                if f0 == g0:
+                    r0 = one_result
+                elif f0 < 2:
+                    if f0 == neg_terminal:
+                        r0 = self._ite3(g0, 0, 1)
+                    else:
+                        r0 = g0
+                elif g0 < 2:
+                    if g0 == neg_terminal:
+                        r0 = self._ite3(f0, 0, 1)
+                    else:
+                        r0 = f0
+                else:
+                    if g0 < f0:
+                        f0, g0 = g0, f0
+                    k0 = (op, f0, g0)
+                    r0 = cache.get(k0)
+                    if r0 is not None:
+                        hits += 1
+                # --- resolve the high cofactor inline ------------------
+                k1 = None
+                if f1 == g1:
+                    r1 = one_result
+                elif f1 < 2:
+                    if f1 == neg_terminal:
+                        r1 = self._ite3(g1, 0, 1)
+                    else:
+                        r1 = g1
+                elif g1 < 2:
+                    if g1 == neg_terminal:
+                        r1 = self._ite3(f1, 0, 1)
+                    else:
+                        r1 = f1
+                else:
+                    if g1 < f1:
+                        f1, g1 = g1, f1
+                    k1 = (op, f1, g1)
+                    r1 = cache.get(k1)
+                    if r1 is not None:
+                        hits += 1
+                if r0 is None:
+                    if r1 is None:
+                        push((1, top, key))
+                        push((4, f1, g1, k1))
+                        push((4, f0, g0, k0))
+                    else:
+                        push((3, top, key, r1))
+                        push((4, f0, g0, k0))
+                    continue
+                if r1 is None:
+                    push((2, top, key, r0))
+                    push((4, f1, g1, k1))
+                    continue
+                lo = r0
+                hi = r1
+            elif tag == 1:
+                hi = rpop()
+                lo = rpop()
+                key = t[2]
+                top = t[1]
+            elif tag == 2:
+                tag, top, key, lo = t
+                hi = rpop()
+            else:
+                tag, top, key, hi = t
+                lo = rpop()
+            # --- shared reduce tail (see _ite3) ------------------------
+            if lo == hi:
+                r = lo
+            else:
+                sub = table.get(top)
+                if sub is None:
+                    sub = table[top] = {}
+                k2 = (lo, hi)
+                r = sub.get(k2)
+                if r is None:
+                    if free:
+                        r = free.pop()
+                        level[r] = top
+                        low[r] = lo
+                        high[r] = hi
+                    else:
+                        r = len(level)
+                        level.append(top)
+                        low.append(lo)
+                        high.append(hi)
+                        self._mark.append(0)
+                    sub[k2] = r
+                    allocated += 1
+                    bucket = lidx.get(top)
+                    if bucket is None:
+                        bucket = lidx[top] = self._new_bucket()
+                    bucket.add(r)
+            cache[key] = r
+            if bounded and len(cache) > limit:
+                self._drop_cache(cache)
+            rpush(r)
+        self._cache_hits += hits
+        self._cache_misses += misses
+        if allocated:
+            self._nodes_allocated += allocated
+            self._live += allocated
+            if self._live > self._peak_live:
+                self._peak_live = self._live
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Signature interning (variable-set keys for the op cache)
+    # ------------------------------------------------------------------
+    #: Bound on the signature-intern table.  One-shot signatures (e.g.
+    #: ``iter_assignments`` restricting by every assignment of a large
+    #: product) would otherwise accrete forever on session-long pooled
+    #: managers.  Dropping the intern table renumbers signatures, so the
+    #: op cache — whose keys embed them — must drop with it.
+    SIG_INTERN_LIMIT = 1 << 16
+
+    def _sig(self, key: object) -> int:
+        """Small-int signature of a variable-set/substitution key.
+
+        Only called at operation *entry* (never mid-walk), so the
+        clear-on-overflow below can never renumber a signature an
+        in-flight computation still holds.
+        """
+        intern = self._sig_intern
+        s = intern.get(key)
+        if s is None:
+            if len(intern) >= self.SIG_INTERN_LIMIT:
+                intern.clear()
+                if self._op_cache:
+                    self._drop_cache(self._op_cache)
+            s = len(intern)
+            intern[key] = s
+        return s
+
+    # ------------------------------------------------------------------
+    # Restriction (cofactoring)
+    # ------------------------------------------------------------------
+    def _restrict_u(self, f: int, by_level: Dict[int, int], sig: int) -> int:
+        """Cofactor ``f`` by ``{level: 0/1}`` literal bindings.
+
+        Post-order explicit stack; results are memoised in the shared op
+        cache under ``(OP_RESTRICT, handle, sig)``.  Nodes entirely
+        below the deepest restricted level are returned unchanged (the
+        cone cannot mention a restricted variable), which is what makes
+        cofactor-specialised relational products cheap.
+        """
+        level = self._level
+        low = self._low
+        high = self._high
+        shared = self._op_cache
+        limit = self._cache_limit
+        max_level = max(by_level)
+        memo: Dict[int, int] = {}
+        stack = [f]
+        spush = stack.append
+        hits = 0
+        misses = 0
+        while stack:
+            n = stack[-1]
+            if n in memo:
+                stack.pop()
+                continue
+            if n < 2 or level[n] > max_level:
+                memo[n] = n
+                stack.pop()
+                continue
+            r = shared.get((OP_RESTRICT, n, sig))
+            if r is not None:
+                hits += 1
+                memo[n] = r
+                stack.pop()
+                continue
+            ln = level[n]
+            value = by_level.get(ln)
+            if value is not None:
+                child = high[n] if value else low[n]
+                rc = memo.get(child)
+                if rc is None:
+                    spush(child)
+                    continue
+                r = rc
+            else:
+                lo = memo.get(low[n])
+                hi = memo.get(high[n])
+                if lo is None or hi is None:
+                    if hi is None:
+                        spush(high[n])
+                    if lo is None:
+                        spush(low[n])
+                    continue
+                r = lo if lo == hi else self._mk_int(ln, lo, hi)
+            misses += 1
+            memo[n] = r
+            shared[(OP_RESTRICT, n, sig)] = r
+            if limit is not None and len(shared) > limit:
+                self._drop_cache(shared)
+            stack.pop()
+        self._cache_hits += hits
+        self._cache_misses += misses
+        return memo[f]
+
+    # ------------------------------------------------------------------
+    # Composition
+    # ------------------------------------------------------------------
+    def _compose_u(self, f: int, by_level: Dict[int, int], sig: int) -> int:
+        """Simultaneously substitute functions for variables in ``f``.
+
+        Post-order walk bottoming out in the ITE core.  Nodes entirely
+        below the deepest substituted level are returned unchanged —
+        canonicity guarantees rebuilding them would find the same
+        handles, so the walk simply does not descend.
+        """
+        level = self._level
+        low = self._low
+        high = self._high
+        shared = self._op_cache
+        limit = self._cache_limit
+        max_level = max(by_level)
+        memo: Dict[int, int] = {}
+        stack = [f]
+        spush = stack.append
+        hits = 0
+        misses = 0
+        while stack:
+            n = stack[-1]
+            if n in memo:
+                stack.pop()
+                continue
+            if n < 2 or level[n] > max_level:
+                memo[n] = n
+                stack.pop()
+                continue
+            r = shared.get((OP_COMPOSE, n, sig))
+            if r is not None:
+                hits += 1
+                memo[n] = r
+                stack.pop()
+                continue
+            lo = memo.get(low[n])
+            hi = memo.get(high[n])
+            if lo is None or hi is None:
+                if hi is None:
+                    spush(high[n])
+                if lo is None:
+                    spush(low[n])
+                continue
+            ln = level[n]
+            replacement = by_level.get(ln)
+            if replacement is None:
+                replacement = self._mk_int(ln, 0, 1)
+            misses += 1
+            r = self._ite3(replacement, hi, lo)
+            memo[n] = r
+            shared[(OP_COMPOSE, n, sig)] = r
+            if limit is not None and len(shared) > limit:
+                self._drop_cache(shared)
+            stack.pop()
+        self._cache_hits += hits
+        self._cache_misses += misses
+        return memo[f]
+
+    # ------------------------------------------------------------------
+    # Quantification (smoothing)
+    # ------------------------------------------------------------------
+    def _quantify_u(self, op: int, f: int, levels: frozenset, sig: int) -> int:
+        """Quantify the variables at ``levels`` out of ``f``.
+
+        ``op`` is :data:`OP_EXISTS` or :data:`OP_FORALL`.  The local
+        ``memo`` shadows the shared cache so a mid-run eviction
+        (``cache_limit``) can never drop a result this computation still
+        needs.
+        """
+        level = self._level
+        low = self._low
+        high = self._high
+        shared = self._op_cache
+        limit = self._cache_limit
+        exists = op == OP_EXISTS
+        max_level = max(levels)
+        memo: Dict[int, int] = {}
+        hits = 0
+        misses = 0
+        stack = [f]
+        spush = stack.append
+        while stack:
+            n = stack[-1]
+            if n in memo:
+                stack.pop()
+                continue
+            if n < 2 or level[n] > max_level:
+                memo[n] = n
+                stack.pop()
+                continue
+            r = shared.get((op, n, sig))
+            if r is not None:
+                hits += 1
+                memo[n] = r
+                stack.pop()
+                continue
+            lo = memo.get(low[n])
+            hi = memo.get(high[n])
+            if lo is None or hi is None:
+                if hi is None:
+                    spush(high[n])
+                if lo is None:
+                    spush(low[n])
+                continue
+            misses += 1
+            ln = level[n]
+            if ln in levels:
+                if exists:
+                    r = self._ite3(lo, 1, hi)
+                else:
+                    r = self._ite3(lo, hi, 0)
+            else:
+                r = lo if lo == hi else self._mk_int(ln, lo, hi)
+            memo[n] = r
+            shared[(op, n, sig)] = r
+            if limit is not None and len(shared) > limit:
+                self._drop_cache(shared)
+            stack.pop()
+        self._cache_hits += hits
+        self._cache_misses += misses
+        return memo[f]
+
+    # ------------------------------------------------------------------
+    # Relational product (AND-smooth)
+    # ------------------------------------------------------------------
+    def _and_exists_u(self, a: int, b: int, levels: frozenset, sig: int) -> int:
+        """``exists levels . (a AND b)`` in one pass over the arrays.
+
+        The conjunction and the smoothing are fused ([BCMD90]): at a
+        quantified level the low product short-circuits the high one
+        when it is already the constant 1.  Operand pairs are ordered by
+        handle (AND commutes) and memoised in the shared op cache under
+        ``(OP_ANDEX, a, b, sig)`` — the signature stands in for the
+        level set, so repeated image steps with one relation share
+        results across calls.
+        """
+        level = self._level
+        low = self._low
+        high = self._high
+        shared = self._op_cache
+        limit = self._cache_limit
+        max_level = max(levels)
+        memo: Dict[Tuple[int, int], int] = {}
+        hits = 0
+        misses = 0
+        # Task tags: 0 expand, 1 reduce-mk, 2 after-low (quantified),
+        # 3 after-high (quantified).
+        tasks: List[tuple] = [(0, a, b)]
+        push = tasks.append
+        pop = tasks.pop
+        results: List[int] = []
+        rpush = results.append
+        rpop = results.pop
+        while tasks:
+            t = pop()
+            tag = t[0]
+            if tag == 0:
+                a = t[1]
+                b = t[2]
+                if a == 0 or b == 0:
+                    rpush(0)
+                    continue
+                if a == 1:
+                    if b == 1:
+                        rpush(1)
+                        continue
+                    a, b = b, a
+                elif b != 1 and b < a:
+                    a, b = b, a
+                key = (a, b)
+                r = memo.get(key)
+                if r is None:
+                    r = shared.get((OP_ANDEX, a, b, sig))
+                    if r is not None:
+                        hits += 1
+                        memo[key] = r
+                if r is not None:
+                    rpush(r)
+                    continue
+                la = level[a]
+                lb = level[b]
+                top = la if la < lb else lb
+                if top > max_level:
+                    # No quantified variable below: a plain conjunction.
+                    misses += 1
+                    r = self._ite3(a, b, 0)
+                    memo[key] = r
+                    shared[(OP_ANDEX, a, b, sig)] = r
+                    if limit is not None and len(shared) > limit:
+                        self._drop_cache(shared)
+                    rpush(r)
+                    continue
+                if la == top:
+                    a0 = low[a]
+                    a1 = high[a]
+                else:
+                    a0 = a1 = a
+                if lb == top:
+                    b0 = low[b]
+                    b1 = high[b]
+                else:
+                    b0 = b1 = b
+                if top in levels:
+                    push((2, key, a1, b1))
+                    push((0, a0, b0))
+                else:
+                    push((1, top, key))
+                    push((0, a1, b1))
+                    push((0, a0, b0))
+            elif tag == 1:
+                hi = rpop()
+                lo = rpop()
+                r = lo if lo == hi else self._mk_int(t[1], lo, hi)
+                misses += 1
+                key = t[2]
+                memo[key] = r
+                shared[(OP_ANDEX, key[0], key[1], sig)] = r
+                if limit is not None and len(shared) > limit:
+                    self._drop_cache(shared)
+                rpush(r)
+            elif tag == 2:
+                lo = rpop()
+                key = t[1]
+                if lo == 1:
+                    # Early exit: OR with 1 — skip the high product.
+                    misses += 1
+                    memo[key] = 1
+                    shared[(OP_ANDEX, key[0], key[1], sig)] = 1
+                    if limit is not None and len(shared) > limit:
+                        self._drop_cache(shared)
+                    rpush(1)
+                else:
+                    push((3, key, lo))
+                    push((0, t[2], t[3]))
+            else:
+                hi = rpop()
+                lo = t[2]
+                misses += 1
+                r = self._ite3(lo, 1, hi)
+                key = t[1]
+                memo[key] = r
+                shared[(OP_ANDEX, key[0], key[1], sig)] = r
+                if limit is not None and len(shared) > limit:
+                    self._drop_cache(shared)
+                rpush(r)
+        self._cache_hits += hits
+        self._cache_misses += misses
+        return results[0]
+
+    # ------------------------------------------------------------------
+    # Garbage collection
+    # ------------------------------------------------------------------
+    def collect(self, roots: Optional[Iterable[int]] = None) -> int:
+        """Mark-and-sweep the arena; returns how many nodes were reclaimed.
+
+        Live means reachable from a *root*: every handle external code
+        can still name (the manager's interned wrappers) plus any extra
+        ``roots`` handles.  Dead nodes leave the unique table and the
+        per-level index and their handles join the free-list; the
+        operation caches are dropped (they may reference reclaimed
+        handles, which the free-list is about to re-issue).  Safe-point
+        only: never called from inside an operation.
+        """
+        table = self._table
+        if not self._live:
+            return 0
+        # Refresh the high-water mark before anything is reclaimed (the
+        # hot loops only checkpoint it at operation exit).
+        if self._live > self._peak_live:
+            self._peak_live = self._live
+        mark = self._mark
+        low = self._low
+        high = self._high
+        self._mark_epoch += 1
+        epoch = self._mark_epoch
+        mark[0] = epoch
+        mark[1] = epoch
+        stack = self._external_roots()
+        if roots:
+            stack.extend(roots)
+        while stack:
+            n = stack.pop()
+            if mark[n] == epoch:
+                continue
+            mark[n] = epoch
+            c = low[n]
+            if mark[c] != epoch:
+                stack.append(c)
+            c = high[n]
+            if mark[c] != epoch:
+                stack.append(c)
+        dead = [
+            (lvl, key, n)
+            for lvl, sub in table.items()
+            for key, n in sub.items()
+            if mark[n] != epoch
+        ]
+        if not dead:
+            return 0
+        lidx = self._level_index
+        free = self._free
+        level = self._level
+        for lvl, key, n in dead:
+            del table[lvl][key]
+            bucket = lidx.get(lvl)
+            if bucket is not None:
+                bucket.discard(n)
+            # Poison the slot so stale reads fail loudly; the handle is
+            # only re-armed by the allocator.
+            level[n] = -1
+            low[n] = 0
+            high[n] = 0
+            free.append(n)
+        self._live -= len(dead)
+        self._gc_runs += 1
+        self._gc_reclaimed += len(dead)
+        for cache in (self._ite_cache, self._op_cache):
+            if cache:
+                self._drop_cache(cache)
+        return len(dead)
+
+    # ------------------------------------------------------------------
+    # Cache housekeeping & statistics
+    # ------------------------------------------------------------------
+    def _drop_cache(self, cache: Dict) -> None:
+        """Drop one operation cache, keeping the eviction accounting."""
+        self._cache_evicted_entries += len(cache)
+        cache.clear()
+        self._cache_clears += 1
+
+    @property
+    def cache_limit(self) -> Optional[int]:
+        """Per-cache entry bound (``None`` when unbounded)."""
+        return self._cache_limit
+
+    @cache_limit.setter
+    def cache_limit(self, limit: Optional[int]) -> None:
+        if limit is not None and limit < 1:
+            raise ValueError("cache_limit must be a positive integer or None")
+        self._cache_limit = limit
+        if limit is not None:
+            for cache in (self._ite_cache, self._op_cache):
+                if len(cache) > limit:
+                    self._drop_cache(cache)
+
+    def cache_size(self) -> int:
+        """Total number of entries currently held by the operation caches."""
+        return len(self._ite_cache) + len(self._op_cache)
+
+    def clear_caches(self) -> None:
+        """Drop operation caches (the unique table is kept).
+
+        Clearing never changes results — every function already built
+        stays canonical in the unique table — it only forces later
+        operations to recompute; the property tests pin this down.
+        """
+        for cache in (self._ite_cache, self._op_cache):
+            if cache:
+                self._drop_cache(cache)
+
+    def cache_statistics(self) -> Dict[str, object]:
+        """Operation-cache size accounting and hit rates.
+
+        ``quantify_entries`` keeps its historical name but now counts
+        the whole shared op cache — quantify, restrict, compose,
+        XOR/XNOR and and-exists entries — since those walkers share one
+        memo table in the array kernel.
+        """
+        lookups = self._cache_hits + self._cache_misses
+        return {
+            "limit": self._cache_limit,
+            "ite_entries": len(self._ite_cache),
+            "quantify_entries": len(self._op_cache),
+            "total_entries": self.cache_size(),
+            "hits": self._cache_hits,
+            "misses": self._cache_misses,
+            "lookups": lookups,
+            "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
+            "evicted_entries": self._cache_evicted_entries,
+            "clears": self._cache_clears,
+        }
+
+    def arena_statistics(self) -> Dict[str, int]:
+        """Arena accounting: live vs. allocated vs. free-listed handles.
+
+        ``capacity`` is the arena length (terminals included) — the
+        high-water mark of simultaneously live nodes, since freed slots
+        are reused before the arrays grow.  ``live`` counts current
+        unique-table entries plus the two terminals; ``free`` the
+        reclaimed handles awaiting reuse.
+        """
+        return {
+            "capacity": len(self._level),
+            "live": self._live + 2,
+            "free": len(self._free),
+            "peak_live": self._peak_live + 2,
+            "allocated_total": self._nodes_allocated,
+            "gc_runs": self._gc_runs,
+            "gc_reclaimed": self._gc_reclaimed,
+        }

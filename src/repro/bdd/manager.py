@@ -1,4 +1,4 @@
-"""ROBDD manager: construction and manipulation of reduced ordered BDDs.
+"""ROBDD manager: the public face of the array-backed kernel.
 
 This module implements the BDD substrate described in Section 3.2 of the
 paper.  It provides:
@@ -13,15 +13,20 @@ paper.  It provides:
 * functional composition and variable renaming,
 * satisfiability, tautology and model-counting queries.
 
-The manager owns a total variable order.  Variables are referred to by
-name (strings); each name is mapped to a *level*, its position in the
-order.  All functions handled by one manager share that order, which is
-what makes node identity a sound equivalence check.
+The representation lives in :class:`~repro.bdd.kernel.BDDKernel`
+(struct-of-arrays, integer handles, arena GC); :class:`BDDManager`
+subclasses it and adds what the kernel deliberately does not know
+about: the variable *order* (names <-> levels), the weakly-interned
+:class:`~repro.bdd.node.BDD` wrappers that give consumers the classic
+object API, and the reorder-hook machinery the campaign engine's
+manager pool relies on.  All functions handled by one manager share its
+order, which is what makes node identity a sound equivalence check.
 """
 
 from __future__ import annotations
 
 import itertools
+import weakref
 from typing import (
     Callable,
     Dict,
@@ -34,14 +39,102 @@ from typing import (
     Tuple,
 )
 
-from .node import BDDNode, TERMINAL_LEVEL
+from .kernel import BDDKernel, OP_EXISTS, OP_FORALL
+from .node import BDD
 
 
 class BDDOrderError(ValueError):
     """Raised when a variable is used before being declared."""
 
 
-class BDDManager:
+class _LevelBucket(set):
+    """One level's live handles, doubling as a node_id -> node mapping.
+
+    The kernel treats a bucket as a plain set of handles (C-speed
+    ``add``/``discard`` on the hot allocation path); the mapping facade
+    — ``keys`` / ``items`` / ``__getitem__`` returning interned
+    wrappers — serves the diagnostic views (``nodes_at_level``, the
+    level-index invariant tests), where ``node_id == handle`` makes the
+    set elements the keys.
+    """
+
+    __slots__ = ("_manager",)
+
+    def __init__(self, manager: "BDDManager", handles: Iterable[int] = ()) -> None:
+        set.__init__(self, handles)
+        self._manager = manager
+
+    def keys(self) -> set:
+        return set(self)
+
+    def __getitem__(self, handle: int) -> BDD:
+        if handle in self:
+            return self._manager._wrap(handle)
+        raise KeyError(handle)
+
+    def get(self, handle: int, default=None):
+        if handle in self:
+            return self._manager._wrap(handle)
+        return default
+
+    def items(self) -> List[Tuple[int, BDD]]:
+        wrap = self._manager._wrap
+        return [(handle, wrap(handle)) for handle in self]
+
+    def values(self) -> List[BDD]:
+        wrap = self._manager._wrap
+        return [wrap(handle) for handle in self]
+
+
+class _UniqueTableView:
+    """Read-only object view of the kernel's int-keyed unique table.
+
+    The kernel splits the table into per-level subtables (``level ->
+    {(low, high) -> handle}``); this view re-exposes it flat, keyed by
+    the classic ``(level, low, high)`` handle triples (exactly the old
+    object-graph keys, since ``node_id == handle``), with values
+    materialised as interned wrappers.  Diagnostics and tests read
+    this; the kernel itself works on the underlying dicts.
+    """
+
+    __slots__ = ("_manager",)
+
+    def __init__(self, manager: "BDDManager") -> None:
+        self._manager = manager
+
+    def __len__(self) -> int:
+        return self._manager._live
+
+    def __iter__(self):
+        for level, sub in self._manager._table.items():
+            for low, high in sub:
+                yield (level, low, high)
+
+    def __contains__(self, key) -> bool:
+        sub = self._manager._table.get(key[0])
+        return sub is not None and (key[1], key[2]) in sub
+
+    def keys(self) -> List[Tuple[int, int, int]]:
+        return list(self)
+
+    def values(self) -> List[BDD]:
+        wrap = self._manager._wrap
+        return [
+            wrap(handle)
+            for sub in self._manager._table.values()
+            for handle in sub.values()
+        ]
+
+    def items(self) -> List[Tuple[Tuple[int, int, int], BDD]]:
+        wrap = self._manager._wrap
+        return [
+            ((level, low, high), wrap(handle))
+            for level, sub in self._manager._table.items()
+            for (low, high), handle in sub.items()
+        ]
+
+
+class BDDManager(BDDKernel):
     """Owner of a variable order, unique table and operation caches.
 
     ``cache_limit`` bounds the number of entries each operation cache may
@@ -57,32 +150,85 @@ class BDDManager:
         variables: Optional[Sequence[str]] = None,
         cache_limit: Optional[int] = None,
     ) -> None:
-        if cache_limit is not None and cache_limit < 1:
-            raise ValueError("cache_limit must be a positive integer or None")
+        super().__init__(cache_limit=cache_limit)
         self._level_of: Dict[str, int] = {}
         self._name_of: List[str] = []
-        self._unique: Dict[Tuple[int, int, int], BDDNode] = {}
-        #: Per-level node index: level -> {node_id: node} for every live
-        #: non-terminal node.  Maintained on allocation (:meth:`_mk`),
-        #: reorder sweeps and level swaps (:mod:`repro.bdd.reorder`), so
-        #: a level swap touches only the two affected levels' populations
-        #: instead of scanning the whole unique table.
-        self._level_index: Dict[int, Dict[int, BDDNode]] = {}
-        self._ite_cache: Dict[Tuple[int, int, int], BDDNode] = {}
-        self._quant_cache: Dict[Tuple[str, int, frozenset], BDDNode] = {}
-        self._cache_limit = cache_limit
-        self._cache_hits = 0
-        self._cache_misses = 0
-        self._cache_evicted_entries = 0
-        self._cache_clears = 0
         self._reorder_count = 0
         self._reorder_hooks: List[Callable[["BDDManager"], None]] = []
-        self._next_id = 2
-        self.zero = BDDNode(TERMINAL_LEVEL, None, None, 0, 0)
-        self.one = BDDNode(TERMINAL_LEVEL, None, None, 1, 1)
+        #: Weakly-interned wrappers: handle -> live BDD object.  One live
+        #: wrapper per handle keeps node identity a sound equivalence
+        #: check; entries that die mark their handles as GC candidates.
+        self._wrappers: "weakref.WeakValueDictionary[int, BDD]" = (
+            weakref.WeakValueDictionary()
+        )
+        #: Strong ring of recently minted wrappers.  Without it every
+        #: transient intermediate result pays wrapper + weakref +
+        #: removal-callback churn on each touch (the dominant cost of
+        #: warm small operations); the ring keeps the hot working set
+        #: interned.  It is flushed by :meth:`collect`, so the collector
+        #: still sees exactly the wrappers external code holds.
+        self._recent_wrappers: List[Optional[BDD]] = [None] * 4096
+        self._recent_index = 0
+        self.zero = BDD(self, 0)
+        self.one = BDD(self, 1)
+        self._unique_view = _UniqueTableView(self)
+        #: Session-scoped artifact cache for layers above the kernel
+        #: (e.g. the relational backend's extracted beta relations).
+        #: Entries hold wrappers, so they double as GC roots; the cache
+        #: lives exactly as long as the manager — the pool's session.
+        self.session_cache: Dict[object, object] = {}
         if variables:
             for name in variables:
                 self.declare(name)
+
+    # ------------------------------------------------------------------
+    # Kernel hooks & wrapper interning
+    # ------------------------------------------------------------------
+    def _new_bucket(self, handles: Iterable[int] = ()) -> _LevelBucket:
+        return _LevelBucket(self, handles)
+
+    def _external_roots(self) -> List[int]:
+        # Materialising items() pins the wrappers for the duration of
+        # the snapshot; only the handles are kept.
+        return [handle for handle, _wrapper in list(self._wrappers.items())]
+
+    def _wrap(self, handle: int) -> BDD:
+        """The canonical wrapper for ``handle`` (interned, weak)."""
+        if handle < 2:
+            return self.one if handle else self.zero
+        # Read the WeakValueDictionary's backing dict directly: this is
+        # the per-operation hot path, and the extra Python-level call of
+        # WeakValueDictionary.get is measurable there.
+        ref = self._wrappers.data.get(handle)
+        if ref is not None:
+            wrapper = ref()
+            if wrapper is not None:
+                return wrapper
+        wrapper = BDD(self, handle)
+        self._wrappers[handle] = wrapper
+        index = self._recent_index + 1 & 4095
+        self._recent_index = index
+        self._recent_wrappers[index] = wrapper
+        return wrapper
+
+    @property
+    def _unique(self) -> _UniqueTableView:
+        """Object view of the unique table (diagnostics and tests)."""
+        return self._unique_view
+
+    def collect(self, roots: Optional[Iterable[object]] = None) -> int:
+        """Mark-and-sweep the arena; ``roots`` may be wrappers or handles."""
+        handles: Optional[List[int]] = None
+        if roots is not None:
+            handles = [
+                root._h if isinstance(root, BDD) else root for root in roots
+            ]
+        # Flush the strong wrapper ring: it exists for interning speed,
+        # not liveness, and dropping it here (refcounts retire the dead
+        # wrappers synchronously) keeps the root set exactly the
+        # wrappers external code still holds.
+        self._recent_wrappers = [None] * len(self._recent_wrappers)
+        return super().collect(handles)
 
     # ------------------------------------------------------------------
     # Variable order management
@@ -119,10 +265,30 @@ class BDDManager:
         """Number of declared variables."""
         return len(self._name_of)
 
+    def _levels_of(self, names: Iterable[str]) -> frozenset:
+        """Level set of declared variable names (inlined hot-path form)."""
+        lof = self._level_of
+        try:
+            return frozenset(lof[name] for name in names)
+        except KeyError as exc:
+            raise BDDOrderError(
+                f"variable {exc.args[0]!r} has not been declared"
+            ) from None
+
+    def _levels_map(self, pairs: Iterable[Tuple[str, object]]) -> Dict[int, object]:
+        """``{level: value}`` from ``(name, value)`` pairs (hot-path form)."""
+        lof = self._level_of
+        try:
+            return {lof[name]: value for name, value in pairs}
+        except KeyError as exc:
+            raise BDDOrderError(
+                f"variable {exc.args[0]!r} has not been declared"
+            ) from None
+
     # ------------------------------------------------------------------
     # Per-level node index
     # ------------------------------------------------------------------
-    def nodes_at_level(self, level: int) -> List[BDDNode]:
+    def nodes_at_level(self, level: int) -> List[BDD]:
         """Live non-terminal nodes currently testing the variable at ``level``.
 
         Served from the per-level index in O(population) — no unique-table
@@ -130,7 +296,10 @@ class BDDManager:
         adjacent level swap reads exactly the two levels it touches.
         """
         bucket = self._level_index.get(level)
-        return list(bucket.values()) if bucket else []
+        if not bucket:
+            return []
+        wrap = self._wrap
+        return [wrap(handle) for handle in bucket]
 
     def level_population(self) -> Dict[int, int]:
         """Node count per level (only levels with at least one node)."""
@@ -139,21 +308,6 @@ class BDDManager:
             for level, bucket in self._level_index.items()
             if bucket
         }
-
-    def _index_discard(self, node: BDDNode) -> None:
-        """Drop one node from the per-level index (reorder sweep support)."""
-        bucket = self._level_index.get(node.level)
-        if bucket is not None:
-            bucket.pop(node.node_id, None)
-
-    def _index_set_level(self, level: int, nodes: Iterable[BDDNode]) -> None:
-        """Replace one level's index bucket (level-swap support).
-
-        Callers (:mod:`repro.bdd.reorder`) must pass exactly the live
-        nodes now testing ``level``; nodes subsequently hash-consed at
-        this level by :meth:`_mk` keep being added incrementally.
-        """
-        self._level_index[level] = {node.node_id: node for node in nodes}
 
     # ------------------------------------------------------------------
     # Dynamic reordering support (see repro.bdd.reorder)
@@ -182,23 +336,28 @@ class BDDManager:
     def _note_order_change(self) -> None:
         """Invalidate order-dependent state after a level swap.
 
-        The quantification cache keys results by *level sets*, which are
-        renumbered by a swap, so it must be dropped; the ``ite`` cache is
-        dropped too (entries stay semantically valid because nodes are
-        mutated function-preservingly, but correctness is cheap to make
-        obvious).  Registered reorder hooks fire last so pool owners can
-        re-key or evict this manager.
+        The op cache keys results by levels (through the interned
+        level-set/substitution signatures), which a swap renumbers, so
+        it is dropped.  The ITE cache is *kept*: its keys and values are
+        pure handles, every handle keeps denoting the same Boolean
+        function through a function-preserving swap, and the unique
+        table keeps every live node canonical under the new order — so
+        each cached ``r = ite(f, g, h)`` equation still holds verbatim.
+        (The object-graph kernel dropped it anyway for obviousness; at
+        array-kernel swap rates the wholesale clear of a warm
+        ~10^5-entry cache was the dominant cost of a fat swap.)
+        Registered reorder hooks fire last so pool owners can re-key or
+        evict this manager.
         """
-        for cache in (self._ite_cache, self._quant_cache):
-            if cache:
-                self._drop_cache(cache)
+        if self._op_cache:
+            self._drop_cache(self._op_cache)
         self._reorder_count += 1
         for hook in list(self._reorder_hooks):
             hook(self)
 
     def sift(
         self,
-        roots: Optional[Iterable[BDDNode]] = None,
+        roots: Optional[Iterable[BDD]] = None,
         converge: bool = True,
         max_passes: int = 4,
         max_variables: Optional[int] = None,
@@ -212,9 +371,10 @@ class BDDManager:
         them the unique-table size (which includes dead intermediate
         nodes) is used.  ``max_variables`` bounds how many variables each
         pass sifts and ``max_excursion`` how many levels each travels
-        (the time budgets on big tables; swaps themselves are served by
-        the per-level node index, so the metric traversal dominates).
-        Returns the :class:`~repro.bdd.reorder.SiftResult`.
+        (the time budgets on big tables; swaps themselves are in-place
+        array writes over the per-level node index, so the metric
+        traversal dominates).  Returns the
+        :class:`~repro.bdd.reorder.SiftResult`.
         """
         from .reorder import converge_sift
 
@@ -229,141 +389,96 @@ class BDDManager:
     # ------------------------------------------------------------------
     # Node construction
     # ------------------------------------------------------------------
-    def _mk(self, level: int, low: BDDNode, high: BDDNode) -> BDDNode:
+    def _mk(self, level: int, low: BDD, high: BDD) -> BDD:
         """Hash-consed node constructor with the reduction rules applied."""
-        if low is high:
-            return low
-        key = (level, low.node_id, high.node_id)
-        node = self._unique.get(key)
-        if node is None:
-            node = BDDNode(level, low, high, None, self._next_id)
-            self._next_id += 1
-            self._unique[key] = node
-            bucket = self._level_index.get(level)
-            if bucket is None:
-                bucket = self._level_index[level] = {}
-            bucket[node.node_id] = node
-        return node
+        return self._wrap(self._mk_int(level, low._h, high._h))
 
-    def constant(self, value: bool) -> BDDNode:
+    def constant(self, value: bool) -> BDD:
         """The terminal node for a Boolean constant."""
         return self.one if value else self.zero
 
-    def var(self, name: str) -> BDDNode:
+    def var(self, name: str) -> BDD:
         """The function of a single positive literal."""
         if name not in self._level_of:
             self.declare(name)
-        return self._mk(self._level_of[name], self.zero, self.one)
+        return self._wrap(self._mk_int(self._level_of[name], 0, 1))
 
-    def nvar(self, name: str) -> BDDNode:
+    def nvar(self, name: str) -> BDD:
         """The function of a single negative literal."""
         if name not in self._level_of:
             self.declare(name)
-        return self._mk(self._level_of[name], self.one, self.zero)
+        return self._wrap(self._mk_int(self._level_of[name], 1, 0))
 
     # ------------------------------------------------------------------
     # Core operation: if-then-else
     # ------------------------------------------------------------------
-    def ite(self, f: BDDNode, g: BDDNode, h: BDDNode) -> BDDNode:
+    def ite(self, f: BDD, g: BDD, h: BDD) -> BDD:
         """Compute ``if f then g else h``.
 
         All binary Boolean connectives are expressed through ``ite``,
         which plays the role of the recursive *apply* operation of
-        Section 3.2.
+        Section 3.2 (here: one explicit-stack core over the arrays, see
+        :meth:`~repro.bdd.kernel.BDDKernel._ite3`).
         """
-        # Terminal cases.
-        if f is self.one:
-            return g
-        if f is self.zero:
-            return h
-        if g is h:
-            return g
-        if g is self.one and h is self.zero:
-            return f
-
-        key = (f.node_id, g.node_id, h.node_id)
-        cached = self._ite_cache.get(key)
-        if cached is not None:
-            self._cache_hits += 1
-            return cached
-        self._cache_misses += 1
-
-        level = min(f.level, g.level, h.level)
-        f0, f1 = self._cofactors_at(f, level)
-        g0, g1 = self._cofactors_at(g, level)
-        h0, h1 = self._cofactors_at(h, level)
-        low = self.ite(f0, g0, h0)
-        high = self.ite(f1, g1, h1)
-        result = self._mk(level, low, high)
-        self._ite_cache[key] = result
-        if self._cache_limit is not None and len(self._ite_cache) > self._cache_limit:
-            self._drop_cache(self._ite_cache)
-        return result
-
-    @staticmethod
-    def _cofactors_at(node: BDDNode, level: int) -> Tuple[BDDNode, BDDNode]:
-        """Shannon cofactors of ``node`` with respect to the variable at ``level``."""
-        if node.level == level:
-            return node.low, node.high
-        return node, node
+        return self._wrap(self._ite3(f._h, g._h, h._h))
 
     # ------------------------------------------------------------------
     # Boolean connectives
     # ------------------------------------------------------------------
-    def apply_not(self, f: BDDNode) -> BDDNode:
+    def apply_not(self, f: BDD) -> BDD:
         """Negation of ``f``."""
-        return self.ite(f, self.zero, self.one)
+        return self._wrap(self._ite3(f._h, 0, 1))
 
-    def apply_and(self, f: BDDNode, g: BDDNode) -> BDDNode:
+    def apply_and(self, f: BDD, g: BDD) -> BDD:
         """Conjunction of ``f`` and ``g``."""
-        return self.ite(f, g, self.zero)
+        return self._wrap(self._ite3(f._h, g._h, 0))
 
-    def apply_or(self, f: BDDNode, g: BDDNode) -> BDDNode:
+    def apply_or(self, f: BDD, g: BDD) -> BDD:
         """Disjunction of ``f`` and ``g``."""
-        return self.ite(f, self.one, g)
+        return self._wrap(self._ite3(f._h, 1, g._h))
 
-    def apply_xor(self, f: BDDNode, g: BDDNode) -> BDDNode:
+    def apply_xor(self, f: BDD, g: BDD) -> BDD:
         """Exclusive or of ``f`` and ``g``."""
-        return self.ite(f, self.apply_not(g), g)
+        return self._wrap(self._xor2(f._h, g._h))
 
-    def apply_xnor(self, f: BDDNode, g: BDDNode) -> BDDNode:
+    def apply_xnor(self, f: BDD, g: BDD) -> BDD:
         """Equivalence (XNOR) of ``f`` and ``g``."""
-        return self.ite(f, g, self.apply_not(g))
+        return self._wrap(self._xor2(f._h, g._h, xnor=True))
 
-    def apply_nand(self, f: BDDNode, g: BDDNode) -> BDDNode:
+    def apply_nand(self, f: BDD, g: BDD) -> BDD:
         """NAND of ``f`` and ``g``."""
-        return self.apply_not(self.apply_and(f, g))
+        return self._wrap(self._ite3(self._ite3(f._h, g._h, 0), 0, 1))
 
-    def apply_nor(self, f: BDDNode, g: BDDNode) -> BDDNode:
+    def apply_nor(self, f: BDD, g: BDD) -> BDD:
         """NOR of ``f`` and ``g``."""
-        return self.apply_not(self.apply_or(f, g))
+        return self._wrap(self._ite3(self._ite3(f._h, 1, g._h), 0, 1))
 
-    def apply_implies(self, f: BDDNode, g: BDDNode) -> BDDNode:
+    def apply_implies(self, f: BDD, g: BDD) -> BDD:
         """Implication ``f -> g``."""
-        return self.ite(f, g, self.one)
+        return self._wrap(self._ite3(f._h, g._h, 1))
 
-    def conjoin(self, functions: Iterable[BDDNode]) -> BDDNode:
+    def conjoin(self, functions: Iterable[BDD]) -> BDD:
         """Conjunction of an iterable of functions (1 for the empty set)."""
-        result = self.one
+        result = 1
         for f in functions:
-            result = self.apply_and(result, f)
-            if result is self.zero:
+            result = self._ite3(result, f._h, 0)
+            if result == 0:
                 break
-        return result
+        return self._wrap(result)
 
-    def disjoin(self, functions: Iterable[BDDNode]) -> BDDNode:
+    def disjoin(self, functions: Iterable[BDD]) -> BDD:
         """Disjunction of an iterable of functions (0 for the empty set)."""
-        result = self.zero
+        result = 0
         for f in functions:
-            result = self.apply_or(result, f)
-            if result is self.one:
+            result = self._ite3(result, 1, f._h)
+            if result == 1:
                 break
-        return result
+        return self._wrap(result)
 
     # ------------------------------------------------------------------
     # Cofactoring / restriction
     # ------------------------------------------------------------------
-    def restrict(self, f: BDDNode, assignment: Mapping[str, bool]) -> BDDNode:
+    def restrict(self, f: BDD, assignment: Mapping[str, bool]) -> BDD:
         """Cofactor ``f`` by the literals in ``assignment``.
 
         Cofactoring by a literal is the "trivial operation" of Section
@@ -372,166 +487,56 @@ class BDDManager:
         """
         if not assignment:
             return f
-        levels = {self.level(name): bool(value) for name, value in assignment.items()}
-        cache: Dict[int, BDDNode] = {}
+        by_level = self._levels_map(
+            (name, bool(value)) for name, value in assignment.items()
+        )
+        sig = self._sig(("r", tuple(sorted(by_level.items()))))
+        return self._wrap(self._restrict_u(f._h, by_level, sig))
 
-        def walk(node: BDDNode) -> BDDNode:
-            if node.is_terminal:
-                return node
-            hit = cache.get(node.node_id)
-            if hit is not None:
-                return hit
-            if node.level in levels:
-                result = walk(node.high if levels[node.level] else node.low)
-            else:
-                result = self._mk(node.level, walk(node.low), walk(node.high))
-            cache[node.node_id] = result
-            return result
-
-        return walk(f)
-
-    def cofactor(self, f: BDDNode, name: str, value: bool) -> BDDNode:
+    def cofactor(self, f: BDD, name: str, value: bool) -> BDD:
         """Cofactor ``f`` by a single literal."""
         return self.restrict(f, {name: value})
 
     # ------------------------------------------------------------------
     # Quantification (smoothing)
     # ------------------------------------------------------------------
-    def exists(self, names: Iterable[str], f: BDDNode) -> BDDNode:
+    def exists(self, names: Iterable[str], f: BDD) -> BDD:
         """Smoothing operator: existentially quantify ``names`` out of ``f``.
 
         Implements Definition 3.3.1: ``S_x f = f|x=1 + f|x=0`` applied to
         every variable in ``names``.
         """
-        levels = frozenset(self.level(name) for name in names)
+        levels = self._levels_of(names)
         if not levels:
             return f
-        return self._quantify("exists", f, levels)
+        sig = self._sig(("q", levels))
+        return self._wrap(self._quantify_u(OP_EXISTS, f._h, levels, sig))
 
-    def forall(self, names: Iterable[str], f: BDDNode) -> BDDNode:
+    def forall(self, names: Iterable[str], f: BDD) -> BDD:
         """Universally quantify ``names`` out of ``f``."""
-        levels = frozenset(self.level(name) for name in names)
+        levels = self._levels_of(names)
         if not levels:
             return f
-        return self._quantify("forall", f, levels)
+        sig = self._sig(("q", levels))
+        return self._wrap(self._quantify_u(OP_FORALL, f._h, levels, sig))
 
-    def _quantify(self, kind: str, f: BDDNode, levels: frozenset) -> BDDNode:
-        """Quantify the variables at ``levels`` out of ``f``.
-
-        Implemented with an explicit work stack instead of recursion on the
-        BDD structure: quantification descends one level per frame, so a
-        deep BDD (late-branch k=4 verification declares hundreds of
-        variables) would otherwise flirt with CPython's default recursion
-        limit.  The only remaining recursion is inside :meth:`ite` (via
-        ``apply_or``/``apply_and``), whose depth is bounded by the number
-        of variable levels *below* the quantified node — strictly smaller
-        than the bound this method avoids, and halved again because every
-        combine step strips at least the topmost quantified level.
-
-        ``memo`` shadows the shared ``_quant_cache`` so that a mid-run
-        cache eviction (``cache_limit``) can never drop a result this
-        computation still needs.
-        """
-        combine = self.apply_or if kind == "exists" else self.apply_and
-        max_level = max(levels)
-        memo: Dict[int, BDDNode] = {}
-        shared = self._quant_cache
-
-        def lookup(node: BDDNode) -> Optional[BDDNode]:
-            result = memo.get(node.node_id)
-            if result is None:
-                result = shared.get((kind, node.node_id, levels))
-                if result is not None:
-                    # One hit per distinct node served by the shared
-                    # cache (the memo absorbs repeat visits).
-                    self._cache_hits += 1
-                    memo[node.node_id] = result
-            return result
-
-        top = lookup(f)
-        if top is not None:
-            return top
-
-        stack: List[BDDNode] = [f]
-        while stack:
-            node = stack[-1]
-            if node.node_id in memo:
-                stack.pop()
-                continue
-            if node.is_terminal or node.level > max_level:
-                memo[node.node_id] = node
-                stack.pop()
-                continue
-            low = lookup(node.low)
-            high = lookup(node.high)
-            if low is None or high is None:
-                if high is None:
-                    stack.append(node.high)
-                if low is None:
-                    stack.append(node.low)
-                continue
-            self._cache_misses += 1
-            if node.level in levels:
-                result = combine(low, high)
-            else:
-                result = self._mk(node.level, low, high)
-            memo[node.node_id] = result
-            shared[(kind, node.node_id, levels)] = result
-            if self._cache_limit is not None and len(shared) > self._cache_limit:
-                self._drop_cache(shared)
-            stack.pop()
-        return memo[f.node_id]
-
-    def and_exists(self, names: Iterable[str], f: BDDNode, g: BDDNode) -> BDDNode:
+    def and_exists(self, names: Iterable[str], f: BDD, g: BDD) -> BDD:
         """Relational product: ``exists names . (f AND g)``.
 
-        The conjunction and the smoothing are performed in one recursive
-        pass, as suggested in the paper ([BCMD90]); this avoids building
-        the possibly large intermediate conjunction.
+        The conjunction and the smoothing are performed in one pass, as
+        suggested in the paper ([BCMD90]); this avoids building the
+        possibly large intermediate conjunction.
         """
-        levels = frozenset(self.level(name) for name in names)
-        cache: Dict[Tuple[int, int], BDDNode] = {}
-
-        def walk(a: BDDNode, b: BDDNode) -> BDDNode:
-            if a is self.zero or b is self.zero:
-                return self.zero
-            if a is self.one and b is self.one:
-                return self.one
-            if a is self.one:
-                a2, b2 = b, a
-            else:
-                a2, b2 = a, b
-            key = (a2.node_id, b2.node_id)
-            hit = cache.get(key)
-            if hit is not None:
-                return hit
-            level = min(a2.level, b2.level)
-            if level > max(levels, default=-1):
-                # No quantified variable left below this point.
-                result = self.apply_and(a2, b2)
-            else:
-                a0, a1 = self._cofactors_at(a2, level)
-                b0, b1 = self._cofactors_at(b2, level)
-                low = walk(a0, b0)
-                if level in levels and low is self.one:
-                    result = self.one
-                else:
-                    high = walk(a1, b1)
-                    if level in levels:
-                        result = self.apply_or(low, high)
-                    else:
-                        result = self._mk(level, low, high)
-            cache[key] = result
-            return result
-
+        levels = self._levels_of(names)
         if not levels:
             return self.apply_and(f, g)
-        return walk(f, g)
+        sig = self._sig(("q", levels))
+        return self._wrap(self._and_exists_u(f._h, g._h, levels, sig))
 
     # ------------------------------------------------------------------
     # Composition and renaming
     # ------------------------------------------------------------------
-    def compose(self, f: BDDNode, substitution: Mapping[str, BDDNode]) -> BDDNode:
+    def compose(self, f: BDD, substitution: Mapping[str, BDD]) -> BDD:
         """Simultaneously substitute functions for variables in ``f``.
 
         This is the workhorse of functional symbolic simulation: the
@@ -541,29 +546,13 @@ class BDDManager:
         """
         if not substitution:
             return f
-        by_level = {self.level(name): g for name, g in substitution.items()}
-        cache: Dict[int, BDDNode] = {}
+        by_level = self._levels_map(
+            (name, g._h) for name, g in substitution.items()
+        )
+        sig = self._sig(("c", tuple(sorted(by_level.items()))))
+        return self._wrap(self._compose_u(f._h, by_level, sig))
 
-        def walk(node: BDDNode) -> BDDNode:
-            if node.is_terminal:
-                return node
-            hit = cache.get(node.node_id)
-            if hit is not None:
-                return hit
-            low = walk(node.low)
-            high = walk(node.high)
-            replacement = by_level.get(node.level)
-            if replacement is None:
-                var_fn = self._mk(node.level, self.zero, self.one)
-            else:
-                var_fn = replacement
-            result = self.ite(var_fn, high, low)
-            cache[node.node_id] = result
-            return result
-
-        return walk(f)
-
-    def rename(self, f: BDDNode, mapping: Mapping[str, str]) -> BDDNode:
+    def rename(self, f: BDD, mapping: Mapping[str, str]) -> BDD:
         """Rename variables of ``f`` according to ``mapping``.
 
         Implemented through :meth:`compose`; the target variables are
@@ -575,68 +564,75 @@ class BDDManager:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
-    def is_tautology(self, f: BDDNode) -> bool:
+    def is_tautology(self, f: BDD) -> bool:
         """Whether ``f`` is the constant-1 function."""
-        return f is self.one
+        return f._h == 1
 
-    def is_contradiction(self, f: BDDNode) -> bool:
+    def is_contradiction(self, f: BDD) -> bool:
         """Whether ``f`` is the constant-0 function."""
-        return f is self.zero
+        return f._h == 0
 
-    def is_satisfiable(self, f: BDDNode) -> bool:
+    def is_satisfiable(self, f: BDD) -> bool:
         """Whether ``f`` has at least one satisfying assignment."""
-        return f is not self.zero
+        return f._h != 0
 
-    def equivalent(self, f: BDDNode, g: BDDNode) -> bool:
-        """Canonical equivalence check: node identity."""
-        return f is g
+    def equivalent(self, f: BDD, g: BDD) -> bool:
+        """Canonical equivalence check: node (handle) identity."""
+        return f._h == g._h
 
-    def evaluate(self, f: BDDNode, assignment: Mapping[str, bool]) -> bool:
+    def evaluate(self, f: BDD, assignment: Mapping[str, bool]) -> bool:
         """Evaluate ``f`` under a (total enough) variable assignment."""
-        node = f
-        while not node.is_terminal:
-            name = self._name_of[node.level]
+        level = self._level
+        low = self._low
+        high = self._high
+        names = self._name_of
+        h = f._h
+        while h >= 2:
+            name = names[level[h]]
             if name not in assignment:
                 raise KeyError(f"assignment missing variable {name!r}")
-            node = node.high if assignment[name] else node.low
-        return bool(node.value)
+            h = high[h] if assignment[name] else low[h]
+        return bool(h)
 
-    def support(self, f: BDDNode) -> Tuple[str, ...]:
+    def support(self, f: BDD) -> Tuple[str, ...]:
         """Names of the variables ``f`` actually depends on, in order."""
+        level = self._level
+        low = self._low
+        high = self._high
         seen = set()
         levels = set()
+        stack = [f._h]
+        while stack:
+            h = stack.pop()
+            if h < 2 or h in seen:
+                continue
+            seen.add(h)
+            levels.add(level[h])
+            stack.append(low[h])
+            stack.append(high[h])
+        return tuple(self._name_of[lvl] for lvl in sorted(levels))
 
-        def walk(node: BDDNode) -> None:
-            if node.is_terminal or node.node_id in seen:
-                return
-            seen.add(node.node_id)
-            levels.add(node.level)
-            walk(node.low)
-            walk(node.high)
-
-        walk(f)
-        return tuple(self._name_of[level] for level in sorted(levels))
-
-    def count_nodes(self, f: BDDNode) -> int:
+    def count_nodes(self, f: BDD) -> int:
         """Number of distinct nodes in ``f`` (including terminals reached)."""
+        low = self._low
+        high = self._high
         seen = set()
-
-        def walk(node: BDDNode) -> None:
-            if node.node_id in seen:
-                return
-            seen.add(node.node_id)
-            if not node.is_terminal:
-                walk(node.low)
-                walk(node.high)
-
-        walk(f)
+        stack = [f._h]
+        while stack:
+            h = stack.pop()
+            if h in seen:
+                continue
+            seen.add(h)
+            if h >= 2:
+                stack.append(low[h])
+                stack.append(high[h])
         return len(seen)
 
     def size(self) -> int:
         """Total number of live non-terminal nodes in the unique table."""
-        return len(self._unique)
+        return self._live
 
-    def sat_count(self, f: BDDNode, variables: Optional[Sequence[str]] = None) -> int:
+    def sat_count(self, f: BDD, variables: Optional[Sequence[str]] = None) -> int:
         """Number of satisfying assignments of ``f`` over ``variables``.
 
         If ``variables`` is omitted, the support of ``f`` is used.
@@ -651,40 +647,65 @@ class BDDManager:
             raise ValueError(f"sat_count variable set misses support variables {names}")
         index_of = {level: i for i, level in enumerate(var_levels)}
         total = len(var_levels)
+        level = self._level
+        low = self._low
+        high = self._high
+        root = f._h
+        if root < 2:
+            return root * (1 << total)
         cache: Dict[int, int] = {}
+        stack = [root]
+        while stack:
+            h = stack[-1]
+            if h in cache:
+                stack.pop()
+                continue
+            lo = low[h]
+            hi = high[h]
+            pending = False
+            if hi >= 2 and hi not in cache:
+                stack.append(hi)
+                pending = True
+            if lo >= 2 and lo not in cache:
+                stack.append(lo)
+                pending = True
+            if pending:
+                continue
+            position = index_of[level[h]]
+            if lo < 2:
+                below = lo * (1 << (total - position - 1))
+            else:
+                below = cache[lo] << (index_of[level[lo]] - position - 1)
+            if hi < 2:
+                below += hi * (1 << (total - position - 1))
+            else:
+                below += cache[hi] << (index_of[level[hi]] - position - 1)
+            cache[h] = below
+            stack.pop()
+        return cache[root] << index_of[level[root]]
 
-        def walk(node: BDDNode, depth: int) -> int:
-            """Count assignments to variables at positions >= depth."""
-            if node.is_terminal:
-                return node.value * (1 << (total - depth))
-            position = index_of[node.level]
-            key = node.node_id
-            below = cache.get(key)
-            if below is None:
-                below = walk(node.low, position + 1) + walk(node.high, position + 1)
-                cache[key] = below
-            return below << (position - depth)
-
-        return walk(f, 0)
-
-    def pick_assignment(self, f: BDDNode) -> Optional[Dict[str, bool]]:
+    def pick_assignment(self, f: BDD) -> Optional[Dict[str, bool]]:
         """One satisfying assignment of ``f`` (minimal: only decided vars)."""
-        if f is self.zero:
+        h = f._h
+        if h == 0:
             return None
+        level = self._level
+        low = self._low
+        high = self._high
+        names = self._name_of
         assignment: Dict[str, bool] = {}
-        node = f
-        while not node.is_terminal:
-            name = self._name_of[node.level]
-            if node.low is not self.zero:
+        while h >= 2:
+            name = names[level[h]]
+            if low[h] != 0:
                 assignment[name] = False
-                node = node.low
+                h = low[h]
             else:
                 assignment[name] = True
-                node = node.high
+                h = high[h]
         return assignment
 
     def iter_assignments(
-        self, f: BDDNode, variables: Optional[Sequence[str]] = None
+        self, f: BDD, variables: Optional[Sequence[str]] = None
     ) -> Iterator[Dict[str, bool]]:
         """Iterate over all satisfying assignments over ``variables``."""
         if variables is None:
@@ -693,79 +714,33 @@ class BDDManager:
         for values in itertools.product([False, True], repeat=len(names)):
             assignment = dict(zip(names, values))
             restricted = self.restrict(f, assignment)
-            if restricted is self.one:
+            if restricted._h == 1:
                 yield assignment
 
-    def cube(self, assignment: Mapping[str, bool]) -> BDDNode:
+    def cube(self, assignment: Mapping[str, bool]) -> BDD:
         """The conjunction of literals described by ``assignment``."""
-        result = self.one
-        for name, value in assignment.items():
-            literal = self.var(name) if value else self.nvar(name)
-            result = self.apply_and(result, literal)
-        return result
+        for name in assignment:
+            if name not in self._level_of:
+                self.declare(name)
+        items = sorted(
+            ((self._level_of[name], bool(value)) for name, value in assignment.items()),
+            reverse=True,
+        )
+        h = 1
+        for lvl, value in items:
+            h = self._mk_int(lvl, 0, h) if value else self._mk_int(lvl, h, 0)
+        return self._wrap(h)
 
     # ------------------------------------------------------------------
-    # Housekeeping
+    # Statistics
     # ------------------------------------------------------------------
-    def _drop_cache(self, cache: Dict) -> None:
-        """Drop one operation cache, keeping the eviction accounting."""
-        self._cache_evicted_entries += len(cache)
-        cache.clear()
-        self._cache_clears += 1
-
-    @property
-    def cache_limit(self) -> Optional[int]:
-        """Per-cache entry bound (``None`` when unbounded)."""
-        return self._cache_limit
-
-    @cache_limit.setter
-    def cache_limit(self, limit: Optional[int]) -> None:
-        if limit is not None and limit < 1:
-            raise ValueError("cache_limit must be a positive integer or None")
-        self._cache_limit = limit
-        if limit is not None:
-            for cache in (self._ite_cache, self._quant_cache):
-                if len(cache) > limit:
-                    self._drop_cache(cache)
-
-    def cache_size(self) -> int:
-        """Total number of entries currently held by the operation caches."""
-        return len(self._ite_cache) + len(self._quant_cache)
-
-    def clear_caches(self) -> None:
-        """Drop operation caches (the unique table is kept).
-
-        Clearing never changes results — every function already built
-        stays canonical in the unique table — it only forces later
-        operations to recompute; the property tests pin this down.
-        """
-        for cache in (self._ite_cache, self._quant_cache):
-            if cache:
-                self._drop_cache(cache)
-
-    def cache_statistics(self) -> Dict[str, object]:
-        """Operation-cache size accounting and hit rates."""
-        lookups = self._cache_hits + self._cache_misses
-        return {
-            "limit": self._cache_limit,
-            "ite_entries": len(self._ite_cache),
-            "quantify_entries": len(self._quant_cache),
-            "total_entries": self.cache_size(),
-            "hits": self._cache_hits,
-            "misses": self._cache_misses,
-            "lookups": lookups,
-            "hit_rate": (self._cache_hits / lookups) if lookups else 0.0,
-            "evicted_entries": self._cache_evicted_entries,
-            "clears": self._cache_clears,
-        }
-
     def statistics(self) -> Dict[str, int]:
         """Basic manager statistics for reporting."""
         return {
             "variables": self.num_vars(),
-            "unique_table_nodes": len(self._unique),
+            "unique_table_nodes": self._live,
             "ite_cache_entries": len(self._ite_cache),
-            "quantify_cache_entries": len(self._quant_cache),
+            "quantify_cache_entries": len(self._op_cache),
             "cache_hits": self._cache_hits,
             "cache_misses": self._cache_misses,
         }

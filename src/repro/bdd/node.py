@@ -1,15 +1,21 @@
-"""BDD node representation.
+"""BDD node handles.
 
 A reduced ordered binary decision diagram (ROBDD) is a DAG of decision
-nodes.  Each non-terminal node tests one Boolean variable and has a
-``low`` child (variable = 0) and a ``high`` child (variable = 1).  The
-two terminal nodes represent the constant functions 0 and 1.
+nodes.  Since the array-kernel refactor the nodes themselves live in
+the manager's parallel arrays (:mod:`repro.bdd.kernel`): a node *is* an
+integer handle — an index into ``level[]`` / ``low[]`` / ``high[]`` —
+and the two terminals are the fixed handles 0 and 1.
 
-Nodes are created exclusively by :class:`repro.bdd.manager.BDDManager`,
-which hash-conses them so that structural equality coincides with object
-identity.  That property is what makes ROBDDs canonical: two functions
-over the same variable order are equal if and only if their root nodes
-are the same object (paper, Section 3.2).
+What this module defines is the :class:`BDD` *wrapper*: a lightweight
+immutable (manager, handle) pair that gives consumer code the classic
+object view — ``level``, ``low``, ``high``, ``value``, ``is_terminal``,
+``node_id`` — without ever exposing raw indices.  Wrappers are interned
+per handle by the manager (one live wrapper per handle), so structural
+equality still coincides with object identity: two functions over the
+same manager are equal if and only if their wrappers are the same
+object (paper, Section 3.2).  The interning table is weak: a wrapper
+no external code holds disappears, which is exactly what marks its
+handle as garbage for the manager's mark-and-sweep collector.
 """
 
 from __future__ import annotations
@@ -21,42 +27,71 @@ from typing import Optional
 TERMINAL_LEVEL = 1 << 60
 
 
-class BDDNode:
-    """A single node of an ROBDD.
+class BDD:
+    """Immutable handle wrapper: one ROBDD function on one manager.
 
     Attributes:
-        level: Position of the node's variable in the manager's variable
-            order (smaller = closer to the root).  Terminals use
-            :data:`TERMINAL_LEVEL`.
-        low: Child followed when the variable is 0 (``None`` for terminals).
-        high: Child followed when the variable is 1 (``None`` for terminals).
-        value: Terminal value (0 or 1) for terminal nodes, ``None`` otherwise.
-        node_id: Small unique integer assigned by the manager; used as a
-            stable key for operation caches.
+        manager: The owning :class:`~repro.bdd.manager.BDDManager`.
+        _h: The integer handle (index into the manager's node arrays).
+            Handle 0 is the constant-0 terminal, handle 1 the constant-1
+            terminal; decision nodes start at 2.  ``node_id`` is the
+            handle itself, which keeps it a stable small-integer cache
+            key exactly as before the array refactor.
     """
 
-    __slots__ = ("level", "low", "high", "value", "node_id")
+    __slots__ = ("manager", "_h", "__weakref__")
 
-    def __init__(
-        self,
-        level: int,
-        low: Optional["BDDNode"],
-        high: Optional["BDDNode"],
-        value: Optional[int],
-        node_id: int,
-    ) -> None:
-        self.level = level
-        self.low = low
-        self.high = high
-        self.value = value
-        self.node_id = node_id
+    def __init__(self, manager, handle: int) -> None:
+        self.manager = manager
+        self._h = handle
+
+    @property
+    def node_id(self) -> int:
+        """The handle: a small unique integer, stable for a node's lifetime."""
+        return self._h
+
+    @property
+    def level(self) -> int:
+        """Position of the node's variable in the manager's order."""
+        h = self._h
+        if h < 2:
+            return TERMINAL_LEVEL
+        return self.manager._level[h]
+
+    @property
+    def low(self) -> Optional["BDD"]:
+        """Child followed when the variable is 0 (``None`` for terminals)."""
+        h = self._h
+        if h < 2:
+            return None
+        return self.manager._wrap(self.manager._low[h])
+
+    @property
+    def high(self) -> Optional["BDD"]:
+        """Child followed when the variable is 1 (``None`` for terminals)."""
+        h = self._h
+        if h < 2:
+            return None
+        return self.manager._wrap(self.manager._high[h])
+
+    @property
+    def value(self) -> Optional[int]:
+        """Terminal value (0 or 1) for terminal nodes, ``None`` otherwise."""
+        h = self._h
+        return h if h < 2 else None
 
     @property
     def is_terminal(self) -> bool:
         """Whether this node is one of the constant nodes 0 or 1."""
-        return self.value is not None
+        return self._h < 2
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        if self.is_terminal:
-            return f"<BDD terminal {self.value}>"
-        return f"<BDD node id={self.node_id} level={self.level}>"
+        h = self._h
+        if h < 2:
+            return f"<BDD terminal {h}>"
+        return f"<BDD node id={h} level={self.manager._level[h]}>"
+
+
+#: Backwards-compatible name: consumer modules (and type annotations)
+#: written against the object-graph kernel keep importing ``BDDNode``.
+BDDNode = BDD

@@ -5,13 +5,14 @@ dependent on the variable order; the static heuristics in
 :mod:`repro.bdd.ordering` pick the initial order, and this module moves
 variables *after* construction.  The primitive is the classic adjacent
 **level swap**: exchanging levels ``i`` and ``i+1`` only touches the
-nodes at those two levels, and every node is mutated
-*function-preservingly* — a :class:`~repro.bdd.node.BDDNode` object held
-by a caller keeps denoting the same Boolean function before and after
-the swap, so canonicity (node identity as equivalence) survives
-reordering.  On top of the primitive sit Rudell's **sifting** procedure
-(move one variable through every position, keep the best) and its
-converging variant.
+nodes at those two levels.  On the array kernel a swap is in-place
+writes to the ``level[]``/``low[]``/``high[]`` words of exactly those
+nodes — every handle keeps denoting the same Boolean function before
+and after the swap, so canonicity (node identity as equivalence)
+survives reordering and every wrapper held by a caller stays valid.
+On top of the primitive sit Rudell's **sifting** procedure (move one
+variable through every position, keep the best) and its converging
+variant.
 
 Every swap invalidates the manager's operation caches and fires the
 manager's reorder hooks (see :meth:`BDDManager.add_reorder_hook`); the
@@ -26,10 +27,13 @@ explicit ``roots`` (the functions the caller still cares about) the
 metric counts exactly the live nodes reachable from them — precise, but
 a full traversal per swap, so meant for modest tables.  Without roots
 the unique-table size is used: O(1) to read, but it also counts dead
-intermediate nodes (this manager has no reference counting), so swap
-garbage biases the search toward the starting position.  Semantics are
-unaffected either way; ``max_variables`` is the time-budget knob for
-big tables.
+intermediate nodes, so swap garbage biases the search toward the
+starting position — which is why the sifter periodically hands that
+garbage to the kernel's mark-and-sweep collector
+(:meth:`~repro.bdd.kernel.BDDKernel.collect`): everything not
+reachable from a live wrapper or an explicit root is reclaimed into
+the free-list.  Semantics are unaffected either way; ``max_variables``
+is the time-budget knob for big tables.
 """
 
 from __future__ import annotations
@@ -38,104 +42,137 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from .manager import BDDManager
-from .node import BDDNode
+from .node import BDD
 
 
-def live_size(manager: BDDManager, roots: Sequence[BDDNode]) -> int:
+def _live_size_h(manager: BDDManager, roots: Sequence[int]) -> int:
+    """Number of distinct nodes reachable from root handles."""
+    low = manager._low
+    high = manager._high
+    seen: Set[int] = set()
+    stack = list(roots)
+    while stack:
+        h = stack.pop()
+        if h in seen:
+            continue
+        seen.add(h)
+        if h >= 2:
+            stack.append(low[h])
+            stack.append(high[h])
+    return len(seen)
+
+
+def live_size(manager: BDDManager, roots: Sequence[BDD]) -> int:
     """Number of distinct nodes reachable from ``roots`` (iterative DFS).
 
     This is sifting's exact size metric; callers budgeting a sift (the
     campaign executor) use it once up front to decide whether the exact
     metric is affordable at all.
     """
-    seen: Set[int] = set()
-    stack = list(roots)
-    while stack:
-        node = stack.pop()
-        if node.node_id in seen:
-            continue
-        seen.add(node.node_id)
-        if not node.is_terminal:
-            stack.append(node.low)
-            stack.append(node.high)
-    return len(seen)
+    return _live_size_h(manager, [root._h for root in roots])
 
 
 def _swap_levels(manager: BDDManager, level: int) -> bool:
     """Swap the variables at ``level``/``level + 1`` in place.
 
-    The two levels' node lists come from the manager's own per-level
-    index (maintained on allocation, sweep and swap), so the cost of a
-    swap is proportional to the two levels' populations — never to the
-    whole unique table.  Returns whether any node was *rebuilt*: a swap
-    that only relabelled levels (no ``x`` node depended on ``y``) cannot
-    change any size metric, which lets sifting skip the per-swap size
-    traversal on the — typically dominant — non-interacting steps.
+    The two levels' handle sets come from the manager's own per-level
+    index (maintained on allocation, GC sweep and swap), so the cost of
+    a swap is proportional to the two levels' populations — never to
+    the whole unique table.  Returns whether any node was *rebuilt*: a
+    swap that only relabelled levels (no ``x`` node depended on ``y``)
+    cannot change any size metric, which lets sifting skip the per-swap
+    size traversal on the — typically dominant — non-interacting steps.
 
     Let ``x`` be the variable at ``level`` and ``y`` the one below it:
 
     * nodes testing ``y`` keep their structure — ``y`` simply moved up,
-      so only their level number changes;
+      so only their ``level[]`` word changes;
     * nodes testing ``x`` that do not depend on ``y`` likewise just move
       down one level;
     * nodes testing ``x`` with a ``y``-child are rebuilt through the
-      Shannon expansion ``f = y ? (x ? f11 : f01) : (x ? f10 : f00)``,
-      reusing the object for the new top node so every external
-      reference to ``f`` stays valid.
+      Shannon expansion ``f = y ? (x ? f11 : f01) : (x ? f10 : f00)``
+      by overwriting their ``low[]``/``high[]`` words in place, so every
+      external handle to ``f`` stays valid.
     """
-    unique = manager._unique
-    x_nodes = manager.nodes_at_level(level)
-    y_nodes = manager.nodes_at_level(level + 1)
+    table = manager._table
+    lv = manager._level
+    lo_a = manager._low
+    hi_a = manager._high
+    lidx = manager._level_index
+    y_level = level + 1
+    x_bucket = lidx.get(level)
+    y_bucket = lidx.get(y_level)
+    x_nodes: List[int] = list(x_bucket) if x_bucket else []
+    y_nodes: List[int] = list(y_bucket) if y_bucket else []
 
     # Plan the rebuilds against the *old* structure before any relabelling.
-    y_ids = {node.node_id for node in y_nodes}
-    independent: List[BDDNode] = []
-    rebuilds: List[Tuple[BDDNode, BDDNode, BDDNode, BDDNode, BDDNode]] = []
-    for node in x_nodes:
-        low, high = node.low, node.high
-        low_tests_y = low.node_id in y_ids
-        high_tests_y = high.node_id in y_ids
-        if not low_tests_y and not high_tests_y:
-            independent.append(node)
+    independent: List[int] = []
+    rebuilds: List[Tuple[int, int, int, int, int]] = []
+    for n in x_nodes:
+        lo = lo_a[n]
+        hi = hi_a[n]
+        lo_tests_y = lv[lo] == y_level
+        hi_tests_y = lv[hi] == y_level
+        if not lo_tests_y and not hi_tests_y:
+            independent.append(n)
             continue
-        f00, f01 = (low.low, low.high) if low_tests_y else (low, low)
-        f10, f11 = (high.low, high.high) if high_tests_y else (high, high)
-        rebuilds.append((node, f00, f01, f10, f11))
+        if lo_tests_y:
+            f00, f01 = lo_a[lo], hi_a[lo]
+        else:
+            f00 = f01 = lo
+        if hi_tests_y:
+            f10, f11 = lo_a[hi], hi_a[hi]
+        else:
+            f10 = f11 = hi
+        rebuilds.append((n, f00, f01, f10, f11))
 
-    # Drop the affected unique-table entries (their keys are about to change).
-    for node in x_nodes:
-        unique.pop((level, node.low.node_id, node.high.node_id), None)
-    for node in y_nodes:
-        unique.pop((level + 1, node.low.node_id, node.high.node_id), None)
-
-    # y moves up: structure unchanged, only the level number changes.
-    for node in y_nodes:
-        node.level = level
-        unique[(level, node.low.node_id, node.high.node_id)] = node
-    # x-nodes independent of y move down unchanged.
-    for node in independent:
-        node.level = level + 1
-        unique[(level + 1, node.low.node_id, node.high.node_id)] = node
-    # Re-bucket the per-level index before the rebuilds: nodes the
-    # rebuild loop hash-conses at ``level + 1`` are appended to the new
-    # bucket incrementally by ``_mk``.
-    manager._index_set_level(level, y_nodes)
-    manager._index_set_level(level + 1, independent)
+    # Per-level subtables make the bulk moves free: a node that only
+    # changes *level* keeps its (low, high) key, so the whole y
+    # subtable — and the independent slice of the x subtable — move as
+    # dicts; only the rebuilt nodes are re-keyed individually.
+    x_sub = table.get(level) or {}
+    y_sub = table.get(y_level) or {}
+    if x_bucket is None:
+        x_bucket = manager._new_bucket()
+    if y_bucket is None:
+        y_bucket = manager._new_bucket()
+    for n, _f00, _f01, _f10, _f11 in rebuilds:
+        del x_sub[(lo_a[n], hi_a[n])]
+        x_bucket.discard(n)
+    # y moves up: structure unchanged, only the level word changes.
+    for n in y_nodes:
+        lv[n] = level
+    # x-nodes independent of y move down unchanged (they are exactly
+    # what is left of the old x subtable and the old x index bucket).
+    for n in independent:
+        lv[n] = y_level
+    table[level] = y_sub
+    table[y_level] = x_sub
+    # The index buckets swap wholesale too; nodes the rebuild loop
+    # hash-conses at ``level + 1`` are appended to ``x_bucket`` (now
+    # indexing that level) incrementally by the allocator.
+    lidx[level] = y_bucket
+    lidx[y_level] = x_bucket
+    x_bucket_new = y_bucket
     # Dependent x-nodes are rebuilt in place; their new children at
-    # ``level + 1`` test x and are hash-consed against the re-keyed table.
-    for node, f00, f01, f10, f11 in rebuilds:
-        new_low = manager._mk(level + 1, f00, f10)
-        new_high = manager._mk(level + 1, f01, f11)
-        node.low = new_low
-        node.high = new_high
-        unique[(level, new_low.node_id, new_high.node_id)] = node
-        manager._level_index[level][node.node_id] = node
+    # ``level + 1`` test x and are hash-consed against the re-keyed
+    # table.  No rebuilt node can collide with a moved y node: both
+    # keep denoting their old functions, and equal functions were
+    # already the same node (canonicity).
+    mk = manager._mk_int
+    for n, f00, f01, f10, f11 in rebuilds:
+        new_low = mk(y_level, f00, f10)
+        new_high = mk(y_level, f01, f11)
+        lo_a[n] = new_low
+        hi_a[n] = new_high
+        y_sub[(new_low, new_high)] = n
+        x_bucket_new.add(n)
 
     # Exchange the variable names and levels.
     names = manager._name_of
-    names[level], names[level + 1] = names[level + 1], names[level]
+    names[level], names[y_level] = names[y_level], names[level]
     manager._level_of[names[level]] = level
-    manager._level_of[names[level + 1]] = level + 1
+    manager._level_of[names[y_level]] = y_level
 
     manager._note_order_change()
     return bool(rebuilds)
@@ -184,95 +221,76 @@ class SiftResult:
 class _Sifter:
     """Size metric, swap accounting and session cleanup for sifting.
 
-    The per-level node lists live on the manager itself
+    The per-level handle sets live on the manager itself
     (:meth:`BDDManager.nodes_at_level`), updated by every allocation,
-    swap and sweep, so the sifter no longer scans the unique table — not
+    swap and sweep, so the sifter never scans the unique table — not
     at construction and not per swap.
 
-    Without reference counting, every rebuild leaves the node it replaced
-    in the unique table, and repeated excursions rebuild that garbage
-    again — table growth compounds exponentially across sifted variables
-    if left alone.  The sifter therefore sweeps after every sifted
-    variable: nodes *created during this sifting session* (their ids are
-    past ``session_floor``) cannot be referenced by any caller, so the
-    ones no longer reachable from pre-session nodes or the roots are
-    safely reclaimed.  Pre-session nodes are never collected — external
-    code may hold them, and dropping a held node would break canonicity.
+    Excursions rebuild nodes, and every rebuild can orphan the node it
+    replaced; left alone that garbage compounds across sifted variables.
+    The sifter therefore periodically runs the kernel's mark-and-sweep
+    (:meth:`~repro.bdd.kernel.BDDKernel.collect`): roots are the
+    explicit sift roots plus every handle external code still holds a
+    wrapper for, so nothing a caller can name is ever reclaimed, while
+    dead intermediates — whether created this session or inherited from
+    earlier work — return to the free-list for reuse.
     """
 
-    def __init__(self, manager: BDDManager, roots: Optional[Iterable[BDDNode]]):
+    def __init__(self, manager: BDDManager, roots: Optional[Iterable[BDD]]):
         self.manager = manager
-        self.roots: Optional[List[BDDNode]] = list(roots) if roots is not None else None
+        # Holding the wrappers keeps the roots alive (and thus GC roots)
+        # for the whole session, even if the caller drops them mid-sift.
+        self.roots: Optional[List[BDD]] = list(roots) if roots is not None else None
+        self._root_handles: Optional[List[int]] = (
+            [root._h for root in self.roots] if self.roots is not None else None
+        )
         self.swaps = 0
-        self.session_floor = manager._next_id
-        self._allocated_at_sweep = manager._next_id
+        self._allocated_at_sweep = manager._nodes_allocated
 
     def maybe_sweep(self) -> int:
-        """Sweep only once enough session nodes piled up to matter.
+        """Sweep only once enough garbage piled up to matter.
 
-        The mark phase scans the whole table, so sweeping after every
+        The mark phase scans the live table, so sweeping after every
         sifted variable costs O(table) x variables even when the
         excursions rebuilt almost nothing.  Deferring until the session
-        allocated a table-relative amount of garbage keeps the
-        compounding in check at a fraction of the price.
+        allocated a table-relative amount of nodes keeps the compounding
+        in check at a fraction of the price.
         """
-        allocated = self.manager._next_id - self._allocated_at_sweep
-        if allocated <= max(1024, len(self.manager._unique) // 8):
+        allocated = self.manager._nodes_allocated - self._allocated_at_sweep
+        if allocated <= max(1024, self.manager._live // 8):
             return 0
         return self.sweep()
 
     def sweep(self) -> int:
-        """Reclaim dead session-created nodes; return how many were dropped."""
-        unique = self.manager._unique
-        floor = self.session_floor
-        marked: Set[int] = set()
-        stack: List[BDDNode] = [
-            node for node in unique.values() if node.node_id < floor
-        ]
-        if self.roots is not None:
-            stack.extend(self.roots)
-        while stack:
-            node = stack.pop()
-            if node.node_id in marked:
-                continue
-            marked.add(node.node_id)
-            if not node.is_terminal:
-                stack.append(node.low)
-                stack.append(node.high)
-        dead = [
-            (key, node)
-            for key, node in unique.items()
-            if node.node_id >= floor and node.node_id not in marked
-        ]
-        if not dead:
-            self._allocated_at_sweep = self.manager._next_id
-            return 0
-        for key, node in dead:
-            del unique[key]
-            self.manager._index_discard(node)
-        self._allocated_at_sweep = self.manager._next_id
-        return len(dead)
+        """Reclaim dead nodes into the free-list; return how many dropped."""
+        reclaimed = self.manager.collect(self._root_handles)
+        self._allocated_at_sweep = self.manager._nodes_allocated
+        return reclaimed
 
     def size(self) -> int:
-        if self.roots is not None:
-            return live_size(self.manager, self.roots)
-        return len(self.manager._unique)
+        if self._root_handles is not None:
+            return _live_size_h(self.manager, self._root_handles)
+        return self.manager._live
 
     def population(self) -> Dict[int, int]:
         """Node count per level (live when roots are known, table otherwise)."""
-        if self.roots is None:
+        if self._root_handles is None:
             return self.manager.level_population()
+        lv = self.manager._level
+        low = self.manager._low
+        high = self.manager._high
         counts: Dict[int, int] = {}
         seen: Set[int] = set()
-        stack = list(self.roots)
+        stack = list(self._root_handles)
         while stack:
-            node = stack.pop()
-            if node.node_id in seen or node.is_terminal:
+            h = stack.pop()
+            if h < 2 or h in seen:
                 continue
-            seen.add(node.node_id)
-            counts[node.level] = counts.get(node.level, 0) + 1
-            stack.append(node.low)
-            stack.append(node.high)
+            seen.add(h)
+            level = lv[h]
+            counts[level] = counts.get(level, 0) + 1
+            stack.append(low[h])
+            stack.append(high[h])
         return counts
 
     def swap(self, level: int) -> bool:
@@ -329,7 +347,7 @@ class _Sifter:
 def sift_variable(
     manager: BDDManager,
     name: str,
-    roots: Optional[Iterable[BDDNode]] = None,
+    roots: Optional[Iterable[BDD]] = None,
     max_excursion: Optional[int] = None,
 ) -> SiftResult:
     """Sift a single variable to its locally optimal position."""
@@ -337,8 +355,8 @@ def sift_variable(
     initial = sifter.size()
     final = sifter.sift_variable(name, max_excursion=max_excursion)
     # The per-variable sweep is allocation-thresholded; the session end
-    # always sweeps so no dead session node outlives the sift (a later
-    # session's floor would make it uncollectable forever).
+    # always sweeps so swap garbage is reclaimed into the free-list
+    # before the caller measures or builds on the table.
     sifter.sweep()
     return SiftResult(
         initial_size=initial,
@@ -352,7 +370,7 @@ def sift_variable(
 
 def converge_sift(
     manager: BDDManager,
-    roots: Optional[Iterable[BDDNode]] = None,
+    roots: Optional[Iterable[BDD]] = None,
     max_passes: int = 4,
     max_variables: Optional[int] = None,
     max_excursion: Optional[int] = None,
@@ -400,9 +418,9 @@ def converge_sift(
     # order so the result describes the manager's actual state.
     if manager.variables != best_order:
         sifter.swaps += sift_to_order(manager, best_order)
-    # Session end always sweeps (see sift_variable): dead session nodes
-    # left behind would sit above every later session's floor, making
-    # them permanently uncollectable.
+    # Session end always sweeps (see sift_variable): garbage returned to
+    # the free-list here is what keeps the arena from growing across
+    # repeated reorder sessions.
     sifter.sweep()
     return SiftResult(
         initial_size=initial,
@@ -432,5 +450,6 @@ def sift_to_order(manager: BDDManager, order: Sequence[str]) -> int:
             sifter.swap(current - 1)
             swaps += 1
             current -= 1
-        sifter.sweep()
+        sifter.maybe_sweep()
+    sifter.sweep()
     return swaps

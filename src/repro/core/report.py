@@ -72,6 +72,11 @@ class VerificationReport:
     #: Dynamic-reordering activity (measurement, not verdict): swap and
     #: size accounting when a relational policy sifted the manager.
     reorder: Dict[str, object] = field(default_factory=dict)
+    #: Relational-extraction cache activity (measurement, not verdict):
+    #: whether the per-bit beta relations were re-used from the pooled
+    #: manager's session cache or extracted afresh; empty on the
+    #: classical backend, which extracts nothing.
+    extraction_cache: Dict[str, object] = field(default_factory=dict)
     #: Which beta backend produced the run (measurement, not verdict):
     #: ``compose``, ``relational``, or ``relational+fallback`` when a
     #: refuting relational run re-derived its records classically; empty
@@ -115,6 +120,7 @@ class VerificationReport:
             "bdd_variables": self.bdd_variables,
             "extra": self.extra,
             "reorder": self.reorder,
+            "extraction_cache": self.extraction_cache,
             "backend": self.backend,
         }
 

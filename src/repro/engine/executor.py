@@ -420,7 +420,7 @@ def _run_beta_relational(
     counterexample suite pins the records down byte for byte.
     """
     from ..core.verifier import build_stimulus
-    from ..relational.beta import beta_stimulus_order, extract_steppers
+    from ..relational.beta import beta_stimulus_order, cached_extract_steppers
 
     specification, implementation = models
 
@@ -428,15 +428,27 @@ def _run_beta_relational(
     plan = build_stimulus(manager, architecture, siminfo)
     initial_state = architecture.make_initial_state(manager)
 
+    # Extraction cache keys: the relation is a pure function of the
+    # model construction (architecture dataclass repr covers the design
+    # and its condensation options; the implementation additionally
+    # depends on the injected-bug kwargs), per manager — and the pool
+    # keys managers by order signature, so this is exactly the
+    # (model, policy-independent relation, order_signature) cache of a
+    # campaign session.
+    arch_sig = repr(architecture)
+    kwargs_sig = repr(sorted((impl_kwargs or {}).items()))
     started = time.perf_counter()
-    spec_stepper, impl_stepper = extract_steppers(
+    spec_stepper, impl_stepper, extraction_record = cached_extract_steppers(
         manager,
         specification,
         implementation,
         architecture.instruction_width,
-        policy=relational,
+        relational,
+        spec_key=("beta_spec_relation", arch_sig),
+        impl_key=("beta_impl_relation", arch_sig, kwargs_sig),
     )
     extraction_seconds = time.perf_counter() - started
+    extraction_record["seconds"] = round(extraction_seconds, 4)
     specification.reset(**initial_state)
     implementation.reset(**initial_state)
 
@@ -503,9 +515,10 @@ def _run_beta_relational(
             architecture, siminfo, BDDManager(), impl_kwargs, observation, relational
         )
         report.backend = "relational+fallback"
+        report.extraction_cache = dict(extraction_record)
         return report
 
-    return _beta_report(
+    report = _beta_report(
         architecture,
         siminfo,
         manager,
@@ -521,6 +534,8 @@ def _run_beta_relational(
         reorder_record,
         backend=BETA_RELATIONAL,
     )
+    report.extraction_cache = dict(extraction_record)
+    return report
 
 
 def _compare_samples(
@@ -1010,5 +1025,6 @@ def _outcome_from_verification(
         bdd_nodes=report.bdd_nodes,
         bdd_variables=report.bdd_variables,
         reorder=dict(report.reorder),
+        extraction_cache=dict(report.extraction_cache),
         backend=report.backend,
     )

@@ -43,6 +43,9 @@ class ManagerPool:
         #: :meth:`statistics` so campaign deltas never go negative when a
         #: reorder eviction removes a manager mid-campaign.
         self._retired_cache = {"hits": 0, "misses": 0, "evicted_entries": 0, "clears": 0}
+        #: Arena counters of retired managers (same folding rule: the
+        #: monotonic counters survive retirement; sizes do not).
+        self._retired_arena = {"allocated_total": 0, "gc_runs": 0, "gc_reclaimed": 0}
 
     def acquire(self, signature: Tuple) -> BDDManager:
         """The pooled manager for ``signature`` (created on first use).
@@ -70,10 +73,13 @@ class ManagerPool:
         return evict
 
     def _retire_counters(self, manager: BDDManager) -> None:
-        """Preserve a departing manager's cumulative cache activity."""
+        """Preserve a departing manager's cumulative cache/arena activity."""
         stats = manager.cache_statistics()
         for key in self._retired_cache:
             self._retired_cache[key] += stats[key]
+        arena = manager.arena_statistics()
+        for key in self._retired_arena:
+            self._retired_arena[key] += arena[key]
 
     def clear_caches(self) -> None:
         """Drop the operation caches of every pooled manager."""
@@ -109,8 +115,34 @@ class ManagerPool:
         retired manager afterwards is attributed to that scenario's own
         ``outcome.cache`` delta, not the pool.  Sizes (nodes, cache
         entries) describe only the managers currently pooled.
+
+        Node accounting reads through the kernel's arena statistics:
+        ``total_nodes`` is the pooled managers' *live* node total, and
+        ``arena`` breaks the same managers down into live vs. allocated
+        capacity vs. free-listed handles, with monotonic allocation/GC
+        counters that fold in retired managers like the cache counters
+        do.
         """
-        total_nodes = sum(manager.size() for manager in self._managers.values())
+        arena = {
+            "live": 0,
+            "capacity": 0,
+            "free": 0,
+            "allocated_total": self._retired_arena["allocated_total"],
+            "gc_runs": self._retired_arena["gc_runs"],
+            "gc_reclaimed": self._retired_arena["gc_reclaimed"],
+        }
+        total_nodes = 0
+        for manager in self._managers.values():
+            stats = manager.arena_statistics()
+            # ``live`` counts the terminals; the pool's node total keeps
+            # the historical unique-table meaning (non-terminals only).
+            total_nodes += stats["live"] - 2
+            arena["live"] += stats["live"]
+            arena["capacity"] += stats["capacity"]
+            arena["free"] += stats["free"]
+            arena["allocated_total"] += stats["allocated_total"]
+            arena["gc_runs"] += stats["gc_runs"]
+            arena["gc_reclaimed"] += stats["gc_reclaimed"]
         cache = {
             "hits": self._retired_cache["hits"],
             "misses": self._retired_cache["misses"],
@@ -133,5 +165,6 @@ class ManagerPool:
             "reuses": self._reuses,
             "reorder_evictions": self._reorder_evictions,
             "total_nodes": total_nodes,
+            "arena": arena,
             "cache": cache,
         }

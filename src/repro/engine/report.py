@@ -44,6 +44,10 @@ class ScenarioOutcome:
     #: Dynamic-reordering activity (measurement, not verdict): present
     #: when the scenario's relational policy sifted the manager.
     reorder: Dict[str, object] = field(default_factory=dict)
+    #: Relational-extraction cache activity (measurement, not verdict):
+    #: hit/miss of the session-cached beta relations plus session
+    #: totals; empty for non-relational scenarios.
+    extraction_cache: Dict[str, object] = field(default_factory=dict)
     #: Which beta backend executed the scenario (measurement, not
     #: verdict — verdicts are byte-identical across backends): empty for
     #: non-beta scenarios.
@@ -80,6 +84,7 @@ class ScenarioOutcome:
                 "bdd_variables": self.bdd_variables,
                 "cache": self.cache,
                 "reorder": self.reorder,
+                "extraction_cache": self.extraction_cache,
                 "backend": self.backend,
                 "memoized": self.memoized,
             }

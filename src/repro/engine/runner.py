@@ -70,6 +70,7 @@ def _execute_pooled(
         outcome.timings = {}
         outcome.cache = {}
         outcome.reorder = {}
+        outcome.extraction_cache = {}
         outcome.bdd_nodes = 0
         outcome.bdd_variables = 0
         return outcome, True
@@ -117,6 +118,21 @@ def _pool_campaign_delta(
     hits = cache_after["hits"] - cache_before["hits"]
     misses = cache_after["misses"] - cache_before["misses"]
     lookups = hits + misses
+    arena_before = before.get("arena", {})
+    arena_after = after.get("arena", {})
+    arena = {
+        # Sizes are the absolute post-campaign state; counters are the
+        # campaign's delta (monotonic thanks to the pool's fold-in of
+        # retired managers).
+        "live": arena_after.get("live", 0),
+        "capacity": arena_after.get("capacity", 0),
+        "free": arena_after.get("free", 0),
+        "allocated_total": arena_after.get("allocated_total", 0)
+        - arena_before.get("allocated_total", 0),
+        "gc_runs": arena_after.get("gc_runs", 0) - arena_before.get("gc_runs", 0),
+        "gc_reclaimed": arena_after.get("gc_reclaimed", 0)
+        - arena_before.get("gc_reclaimed", 0),
+    }
     return {
         "managers": after["managers"],
         "acquisitions": after["acquisitions"] - before["acquisitions"],
@@ -124,6 +140,7 @@ def _pool_campaign_delta(
         "reorder_evictions": after.get("reorder_evictions", 0)
         - before.get("reorder_evictions", 0),
         "total_nodes": after["total_nodes"],
+        "arena": arena,
         "cache": {
             "hits": hits,
             "misses": misses,

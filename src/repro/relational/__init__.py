@@ -27,7 +27,9 @@ with the BDD substrate in :mod:`repro.bdd.reorder`.
 from .beta import (
     MachineStepper,
     beta_stimulus_order,
+    cached_extract_steppers,
     extract_steppers,
+    extraction_cache_statistics,
     supports_state_injection,
 )
 from .image import ImageComputer, ImageStats, smooth_conjunction
@@ -69,7 +71,9 @@ __all__ = [
     "TransitionRelation",
     "beta_stimulus_order",
     "effective_beta_backend",
+    "cached_extract_steppers",
     "extract_steppers",
+    "extraction_cache_statistics",
     "pipelined_vsm_relation",
     "smooth_conjunction",
     "supports_state_injection",

@@ -123,6 +123,7 @@ class MachineStepper:
         fetch_valid_name: Optional[str],
         next_functions: Dict[Tuple[str, int], BDDNode],
         policy: RelationalPolicy,
+        supports: Optional[Dict[Tuple[str, int], Tuple[str, ...]]] = None,
     ) -> None:
         self.manager = manager
         self.model = model
@@ -146,10 +147,12 @@ class MachineStepper:
             for guard, fields in self.guards.items()
             for field in fields
         }
-        self.supports: Dict[Tuple[str, int], Tuple[str, ...]] = {
-            key: manager.support(function)
-            for key, function in next_functions.items()
-        }
+        if supports is None:
+            supports = {
+                key: manager.support(function)
+                for key, function in next_functions.items()
+            }
+        self.supports: Dict[Tuple[str, int], Tuple[str, ...]] = dict(supports)
         #: How many gated field-bit products the guards short-circuited.
         self.gated_skips = 0
 
@@ -362,3 +365,137 @@ def extract_steppers(
         policy=policy,
     )
     return spec_stepper, impl_stepper
+
+
+# ----------------------------------------------------------------------
+# Session-scoped extraction cache
+# ----------------------------------------------------------------------
+#: Key of the hit/miss counters inside ``manager.session_cache``.
+_EXTRACTION_STATS_KEY = "beta_extraction_stats"
+
+
+def _stepper_payload(stepper: MachineStepper) -> Dict[str, object]:
+    """The model-independent part of an extracted relation.
+
+    Everything here is a pure function of (manager, model class +
+    options, impl kwargs): the canonical per-bit next-state functions,
+    their supports and the declared variable names.  The payload holds
+    node wrappers, so the cached relation doubles as a GC root set and
+    survives arena collections for the life of the manager.
+    """
+    return {
+        "layout": list(stepper.layout),
+        "input_names": list(stepper.input_names),
+        "fetch_valid_name": stepper.fetch_valid_name,
+        "next_functions": dict(stepper.next_functions),
+        "supports": dict(stepper.supports),
+    }
+
+
+def _stepper_from_payload(
+    manager: BDDManager, payload: Dict[str, object], model, prefix: str,
+    policy: RelationalPolicy,
+) -> MachineStepper:
+    """Re-bind a cached relation to a freshly constructed model.
+
+    The relation's functions are canonical nodes on the shared manager,
+    so re-binding is exact: the stepper behaves byte-for-byte like one
+    extracted from this model instance (the extraction is deterministic
+    and the pooled manager already holds every node it would build).
+    """
+    return MachineStepper(
+        manager,
+        model,
+        prefix,
+        payload["layout"],
+        payload["input_names"],
+        payload["fetch_valid_name"],
+        payload["next_functions"],
+        policy,
+        supports=payload["supports"],
+    )
+
+
+def extraction_cache_statistics(manager: BDDManager) -> Dict[str, int]:
+    """Session totals of the extraction cache on ``manager``."""
+    stats = manager.session_cache.get(_EXTRACTION_STATS_KEY)
+    if stats is None:
+        return {"hits": 0, "misses": 0}
+    return dict(stats)
+
+
+def cached_extract_steppers(
+    manager: BDDManager,
+    specification,
+    implementation,
+    instruction_width: int,
+    policy: Optional[RelationalPolicy],
+    spec_key: object,
+    impl_key: object,
+) -> Tuple[MachineStepper, MachineStepper, Dict[str, object]]:
+    """Extract or re-use the stepper pair via ``manager.session_cache``.
+
+    Extraction is the fixed per-run cost of the relational backend
+    (~2.5 s for the 240-bit Alpha0 condensation); on a pooled manager a
+    repeated scenario — or a bug-sweep variant, which shares the golden
+    specification — pays it once per session.  Keys must identify the
+    model construction exactly: the executor derives them from the
+    architecture (name + condensation options) and, for the
+    implementation, the injected-bug kwargs.  The policy is *not* part
+    of the key because extraction is policy-independent (only
+    :meth:`MachineStepper.advance` consults it); cached relations are
+    re-bound to the fresh model instances under the current policy.
+
+    Returns ``(spec_stepper, impl_stepper, info)`` where ``info`` is the
+    measurement record surfaced as ``outcome.extraction_cache``.
+    """
+    policy = policy if policy is not None else RelationalPolicy()
+    cache = manager.session_cache
+    stats = cache.setdefault(_EXTRACTION_STATS_KEY, {"hits": 0, "misses": 0})
+    info: Dict[str, object] = {}
+
+    payload = cache.get(spec_key)
+    if payload is not None:
+        stats["hits"] += 1
+        info["spec"] = "hit"
+        spec_stepper = _stepper_from_payload(
+            manager, payload, specification, SPEC_PREFIX, policy
+        )
+    else:
+        stats["misses"] += 1
+        info["spec"] = "miss"
+        spec_stepper = MachineStepper.extract(
+            manager,
+            specification,
+            SPEC_PREFIX,
+            instruction_width,
+            lambda model, word, fetch_valid: model.execute_instruction(word),
+            with_fetch_valid=False,
+            policy=policy,
+        )
+        cache[spec_key] = _stepper_payload(spec_stepper)
+
+    payload = cache.get(impl_key)
+    if payload is not None:
+        stats["hits"] += 1
+        info["impl"] = "hit"
+        impl_stepper = _stepper_from_payload(
+            manager, payload, implementation, IMPL_PREFIX, policy
+        )
+    else:
+        stats["misses"] += 1
+        info["impl"] = "miss"
+        impl_stepper = MachineStepper.extract(
+            manager,
+            implementation,
+            IMPL_PREFIX,
+            instruction_width,
+            lambda model, word, fetch_valid: model.step(word, fetch_valid=fetch_valid),
+            with_fetch_valid=True,
+            policy=policy,
+        )
+        cache[impl_key] = _stepper_payload(impl_stepper)
+
+    info["session_hits"] = stats["hits"]
+    info["session_misses"] = stats["misses"]
+    return spec_stepper, impl_stepper, info

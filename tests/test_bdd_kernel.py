@@ -1,0 +1,299 @@
+"""Invariant suite for the array-backed integer-handle BDD kernel.
+
+The kernel (:mod:`repro.bdd.kernel`) stores nodes in parallel arrays
+addressed by integer handles, reclaims dead handles by mark-and-sweep
+into a free-list, and serves every operation from one iterative ITE
+core.  These tests pin the properties the rest of the repo builds on:
+
+* free-list reuse never *resurrects* a reclaimed handle — once swept, a
+  handle is gone from the table, the per-level index and the wrapper
+  interning, and comes back only via the allocator with fresh contents;
+* mark-and-sweep keeps exactly the nodes reachable from the live roots
+  (the wrappers external code still holds, plus explicit roots);
+* the per-level index equals a recomputed partition of the unique table
+  after arbitrary interleavings of operations, GC, level swaps and
+  sifting;
+* verdicts are GC-transparent: a verification run on a manager that
+  aggressively collects between operations is byte-identical to the
+  stored golden counterexamples.
+
+All randomness is seeded; the suite is deterministic.
+"""
+
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.bdd import BDDManager, converge_sift, sift_variable, swap_adjacent
+
+SEED = 20260730
+
+
+def random_function(manager, rng, names, depth=4):
+    """A random function over ``names`` built from the core operations."""
+    if depth == 0 or rng.random() < 0.25:
+        name = rng.choice(names)
+        return manager.var(name) if rng.random() < 0.5 else manager.nvar(name)
+    left = random_function(manager, rng, names, depth - 1)
+    right = random_function(manager, rng, names, depth - 1)
+    op = rng.randrange(5)
+    if op == 0:
+        return manager.apply_and(left, right)
+    if op == 1:
+        return manager.apply_or(left, right)
+    if op == 2:
+        return manager.apply_xor(left, right)
+    if op == 3:
+        return manager.exists([rng.choice(names)], left)
+    return manager.ite(left, right, manager.apply_not(right))
+
+
+def table_handle_set(manager):
+    """All live non-terminal handles (flattened from the per-level subtables)."""
+    return {handle for sub in manager._table.values() for handle in sub.values()}
+
+
+def reachable_handles(manager, wrappers):
+    """Closure of non-terminal handles reachable from wrapper roots."""
+    low, high = manager._low, manager._high
+    seen = set()
+    stack = [w._h for w in wrappers]
+    while stack:
+        h = stack.pop()
+        if h < 2 or h in seen:
+            continue
+        seen.add(h)
+        stack.append(low[h])
+        stack.append(high[h])
+    return seen
+
+
+class TestMarkAndSweep:
+    """collect() keeps exactly the live roots' cones."""
+
+    def test_sweep_keeps_exactly_the_held_roots(self):
+        rng = random.Random(SEED)
+        manager = BDDManager([f"v{i}" for i in range(8)])
+        names = list(manager.variables)
+        kept = [random_function(manager, rng, names, depth=5) for _ in range(4)]
+        dropped = [random_function(manager, rng, names, depth=5) for _ in range(4)]
+        del dropped
+        reclaimed = manager.collect()
+        assert reclaimed > 0
+        live = reachable_handles(manager, kept)
+        assert table_handle_set(manager) == live
+        # Arena accounting agrees with the table.
+        arena = manager.arena_statistics()
+        assert arena["live"] == len(table_handle_set(manager)) + 2
+        assert arena["free"] >= reclaimed
+        assert arena["capacity"] == arena["live"] + arena["free"]
+
+    def test_sweep_respects_explicit_roots(self):
+        rng = random.Random(SEED + 1)
+        manager = BDDManager([f"v{i}" for i in range(6)])
+        names = list(manager.variables)
+        root = random_function(manager, rng, names, depth=5)
+        handle = root.node_id
+        cone = reachable_handles(manager, [root])
+        del root  # no wrapper left; only the explicit root protects it
+        manager.collect(roots=[handle])
+        assert cone.issubset(table_handle_set(manager))
+
+    def test_collect_is_semantics_transparent(self):
+        """Interleaved GC never changes any constructed function."""
+        rng = random.Random(SEED + 2)
+        plain = BDDManager([f"v{i}" for i in range(7)])
+        swept = BDDManager([f"v{i}" for i in range(7)])
+        names = [f"v{i}" for i in range(7)]
+        plain_roots, swept_roots = [], []
+        for round_index in range(12):
+            build_rng = random.Random(SEED + 100 + round_index)
+            plain_roots.append(random_function(plain, build_rng, names, depth=4))
+            build_rng = random.Random(SEED + 100 + round_index)
+            swept_roots.append(random_function(swept, build_rng, names, depth=4))
+            if round_index % 3 == 0:
+                swept.collect()
+        for p, s in zip(plain_roots, swept_roots):
+            assert plain.sat_count(p, names) == swept.sat_count(s, names)
+        # Canonicity inside each manager is untouched by the sweeps.
+        assert swept.apply_or(swept_roots[0], swept_roots[0]) is swept_roots[0]
+
+
+class TestFreeListReuse:
+    """A reclaimed handle never comes back as its old self."""
+
+    def test_reclaimed_handles_leave_every_structure(self):
+        rng = random.Random(SEED + 3)
+        manager = BDDManager([f"v{i}" for i in range(8)])
+        names = list(manager.variables)
+        keep = random_function(manager, rng, names, depth=5)
+        for _ in range(3):
+            random_function(manager, rng, names, depth=5)
+        garbage_handles = table_handle_set(manager) - reachable_handles(
+            manager, [keep]
+        )
+        reclaimed = manager.collect()
+        assert reclaimed == len(garbage_handles) > 0
+        table_handles = table_handle_set(manager)
+        index_handles = {
+            h for bucket in manager._level_index.values() for h in bucket
+        }
+        for handle in garbage_handles:
+            assert handle in manager._free
+            assert handle not in table_handles
+            assert handle not in index_handles
+            assert manager._wrappers.get(handle) is None
+            # The slot is poisoned until the allocator re-arms it.
+            assert manager._level[handle] == -1
+
+    def test_reuse_rearms_the_slot_with_fresh_contents(self):
+        rng = random.Random(SEED + 4)
+        manager = BDDManager([f"v{i}" for i in range(8)])
+        names = list(manager.variables)
+        garbage = random_function(manager, rng, names, depth=5)
+        del garbage
+        manager.collect()
+        free_before = list(manager._free)
+        assert free_before
+        capacity_before = manager.arena_statistics()["capacity"]
+        # New work re-uses freed handles before growing the arrays.
+        fresh = [random_function(manager, rng, names, depth=5) for _ in range(3)]
+        still_free = set(manager._free)
+        reused = [h for h in free_before if h not in still_free]
+        assert reused, "allocator ignored the free-list"
+        table_handles = table_handle_set(manager)
+        for handle in reused:
+            assert handle in table_handles
+            assert manager._level[handle] >= 0
+        # The free-list absorbed growth: the arena did not expand by the
+        # full amount of new work.
+        arena = manager.arena_statistics()
+        assert arena["capacity"] - capacity_before <= max(
+            0, len(table_handles) - len(reused)
+        )
+        # The functions built over reused slots behave correctly.
+        for f in fresh:
+            manager.sat_count(f, names)
+
+    def test_canonicity_across_collect_cycles(self):
+        """Rebuilding a collected function finds a fresh, correct node."""
+        manager = BDDManager(["a", "b", "c"])
+
+        def build():
+            return manager.apply_or(
+                manager.apply_and(manager.var("a"), manager.var("b")),
+                manager.var("c"),
+            )
+
+        first = build()
+        count = manager.sat_count(first, ["a", "b", "c"])
+        del first
+        manager.collect()
+        second = build()
+        assert manager.sat_count(second, ["a", "b", "c"]) == count
+        # And canonical identity holds for the new incarnation.
+        assert build() is second
+
+
+class TestIndexAfterGC:
+    """The per-level index stays exact under op/GC/swap/sift interleavings."""
+
+    NUM_VARS = 7
+
+    def assert_index_exact(self, manager):
+        partition = {}
+        for (level, _lo, _hi), node in manager._unique.items():
+            partition.setdefault(level, set()).add(node.node_id)
+        indexed = {
+            level: set(bucket)
+            for level, bucket in manager._level_index.items()
+            if bucket
+        }
+        assert indexed == partition
+        population = manager.level_population()
+        assert population == {level: len(b) for level, b in partition.items()}
+
+    def test_random_op_gc_swap_sift_sequences(self):
+        rng = random.Random(SEED + 5)
+        manager = BDDManager([f"x{i}" for i in range(self.NUM_VARS)])
+        names = list(manager.variables)
+        roots = [random_function(manager, rng, names, depth=5) for _ in range(3)]
+        for _ in range(18):
+            action = rng.randrange(4)
+            if action == 0:
+                roots.append(random_function(manager, rng, names))
+            elif action == 1:
+                swap_adjacent(manager, rng.randrange(self.NUM_VARS - 1))
+            elif action == 2:
+                manager.collect()
+            else:
+                sift_variable(manager, rng.choice(names), roots=roots)
+            self.assert_index_exact(manager)
+        counts = [manager.sat_count(root, names) for root in roots]
+        converge_sift(manager, roots=roots, max_passes=2)
+        manager.collect()
+        self.assert_index_exact(manager)
+        assert [manager.sat_count(root, names) for root in roots] == counts
+
+
+class _GCStressManager(BDDManager):
+    """Collects the arena at frequent (safe-point) operation boundaries."""
+
+    PERIOD = 256
+
+    def __init__(self, *args, **kwargs):
+        super().__init__(*args, **kwargs)
+        self._stress_ops = 0
+        self.stress_collections = 0
+
+    def apply_and(self, f, g):
+        self._stress_ops += 1
+        if self._stress_ops % self.PERIOD == 0:
+            self.collect()
+            self.stress_collections += 1
+        return super().apply_and(f, g)
+
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_counterexamples.json"
+
+
+class TestGoldenByteIdentityUnderGC:
+    """Golden counterexamples survive an aggressively collecting kernel."""
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        with GOLDEN_PATH.open() as handle:
+            return json.load(handle)["scenarios"]
+
+    @pytest.mark.parametrize(
+        "name", ["vsm/bug/drop_write_r3", "vsm/bug/and_becomes_or"]
+    )
+    def test_golden_records_byte_identical(self, goldens, name):
+        from repro.engine import Scenario
+        from repro.engine.executor import run_beta
+
+        entry = goldens[name]
+        scenario = Scenario.from_dict(entry["scenario"])
+        manager = _GCStressManager()
+        report = run_beta(
+            scenario.architecture(),
+            scenario.siminfo(),
+            manager=manager,
+            impl_kwargs=scenario.impl_kwargs(),
+            observation=scenario.observation(),
+            relational=scenario.relational,
+        )
+        assert not report.passed
+        assert len(report.mismatches) == entry["mismatch_count"]
+        for expected, actual in zip(entry["first_mismatches"], report.mismatches):
+            assert actual.observable == expected["observable"]
+            assert actual.sample_index == expected["sample_index"]
+            assert actual.decoded_instructions == expected["decoded"]
+            assert actual.instruction_words == {
+                k: int(v) for k, v in expected["words"].items()
+            }
+            assert {k: bool(v) for k, v in actual.counterexample.items()} == expected[
+                "counterexample"
+            ]

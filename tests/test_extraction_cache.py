@@ -1,0 +1,102 @@
+"""Session-scoped extraction cache + pool arena accounting (PR 4).
+
+The relational beta backend's fixed per-run cost is extracting the
+per-bit beta-correspondence relations.  On a pooled manager that cost
+is now paid once per campaign session: the extracted relations live in
+``manager.session_cache`` keyed by the model construction, re-bound to
+each run's fresh model instances, with hits surfaced as
+``outcome.extraction_cache``.  The pool's node accounting reads through
+the kernel's arena statistics.  Verdicts must be byte-identical with
+the cache in play — the relation payload is canonical nodes on the
+shared manager, so a hit changes wall-clock only.
+"""
+
+import copy
+
+from repro.engine import CampaignRunner, Scenario, execute_scenario
+from repro.strings import NORMAL
+
+
+def scenario(name, bug=None):
+    return Scenario(name=name, slots=(NORMAL,), bug=bug)
+
+
+class TestExtractionCache:
+    def test_repeat_scenario_hits_the_session_cache(self):
+        runner = CampaignRunner(memoize=False)
+        first = runner.run_one(scenario("vsm/first"))
+        again = runner.run_one(scenario("vsm/again"))
+        assert first.passed and again.passed
+        assert first.extraction_cache["spec"] == "miss"
+        assert first.extraction_cache["impl"] == "miss"
+        assert again.extraction_cache["spec"] == "hit"
+        assert again.extraction_cache["impl"] == "hit"
+        assert again.extraction_cache["session_hits"] == 2
+        assert again.extraction_cache["session_misses"] == 2
+
+    def test_bug_variant_shares_the_specification_relation(self):
+        runner = CampaignRunner(memoize=False)
+        golden = runner.run_one(scenario("vsm/golden"))
+        buggy = runner.run_one(scenario("vsm/bug", bug="and_becomes_or"))
+        assert golden.passed and not buggy.passed
+        # Same architecture -> the specification relation is reused; the
+        # injected bug changes the implementation model -> re-extracted.
+        assert buggy.extraction_cache["spec"] == "hit"
+        assert buggy.extraction_cache["impl"] == "miss"
+
+    def test_cached_runs_keep_verdicts_byte_identical(self):
+        runner = CampaignRunner(memoize=False)
+        runner.run_one(scenario("vsm/warmup"))
+        pooled = runner.run_one(scenario("vsm/check", bug="no_bypass"))
+        fresh = execute_scenario(scenario("vsm/check", bug="no_bypass"))
+        assert pooled.extraction_cache["spec"] == "hit"
+        assert fresh.extraction_cache["spec"] == "miss"
+        assert pooled.verdict() == fresh.verdict()
+
+    def test_memoised_outcomes_report_no_extraction_activity(self):
+        runner = CampaignRunner(memoize=True)
+        first = runner.run_one(scenario("vsm/memo"))
+        second = runner.run_one(scenario("vsm/memo"))
+        assert first.extraction_cache and not second.extraction_cache
+        assert second.memoized
+
+    def test_classical_backend_reports_no_extraction(self):
+        from repro.relational import BETA_COMPOSE, RelationalPolicy
+
+        outcome = execute_scenario(
+            Scenario(
+                name="vsm/compose",
+                slots=(NORMAL,),
+                relational=RelationalPolicy(beta_backend=BETA_COMPOSE),
+            )
+        )
+        assert outcome.passed
+        assert outcome.extraction_cache == {}
+
+
+class TestPoolArenaAccounting:
+    def test_statistics_read_through_the_arena(self):
+        runner = CampaignRunner(memoize=False)
+        runner.run_one(scenario("vsm/a"))
+        stats = runner.pool.statistics()
+        arena = stats["arena"]
+        # live counts terminals (2 per pooled manager); total_nodes keeps
+        # the historical non-terminal meaning.
+        assert arena["live"] - 2 * stats["managers"] == stats["total_nodes"]
+        assert arena["capacity"] == arena["live"] + arena["free"]
+        assert arena["allocated_total"] >= arena["live"] - 2 * stats["managers"]
+
+    def test_counters_stay_monotonic_across_runs_and_retirement(self):
+        runner = CampaignRunner(memoize=False)
+        runner.run_one(scenario("vsm/a"))
+        before = copy.deepcopy(runner.pool.statistics())
+        runner.run_one(scenario("vsm/b", bug="drop_write_r3"))
+        after = runner.pool.statistics()
+        assert after["arena"]["allocated_total"] >= before["arena"]["allocated_total"]
+        assert after["cache"]["hits"] >= before["cache"]["hits"]
+        # Retiring every manager folds its counters instead of losing them.
+        runner.pool.clear()
+        cleared = runner.pool.statistics()
+        assert cleared["arena"]["allocated_total"] >= after["arena"]["allocated_total"]
+        assert cleared["arena"]["live"] == 0
+        assert cleared["cache"]["hits"] >= after["cache"]["hits"]
