@@ -38,12 +38,18 @@ arena's live/capacity/free/reclaimed accounting.
 Honesty note: both kernels bottom out in the same CPython dict
 operations per node (one cache probe, one cache store, one unique-table
 probe per constructed node), so regimes dominated by cold allocation
-cannot improve much and the cold regime may even lose a little to
-CPython 3.11's cheap recursion; the wins come where object allocation,
-complement materialisation (XOR/XNOR), per-call (vs shared) memo caches
-or table garbage dominated.  The asserted bars below are the measured
-floors; ROADMAP records the headline numbers and the misses alongside
-the wins.
+cannot improve much; the wins come where object allocation, complement
+materialisation (XOR/XNOR), per-call (vs shared) memo caches or table
+garbage dominated.  PR 5 attacked the PR-4 cold-chain negative (~0.65x)
+with bounded-depth recursive fast paths in the ITE/AND/OR/XOR cores
+(one cheap frame per expanded node, explicit stack only past the depth
+budget) plus cheaper wrapper interning; cold recovered to ~0.85x on the
+dev box — the residual is the wrapper-interning and GC-capable manager
+construction the identity-free object kernel never paid, so the >=1.0x
+target is recorded as a near-miss while compare/advance/big_build
+gained another ~1.2-1.4x on top of PR 4.  The asserted bars below are
+measured floors; ROADMAP records the headline numbers and the misses
+alongside the wins.
 """
 
 import gc
@@ -726,8 +732,12 @@ def test_kernel_op_throughput_and_swap(benchmark):
     # does not flake the tier; regressions of the *shape* still fail).
     assert regimes["compare"]["speedup"] >= 1.4, regimes["compare"]
     assert regimes["warm_apply"]["speedup"] >= 1.0, regimes["warm_apply"]
+    # The PR-5 recursive fast path lifted cold chains from ~0.65x to
+    # ~0.85x typical; the floor is set under the noise band (the >=1.0x
+    # target itself is a recorded near-miss, see the module docstring).
+    assert regimes["cold_apply"]["speedup"] >= 0.72, regimes["cold_apply"]
     assert swap["speedup"] >= 1.5, swap
-    assert payload["aggregate_speedup_geomean"] >= 1.1, payload
+    assert payload["aggregate_speedup_geomean"] >= 1.15, payload
     record_paper_comparison(
         benchmark,
         experiment="array kernel vs object-graph kernel (full)",

@@ -13,14 +13,18 @@ reduced and canonical: equal functions have equal handles.
 Three properties distinguish this kernel from the object-graph one it
 replaced:
 
-* **One iterative ITE core.**  Every Boolean connective is a call into
-  :meth:`BDDKernel._ite3`, an explicit-stack if-then-else with CUDD's
-  standard-triple normalisation (``ite(f,f,h) = ite(f,1,h)``,
-  commutative AND/OR argument ordering, negation pairs cached both
-  ways).  Restriction, composition, quantification and the relational
-  product are explicit-stack walkers over the same arrays that bottom
-  out in the core; nothing in the kernel recurses on BDD structure, so
-  3000-level diagrams are as safe as 3-level ones.
+* **One ITE core, two gears.**  Every Boolean connective is a call
+  into :meth:`BDDKernel._ite3` (or its specialised AND/OR/XOR
+  siblings), with CUDD's standard-triple normalisation (``ite(f,f,h) =
+  ite(f,1,h)``, commutative AND/OR argument ordering, negation pairs
+  cached both ways) ahead of every cache lookup.  Small expansions run
+  in a bounded-depth recursive fast path (one cheap Python frame per
+  expanded node — the cold-model-construction regime); an expansion
+  deeper than the budget is routed, whole, to the explicit-stack form,
+  so 3000-level diagrams never touch the native recursion limit.
+  Restriction, composition, quantification and the relational product
+  are explicit-stack walkers over the same arrays that bottom out in
+  the core.
 * **Int-tuple-keyed shared memo caches.**  The ITE cache and the
   operation cache (restrict/compose/quantify/and-exists, keyed by a
   small opcode, the operand handles and an interned signature of the
@@ -39,6 +43,9 @@ replaced:
 
 from __future__ import annotations
 
+import base64
+import sys
+from array import array
 from typing import Dict, Iterable, List, Optional, Tuple
 
 from .node import TERMINAL_LEVEL
@@ -51,6 +58,77 @@ OP_COMPOSE = 4
 OP_ANDEX = 5
 OP_XOR = 6
 OP_XNOR = 7
+
+#: Version tag embedded in :meth:`BDDKernel.snapshot` payloads.
+SNAPSHOT_FORMAT = 1
+
+#: Recursion budget of the ITE/AND/OR/XOR fast paths (see
+#: :meth:`BDDKernel._ite3`).
+ITE_FAST_DEPTH = 24
+
+
+#: Array typecode used for packed snapshots; the on-disk format tag
+#: pins the exact layout (little-endian 4-byte signed ints) so packed
+#: records are portable across hosts.
+_PACK_TYPECODE = "i"
+_PACK_TAG = "<i4"
+_PACK_PORTABLE = array(_PACK_TYPECODE).itemsize == 4
+
+
+def pack_snapshot(payload: Dict[str, object]) -> Dict[str, object]:
+    """Binary-pack a snapshot's node arrays for cheap persistence.
+
+    JSON-parsing millions of decimal ints dominates large-snapshot
+    deserialisation; packed form stores ``levels``/``lows``/``highs`` as
+    base64-coded little-endian int32 arrays (still JSON-embeddable),
+    which :func:`unpack_snapshot` turns back into lists at memcpy
+    speed.  Idempotent on already-packed payloads; on a platform whose
+    C ``int`` is not 4 bytes the payload is left unpacked (plain lists
+    remain a valid record form).
+    """
+    if payload.get("packed") or not _PACK_PORTABLE:
+        return payload
+    packed = dict(payload)
+    for name in ("levels", "lows", "highs"):
+        values = array(_PACK_TYPECODE, payload[name])
+        if sys.byteorder != "little":
+            values.byteswap()
+        packed[name] = base64.b64encode(values.tobytes()).decode("ascii")
+    packed["packed"] = _PACK_TAG
+    return packed
+
+
+def unpack_snapshot(payload: Dict[str, object]) -> Dict[str, object]:
+    """Inverse of :func:`pack_snapshot` (no-op on unpacked payloads)."""
+    tag = payload.get("packed")
+    if not tag:
+        return payload
+    if tag != _PACK_TAG or not _PACK_PORTABLE:
+        raise SnapshotError(f"unsupported snapshot packing {tag!r}")
+    unpacked = dict(payload)
+    try:
+        for name in ("levels", "lows", "highs"):
+            values = array(_PACK_TYPECODE)
+            values.frombytes(base64.b64decode(payload[name]))
+            if sys.byteorder != "little":
+                values.byteswap()
+            unpacked[name] = values.tolist()
+    except (TypeError, ValueError) as exc:
+        raise SnapshotError(f"malformed packed snapshot: {exc!r}") from None
+    del unpacked["packed"]
+    return unpacked
+
+
+class SnapshotError(ValueError):
+    """Raised when an arena snapshot cannot be restored faithfully.
+
+    Restoration validates every structural invariant (array lengths,
+    topological child references, strictly increasing levels along
+    edges) before hash-consing a node, so a truncated or corrupted
+    snapshot can only fail loudly — it can never rebuild a diagram that
+    denotes the wrong function.  Callers treat this as a cache miss and
+    recompute.
+    """
 
 
 class BDDKernel:
@@ -94,6 +172,13 @@ class BDDKernel:
         self._cache_misses = 0
         self._cache_evicted_entries = 0
         self._cache_clears = 0
+        #: Total declared levels (maintained by the manager's declare).
+        #: The fast paths use ``_depth_hint - top`` — the number of
+        #: levels below an operation's top variable — to route deep
+        #: expansions straight to the explicit stack in one call
+        #: instead of spraying many small stack handoffs at the
+        #: recursion-budget frontier.
+        self._depth_hint = 0
         # Arena accounting.
         self._nodes_allocated = 0  # total allocations (incl. free-list reuse)
         self._peak_live = 0
@@ -154,25 +239,34 @@ class BDDKernel:
     # ------------------------------------------------------------------
     # The unified ITE core
     # ------------------------------------------------------------------
-    def _ite3(self, f: int, g: int, h: int) -> int:
+    #: Depth budget of the recursive ITE/XOR fast path.  Small (cold)
+    #: functions resolve entirely inside plain recursion — one Python
+    #: frame per expanded node, no per-node task tuples — while any
+    #: subproblem still unresolved past the budget falls over to the
+    #: explicit stack, which is recursion-limit-proof.  The budget
+    #: bounds native stack use at a few dozen frames regardless of
+    #: diagram depth.
+    ITE_FAST_DEPTH = ITE_FAST_DEPTH
+
+    def _ite3(self, f: int, g: int, h: int, depth: int = ITE_FAST_DEPTH) -> int:
         """``if f then g else h`` on handles — the one apply operation.
 
-        Explicit-stack (no recursion on BDD structure), with the node
-        constructor inlined into the reduce step and CUDD's
-        standard-triple normalisation ahead of every cache lookup:
-        ``ite(f,f,h)`` becomes the OR form, ``ite(f,g,f)`` the AND form,
-        and commutative AND/OR operand pairs are ordered by handle so
-        both argument orders share one cache line.  Negations
-        (``ite(f,0,1)``) are cached in both directions.
-
-        Cofactor triples are *resolved inline*: a child that is trivial
-        or already cached contributes its result without a stack
-        round-trip, and a child that is not carries its normalised
-        triple and cache key in its task so nothing is looked up twice.
-        Task tags: 4 = expand a known cache miss; 1/2/3 = reduce with
-        both / only-high / only-low results still on the result stack.
+        One self-recursive frame per expanded node: CUDD's
+        standard-triple normalisation ahead of every cache lookup
+        (``ite(f,f,h)`` becomes the OR form, ``ite(f,g,f)`` the AND
+        form, commutative AND/OR operand pairs ordered by handle so both
+        argument orders share one cache line; negations ``ite(f,0,1)``
+        cached in both directions), then a cache probe, then cofactor
+        recursion with the node constructor inlined into the reduce
+        step.  ``depth`` is the remaining recursion budget
+        (:data:`ITE_FAST_DEPTH` at every external call): cold shallow
+        apply chains — model construction from nothing — run entirely in
+        this fast path, while a subproblem still unresolved at depth
+        zero is delegated to the explicit-stack expansion
+        (:meth:`_ite_stack`), so 3000-level diagrams never touch the
+        native recursion limit.
         """
-        # --- resolve the root triple (trivial cases + cache) -----------
+        # --- resolve the triple (trivial cases + cache) ----------------
         # Deliberately ahead of the heavy local binding: on warm
         # (pooled) managers most calls end right here.
         if f < 2:
@@ -196,6 +290,99 @@ class BDDKernel:
         if r is not None:
             self._cache_hits += 1
             return r
+        level = self._level
+        lf = level[f]
+        lg = level[g]
+        top = lf if lf < lg else lg
+        lh = level[h]
+        if lh < top:
+            top = lh
+        if not depth or self._depth_hint - top > depth:
+            # Deeper than the recursion budget could cover: expand the
+            # whole subproblem on the explicit stack in one go.
+            return self._ite_stack(f, g, h, key)
+        self._cache_misses += 1
+        low = self._low
+        high = self._high
+        if lf == top:
+            f0 = low[f]
+            f1 = high[f]
+        else:
+            f0 = f1 = f
+        if lg == top:
+            g0 = low[g]
+            g1 = high[g]
+        else:
+            g0 = g1 = g
+        if lh == top:
+            h0 = low[h]
+            h1 = high[h]
+        else:
+            h0 = h1 = h
+        depth -= 1
+        # Terminal-test cofactors resolve inline: leaf calls are nearly
+        # half of a cold expansion, and each saved frame is pure win.
+        if f0 < 2:
+            r0 = g0 if f0 else h0
+        else:
+            r0 = self._ite3(f0, g0, h0, depth)
+        if f1 < 2:
+            r1 = g1 if f1 else h1
+        else:
+            r1 = self._ite3(f1, g1, h1, depth)
+        # --- reduce, hash-cons and memoise ----------------------------
+        if r0 == r1:
+            r = r0
+        else:
+            sub = self._table.get(top)
+            if sub is None:
+                sub = self._table[top] = {}
+            k2 = (r0, r1)
+            r = sub.get(k2)
+            if r is None:
+                free = self._free
+                if free:
+                    r = free.pop()
+                    level[r] = top
+                    low[r] = r0
+                    high[r] = r1
+                else:
+                    r = len(level)
+                    level.append(top)
+                    low.append(r0)
+                    high.append(r1)
+                    self._mark.append(0)
+                sub[k2] = r
+                self._nodes_allocated += 1
+                live = self._live + 1
+                self._live = live
+                if live > self._peak_live:
+                    self._peak_live = live
+                bucket = self._level_index.get(top)
+                if bucket is None:
+                    bucket = self._level_index[top] = self._new_bucket()
+                bucket.add(r)
+        cache[key] = r
+        if key[1] == 0 and key[2] == 1:
+            cache[(r, 0, 1)] = key[0]
+        if self._cache_limit is not None and len(cache) > self._cache_limit:
+            self._drop_cache(cache)
+        return r
+
+    def _ite_stack(self, f: int, g: int, h: int, key: Tuple[int, int, int]) -> int:
+        """Explicit-stack expansion of a known, normalised ITE cache miss.
+
+        No recursion on BDD structure, so 3000-level diagrams are as
+        safe as 3-level ones; the node constructor is inlined into the
+        reduce step.  Cofactor triples are *resolved inline*: a child
+        that is trivial or already cached contributes its result without
+        a stack round-trip, and a child that is not carries its
+        normalised triple and cache key in its task so nothing is looked
+        up twice.  Task tags: 4 = expand a known cache miss; 1/2/3 =
+        reduce with both / only-high / only-low results still on the
+        result stack.
+        """
+        cache = self._ite_cache
         level = self._level
         low = self._low
         high = self._high
@@ -372,15 +559,207 @@ class BDDKernel:
 
     # Convenience forms used by the other walkers.
     def _and_int(self, f: int, g: int) -> int:
-        return self._ite3(f, g, 0)
+        return self._and2(f, g)
 
     def _or_int(self, f: int, g: int) -> int:
-        return self._ite3(f, 1, g)
+        return self._or2(f, g)
 
     def _not_int(self, f: int) -> int:
         return self._ite3(f, 0, 1)
 
-    def _xor2(self, f: int, g: int, xnor: bool = False) -> int:
+    def _and2(self, f: int, g: int, depth: int = ITE_FAST_DEPTH) -> int:
+        """Conjunction fast path: ``ite(f, g, 0)`` with two-operand frames.
+
+        Normalisation and cache keys are *identical* to the generic
+        core's AND form (operands ordered by handle, key ``(f, g, 0)``),
+        so results are shared in both directions with :meth:`_ite3`;
+        the specialised frame just skips the third-operand juggling the
+        triple form pays on every level.  Recursion budget and stack
+        fallback as in :meth:`_ite3`.
+        """
+        if f < 2:
+            return g if f else 0
+        if g < 2:
+            return f if g else 0
+        if f == g:
+            return f
+        if g < f:
+            f, g = g, f
+        cache = self._ite_cache
+        key = (f, g, 0)
+        r = cache.get(key)
+        if r is not None:
+            self._cache_hits += 1
+            return r
+        level = self._level
+        lf = level[f]
+        lg = level[g]
+        top = lf if lf < lg else lg
+        if not depth or self._depth_hint - top > depth:
+            return self._ite_stack(f, g, 0, key)
+        self._cache_misses += 1
+        low = self._low
+        high = self._high
+        if lf == top:
+            f0 = low[f]
+            f1 = high[f]
+        else:
+            f0 = f1 = f
+        if lg == top:
+            g0 = low[g]
+            g1 = high[g]
+        else:
+            g0 = g1 = g
+        depth -= 1
+        if f0 < 2:
+            r0 = g0 if f0 else 0
+        elif g0 < 2:
+            r0 = f0 if g0 else 0
+        elif f0 == g0:
+            r0 = f0
+        else:
+            r0 = self._and2(f0, g0, depth)
+        if f1 < 2:
+            r1 = g1 if f1 else 0
+        elif g1 < 2:
+            r1 = f1 if g1 else 0
+        elif f1 == g1:
+            r1 = f1
+        else:
+            r1 = self._and2(f1, g1, depth)
+        # --- reduce, hash-cons and memoise ----------------------------
+        if r0 == r1:
+            r = r0
+        else:
+            sub = self._table.get(top)
+            if sub is None:
+                sub = self._table[top] = {}
+            k2 = (r0, r1)
+            r = sub.get(k2)
+            if r is None:
+                free = self._free
+                if free:
+                    r = free.pop()
+                    level[r] = top
+                    low[r] = r0
+                    high[r] = r1
+                else:
+                    r = len(level)
+                    level.append(top)
+                    low.append(r0)
+                    high.append(r1)
+                    self._mark.append(0)
+                sub[k2] = r
+                self._nodes_allocated += 1
+                live = self._live + 1
+                self._live = live
+                if live > self._peak_live:
+                    self._peak_live = live
+                bucket = self._level_index.get(top)
+                if bucket is None:
+                    bucket = self._level_index[top] = self._new_bucket()
+                bucket.add(r)
+        cache[key] = r
+        if self._cache_limit is not None and len(cache) > self._cache_limit:
+            self._drop_cache(cache)
+        return r
+
+    def _or2(self, f: int, g: int, depth: int = ITE_FAST_DEPTH) -> int:
+        """Disjunction fast path: ``ite(f, 1, g)`` with two-operand frames.
+
+        Same key discipline as the generic core's OR form (operands
+        ordered by handle, key ``(f, 1, g)``); see :meth:`_and2`.
+        """
+        if f < 2:
+            return 1 if f else g
+        if g < 2:
+            return 1 if g else f
+        if f == g:
+            return f
+        if g < f:
+            f, g = g, f
+        cache = self._ite_cache
+        key = (f, 1, g)
+        r = cache.get(key)
+        if r is not None:
+            self._cache_hits += 1
+            return r
+        level = self._level
+        lf = level[f]
+        lg = level[g]
+        top = lf if lf < lg else lg
+        if not depth or self._depth_hint - top > depth:
+            return self._ite_stack(f, 1, g, key)
+        self._cache_misses += 1
+        low = self._low
+        high = self._high
+        if lf == top:
+            f0 = low[f]
+            f1 = high[f]
+        else:
+            f0 = f1 = f
+        if lg == top:
+            g0 = low[g]
+            g1 = high[g]
+        else:
+            g0 = g1 = g
+        depth -= 1
+        if f0 < 2:
+            r0 = 1 if f0 else g0
+        elif g0 < 2:
+            r0 = 1 if g0 else f0
+        elif f0 == g0:
+            r0 = f0
+        else:
+            r0 = self._or2(f0, g0, depth)
+        if f1 < 2:
+            r1 = 1 if f1 else g1
+        elif g1 < 2:
+            r1 = 1 if g1 else f1
+        elif f1 == g1:
+            r1 = f1
+        else:
+            r1 = self._or2(f1, g1, depth)
+        # --- reduce, hash-cons and memoise ----------------------------
+        if r0 == r1:
+            r = r0
+        else:
+            sub = self._table.get(top)
+            if sub is None:
+                sub = self._table[top] = {}
+            k2 = (r0, r1)
+            r = sub.get(k2)
+            if r is None:
+                free = self._free
+                if free:
+                    r = free.pop()
+                    level[r] = top
+                    low[r] = r0
+                    high[r] = r1
+                else:
+                    r = len(level)
+                    level.append(top)
+                    low.append(r0)
+                    high.append(r1)
+                    self._mark.append(0)
+                sub[k2] = r
+                self._nodes_allocated += 1
+                live = self._live + 1
+                self._live = live
+                if live > self._peak_live:
+                    self._peak_live = live
+                bucket = self._level_index.get(top)
+                if bucket is None:
+                    bucket = self._level_index[top] = self._new_bucket()
+                bucket.add(r)
+        cache[key] = r
+        if self._cache_limit is not None and len(cache) > self._cache_limit:
+            self._drop_cache(cache)
+        return r
+
+    def _xor2(
+        self, f: int, g: int, xnor: bool = False, depth: int = ITE_FAST_DEPTH
+    ) -> int:
         """XOR (or XNOR) of two handles as a first-class core operation.
 
         Without complement edges, routing XOR through ``ite(f, NOT g,
@@ -414,6 +793,81 @@ class BDDKernel:
         if r is not None:
             self._cache_hits += 1
             return r
+        level = self._level
+        lf = level[f]
+        lg = level[g]
+        top = lf if lf < lg else lg
+        if not depth or self._depth_hint - top > depth:
+            return self._xor_stack(f, g, key, op, xnor)
+        self._cache_misses += 1
+        low = self._low
+        high = self._high
+        if lf == top:
+            f0 = low[f]
+            f1 = high[f]
+        else:
+            f0 = f1 = f
+        if lg == top:
+            g0 = low[g]
+            g1 = high[g]
+        else:
+            g0 = g1 = g
+        depth -= 1
+        if f0 == g0:
+            r0 = one_result
+        else:
+            r0 = self._xor2(f0, g0, xnor, depth)
+        if f1 == g1:
+            r1 = one_result
+        else:
+            r1 = self._xor2(f1, g1, xnor, depth)
+        # --- reduce, hash-cons and memoise ----------------------------
+        if r0 == r1:
+            r = r0
+        else:
+            sub = self._table.get(top)
+            if sub is None:
+                sub = self._table[top] = {}
+            k2 = (r0, r1)
+            r = sub.get(k2)
+            if r is None:
+                free = self._free
+                if free:
+                    r = free.pop()
+                    level[r] = top
+                    low[r] = r0
+                    high[r] = r1
+                else:
+                    r = len(level)
+                    level.append(top)
+                    low.append(r0)
+                    high.append(r1)
+                    self._mark.append(0)
+                sub[k2] = r
+                self._nodes_allocated += 1
+                live = self._live + 1
+                self._live = live
+                if live > self._peak_live:
+                    self._peak_live = live
+                bucket = self._level_index.get(top)
+                if bucket is None:
+                    bucket = self._level_index[top] = self._new_bucket()
+                bucket.add(r)
+        cache[key] = r
+        if self._cache_limit is not None and len(cache) > self._cache_limit:
+            self._drop_cache(cache)
+        return r
+
+    def _xor_stack(
+        self, f: int, g: int, key: Tuple[int, int, int], op: int, xnor: bool
+    ) -> int:
+        """Explicit-stack expansion of a known XOR/XNOR cache miss.
+
+        Recursion-limit-proof continuation of :meth:`_xor_rec`; see
+        :meth:`_ite_stack` for the task-tag scheme.
+        """
+        one_result = 1 if xnor else 0
+        cache = self._op_cache
         level = self._level
         low = self._low
         high = self._high
@@ -766,9 +1220,9 @@ class BDDKernel:
             ln = level[n]
             if ln in levels:
                 if exists:
-                    r = self._ite3(lo, 1, hi)
+                    r = self._or2(lo, hi)
                 else:
-                    r = self._ite3(lo, hi, 0)
+                    r = self._and2(lo, hi)
             else:
                 r = lo if lo == hi else self._mk_int(ln, lo, hi)
             memo[n] = r
@@ -843,7 +1297,7 @@ class BDDKernel:
                 if top > max_level:
                     # No quantified variable below: a plain conjunction.
                     misses += 1
-                    r = self._ite3(a, b, 0)
+                    r = self._and2(a, b)
                     memo[key] = r
                     shared[(OP_ANDEX, a, b, sig)] = r
                     if limit is not None and len(shared) > limit:
@@ -896,7 +1350,7 @@ class BDDKernel:
                 hi = rpop()
                 lo = t[2]
                 misses += 1
-                r = self._ite3(lo, 1, hi)
+                r = self._or2(lo, hi)
                 key = t[1]
                 memo[key] = r
                 shared[(OP_ANDEX, key[0], key[1], sig)] = r
@@ -906,6 +1360,187 @@ class BDDKernel:
         self._cache_hits += hits
         self._cache_misses += misses
         return results[0]
+
+    # ------------------------------------------------------------------
+    # Arena snapshots
+    # ------------------------------------------------------------------
+    def snapshot(self, roots: Iterable[int]) -> Dict[str, object]:
+        """Root-projected snapshot of the arena: compact parallel lists.
+
+        Serialises exactly the nodes reachable from ``roots`` (the arena
+        is just parallel int lists, so a snapshot is three lists plus a
+        root table).  Compact ids renumber the nodes children-first:
+        0/1 are the terminals, decision nodes follow in a deterministic
+        post-order of the given root sequence, so every child reference
+        points backwards — the property :meth:`restore` validates.  The
+        payload is pure JSON-serialisable data (ints and lists).
+        """
+        level = self._level
+        low = self._low
+        high = self._high
+        id_of: Dict[int, int] = {0: 0, 1: 1}
+        levels: List[int] = []
+        lows: List[int] = []
+        highs: List[int] = []
+        root_list = list(roots)
+        for root in root_list:
+            if root in id_of:
+                continue
+            stack = [root]
+            while stack:
+                n = stack[-1]
+                if n in id_of:
+                    stack.pop()
+                    continue
+                lo = low[n]
+                hi = high[n]
+                lo_id = id_of.get(lo)
+                hi_id = id_of.get(hi)
+                if lo_id is None or hi_id is None:
+                    if hi_id is None:
+                        stack.append(hi)
+                    if lo_id is None:
+                        stack.append(lo)
+                    continue
+                id_of[n] = len(levels) + 2
+                levels.append(level[n])
+                lows.append(lo_id)
+                highs.append(hi_id)
+                stack.pop()
+        return {
+            "format": SNAPSHOT_FORMAT,
+            "levels": levels,
+            "lows": lows,
+            "highs": highs,
+            "roots": [id_of[r] for r in root_list],
+        }
+
+    def restore(
+        self,
+        payload: Dict[str, object],
+        level_map: Optional[Dict[int, int]] = None,
+    ) -> List[int]:
+        """Rehydrate a :meth:`snapshot`; returns the restored root handles.
+
+        Every node is rebuilt through the hash-consing constructor, so
+        restoring into an arena that already holds (some of) the
+        functions dedups onto the existing handles — a restored function
+        is *the* canonical function, indistinguishable from one computed
+        in place.  ``level_map`` translates recorded levels (the
+        manager-level wrapper uses it to map via variable names).
+
+        Every structural invariant is validated before a node is built:
+        truncated arrays, forward child references, redundant nodes and
+        non-monotone levels all raise :class:`SnapshotError` — a corrupt
+        snapshot can fail, never rebuild the wrong function.
+        """
+        if payload.get("format") != SNAPSHOT_FORMAT:
+            raise SnapshotError(
+                f"unsupported snapshot format {payload.get('format')!r}"
+            )
+        payload = unpack_snapshot(payload)
+        try:
+            levels = payload["levels"]
+            lows = payload["lows"]
+            highs = payload["highs"]
+            roots = payload["roots"]
+        except (TypeError, KeyError) as exc:
+            raise SnapshotError(f"malformed snapshot payload: {exc!r}") from None
+        if not (len(levels) == len(lows) == len(highs)):
+            raise SnapshotError("snapshot arrays disagree in length (truncated?)")
+        # Hoist the per-level validation out of the loop: every level a
+        # node may carry is either a level_map value or a member of the
+        # recorded level set, both checkable once.  The loop then only
+        # performs the per-node structural checks (backward references,
+        # non-redundancy, strict level monotonicity along edges) with
+        # the hash-consing constructor inlined — restore is the latency
+        # the snapshot path trades extraction for, so the loop is hot.
+        try:
+            if level_map is None:
+                level_map = {lvl: lvl for lvl in set(levels)}
+            for mapped in level_map.values():
+                if not isinstance(mapped, int) or mapped < 0 or mapped >= TERMINAL_LEVEL:
+                    raise SnapshotError(f"invalid restored level {mapped!r}")
+        except TypeError as exc:
+            raise SnapshotError(f"malformed snapshot levels: {exc!r}") from None
+        try:
+            # C-speed translation of the whole level column at once; a
+            # level outside the map is a KeyError -> SnapshotError.
+            mapped_levels = list(map(level_map.__getitem__, levels))
+        except (TypeError, KeyError) as exc:
+            raise SnapshotError(f"unmapped snapshot level: {exc!r}") from None
+        level = self._level
+        low = self._low
+        high = self._high
+        table = self._table
+        free = self._free
+        lidx = self._level_index
+        mark = self._mark
+        handles: List[int] = [0, 1]
+        append = handles.append
+        allocated = 0
+        try:
+            i = -1
+            for i, (lvl, lo_id, hi_id) in enumerate(zip(mapped_levels, lows, highs)):
+                if not 0 <= lo_id < i + 2 or not 0 <= hi_id < i + 2:
+                    raise SnapshotError(
+                        f"node {i}: child reference out of range (truncated?)"
+                    )
+                if lo_id == hi_id:
+                    raise SnapshotError(f"node {i}: redundant node (low == high)")
+                lo = handles[lo_id]
+                hi = handles[hi_id]
+                if (lo >= 2 and level[lo] <= lvl) or (hi >= 2 and level[hi] <= lvl):
+                    raise SnapshotError(
+                        f"node {i}: child does not sit below level {lvl}"
+                    )
+                sub = table.get(lvl)
+                if sub is None:
+                    sub = table[lvl] = {}
+                key = (lo, hi)
+                h = sub.get(key)
+                if h is None:
+                    if free:
+                        h = free.pop()
+                        level[h] = lvl
+                        low[h] = lo
+                        high[h] = hi
+                    else:
+                        h = len(level)
+                        level.append(lvl)
+                        low.append(lo)
+                        high.append(hi)
+                        mark.append(0)
+                    sub[key] = h
+                    allocated += 1
+                    bucket = lidx.get(lvl)
+                    if bucket is None:
+                        bucket = lidx[lvl] = self._new_bucket()
+                    bucket.add(h)
+                append(h)
+        except (TypeError, KeyError) as exc:
+            raise SnapshotError(f"malformed snapshot node {i}: {exc!r}") from None
+        finally:
+            if allocated:
+                self._nodes_allocated += allocated
+                self._live += allocated
+                if self._live > self._peak_live:
+                    self._peak_live = self._live
+        try:
+            restored = []
+            for r in roots:
+                if not 0 <= r < len(handles):
+                    # Explicit bound check: Python's negative indexing
+                    # would otherwise "resolve" a corrupt root to some
+                    # valid-looking node — the one failure mode this
+                    # method must never have.
+                    raise SnapshotError(f"snapshot root {r!r} out of range")
+                restored.append(handles[r])
+            return restored
+        except TypeError as exc:
+            raise SnapshotError(
+                f"snapshot roots reference missing nodes: {exc!r}"
+            ) from None
 
     # ------------------------------------------------------------------
     # Garbage collection

@@ -39,8 +39,13 @@ from typing import (
     Tuple,
 )
 
-from .kernel import BDDKernel, OP_EXISTS, OP_FORALL
+from .kernel import BDDKernel, OP_EXISTS, OP_FORALL, SnapshotError
 from .node import BDD
+
+#: C-level weak reference constructor (hot in :meth:`BDDManager._wrap`).
+_weakref_new = weakref.ref
+#: C-level instance allocator (hot in :meth:`BDDManager._wrap`).
+_bdd_alloc = object.__new__
 
 
 class BDDOrderError(ValueError):
@@ -155,31 +160,45 @@ class BDDManager(BDDKernel):
         self._name_of: List[str] = []
         self._reorder_count = 0
         self._reorder_hooks: List[Callable[["BDDManager"], None]] = []
-        #: Weakly-interned wrappers: handle -> live BDD object.  One live
-        #: wrapper per handle keeps node identity a sound equivalence
-        #: check; entries that die mark their handles as GC candidates.
-        self._wrappers: "weakref.WeakValueDictionary[int, BDD]" = (
-            weakref.WeakValueDictionary()
-        )
+        #: Weakly-interned wrappers: handle -> weakref to the live BDD
+        #: object.  One live wrapper per handle keeps node identity a
+        #: sound equivalence check; entries whose referent died mark
+        #: their handles as GC candidates.  A plain dict of callback-free
+        #: ``weakref.ref`` objects, not a ``WeakValueDictionary``: minting
+        #: a wrapper is the hot path of every cold apply chain, and the
+        #: KeyedRef + removal-callback machinery costs several times the
+        #: raw C-level ref.  Dead entries are tolerated until the next
+        #: :meth:`collect` (a GC safe point), which purges them.
+        self._wrappers: Dict[int, "weakref.ref[BDD]"] = {}
         #: Strong ring of recently minted wrappers.  Without it every
-        #: transient intermediate result pays wrapper + weakref +
-        #: removal-callback churn on each touch (the dominant cost of
-        #: warm small operations); the ring keeps the hot working set
-        #: interned.  It is flushed by :meth:`collect`, so the collector
-        #: still sees exactly the wrappers external code holds.
-        self._recent_wrappers: List[Optional[BDD]] = [None] * 4096
+        #: transient intermediate result pays wrapper + weakref churn on
+        #: each touch (the dominant cost of warm small operations); the
+        #: ring keeps the hot working set interned.  It is flushed by
+        #: :meth:`collect`, so the collector still sees exactly the
+        #: wrappers external code holds.  1024 slots cover the warm
+        #: working sets measured in ``bench_bdd_kernel`` while keeping
+        #: cold manager construction cheap (the ring allocation is the
+        #: single biggest item of ``__init__``).
+        self._recent_wrappers: List[Optional[BDD]] = [None] * 1024
         self._recent_index = 0
         self.zero = BDD(self, 0)
         self.one = BDD(self, 1)
-        self._unique_view = _UniqueTableView(self)
+        self._unique_view: Optional[_UniqueTableView] = None
         #: Session-scoped artifact cache for layers above the kernel
         #: (e.g. the relational backend's extracted beta relations).
         #: Entries hold wrappers, so they double as GC roots; the cache
         #: lives exactly as long as the manager — the pool's session.
         self.session_cache: Dict[object, object] = {}
         if variables:
+            # Inlined declare loop: fresh short-lived managers (cold
+            # chains, worker rehydration) construct in bulk.
+            level_of = self._level_of
+            name_of = self._name_of
             for name in variables:
-                self.declare(name)
+                if name not in level_of:
+                    level_of[name] = len(name_of)
+                    name_of.append(name)
+            self._depth_hint = len(name_of)
 
     # ------------------------------------------------------------------
     # Kernel hooks & wrapper interning
@@ -188,25 +207,30 @@ class BDDManager(BDDKernel):
         return _LevelBucket(self, handles)
 
     def _external_roots(self) -> List[int]:
-        # Materialising items() pins the wrappers for the duration of
-        # the snapshot; only the handles are kept.
-        return [handle for handle, _wrapper in list(self._wrappers.items())]
+        # Materialising items() pins the mapping for the duration of the
+        # walk; dead refs are simply skipped (purged by collect()).
+        return [
+            handle
+            for handle, ref in list(self._wrappers.items())
+            if ref() is not None
+        ]
 
     def _wrap(self, handle: int) -> BDD:
         """The canonical wrapper for ``handle`` (interned, weak)."""
         if handle < 2:
             return self.one if handle else self.zero
-        # Read the WeakValueDictionary's backing dict directly: this is
-        # the per-operation hot path, and the extra Python-level call of
-        # WeakValueDictionary.get is measurable there.
-        ref = self._wrappers.data.get(handle)
+        ref = self._wrappers.get(handle)
         if ref is not None:
             wrapper = ref()
             if wrapper is not None:
                 return wrapper
-        wrapper = BDD(self, handle)
-        self._wrappers[handle] = wrapper
-        index = self._recent_index + 1 & 4095
+        # Minting is hot on cold chains: allocate the wrapper without
+        # the __init__ dispatch and set its two slots directly.
+        wrapper = _bdd_alloc(BDD)
+        wrapper.manager = self
+        wrapper._h = handle
+        self._wrappers[handle] = _weakref_new(wrapper)
+        index = self._recent_index + 1 & 1023
         self._recent_index = index
         self._recent_wrappers[index] = wrapper
         return wrapper
@@ -214,7 +238,10 @@ class BDDManager(BDDKernel):
     @property
     def _unique(self) -> _UniqueTableView:
         """Object view of the unique table (diagnostics and tests)."""
-        return self._unique_view
+        view = self._unique_view
+        if view is None:
+            view = self._unique_view = _UniqueTableView(self)
+        return view
 
     def collect(self, roots: Optional[Iterable[object]] = None) -> int:
         """Mark-and-sweep the arena; ``roots`` may be wrappers or handles."""
@@ -228,7 +255,109 @@ class BDDManager(BDDKernel):
         # wrappers synchronously) keeps the root set exactly the
         # wrappers external code still holds.
         self._recent_wrappers = [None] * len(self._recent_wrappers)
-        return super().collect(handles)
+        reclaimed = super().collect(handles)
+        # Purge interning entries whose wrapper died (the mapping uses
+        # callback-free refs, so dead entries linger until a safe point).
+        wrappers = self._wrappers
+        for handle in [h for h, ref in wrappers.items() if ref() is None]:
+            del wrappers[handle]
+        return reclaimed
+
+    # ------------------------------------------------------------------
+    # Arena snapshots (name-aware)
+    # ------------------------------------------------------------------
+    def snapshot(
+        self, roots: Iterable[BDD], declares: Optional[Iterable[str]] = None
+    ) -> Dict[str, object]:
+        """Name-aware arena snapshot of the functions in ``roots``.
+
+        Extends the kernel's compact serialisation with the variable
+        *names* behind the recorded levels, which is what lets another
+        manager — with its own (possibly longer or differently prefixed)
+        order — rehydrate the functions: :meth:`restore` maps each
+        recorded level to the target manager's level of the same name
+        and revalidates monotonicity, so only the *relative* order of
+        the variables actually used must match.  ``declares`` records a
+        declaration sequence to replay verbatim before restoring; it
+        defaults to the used variables in this manager's order, and the
+        beta backend passes the exact declarations its extraction would
+        have performed, keeping the declared order of a rehydrating
+        manager byte-identical to a freshly extracting one.
+        """
+        payload = super().snapshot(
+            [root._h if isinstance(root, BDD) else root for root in roots]
+        )
+        names = self._name_of
+        try:
+            payload["level_names"] = [
+                [lvl, names[lvl]] for lvl in sorted(set(payload["levels"]))
+            ]
+        except IndexError:
+            raise SnapshotError(
+                "snapshot roots test levels with no declared variable"
+            ) from None
+        if declares is None:
+            declares = [name for _lvl, name in payload["level_names"]]
+        payload["declares"] = list(declares)
+        return payload
+
+    def restore(self, payload: Dict[str, object]) -> List[BDD]:
+        """Rehydrate a :meth:`snapshot` payload; returns the root wrappers.
+
+        Replays the recorded declaration sequence, maps recorded levels
+        to this manager's levels by variable name, and rebuilds the
+        nodes through the hash-consing constructor (see the kernel's
+        :meth:`~repro.bdd.kernel.BDDKernel.restore` for the validation
+        guarantees).  Raises :class:`~repro.bdd.kernel.SnapshotError` on
+        any mismatch — unknown variables, incompatible relative order,
+        corrupt payload — without having built a wrong function; the
+        declarations it may have replayed are exactly the ones a fresh
+        computation would declare, so a failed restore leaves the
+        manager in the state that fallback recomputation expects.
+        """
+        try:
+            declares = payload.get("declares", ())
+            level_names = payload["level_names"]
+        except (TypeError, KeyError, AttributeError) as exc:
+            raise SnapshotError(f"malformed snapshot payload: {exc!r}") from None
+        # Validate the payload's bookkeeping *before* touching the
+        # manager: declare_all mutates the (possibly pooled, shared)
+        # variable order, and a malformed record must not leave stray
+        # declarations behind — that would silently break the
+        # order-signature pooling contract for every later scenario.
+        if not isinstance(declares, (list, tuple)) or not all(
+            isinstance(name, str) for name in declares
+        ):
+            raise SnapshotError("malformed snapshot declares (not a name list)")
+        try:
+            pairs = [(int(lvl), name) for lvl, name in level_names]
+        except (TypeError, ValueError) as exc:
+            raise SnapshotError(f"malformed level_names entry: {exc!r}") from None
+        if not all(isinstance(name, str) for _lvl, name in pairs):
+            raise SnapshotError("malformed level_names entry (non-string name)")
+        declares_set = set(declares)
+        for _lvl, name in pairs:
+            if name not in self._level_of and name not in declares_set:
+                # Refuse before declaring anything: replaying declares
+                # and *then* failing the name mapping would leave stray
+                # declarations on this (possibly pooled) manager.
+                raise SnapshotError(
+                    f"snapshot variable {name!r} is neither declared nor in "
+                    "the snapshot's declaration sequence"
+                )
+        self.declare_all(declares)
+        level_map: Dict[int, int] = {}
+        level_of = self._level_of
+        for lvl, name in pairs:
+            target = level_of.get(name)
+            if target is None:
+                raise SnapshotError(
+                    f"snapshot variable {name!r} is not declared on this manager"
+                )
+            level_map[lvl] = target
+        handles = super().restore(payload, level_map)
+        wrap = self._wrap
+        return [wrap(handle) for handle in handles]
 
     # ------------------------------------------------------------------
     # Variable order management
@@ -239,6 +368,7 @@ class BDDManager(BDDKernel):
             return
         self._level_of[name] = len(self._name_of)
         self._name_of.append(name)
+        self._depth_hint = len(self._name_of)
 
     def declare_all(self, names: Iterable[str]) -> None:
         """Declare several variables in the given order."""
@@ -431,11 +561,11 @@ class BDDManager(BDDKernel):
 
     def apply_and(self, f: BDD, g: BDD) -> BDD:
         """Conjunction of ``f`` and ``g``."""
-        return self._wrap(self._ite3(f._h, g._h, 0))
+        return self._wrap(self._and2(f._h, g._h))
 
     def apply_or(self, f: BDD, g: BDD) -> BDD:
         """Disjunction of ``f`` and ``g``."""
-        return self._wrap(self._ite3(f._h, 1, g._h))
+        return self._wrap(self._or2(f._h, g._h))
 
     def apply_xor(self, f: BDD, g: BDD) -> BDD:
         """Exclusive or of ``f`` and ``g``."""
@@ -447,11 +577,11 @@ class BDDManager(BDDKernel):
 
     def apply_nand(self, f: BDD, g: BDD) -> BDD:
         """NAND of ``f`` and ``g``."""
-        return self._wrap(self._ite3(self._ite3(f._h, g._h, 0), 0, 1))
+        return self._wrap(self._ite3(self._and2(f._h, g._h), 0, 1))
 
     def apply_nor(self, f: BDD, g: BDD) -> BDD:
         """NOR of ``f`` and ``g``."""
-        return self._wrap(self._ite3(self._ite3(f._h, 1, g._h), 0, 1))
+        return self._wrap(self._ite3(self._or2(f._h, g._h), 0, 1))
 
     def apply_implies(self, f: BDD, g: BDD) -> BDD:
         """Implication ``f -> g``."""
@@ -461,7 +591,7 @@ class BDDManager(BDDKernel):
         """Conjunction of an iterable of functions (1 for the empty set)."""
         result = 1
         for f in functions:
-            result = self._ite3(result, f._h, 0)
+            result = self._and2(result, f._h)
             if result == 0:
                 break
         return self._wrap(result)
@@ -470,7 +600,7 @@ class BDDManager(BDDKernel):
         """Disjunction of an iterable of functions (0 for the empty set)."""
         result = 0
         for f in functions:
-            result = self._ite3(result, 1, f._h)
+            result = self._or2(result, f._h)
             if result == 1:
                 break
         return self._wrap(result)

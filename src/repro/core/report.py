@@ -82,6 +82,11 @@ class VerificationReport:
     #: refuting relational run re-derived its records classically; empty
     #: for non-beta drivers (events), which have a single code path.
     backend: str = ""
+    #: Persistent-snapshot activity (measurement, not verdict): per-role
+    #: restore/save timings and node counts when the run rehydrated its
+    #: beta relations from — or saved them to — a result store's arena
+    #: snapshots; empty without a store.
+    snapshot: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_seconds(self) -> float:
@@ -122,6 +127,7 @@ class VerificationReport:
             "reorder": self.reorder,
             "extraction_cache": self.extraction_cache,
             "backend": self.backend,
+            "snapshot": self.snapshot,
         }
 
     def to_json(self) -> str:

@@ -21,7 +21,13 @@ from ..relational.policy import RelationalPolicy
 from .executor import execute_scenario, run_beta, run_events, run_superscalar
 from .pool import ManagerPool
 from .report import CampaignReport, ScenarioOutcome
-from .runner import CampaignRunner, run_campaign
+from .runner import (
+    SHARDING_AFFINITY,
+    SHARDING_BLIND,
+    CampaignRunner,
+    run_campaign,
+)
+from .store import CODE_SALT, ResultStore, content_fingerprint
 from .scenario import (
     ALPHA0,
     BETA,
@@ -48,16 +54,21 @@ __all__ = [
     "ALPHA0",
     "Alpha0Spec",
     "BETA",
+    "CODE_SALT",
     "CampaignReport",
     "CampaignRunner",
     "EVENTS",
     "ManagerPool",
     "RelationalPolicy",
+    "ResultStore",
+    "SHARDING_AFFINITY",
+    "SHARDING_BLIND",
     "SUPERSCALAR",
     "Scenario",
     "ScenarioOutcome",
     "ScenarioRegistry",
     "VSM",
+    "content_fingerprint",
     "VSM_BUG_WORKLOADS",
     "alpha0_bug_scenarios",
     "alpha0_memory_scenario",

@@ -288,6 +288,7 @@ def run_beta(
     impl_kwargs: Optional[dict] = None,
     observation: Optional[ObservationSpec] = None,
     relational: Optional[RelationalPolicy] = None,
+    snapshot_store=None,
 ) -> VerificationReport:
     """Verify a pipelined implementation against its unpipelined specification.
 
@@ -301,6 +302,9 @@ def run_beta(
     byte-identical either way, see :mod:`repro.relational.beta`) and
     whether dynamic variable reordering runs between the simulation
     phases (see :func:`_maybe_reorder` for the exact guarantee).
+    ``snapshot_store`` lets the relational backend rehydrate its beta
+    relations from persistent arena snapshots instead of re-extracting
+    (see :func:`repro.relational.beta.cached_extract_steppers`).
     """
     from ..relational.beta import supports_state_injection
 
@@ -311,7 +315,14 @@ def run_beta(
         models = architecture.make_models(manager, impl_kwargs=impl_kwargs)
         if all(supports_state_injection(model) for model in models):
             return _run_beta_relational(
-                architecture, siminfo, manager, impl_kwargs, observation, relational, models
+                architecture,
+                siminfo,
+                manager,
+                impl_kwargs,
+                observation,
+                relational,
+                models,
+                snapshot_store=snapshot_store,
             )
         # The design's models predate the state-injection protocol —
         # fall through to the classical path on the same (still
@@ -405,6 +416,7 @@ def _run_beta_relational(
     observation: ObservationSpec,
     relational: Optional[RelationalPolicy],
     models,
+    snapshot_store=None,
 ) -> VerificationReport:
     """The relational beta backend (see :mod:`repro.relational.beta`).
 
@@ -446,9 +458,13 @@ def _run_beta_relational(
         relational,
         spec_key=("beta_spec_relation", arch_sig),
         impl_key=("beta_impl_relation", arch_sig, kwargs_sig),
+        snapshot_store=snapshot_store,
     )
     extraction_seconds = time.perf_counter() - started
     extraction_record["seconds"] = round(extraction_seconds, 4)
+    # Snapshot activity is its own measurement family on the report;
+    # the extraction record keeps only the cache-level hit/miss story.
+    snapshot_record = extraction_record.pop("snapshot", {})
     specification.reset(**initial_state)
     implementation.reset(**initial_state)
 
@@ -516,6 +532,7 @@ def _run_beta_relational(
         )
         report.backend = "relational+fallback"
         report.extraction_cache = dict(extraction_record)
+        report.snapshot = dict(snapshot_record)
         return report
 
     report = _beta_report(
@@ -535,6 +552,7 @@ def _run_beta_relational(
         backend=BETA_RELATIONAL,
     )
     report.extraction_cache = dict(extraction_record)
+    report.snapshot = dict(snapshot_record)
     return report
 
 
@@ -934,9 +952,16 @@ def _cache_delta(before: Dict[str, object], after: Dict[str, object]) -> Dict[st
 
 
 def execute_scenario(
-    scenario: Scenario, manager: Optional[BDDManager] = None
+    scenario: Scenario,
+    manager: Optional[BDDManager] = None,
+    snapshot_store=None,
 ) -> ScenarioOutcome:
-    """Execute one scenario on ``manager`` (fresh if ``None``)."""
+    """Execute one scenario on ``manager`` (fresh if ``None``).
+
+    ``snapshot_store`` flows to the relational beta backend, which uses
+    it to rehydrate extracted relations from persistent arena snapshots
+    (see :func:`run_beta`); the other drivers ignore it.
+    """
     if scenario.needs_manager() and manager is None:
         manager = BDDManager()
     cache_before = manager.cache_statistics() if manager is not None else None
@@ -950,6 +975,7 @@ def execute_scenario(
             impl_kwargs=scenario.impl_kwargs(),
             observation=scenario.observation(),
             relational=scenario.relational,
+            snapshot_store=snapshot_store,
         )
         outcome = _outcome_from_verification(scenario, report)
     elif scenario.kind == EVENTS:
@@ -1027,4 +1053,5 @@ def _outcome_from_verification(
         reorder=dict(report.reorder),
         extraction_cache=dict(report.extraction_cache),
         backend=report.backend,
+        snapshot=dict(report.snapshot),
     )

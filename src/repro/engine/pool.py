@@ -35,6 +35,13 @@ class ManagerPool:
 
     def __init__(self, cache_limit: Optional[int] = None) -> None:
         self.cache_limit = cache_limit
+        #: Optional persistent snapshot store (see
+        #: :class:`repro.engine.store.ResultStore`).  Attached by the
+        #: campaign runner (and by every parallel worker to its own
+        #: pool); the executor reads it so any scenario running on a
+        #: pooled *or* private manager can rehydrate extracted relations
+        #: instead of recomputing them.
+        self.snapshot_store = None
         self._managers: Dict[Tuple, BDDManager] = {}
         self._acquisitions = 0
         self._reuses = 0
@@ -62,6 +69,22 @@ class ManagerPool:
         else:
             self._reuses += 1
         return manager
+
+    def attach_store(self, store) -> None:
+        """Attach (or with ``None`` detach) a persistent snapshot store."""
+        self.snapshot_store = store
+
+    def private_manager(self) -> BDDManager:
+        """A fresh manager outside the pool, under the pool's cache limit.
+
+        Scenarios that must not share table state — thresholded
+        reordering scenarios, whose sifting trigger compares the table
+        size against a policy threshold and would otherwise depend on
+        campaign history — run here; keeping the constructor on the
+        pool keeps every manager the engine hands out configured in one
+        place.
+        """
+        return BDDManager(cache_limit=self.cache_limit)
 
     def _make_reorder_hook(self, signature: Tuple):
         def evict(manager: BDDManager) -> None:

@@ -52,6 +52,14 @@ class ScenarioOutcome:
     #: verdict — verdicts are byte-identical across backends): empty for
     #: non-beta scenarios.
     backend: str = ""
+    #: Persistent-store activity for this scenario (measurement, not
+    #: verdict): ``{"status": "hit"|"miss", "bytes_read"/"bytes_written",
+    #: "seconds"}``; empty when the campaign ran without a store.
+    store: Dict[str, object] = field(default_factory=dict)
+    #: Arena-snapshot activity (measurement, not verdict): per-role
+    #: relation restore/save timings from the persistent store; empty
+    #: without a store or for non-relational scenarios.
+    snapshot: Dict[str, object] = field(default_factory=dict)
     #: Whether the outcome was served from the campaign memo.
     memoized: bool = False
     #: Error string when the scenario raised instead of completing.
@@ -86,6 +94,8 @@ class ScenarioOutcome:
                 "reorder": self.reorder,
                 "extraction_cache": self.extraction_cache,
                 "backend": self.backend,
+                "store": self.store,
+                "snapshot": self.snapshot,
                 "memoized": self.memoized,
             }
         )
@@ -101,6 +111,10 @@ class CampaignReport:
     pool: Dict[str, object] = field(default_factory=dict)
     memo_hits: int = 0
     total_seconds: float = 0.0
+    #: Persistent-store activity over the whole campaign (hit/miss/
+    #: stale/corrupt counts and byte volumes for result records and
+    #: relation snapshots); empty when the campaign ran without a store.
+    store: Dict[str, object] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -149,6 +163,7 @@ class CampaignReport:
             "memo_hits": self.memo_hits,
             "total_seconds": round(self.total_seconds, 4),
             "pool": self.pool,
+            "store": self.store,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
 
@@ -186,6 +201,16 @@ class CampaignReport:
             )
         if self.memo_hits:
             lines.append(f"  memo: {self.memo_hits} scenario result(s) reused")
+        store = self.store or {}
+        results = store.get("results")
+        if results:
+            lines.append(
+                f"  store: {results.get('hits', 0)} hit(s) / "
+                f"{results.get('misses', 0)} miss(es) "
+                f"({results.get('bytes_read', 0)} B read, "
+                f"{results.get('bytes_written', 0)} B written), "
+                f"snapshots {store.get('snapshots', {}).get('hits', 0)} hit(s)"
+            )
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

@@ -11,11 +11,25 @@
   :meth:`~repro.engine.scenario.Scenario.cache_key` (same job under a
   different name, or re-run in a later campaign on the same runner)
   reuse the previous outcome;
-* an optional **parallel mode** — scenarios are distributed over a
-  ``multiprocessing`` pool with per-worker manager isolation.  Because
-  pooled results are bit-identical to fresh-manager results (see
-  :mod:`repro.engine.pool`), the parallel campaign report carries the
-  same verdicts, byte for byte, as the serial one.
+* an optional **persistent result store**
+  (:class:`~repro.engine.store.ResultStore`) — verdicts are read and
+  written by content fingerprint, so a repeated campaign is a cache
+  read *across processes and invocations*, and the relational backend
+  rehydrates its extracted beta relations from stored arena snapshots
+  instead of re-extracting them;
+* an optional **parallel mode** — scenarios are distributed over worker
+  processes with per-worker manager isolation.  The default scheduler
+  is *affinity-sharded work stealing*: scenarios are grouped by
+  ``order_signature`` into shards (so each worker's pooled managers and
+  session caches stay warm for its whole shard), shards larger than a
+  fair share are split into steal-granularity units, and workers pull
+  units off one shared queue largest-first, which keeps tails short
+  without giving up warm-cache affinity.  The PR-1 blind chunking
+  remains selectable (``sharding="blind"``) as the differential
+  baseline.  Because pooled results are bit-identical to fresh-manager
+  results (see :mod:`repro.engine.pool`), every mode — serial,
+  affinity, blind, warm-store — carries the same verdicts, byte for
+  byte.
 """
 
 from __future__ import annotations
@@ -23,19 +37,27 @@ from __future__ import annotations
 import copy
 import multiprocessing
 import os
+import queue
 import time
+from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
-from ..bdd import BDDManager
 from .executor import execute_scenario
 from .pool import ManagerPool
 from .report import CampaignReport, ScenarioOutcome
 from .scenario import Scenario, ScenarioRegistry, default_registry
+from .store import ResultStore
 
 ScenarioLike = Union[Scenario, str]
 
-#: Per-worker state of the parallel mode (set by the pool initializer).
+#: Sharding strategies of the parallel mode.
+SHARDING_AFFINITY = "affinity"
+SHARDING_BLIND = "blind"
+SHARDINGS = (SHARDING_AFFINITY, SHARDING_BLIND)
+
+#: Per-worker state of the blind parallel mode (set by the initializer).
 _WORKER_POOL: Optional[ManagerPool] = None
+_WORKER_STORE: Optional[ResultStore] = None
 _WORKER_MEMO: Dict[Tuple, ScenarioOutcome] = {}
 _WORKER_MEMOIZE: bool = True
 
@@ -51,12 +73,51 @@ def _failed_outcome(scenario: Scenario, error: BaseException) -> ScenarioOutcome
     )
 
 
+# ----------------------------------------------------------------------
+# Persistent result records
+# ----------------------------------------------------------------------
+def _result_record(outcome: ScenarioOutcome) -> Dict[str, object]:
+    """The persistent form of an outcome: its verdict, nothing else.
+
+    Measurements (timings, cache activity) describe one process on one
+    machine and are deliberately not stored; the scenario name is
+    dropped because the fingerprint excludes it (same-content scenarios
+    share a record under any name).
+    """
+    verdict = outcome.verdict()
+    verdict.pop("scenario", None)
+    return {"verdict": verdict, "backend": outcome.backend}
+
+
+def _outcome_from_record(
+    scenario: Scenario, record: Dict[str, object]
+) -> Optional[ScenarioOutcome]:
+    """Rebuild an outcome from a stored record (``None`` if misshapen)."""
+    verdict = record.get("verdict")
+    if not isinstance(verdict, dict):
+        return None
+    try:
+        return ScenarioOutcome(
+            scenario=scenario.name,
+            kind=verdict["kind"],
+            design=verdict["design"],
+            passed=verdict["passed"],
+            mismatches=verdict.get("mismatches", []),
+            structure=verdict.get("structure", {}),
+            error=verdict.get("error"),
+            backend=record.get("backend", ""),
+        )
+    except KeyError:
+        return None
+
+
 def _execute_pooled(
     scenario: Scenario,
     pool: ManagerPool,
     memo: Optional[Dict[Tuple, ScenarioOutcome]],
+    store: Optional[ResultStore] = None,
 ) -> Tuple[ScenarioOutcome, bool]:
-    """Run one scenario against a pool + memo; returns (outcome, memo_hit)."""
+    """Run one scenario against a pool + memo + store; returns (outcome, memo_hit)."""
     key = (scenario.order_signature(), scenario.cache_key()) if memo is not None else None
     if key is not None and key in memo:
         # Deep copy so memo hits never alias the containers of earlier
@@ -71,9 +132,27 @@ def _execute_pooled(
         outcome.cache = {}
         outcome.reorder = {}
         outcome.extraction_cache = {}
+        outcome.store = {}
+        outcome.snapshot = {}
         outcome.bdd_nodes = 0
         outcome.bdd_variables = 0
         return outcome, True
+    fingerprint: Optional[str] = None
+    if store is not None:
+        started = time.perf_counter()
+        fingerprint = scenario.fingerprint(store.salt)
+        record = store.load_result(fingerprint)
+        if record is not None:
+            outcome = _outcome_from_record(scenario, record)
+            if outcome is not None:
+                outcome.store = {
+                    "status": "hit",
+                    "seconds": round(time.perf_counter() - started, 4),
+                }
+                if key is not None:
+                    # Seed the memo so in-process repeats skip the disk.
+                    memo[key] = copy.deepcopy(outcome)
+                return outcome, False
     if not scenario.needs_manager():
         manager = None
     elif (
@@ -92,13 +171,23 @@ def _execute_pooled(
         # scenarios may share pooled managers; the pool retires each
         # manager at its first swap (reorder_evictions), which is what
         # keeps the next acquisition bit-identical to a fresh run.
-        manager = BDDManager(cache_limit=pool.cache_limit)
+        manager = pool.private_manager()
     else:
         manager = pool.acquire(scenario.order_signature())
     try:
-        outcome = execute_scenario(scenario, manager=manager)
+        outcome = execute_scenario(
+            scenario, manager=manager, snapshot_store=pool.snapshot_store
+        )
     except Exception as error:  # noqa: BLE001 - campaign isolation
         return _failed_outcome(scenario, error), False
+    if store is not None and fingerprint is not None and outcome.error is None:
+        started = time.perf_counter()
+        written = store.save_result(fingerprint, _result_record(outcome))
+        outcome.store = {
+            "status": "miss",
+            "bytes_written": written,
+            "seconds": round(time.perf_counter() - started, 4),
+        }
     if key is not None:
         # Store an isolated copy: the returned object stays caller-owned.
         memo[key] = copy.deepcopy(outcome)
@@ -153,27 +242,153 @@ def _pool_campaign_delta(
     }
 
 
-def _init_worker(cache_limit: Optional[int], memoize: bool) -> None:
-    """Initialise per-process state for the parallel mode."""
-    global _WORKER_POOL, _WORKER_MEMOIZE
+def _store_campaign_delta(
+    before: Dict[str, object], after: Dict[str, object]
+) -> Dict[str, object]:
+    """Store statistics attributable to one campaign run (pure deltas)."""
+    delta: Dict[str, object] = {"results": {}, "snapshots": {}}
+    for family in ("results", "snapshots"):
+        for name, value in after[family].items():
+            if name == "hit_rate":
+                continue
+            delta[family][name] = value - before[family].get(name, 0)
+    results = delta["results"]
+    lookups = sum(results.get(k, 0) for k in ("hits", "misses", "stale", "corrupt"))
+    results["hit_rate"] = (results.get("hits", 0) / lookups) if lookups else 0.0
+    return delta
+
+
+def _merge_store_stats(stats_list: Sequence[Optional[Dict[str, object]]]) -> Dict[str, object]:
+    """Sum per-worker store statistics into one campaign record."""
+    merged: Dict[str, object] = {"results": {}, "snapshots": {}}
+    for stats in stats_list:
+        if not stats:
+            continue
+        for family in ("results", "snapshots"):
+            for name, value in stats.get(family, {}).items():
+                if name == "hit_rate" or not isinstance(value, (int, float)):
+                    continue
+                merged[family][name] = merged[family].get(name, 0) + value
+    results = merged["results"]
+    lookups = sum(results.get(k, 0) for k in ("hits", "misses", "stale", "corrupt"))
+    results["hit_rate"] = (results.get("hits", 0) / lookups) if lookups else 0.0
+    return merged
+
+
+# ----------------------------------------------------------------------
+# Blind parallel mode (PR 1): process pool, arbitrary chunking
+# ----------------------------------------------------------------------
+def _init_worker(
+    cache_limit: Optional[int],
+    memoize: bool,
+    store_spec: Optional[Tuple[str, str]],
+) -> None:
+    """Initialise per-process state for the blind parallel mode."""
+    global _WORKER_POOL, _WORKER_MEMOIZE, _WORKER_STORE
     _WORKER_POOL = ManagerPool(cache_limit=cache_limit)
+    _WORKER_STORE = ResultStore(store_spec[0], salt=store_spec[1]) if store_spec else None
+    _WORKER_POOL.attach_store(_WORKER_STORE)
     _WORKER_MEMOIZE = memoize
     _WORKER_MEMO.clear()
 
 
 def _execute_in_worker(scenario: Scenario) -> ScenarioOutcome:
-    """Parallel-mode entry: run one scenario on this worker's own pool."""
+    """Blind-mode entry: run one scenario on this worker's own pool."""
     global _WORKER_POOL
     if _WORKER_POOL is None:  # pragma: no cover - initializer always runs
         _WORKER_POOL = ManagerPool()
     outcome, _ = _execute_pooled(
-        scenario, _WORKER_POOL, _WORKER_MEMO if _WORKER_MEMOIZE else None
+        scenario,
+        _WORKER_POOL,
+        _WORKER_MEMO if _WORKER_MEMOIZE else None,
+        store=_WORKER_STORE,
     )
     return outcome
 
 
+# ----------------------------------------------------------------------
+# Affinity-sharded work-stealing parallel mode
+# ----------------------------------------------------------------------
+def _affinity_units(
+    scenarios: Sequence[Scenario], max_workers: int
+) -> List[List[int]]:
+    """Steal-granularity work units grouped by variable-order affinity.
+
+    Scenarios are sharded by ``order_signature`` — a worker that runs a
+    whole shard re-derives every scenario after the first at warm
+    unique-table and session-cache speed, which blind chunking throws
+    away.  A shard bigger than a fair share (``ceil(n / workers)``) is
+    split into fair-share units so one giant signature cannot serialise
+    the campaign: the units sit adjacently in the queue, and only when
+    other workers run dry do they steal them (paying one warm-up each,
+    the classic stealing trade).  Units are ordered largest-first (LPT)
+    so the long shards start immediately; the order is deterministic
+    (stable sort over first-appearance grouping).
+    """
+    groups: Dict[Tuple, List[int]] = {}
+    appearance: List[Tuple] = []
+    for index, scenario in enumerate(scenarios):
+        signature = scenario.order_signature()
+        bucket = groups.get(signature)
+        if bucket is None:
+            bucket = groups[signature] = []
+            appearance.append(signature)
+        bucket.append(index)
+    fair_share = max(1, -(-len(scenarios) // max_workers))
+    units: List[List[int]] = []
+    for signature in appearance:
+        shard = groups[signature]
+        for start in range(0, len(shard), fair_share):
+            units.append(shard[start : start + fair_share])
+    units.sort(key=len, reverse=True)
+    return units
+
+
+def _affinity_worker(
+    worker_id: int,
+    tasks,
+    results,
+    cache_limit: Optional[int],
+    memoize: bool,
+    store_spec: Optional[Tuple[str, str]],
+) -> None:
+    """One affinity worker: drain units off the shared queue until the sentinel.
+
+    Owns an isolated :class:`ManagerPool` (plus its own handle on the
+    shared result store), so pooled determinism gives byte-identical
+    verdicts to serial mode; the final message on ``results`` carries
+    the worker's pool/store statistics for the campaign report.
+    """
+    pool = ManagerPool(cache_limit=cache_limit)
+    store = ResultStore(store_spec[0], salt=store_spec[1]) if store_spec else None
+    pool.attach_store(store)
+    memo: Optional[Dict[Tuple, ScenarioOutcome]] = {} if memoize else None
+    units_run = 0
+    try:
+        while True:
+            unit = tasks.get()
+            if unit is None:
+                break
+            units_run += 1
+            for index, scenario in unit:
+                outcome, _ = _execute_pooled(scenario, pool, memo, store=store)
+                results.put((index, outcome))
+    finally:
+        results.put(
+            (
+                None,
+                {
+                    "worker": worker_id,
+                    "units": units_run,
+                    "pool": pool.statistics(),
+                    "store": store.statistics() if store is not None else None,
+                },
+            )
+        )
+
+
 class CampaignRunner:
-    """Executes scenario campaigns with pooled managers and memoisation."""
+    """Executes scenario campaigns with pooling, memoisation and a store."""
 
     def __init__(
         self,
@@ -181,14 +396,27 @@ class CampaignRunner:
         registry: Optional[ScenarioRegistry] = None,
         memoize: bool = True,
         cache_limit: Optional[int] = None,
+        store: Optional[ResultStore] = None,
+        store_path: Optional[Union[str, Path]] = None,
     ) -> None:
         if pool is not None and cache_limit is not None:
             raise ValueError(
                 "pass cache_limit either to the runner or to the explicit pool, not both"
             )
+        if store is not None and store_path is not None:
+            raise ValueError("pass either store or store_path, not both")
         self.pool = pool if pool is not None else ManagerPool(cache_limit=cache_limit)
         self._registry = registry
         self.memoize = memoize
+        #: Persistent result store (``None`` = in-process reuse only).
+        self.store = store if store is not None else (
+            ResultStore(store_path) if store_path is not None else None
+        )
+        # Attach only when this runner actually owns a store: a caller
+        # who passed an explicit pool with its own snapshot_store keeps
+        # that attachment.
+        if self.store is not None:
+            self.pool.attach_store(self.store)
         self._memo: Dict[Tuple, ScenarioOutcome] = {}
 
     @property
@@ -210,10 +438,10 @@ class CampaignRunner:
     # Execution
     # ------------------------------------------------------------------
     def run_one(self, scenario: ScenarioLike) -> ScenarioOutcome:
-        """Run a single scenario through the shared pool."""
+        """Run a single scenario through the shared pool (and store)."""
         resolved = self.registry.resolve(scenario)
         outcome, _ = _execute_pooled(
-            resolved, self.pool, self._memo if self.memoize else None
+            resolved, self.pool, self._memo if self.memoize else None, store=self.store
         )
         return outcome
 
@@ -223,30 +451,47 @@ class CampaignRunner:
         parallel: bool = False,
         max_workers: Optional[int] = None,
         mp_context: Optional[str] = None,
+        sharding: str = SHARDING_AFFINITY,
     ) -> CampaignReport:
         """Execute a campaign and return its report.
 
-        Serial mode shares this runner's manager pool and memo across
-        the whole campaign.  Parallel mode distributes scenarios over a
-        process pool; every worker owns an isolated :class:`ManagerPool`,
-        and the resulting verdicts are byte-identical to serial mode.
+        Serial mode shares this runner's manager pool, memo and store
+        across the whole campaign.  Parallel mode distributes scenarios
+        over worker processes, each owning an isolated
+        :class:`ManagerPool` (and its own handle on the shared store);
+        ``sharding`` selects the affinity-sharded work-stealing
+        scheduler (default) or the PR-1 blind chunking.  The resulting
+        verdicts are byte-identical to serial mode either way.
         """
+        if sharding not in SHARDINGS:
+            raise ValueError(f"unknown sharding {sharding!r}; valid: {SHARDINGS}")
         resolved = self.resolve(scenarios)
         if not resolved:
             return CampaignReport(outcomes=[], mode="serial")
         started = time.perf_counter()
+        store_before = self.store.statistics() if self.store is not None else None
+        store_stats: Dict[str, object] = {}
         if parallel:
-            outcomes, pool_stats = self._run_parallel(resolved, max_workers, mp_context)
+            outcomes, pool_stats, store_stats = self._run_parallel(
+                resolved, max_workers, mp_context, sharding
+            )
             mode = "parallel"
         else:
             before = self.pool.statistics()
             outcomes = []
             for scenario in resolved:
                 outcome, _ = _execute_pooled(
-                    scenario, self.pool, self._memo if self.memoize else None
+                    scenario,
+                    self.pool,
+                    self._memo if self.memoize else None,
+                    store=self.store,
                 )
                 outcomes.append(outcome)
             pool_stats = _pool_campaign_delta(before, self.pool.statistics())
+            if store_before is not None:
+                store_stats = _store_campaign_delta(
+                    store_before, self.store.statistics()
+                )
             mode = "serial"
         return CampaignReport(
             outcomes=outcomes,
@@ -254,30 +499,168 @@ class CampaignRunner:
             pool=pool_stats,
             memo_hits=sum(int(outcome.memoized) for outcome in outcomes),
             total_seconds=time.perf_counter() - started,
+            store=store_stats,
         )
+
+    # ------------------------------------------------------------------
+    # Parallel modes
+    # ------------------------------------------------------------------
+    def _worker_count(
+        self, scenarios: Sequence[Scenario], max_workers: Optional[int]
+    ) -> int:
+        if max_workers is None:
+            max_workers = min(len(scenarios), max(2, os.cpu_count() or 1))
+        return max(1, min(max_workers, len(scenarios)))
+
+    def _store_spec(self) -> Optional[Tuple[str, str]]:
+        if self.store is None:
+            return None
+        return (str(self.store.root), self.store.salt)
 
     def _run_parallel(
         self,
         scenarios: Sequence[Scenario],
         max_workers: Optional[int],
         mp_context: Optional[str],
-    ) -> Tuple[List[ScenarioOutcome], Dict[str, object]]:
+        sharding: str,
+    ) -> Tuple[List[ScenarioOutcome], Dict[str, object], Dict[str, object]]:
+        if sharding == SHARDING_BLIND:
+            return self._run_parallel_blind(scenarios, max_workers, mp_context)
+        return self._run_parallel_affinity(scenarios, max_workers, mp_context)
+
+    def _run_parallel_blind(
+        self,
+        scenarios: Sequence[Scenario],
+        max_workers: Optional[int],
+        mp_context: Optional[str],
+    ) -> Tuple[List[ScenarioOutcome], Dict[str, object], Dict[str, object]]:
         context = multiprocessing.get_context(mp_context)
-        if max_workers is None:
-            max_workers = min(len(scenarios), max(2, os.cpu_count() or 1))
-        max_workers = max(1, min(max_workers, len(scenarios)))
+        workers = self._worker_count(scenarios, max_workers)
         with context.Pool(
-            processes=max_workers,
+            processes=workers,
             initializer=_init_worker,
-            initargs=(self.pool.cache_limit, self.memoize),
-        ) as workers:
-            outcomes = workers.map(_execute_in_worker, scenarios)
+            initargs=(self.pool.cache_limit, self.memoize, self._store_spec()),
+        ) as pool:
+            outcomes = pool.map(_execute_in_worker, scenarios)
         pool_stats = {
             "managers": None,
-            "workers": max_workers,
+            "workers": workers,
+            "sharding": SHARDING_BLIND,
             "note": "parallel mode: per-worker manager pools",
         }
-        return list(outcomes), pool_stats
+        store_stats: Dict[str, object] = {}
+        if self.store is not None:
+            # The process pool gives no per-worker closing hook, so the
+            # result-record activity is aggregated from the outcomes
+            # themselves (snapshot traffic stays per-worker-internal).
+            results = {"hits": 0, "misses": 0, "bytes_written": 0}
+            for outcome in outcomes:
+                status = outcome.store.get("status")
+                if status == "hit":
+                    results["hits"] += 1
+                elif status == "miss":
+                    results["misses"] += 1
+                    results["bytes_written"] += outcome.store.get("bytes_written", 0)
+            lookups = results["hits"] + results["misses"]
+            results["hit_rate"] = (results["hits"] / lookups) if lookups else 0.0
+            store_stats = {
+                "results": results,
+                "note": "blind sharding: aggregated from per-scenario records",
+            }
+        return list(outcomes), pool_stats, store_stats
+
+    def _run_parallel_affinity(
+        self,
+        scenarios: Sequence[Scenario],
+        max_workers: Optional[int],
+        mp_context: Optional[str],
+    ) -> Tuple[List[ScenarioOutcome], Dict[str, object], Dict[str, object]]:
+        context = multiprocessing.get_context(mp_context)
+        workers = self._worker_count(scenarios, max_workers)
+        units = _affinity_units(scenarios, workers)
+        tasks = context.Queue()
+        results = context.Queue()
+        for unit in units:
+            tasks.put([(index, scenarios[index]) for index in unit])
+        for _ in range(workers):
+            tasks.put(None)
+        processes = [
+            context.Process(
+                target=_affinity_worker,
+                args=(
+                    worker_id,
+                    tasks,
+                    results,
+                    self.pool.cache_limit,
+                    self.memoize,
+                    self._store_spec(),
+                ),
+                daemon=True,
+            )
+            for worker_id in range(workers)
+        ]
+        for process in processes:
+            process.start()
+
+        collected: Dict[int, ScenarioOutcome] = {}
+        worker_records: List[Dict[str, object]] = []
+
+        def absorb(item: Tuple) -> None:
+            index, payload = item
+            if index is None:
+                worker_records.append(payload)
+            else:
+                collected[index] = payload
+
+        # Drain until every scenario and every worker's closing record
+        # arrived; if all workers died (crash), drain what is left and
+        # fill the gaps with failure outcomes instead of hanging.
+        while len(collected) < len(scenarios) or len(worker_records) < workers:
+            try:
+                absorb(results.get(timeout=1.0))
+            except queue.Empty:
+                if any(process.is_alive() for process in processes):
+                    continue
+                while True:
+                    try:
+                        absorb(results.get_nowait())
+                    except queue.Empty:
+                        break
+                break
+        for process in processes:
+            process.join()
+
+        outcomes = [
+            collected.get(index)
+            or _failed_outcome(
+                scenarios[index],
+                RuntimeError("parallel worker terminated before completing this scenario"),
+            )
+            for index in range(len(scenarios))
+        ]
+        pool_stats = {
+            "managers": None,
+            "workers": workers,
+            "sharding": SHARDING_AFFINITY,
+            "units": len(units),
+            "note": "parallel mode: per-worker manager pools, affinity-sharded queue",
+            "per_worker": [
+                {
+                    "worker": record.get("worker"),
+                    "units": record.get("units"),
+                    "pool": record.get("pool"),
+                }
+                for record in sorted(
+                    worker_records, key=lambda record: record.get("worker", 0)
+                )
+            ],
+        }
+        store_stats = (
+            _merge_store_stats([record.get("store") for record in worker_records])
+            if self.store is not None
+            else {}
+        )
+        return outcomes, pool_stats, store_stats
 
 
 def run_campaign(
@@ -285,7 +668,11 @@ def run_campaign(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     cache_limit: Optional[int] = None,
+    store_path: Optional[Union[str, Path]] = None,
+    sharding: str = SHARDING_AFFINITY,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
-    runner = CampaignRunner(cache_limit=cache_limit)
-    return runner.run(scenarios, parallel=parallel, max_workers=max_workers)
+    runner = CampaignRunner(cache_limit=cache_limit, store_path=store_path)
+    return runner.run(
+        scenarios, parallel=parallel, max_workers=max_workers, sharding=sharding
+    )

@@ -19,6 +19,8 @@ placements and the interrupt (event) sweeps.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field, fields, replace
 from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -245,6 +247,33 @@ class Scenario:
             for spec in fields(self)
             if spec.name not in ("name", "tags")
         )
+
+    def fingerprint(self, salt: str = "") -> str:
+        """Canonical content address of this scenario's verdict.
+
+        SHA-256 over the scenario's serialised content (name and tags
+        excluded — they are bookkeeping, not behaviour), the variable-
+        order signature (which embeds the beta backend and any
+        order-changing policy, so runs whose counterexample bits could
+        legitimately differ never share a record) and ``salt`` — the
+        persistent store's code-version salt.  Two scenarios share a
+        fingerprint exactly when the engine guarantees them byte-
+        identical verdicts, which is what makes the fingerprint safe as
+        a cross-process, cross-invocation result-store key.
+        """
+        payload = self.to_dict()
+        payload.pop("name", None)
+        payload.pop("tags", None)
+        blob = json.dumps(
+            {
+                "scenario": payload,
+                "order_signature": repr(self.order_signature()),
+                "salt": salt,
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
     # ------------------------------------------------------------------
     # Serialisation

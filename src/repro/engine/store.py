@@ -1,0 +1,269 @@
+"""Persistent content-addressed result store for verification campaigns.
+
+The campaign engine's in-process reuse — pooled managers, the scenario
+memo, the session-scoped extraction cache — dies with its process.  This
+module is the layer that makes reuse survive: a :class:`ResultStore` is
+a directory of immutable records addressed by content fingerprints, so a
+re-run of any campaign (in this process, another process, or another CI
+job handed the directory as an artifact) is a cache read.
+
+Two record families share the store:
+
+* **Results** — the deterministic *verdict* portion of a
+  :class:`~repro.engine.report.ScenarioOutcome` (pass/fail, mismatch
+  records, structure), keyed by
+  :meth:`~repro.engine.scenario.Scenario.fingerprint`: a SHA-256 over
+  the scenario's canonical content (everything but name/tags), its
+  variable-order signature — which embeds the beta backend and
+  reordering policy — and the store's code-version salt.  Stored as
+  plain JSON, one file per fingerprint.
+* **Snapshots** — arena snapshots of expensive derived BDDs (the beta
+  backend's extracted correspondence relations, see
+  :meth:`~repro.bdd.manager.BDDManager.snapshot`), keyed by a
+  fingerprint of the extraction identity.  Stored zlib-compressed (the
+  payloads are large lists of small ints, which deflate ~10x).
+
+Safety model: a record is only ever trusted when its envelope matches
+the store's ``version`` *and* ``salt`` and its embedded fingerprint
+matches the requested one; version/salt mismatches count as *stale*,
+unparseable or misshapen files as *corrupt*, and both are treated
+exactly like a miss — the caller recomputes, and for snapshots the BDD
+layer's restore-time validation adds a second, structural line of
+defence (:class:`~repro.bdd.kernel.SnapshotError`).  A wrong verdict can
+therefore never be served from a damaged store.  Writes go through a
+temp file plus :func:`os.replace`, so concurrent writers (the affinity
+scheduler's workers share one store directory) can only ever publish
+whole records.
+
+:data:`CODE_SALT` is the code-version salt: bump it whenever a change
+alters verdict bytes or snapshot semantics, and every existing store
+silently degrades to a cold one instead of serving stale records.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import zlib
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+#: Code-version salt baked into every fingerprint and record envelope.
+#: Bump on any change that affects verdict bytes or snapshot payloads.
+CODE_SALT = "2026.07-campaign-throughput-1"
+
+#: Envelope format version of the store records themselves.
+STORE_VERSION = 1
+
+#: Compression level of snapshot records (zlib; 6 is the speed/size knee).
+_SNAPSHOT_COMPRESSION = 6
+
+
+def content_fingerprint(*parts: object, salt: str = CODE_SALT) -> str:
+    """SHA-256 hex fingerprint of a deterministic content description.
+
+    ``parts`` must have deterministic ``repr`` (strings, ints, tuples —
+    the engine passes architecture/kwargs signatures).  The salt joins
+    the digest so a code-version bump re-keys every record at once.
+    """
+    blob = repr(parts) + "\x00" + salt
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """Directory-backed content-addressed store of campaign artefacts.
+
+    ``root`` is created on demand.  All read paths are total: any
+    malformed, truncated, stale or foreign file behaves as a miss (and
+    is counted in :meth:`statistics` under its failure class).
+    """
+
+    def __init__(self, root: Union[str, Path], salt: str = CODE_SALT) -> None:
+        self.root = Path(root)
+        self.salt = salt
+        self._results_dir = self.root / "results"
+        self._snapshots_dir = self.root / "snapshots"
+        self._stats = {
+            "results": self._fresh_counters(),
+            "snapshots": self._fresh_counters(),
+        }
+
+    @staticmethod
+    def _fresh_counters() -> Dict[str, int]:
+        return {
+            "hits": 0,
+            "misses": 0,
+            "stale": 0,
+            "corrupt": 0,
+            "writes": 0,
+            "bytes_read": 0,
+            "bytes_written": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Paths
+    # ------------------------------------------------------------------
+    def _record_path(self, kind_dir: Path, fingerprint: str, suffix: str) -> Path:
+        # Two-character fan-out keeps directory listings sane for
+        # campaign-scale stores (thousands of scenarios).
+        return kind_dir / fingerprint[:2] / f"{fingerprint}{suffix}"
+
+    def result_path(self, fingerprint: str) -> Path:
+        """Where the result record for ``fingerprint`` lives (may not exist)."""
+        return self._record_path(self._results_dir, fingerprint, ".json")
+
+    def snapshot_path(self, fingerprint: str) -> Path:
+        """Where the snapshot record for ``fingerprint`` lives (may not exist)."""
+        return self._record_path(self._snapshots_dir, fingerprint, ".json.z")
+
+    # ------------------------------------------------------------------
+    # Envelopes
+    # ------------------------------------------------------------------
+    def _check_envelope(
+        self, envelope: object, fingerprint: str, counters: Dict[str, int]
+    ) -> Optional[Dict[str, object]]:
+        """Validate a decoded record envelope; return its payload or None."""
+        if not isinstance(envelope, dict) or "payload" not in envelope:
+            counters["corrupt"] += 1
+            return None
+        if (
+            envelope.get("version") != STORE_VERSION
+            or envelope.get("salt") != self.salt
+            or envelope.get("fingerprint") != fingerprint
+        ):
+            # A record written by other code (version bump, salt bump,
+            # renamed file) — well-formed but not ours to trust.
+            counters["stale"] += 1
+            return None
+        payload = envelope["payload"]
+        if not isinstance(payload, dict):
+            counters["corrupt"] += 1
+            return None
+        return payload
+
+    def _write_record(self, path: Path, data: bytes, counters: Dict[str, int]) -> int:
+        """Atomically publish ``data`` at ``path``; returns bytes written."""
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=path.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "wb") as handle:
+                handle.write(data)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        counters["writes"] += 1
+        counters["bytes_written"] += len(data)
+        return len(data)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+    def load_result(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The stored result payload for ``fingerprint``, or ``None``.
+
+        Counts the access as hit / miss / stale / corrupt; any failure
+        mode returns ``None`` so callers simply recompute.
+        """
+        counters = self._stats["results"]
+        try:
+            data = self.result_path(fingerprint).read_bytes()
+        except OSError:
+            counters["misses"] += 1
+            return None
+        counters["bytes_read"] += len(data)
+        try:
+            envelope = json.loads(data)
+        except (ValueError, UnicodeDecodeError):
+            counters["corrupt"] += 1
+            return None
+        payload = self._check_envelope(envelope, fingerprint, counters)
+        if payload is not None:
+            counters["hits"] += 1
+        return payload
+
+    def save_result(self, fingerprint: str, payload: Dict[str, object]) -> int:
+        """Persist a result payload; returns the record size in bytes."""
+        envelope = {
+            "version": STORE_VERSION,
+            "salt": self.salt,
+            "fingerprint": fingerprint,
+            "payload": payload,
+        }
+        data = json.dumps(envelope, sort_keys=True).encode("utf-8")
+        return self._write_record(
+            self.result_path(fingerprint), data, self._stats["results"]
+        )
+
+    # ------------------------------------------------------------------
+    # Snapshots
+    # ------------------------------------------------------------------
+    def load_snapshot(self, fingerprint: str) -> Optional[Dict[str, object]]:
+        """The stored snapshot payload for ``fingerprint``, or ``None``."""
+        counters = self._stats["snapshots"]
+        try:
+            data = self.snapshot_path(fingerprint).read_bytes()
+        except OSError:
+            counters["misses"] += 1
+            return None
+        counters["bytes_read"] += len(data)
+        try:
+            envelope = json.loads(zlib.decompress(data))
+        except (zlib.error, ValueError, UnicodeDecodeError):
+            counters["corrupt"] += 1
+            return None
+        payload = self._check_envelope(envelope, fingerprint, counters)
+        if payload is not None:
+            counters["hits"] += 1
+        return payload
+
+    def save_snapshot(self, fingerprint: str, payload: Dict[str, object]) -> int:
+        """Persist a snapshot payload (compressed); returns bytes written."""
+        envelope = {
+            "version": STORE_VERSION,
+            "salt": self.salt,
+            "fingerprint": fingerprint,
+            "payload": payload,
+        }
+        data = zlib.compress(
+            json.dumps(envelope, sort_keys=True).encode("utf-8"),
+            _SNAPSHOT_COMPRESSION,
+        )
+        return self._write_record(
+            self.snapshot_path(fingerprint), data, self._stats["snapshots"]
+        )
+
+    def fingerprint_for(self, key: object) -> str:
+        """Content fingerprint of an arbitrary deterministic key.
+
+        Used by layers below the engine (the beta backend keys relation
+        snapshots by their extraction identity) so they can address this
+        store without knowing its salt handling.
+        """
+        return content_fingerprint(key, salt=self.salt)
+
+    # ------------------------------------------------------------------
+    # Statistics
+    # ------------------------------------------------------------------
+    def statistics(self) -> Dict[str, object]:
+        """Access counters of this store handle (hits/misses/bytes, per family)."""
+        results = dict(self._stats["results"])
+        snapshots = dict(self._stats["snapshots"])
+        lookups = results["hits"] + results["misses"] + results["stale"] + results["corrupt"]
+        results["hit_rate"] = (results["hits"] / lookups) if lookups else 0.0
+        return {
+            "root": str(self.root),
+            "salt": self.salt,
+            "results": results,
+            "snapshots": snapshots,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<ResultStore root={str(self.root)!r} salt={self.salt!r}>"

@@ -52,9 +52,11 @@ exact witness records the compose backend would have reported.
 
 from __future__ import annotations
 
+import time
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..bdd import BDDManager, BDDNode
+from ..bdd.kernel import SnapshotError, pack_snapshot
 from ..logic import BitVec
 from ..strings import CONTROL
 from .image import smooth_conjunction
@@ -424,6 +426,127 @@ def extraction_cache_statistics(manager: BDDManager) -> Dict[str, int]:
     return dict(stats)
 
 
+# ----------------------------------------------------------------------
+# Persistent relation snapshots
+# ----------------------------------------------------------------------
+def _stepper_declares(payload: Dict[str, object], prefix: str) -> List[str]:
+    """The exact declaration sequence :meth:`MachineStepper.extract` performs.
+
+    Replayed verbatim before a snapshot restore, so a rehydrating
+    manager's variable order stays byte-identical to a freshly
+    extracting one — the property the pool's order-signature contract
+    (and with it cross-mode verdict identity) rests on.
+    """
+    names = list(payload["input_names"])
+    if payload["fetch_valid_name"] is not None:
+        names.append(payload["fetch_valid_name"])
+    for field, width in payload["layout"]:
+        names.extend(f"{prefix}{field}[{bit}]" for bit in range(width))
+    return names
+
+
+def _serialize_stepper_payload(
+    manager: BDDManager, payload: Dict[str, object], prefix: str
+) -> Dict[str, object]:
+    """Pure-data snapshot of a cached relation (JSON-serialisable).
+
+    The per-bit next-state functions are serialised through the arena
+    snapshot (root-projected parallel lists with name-mapped levels);
+    layout, input names and supports ride along as plain lists.
+    """
+    layout = [(field, width) for field, width in payload["layout"]]
+    keys = [(field, bit) for field, width in layout for bit in range(width)]
+    next_functions = payload["next_functions"]
+    supports = payload["supports"]
+    arena = manager.snapshot(
+        [next_functions[key] for key in keys],
+        declares=_stepper_declares(payload, prefix),
+    )
+    nodes = len(arena["levels"])
+    return {
+        "kind": "beta-relation",
+        "prefix": prefix,
+        "nodes": nodes,
+        "layout": [[field, width] for field, width in layout],
+        "input_names": list(payload["input_names"]),
+        "fetch_valid_name": payload["fetch_valid_name"],
+        "supports": [
+            [field, bit, list(supports[(field, bit)])] for field, bit in keys
+        ],
+        # Packed form: large relations are millions of ints, and parsing
+        # them back from JSON decimals would eat into the rehydration win.
+        "arena": pack_snapshot(arena),
+    }
+
+
+def _deserialize_stepper_payload(
+    manager: BDDManager, blob: Dict[str, object], prefix: str
+) -> Dict[str, object]:
+    """Rebuild a session-cache relation payload from a snapshot blob.
+
+    Raises :class:`~repro.bdd.kernel.SnapshotError` on any structural
+    problem (the arena restore validates the node lists; this wrapper
+    validates the bookkeeping around them) — the caller falls back to a
+    fresh extraction, never a wrong relation.
+    """
+    try:
+        if blob.get("kind") != "beta-relation" or blob.get("prefix") != prefix:
+            raise SnapshotError(
+                f"snapshot is not a beta relation for prefix {prefix!r}"
+            )
+        layout = [(field, int(width)) for field, width in blob["layout"]]
+        keys = [(field, bit) for field, width in layout for bit in range(width)]
+        input_names = list(blob["input_names"])
+        fetch_valid_name = blob["fetch_valid_name"]
+        supports = {
+            (field, int(bit)): tuple(names)
+            for field, bit, names in blob["supports"]
+        }
+        arena = blob["arena"]
+    except (TypeError, ValueError, KeyError) as exc:
+        raise SnapshotError(f"malformed relation snapshot: {exc!r}") from None
+    if set(supports) != set(keys):
+        raise SnapshotError("relation snapshot supports do not match its layout")
+    # Cross-validate the blob's bookkeeping against the arena's recorded
+    # declaration sequence: both are independently-stored copies of the
+    # same fact (what extraction declares), so any single corrupted
+    # field — an input name, the layout, the fetch-valid flag — makes
+    # them disagree and the record is refused *before* the manager is
+    # touched.  The supports must stay inside that declared set, or the
+    # rehydrated stepper would later trip a BDDOrderError mid-scenario
+    # instead of falling back to extraction here.
+    expected_declares = _stepper_declares(
+        {
+            "input_names": input_names,
+            "fetch_valid_name": fetch_valid_name,
+            "layout": layout,
+        },
+        prefix,
+    )
+    if not isinstance(arena, dict) or list(arena.get("declares", ())) != expected_declares:
+        raise SnapshotError(
+            "relation snapshot bookkeeping disagrees with its arena declarations"
+        )
+    declared = set(expected_declares)
+    for names in supports.values():
+        if not set(names) <= declared:
+            raise SnapshotError(
+                "relation snapshot supports mention undeclared variables"
+            )
+    roots = manager.restore(arena)
+    if len(roots) != len(keys):
+        raise SnapshotError(
+            f"relation snapshot carries {len(roots)} roots for {len(keys)} bits"
+        )
+    return {
+        "layout": layout,
+        "input_names": input_names,
+        "fetch_valid_name": fetch_valid_name,
+        "next_functions": dict(zip(keys, roots)),
+        "supports": supports,
+    }
+
+
 def cached_extract_steppers(
     manager: BDDManager,
     specification,
@@ -432,6 +555,7 @@ def cached_extract_steppers(
     policy: Optional[RelationalPolicy],
     spec_key: object,
     impl_key: object,
+    snapshot_store=None,
 ) -> Tuple[MachineStepper, MachineStepper, Dict[str, object]]:
     """Extract or re-use the stepper pair via ``manager.session_cache``.
 
@@ -446,56 +570,110 @@ def cached_extract_steppers(
     :meth:`MachineStepper.advance` consults it); cached relations are
     re-bound to the fresh model instances under the current policy.
 
+    ``snapshot_store`` (anything with ``fingerprint_for`` /
+    ``load_snapshot`` / ``save_snapshot`` — in practice the engine's
+    :class:`~repro.engine.store.ResultStore`) adds a persistent level
+    below the session cache: on a session miss the relation is
+    rehydrated from a stored arena snapshot instead of re-extracted
+    (a deserialisation instead of a symbolic simulation), and a fresh
+    extraction is snapshotted back so every later process skips it.  A
+    stale or corrupt snapshot fails validation and falls back to
+    extraction — never a wrong relation.
+
     Returns ``(spec_stepper, impl_stepper, info)`` where ``info`` is the
-    measurement record surfaced as ``outcome.extraction_cache``.
+    measurement record surfaced as ``outcome.extraction_cache``; with a
+    store attached it carries a per-role ``snapshot`` sub-record
+    (status restored/saved/invalid, seconds, nodes, bytes).
     """
     policy = policy if policy is not None else RelationalPolicy()
     cache = manager.session_cache
     stats = cache.setdefault(_EXTRACTION_STATS_KEY, {"hits": 0, "misses": 0})
     info: Dict[str, object] = {}
+    snapshot_info: Dict[str, object] = {}
 
-    payload = cache.get(spec_key)
-    if payload is not None:
-        stats["hits"] += 1
-        info["spec"] = "hit"
-        spec_stepper = _stepper_from_payload(
-            manager, payload, specification, SPEC_PREFIX, policy
-        )
-    else:
+    def acquire(
+        role: str, key: object, model, prefix: str, advance, with_fetch_valid: bool
+    ) -> MachineStepper:
+        payload = cache.get(key)
+        if payload is not None:
+            stats["hits"] += 1
+            info[role] = "hit"
+            return _stepper_from_payload(manager, payload, model, prefix, policy)
+        if snapshot_store is not None:
+            fingerprint = snapshot_store.fingerprint_for(key)
+            blob = snapshot_store.load_snapshot(fingerprint)
+            if blob is not None:
+                started = time.perf_counter()
+                try:
+                    payload = _deserialize_stepper_payload(manager, blob, prefix)
+                except SnapshotError as error:
+                    payload = None
+                    snapshot_info[role] = {
+                        "status": "invalid",
+                        "error": str(error),
+                    }
+                if payload is not None:
+                    cache[key] = payload
+                    stats["restored"] = stats.get("restored", 0) + 1
+                    info[role] = "snapshot"
+                    snapshot_info[role] = {
+                        "status": "restored",
+                        "seconds": round(time.perf_counter() - started, 4),
+                        "nodes": blob.get("nodes", 0),
+                    }
+                    return _stepper_from_payload(
+                        manager, payload, model, prefix, policy
+                    )
         stats["misses"] += 1
-        info["spec"] = "miss"
-        spec_stepper = MachineStepper.extract(
+        info[role] = "miss"
+        stepper = MachineStepper.extract(
             manager,
-            specification,
-            SPEC_PREFIX,
+            model,
+            prefix,
             instruction_width,
-            lambda model, word, fetch_valid: model.execute_instruction(word),
-            with_fetch_valid=False,
+            advance,
+            with_fetch_valid=with_fetch_valid,
             policy=policy,
         )
-        cache[spec_key] = _stepper_payload(spec_stepper)
+        payload = _stepper_payload(stepper)
+        cache[key] = payload
+        if snapshot_store is not None:
+            started = time.perf_counter()
+            blob = _serialize_stepper_payload(manager, payload, prefix)
+            written = snapshot_store.save_snapshot(
+                snapshot_store.fingerprint_for(key), blob
+            )
+            snapshot_info[role] = {
+                "status": "saved",
+                "seconds": round(time.perf_counter() - started, 4),
+                "nodes": blob.get("nodes", 0),
+                "bytes": written,
+            }
+        return stepper
 
-    payload = cache.get(impl_key)
-    if payload is not None:
-        stats["hits"] += 1
-        info["impl"] = "hit"
-        impl_stepper = _stepper_from_payload(
-            manager, payload, implementation, IMPL_PREFIX, policy
-        )
-    else:
-        stats["misses"] += 1
-        info["impl"] = "miss"
-        impl_stepper = MachineStepper.extract(
-            manager,
-            implementation,
-            IMPL_PREFIX,
-            instruction_width,
-            lambda model, word, fetch_valid: model.step(word, fetch_valid=fetch_valid),
-            with_fetch_valid=True,
-            policy=policy,
-        )
-        cache[impl_key] = _stepper_payload(impl_stepper)
+    # Extraction order is fixed (specification first) so pooled and
+    # rehydrating managers see one deterministic declaration sequence.
+    spec_stepper = acquire(
+        "spec",
+        spec_key,
+        specification,
+        SPEC_PREFIX,
+        lambda model, word, fetch_valid: model.execute_instruction(word),
+        with_fetch_valid=False,
+    )
+    impl_stepper = acquire(
+        "impl",
+        impl_key,
+        implementation,
+        IMPL_PREFIX,
+        lambda model, word, fetch_valid: model.step(word, fetch_valid=fetch_valid),
+        with_fetch_valid=True,
+    )
 
     info["session_hits"] = stats["hits"]
     info["session_misses"] = stats["misses"]
+    if stats.get("restored"):
+        info["session_restored"] = stats["restored"]
+    if snapshot_info:
+        info["snapshot"] = snapshot_info
     return spec_stepper, impl_stepper, info

@@ -297,3 +297,105 @@ class TestGoldenByteIdentityUnderGC:
             assert {k: bool(v) for k, v in actual.counterexample.items()} == expected[
                 "counterexample"
             ]
+
+
+class TestArenaSnapshots:
+    """Kernel-level snapshot/restore: dedup, projection, validation."""
+
+    def build(self, seed=SEED + 10):
+        rng = random.Random(seed)
+        manager = BDDManager([f"v{i}" for i in range(10)])
+        names = list(manager.variables)
+        roots = [random_function(manager, rng, names, depth=5) for _ in range(4)]
+        return manager, roots
+
+    def test_same_manager_restore_dedups_onto_existing_handles(self):
+        manager, roots = self.build()
+        payload = manager.snapshot(roots)
+        restored = manager.restore(payload)
+        assert all(a is b for a, b in zip(restored, roots))
+        # Restoring allocated nothing: every node was already present.
+        live_before = manager.size()
+        manager.restore(payload)
+        assert manager.size() == live_before
+
+    def test_snapshot_projects_to_reachable_nodes_only(self):
+        manager, roots = self.build()
+        payload = manager.snapshot(roots[:1])
+        reachable = reachable_handles(manager, roots[:1])
+        assert len(payload["levels"]) == len(reachable)
+
+    def test_cross_manager_restore_preserves_semantics(self):
+        manager, roots = self.build()
+        payload = json.loads(
+            json.dumps(manager.snapshot(roots, declares=manager.variables))
+        )
+        # Target declares two extra variables above, shifting every level.
+        target = BDDManager(["extra0", "extra1"])
+        restored = target.restore(payload)
+        names = [f"v{i}" for i in range(10)]
+        for original, copy in zip(roots, restored):
+            assert manager.sat_count(original, names) == target.sat_count(copy, names)
+            assert manager.support(original) == target.support(copy)
+
+    def test_snapshot_of_terminal_roots(self):
+        manager, _ = self.build()
+        payload = manager.snapshot([manager.zero, manager.one])
+        assert payload["roots"] == [0, 1]
+        target = BDDManager()
+        zero, one = target.restore(payload)
+        assert zero is target.zero and one is target.one
+
+    def test_corrupt_payloads_raise_snapshot_error(self):
+        from repro.bdd.kernel import SnapshotError
+
+        manager, roots = self.build()
+        payload = manager.snapshot(roots)
+        cases = []
+        truncated = json.loads(json.dumps(payload))
+        truncated["highs"] = truncated["highs"][:-2]
+        cases.append(truncated)
+        forward = json.loads(json.dumps(payload))
+        if forward["lows"]:
+            forward["lows"][0] = 5000
+        cases.append(forward)
+        redundant = json.loads(json.dumps(payload))
+        if redundant["lows"]:
+            redundant["lows"][-1] = redundant["highs"][-1]
+        cases.append(redundant)
+        badformat = json.loads(json.dumps(payload))
+        badformat["format"] = 999
+        cases.append(badformat)
+        negative_root = json.loads(json.dumps(payload))
+        negative_root["roots"][0] = -1  # must not resolve via negative indexing
+        cases.append(negative_root)
+        unknown_var = json.loads(json.dumps(payload))
+        unknown_var["level_names"] = [
+            [lvl, f"nope{lvl}"] for lvl, _ in unknown_var["level_names"]
+        ]
+        unknown_var["declares"] = []
+        cases.append(unknown_var)
+        for case in cases:
+            with pytest.raises(SnapshotError):
+                BDDManager().restore(case)
+
+    def test_failed_restore_leaves_no_stray_declarations(self):
+        """A declares/level_names mismatch is refused before mutation."""
+        from repro.bdd.kernel import SnapshotError
+
+        manager, roots = self.build()
+        payload = json.loads(json.dumps(manager.snapshot(roots)))
+        payload["declares"] = ["bogus0", "bogus1"]  # covers none of the names
+        target = BDDManager()
+        with pytest.raises(SnapshotError):
+            target.restore(payload)
+        assert target.variables == (), "failed restore declared stray variables"
+
+    def test_incompatible_relative_order_is_refused(self):
+        from repro.bdd.kernel import SnapshotError
+
+        manager, roots = self.build()
+        payload = json.loads(json.dumps(manager.snapshot(roots)))
+        target = BDDManager([f"v{i}" for i in reversed(range(10))])
+        with pytest.raises(SnapshotError):
+            target.restore(payload)

@@ -248,6 +248,33 @@ class TestMixedCampaign:
             serial_report.verdict_json().encode("utf-8")
         )
 
+    def test_affinity_sharded_parallel_matches_serial_with_three_workers(
+        self, campaign, serial_report
+    ):
+        report = CampaignRunner().run(campaign, parallel=True, max_workers=3)
+        assert report.mode == "parallel"
+        assert report.pool.get("sharding") == "affinity"
+        assert report.pool.get("workers") == 3
+        assert report.pool.get("units") >= 3
+        assert report.verdict_json().encode("utf-8") == (
+            serial_report.verdict_json().encode("utf-8")
+        )
+        # Every worker reported its closing statistics record.
+        assert len(report.pool.get("per_worker", [])) == 3
+
+    def test_blind_sharding_stays_selectable_and_identical(
+        self, campaign, serial_report
+    ):
+        report = CampaignRunner().run(
+            campaign, parallel=True, max_workers=2, sharding="blind"
+        )
+        assert report.pool.get("sharding") == "blind"
+        assert report.verdict_json() == serial_report.verdict_json()
+
+    def test_unknown_sharding_rejected(self, campaign):
+        with pytest.raises(ValueError):
+            CampaignRunner().run(campaign, parallel=True, sharding="nope")
+
     def test_report_serialises_to_json(self, serial_report):
         payload = json.loads(serial_report.to_json())
         assert payload["scenario_count"] == serial_report.scenario_count
@@ -259,6 +286,49 @@ class TestMixedCampaign:
         assert "decoded" in first and "words" in first and "counterexample" in first
         summary = serial_report.summary()
         assert "vsm/bug/no_bypass" in summary
+
+
+class TestAffinityUnits:
+    """The scheduler's sharding arithmetic (pure function, no processes)."""
+
+    def units(self, scenarios, workers):
+        from repro.engine.runner import _affinity_units
+
+        return _affinity_units(scenarios, workers)
+
+    def test_groups_by_order_signature(self):
+        scenarios = [
+            Scenario(name="g", slots=(NORMAL, NORMAL)),
+            Scenario(name="b1", slots=(NORMAL, NORMAL), bug="no_bypass"),
+            Scenario(name="other", slots=(CONTROL, NORMAL)),
+            Scenario(name="b2", slots=(NORMAL, NORMAL), bug="and_becomes_or"),
+        ]
+        units = self.units(scenarios, 2)
+        # (N,N) scenarios share a signature; with fair share ceil(4/2)=2
+        # the shard of three splits into 2+1, the (C,N) shard stays one.
+        assert sorted(len(unit) for unit in units) == [1, 1, 2]
+        as_sets = [set(unit) for unit in units]
+        assert {0, 1} in as_sets and {3} in as_sets and {2} in as_sets
+        # Largest-first (LPT) so long shards start immediately.
+        assert len(units[0]) == 2
+
+    def test_single_worker_gets_whole_shards(self):
+        scenarios = [
+            Scenario(name=f"s{i}", slots=(NORMAL, NORMAL)) for i in range(5)
+        ]
+        units = self.units(scenarios, 1)
+        assert [len(unit) for unit in units] == [5]
+
+    def test_every_scenario_appears_exactly_once(self):
+        scenarios = (
+            [Scenario(name=f"a{i}", slots=(NORMAL,)) for i in range(7)]
+            + [Scenario(name=f"b{i}", slots=(CONTROL, NORMAL)) for i in range(3)]
+            + [Scenario(name=f"c{i}", slots=(NORMAL, NORMAL)) for i in range(2)]
+        )
+        units = self.units(scenarios, 4)
+        flat = sorted(index for unit in units for index in unit)
+        assert flat == list(range(len(scenarios)))
+        assert max(len(unit) for unit in units) <= -(-len(scenarios) // 4)
 
 
 class TestThinAdapters:

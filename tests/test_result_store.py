@@ -1,0 +1,233 @@
+"""The persistent verification store: cold/warm identity, robustness (PR 5).
+
+The campaign throughput layer makes reuse survive the process: verdicts
+live in a content-addressed :class:`~repro.engine.store.ResultStore`
+keyed by :meth:`Scenario.fingerprint`, and extracted beta relations live
+next to them as arena snapshots.  The hard bar is byte-identical
+verdicts on every path — cold, warm, snapshot-rehydrated, affinity-
+parallel — and *never a wrong verdict* from a stale or damaged store:
+salt mismatches and corrupt or truncated records must silently degrade
+to recomputation.
+"""
+
+import json
+
+import pytest
+
+from repro.engine import (
+    CampaignRunner,
+    ResultStore,
+    Scenario,
+    content_fingerprint,
+)
+from repro.strings import CONTROL, NORMAL
+
+#: A small mixed campaign: two signatures, a shared golden spec, a bug.
+CAMPAIGN = [
+    Scenario(name="vsm/golden", slots=(NORMAL, NORMAL)),
+    Scenario(name="vsm/bug", slots=(NORMAL, NORMAL), bug="no_bypass"),
+    Scenario(name="vsm/branchy", slots=(CONTROL, NORMAL)),
+]
+
+
+def run_with_store(tmp_path, scenarios=CAMPAIGN, **kwargs):
+    runner = CampaignRunner(store_path=tmp_path / "store", **kwargs)
+    return runner.run(scenarios)
+
+
+class TestFingerprint:
+    def test_ignores_name_and_tags(self):
+        a = Scenario(name="a", slots=(NORMAL,), tags=("x",))
+        b = Scenario(name="b", slots=(NORMAL,), tags=("y",))
+        assert a.fingerprint("s") == b.fingerprint("s")
+
+    def test_separates_content_and_salt(self):
+        a = Scenario(name="a", slots=(NORMAL,))
+        b = Scenario(name="a", slots=(NORMAL, NORMAL))
+        c = Scenario(name="a", slots=(NORMAL,), bug="no_bypass")
+        assert len({a.fingerprint("s"), b.fingerprint("s"), c.fingerprint("s")}) == 3
+        assert a.fingerprint("s1") != a.fingerprint("s2")
+
+    def test_backend_choice_separates_fingerprints(self):
+        from repro.relational import BETA_COMPOSE, RelationalPolicy
+
+        fast = Scenario(name="a", slots=(NORMAL,))
+        compose = Scenario(
+            name="a",
+            slots=(NORMAL,),
+            relational=RelationalPolicy(beta_backend=BETA_COMPOSE),
+        )
+        assert fast.fingerprint("s") != compose.fingerprint("s")
+
+
+class TestColdWarmIdentity:
+    def test_warm_rerun_serves_byte_identical_verdicts(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        warm = run_with_store(tmp_path)
+        assert cold.verdict_json().encode() == warm.verdict_json().encode()
+        assert cold.store["results"]["misses"] == len(CAMPAIGN)
+        assert cold.store["results"]["writes"] == len(CAMPAIGN)
+        assert warm.store["results"]["hits"] == len(CAMPAIGN)
+        assert warm.store["results"]["misses"] == 0
+        assert all(o.store.get("status") == "hit" for o in warm.outcomes)
+        # Warm outcomes did no BDD work at all.
+        assert all(o.bdd_nodes == 0 for o in warm.outcomes)
+
+    def test_store_hit_is_indistinguishable_from_fresh_in_verdict(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        warm = run_with_store(tmp_path)
+        for before, after in zip(cold.outcomes, warm.outcomes):
+            assert before.verdict() == after.verdict()
+        # The failing scenario's counterexample survives the round trip
+        # byte for byte (bools stay bools, words stay ints).
+        bug_cold = cold.outcome("vsm/bug")
+        bug_warm = warm.outcome("vsm/bug")
+        assert bug_cold.mismatches == bug_warm.mismatches
+        assert not bug_warm.passed
+
+    def test_renamed_scenario_shares_the_record(self, tmp_path):
+        run_with_store(tmp_path, scenarios=[CAMPAIGN[0]])
+        renamed = run_with_store(
+            tmp_path, scenarios=[CAMPAIGN[0].renamed("vsm/other-name")]
+        )
+        assert renamed.store["results"]["hits"] == 1
+        assert renamed.outcome("vsm/other-name").passed
+
+    def test_memo_hits_take_precedence_and_zero_store_fields(self, tmp_path):
+        runner = CampaignRunner(store_path=tmp_path / "store")
+        report = runner.run([CAMPAIGN[0], CAMPAIGN[0].renamed("alias")])
+        first, alias = report.outcomes
+        assert not first.memoized and alias.memoized
+        assert alias.store == {} and alias.snapshot == {}
+
+    def test_parallel_warm_store_matches_serial(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        runner = CampaignRunner(store_path=tmp_path / "store")
+        warm = runner.run(CAMPAIGN, parallel=True, max_workers=2)
+        assert warm.verdict_json() == cold.verdict_json()
+        assert warm.store["results"]["hits"] == len(CAMPAIGN)
+
+
+class TestRobustness:
+    """A damaged or stale store must recompute — never a wrong verdict."""
+
+    def salted_paths(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        fingerprints = [s.fingerprint(store.salt) for s in CAMPAIGN]
+        return store, fingerprints
+
+    def test_salt_bump_degrades_to_a_cold_store(self, tmp_path):
+        """A code-version bump re-keys everything: old records are unreachable."""
+        cold = run_with_store(tmp_path)
+        stale_runner = CampaignRunner(
+            store=ResultStore(tmp_path / "store", salt="bumped-code-version")
+        )
+        stale = stale_runner.run(CAMPAIGN)
+        assert stale.verdict_json() == cold.verdict_json()
+        assert stale.store["results"]["hits"] == 0
+        assert stale.store["results"]["misses"] == len(CAMPAIGN)
+        # The run re-published records under its own salt.
+        assert stale.store["results"]["writes"] == len(CAMPAIGN)
+
+    def test_envelope_salt_mismatch_is_refused_as_stale(self, tmp_path):
+        """Second line of defence: a record whose *envelope* carries the
+        wrong salt (file copied across store versions) is refused even
+        when it sits at the right path."""
+        cold = run_with_store(tmp_path)
+        store, fingerprints = self.salted_paths(tmp_path)
+        path = store.result_path(fingerprints[0])
+        envelope = json.loads(path.read_bytes())
+        envelope["salt"] = "some-other-code-version"
+        path.write_bytes(json.dumps(envelope).encode())
+        recovered = run_with_store(tmp_path)
+        assert recovered.verdict_json() == cold.verdict_json()
+        assert recovered.store["results"]["stale"] == 1
+        assert recovered.store["results"]["hits"] == len(CAMPAIGN) - 1
+
+    def test_truncated_and_garbage_records_degrade_to_recompute(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        store, fingerprints = self.salted_paths(tmp_path)
+        store.result_path(fingerprints[0]).write_bytes(b"{ not json")
+        truncated = store.result_path(fingerprints[1])
+        truncated.write_bytes(truncated.read_bytes()[: 40])
+        recovered = run_with_store(tmp_path)
+        assert recovered.verdict_json() == cold.verdict_json()
+        assert recovered.store["results"]["corrupt"] == 2
+        assert recovered.store["results"]["hits"] == 1
+        # The damaged records were rewritten and now serve again.
+        healed = run_with_store(tmp_path)
+        assert healed.store["results"]["hits"] == len(CAMPAIGN)
+
+    def test_truncated_snapshot_falls_back_to_extraction(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        store = ResultStore(tmp_path / "store")
+        snapshot_paths = list((tmp_path / "store" / "snapshots").rglob("*.json.z"))
+        assert snapshot_paths, "the cold run should have published relation snapshots"
+        for path in snapshot_paths:
+            path.write_bytes(path.read_bytes()[:-20])
+        # Remove the result records so the scenarios actually re-run and
+        # have to confront the damaged snapshots.
+        import shutil
+
+        shutil.rmtree(tmp_path / "store" / "results")
+        recovered = run_with_store(tmp_path)
+        assert recovered.verdict_json() == cold.verdict_json()
+        # Every pre-existing snapshot was refused; the run re-extracted,
+        # re-published, and later scenarios may hit the fresh records —
+        # but none of the damaged ones.
+        assert recovered.store["snapshots"]["corrupt"] >= len(snapshot_paths) - 2
+        assert recovered.store["snapshots"]["writes"] > 0
+
+    def test_interior_snapshot_corruption_is_rejected_structurally(self, tmp_path):
+        """A snapshot that decompresses fine but lies about its nodes."""
+        import zlib
+
+        cold = run_with_store(tmp_path)
+        store = ResultStore(tmp_path / "store")
+        from repro.bdd.kernel import pack_snapshot, unpack_snapshot
+
+        path = next((tmp_path / "store" / "snapshots").rglob("*.json.z"))
+        envelope = json.loads(zlib.decompress(path.read_bytes()))
+        arena = unpack_snapshot(envelope["payload"]["arena"])
+        assert arena["lows"]
+        arena["lows"][len(arena["lows"]) // 2] = 10 ** 9  # forward reference
+        envelope["payload"]["arena"] = pack_snapshot(arena)
+        path.write_bytes(zlib.compress(json.dumps(envelope).encode()))
+        import shutil
+
+        shutil.rmtree(tmp_path / "store" / "results")
+        recovered = run_with_store(tmp_path)
+        assert recovered.verdict_json() == cold.verdict_json()
+
+    def test_content_fingerprint_salting(self):
+        assert content_fingerprint("a", 1) != content_fingerprint("a", 2)
+        assert content_fingerprint("a", salt="x") != content_fingerprint("a", salt="y")
+        assert content_fingerprint("a", salt="x") == content_fingerprint("a", salt="x")
+
+
+class TestReportPlumbing:
+    def test_report_json_carries_store_and_snapshot_records(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        payload = json.loads(cold.to_json())
+        assert payload["store"]["results"]["writes"] == len(CAMPAIGN)
+        by_name = {o["scenario"]: o for o in payload["outcomes"]}
+        golden = by_name["vsm/golden"]
+        assert golden["store"]["status"] == "miss"
+        assert golden["store"]["bytes_written"] > 0
+        assert golden["snapshot"]["spec"]["status"] == "saved"
+        assert golden["snapshot"]["impl"]["status"] == "saved"
+        assert golden["snapshot"]["spec"]["nodes"] > 0
+        summary = cold.summary()
+        assert "store:" in summary
+
+    def test_snapshot_restores_are_timed_per_scenario(self, tmp_path):
+        run_with_store(tmp_path)
+        import shutil
+
+        shutil.rmtree(tmp_path / "store" / "results")
+        rehydrated = run_with_store(tmp_path)
+        golden = rehydrated.outcome("vsm/golden")
+        assert golden.snapshot["spec"]["status"] == "restored"
+        assert golden.snapshot["impl"]["status"] == "restored"
+        assert golden.snapshot["spec"]["seconds"] >= 0.0
+        assert golden.extraction_cache["spec"] == "snapshot"
