@@ -18,13 +18,22 @@ campaign (both designs, bug sweeps, variable-k placements, interrupts):
   asserted only on hosts with >= 4 CPUs (a single-CPU box cannot
   demonstrate parallel speedup; the JSON records the honest measured
   number and the gating).
+* **Edit-one-model regime (PR 6)** — the paper's incremental story:
+  one architecture model component changes (simulated through the
+  :mod:`repro.engine.codehash` override hook, which is hash-identical
+  to an on-disk edit) and the warm store re-serves every *unrelated*
+  verdict.  Only the edited model's scenarios recompute; the re-run
+  must be >= 5x faster than the cold campaign with byte-identical
+  verdicts.
 
 Results are written to ``BENCH_campaign.json`` next to this file (CI
 uploads it as an artifact).  CI also exercises the cross-invocation
 story directly: ``python bench_campaign_throughput.py --store DIR``
-runs the smoke campaign against a persistent store directory, and a
-second invocation with ``--expect-warm`` asserts a nonzero hit rate
-against the artifact of the first.
+runs the smoke campaign against a persistent store directory, a second
+invocation with ``--expect-warm`` asserts a nonzero hit rate against
+the artifact of the first, and a third with ``--edit-model COMPONENT
+--expect-partial`` asserts partial survival: some records invalidated
+by the simulated edit, the rest still served warm.
 """
 
 import argparse
@@ -52,6 +61,7 @@ from repro.engine import (
     vsm_bug_scenarios,
     vsm_verification_scenario,
 )
+from repro.engine import codehash
 from repro.engine.scenario import Scenario
 from repro.processors import SymbolicAlpha0Options
 from repro.relational.beta import (
@@ -74,6 +84,13 @@ WARM_SPEEDUP_FLOOR = 10.0
 PARALLEL_SPEEDUP_BAR = 2.5
 PARALLEL_WORKERS = 4
 SNAPSHOT_RATIO_FLOOR = 0.10
+EDIT_ONE_MODEL_SPEEDUP_BAR = 5.0
+
+#: The architecture model component the edit-one-model regime touches.
+#: Its dependents (the interrupt scenarios) are a small slice of the
+#: campaign, so the regime isolates the cost of *surgical* invalidation
+#: rather than re-measuring a mostly-cold run.
+EDITED_COMPONENT = "model:interrupts"
 
 
 # ======================================================================
@@ -191,6 +208,46 @@ def measure_parallel(
     return record
 
 
+def measure_edit_one_model(
+    campaign, reference_verdicts: str, cold_seconds: float, store_root
+) -> dict:
+    """Warm re-run after one model component changed (store still warm).
+
+    Runs against the store the cold/warm measurement left behind; only
+    the edited component's dependent scenarios may recompute, everything
+    else must be served from the surviving records.  The override is
+    hash-level identical to editing the module on disk (and is removed
+    in a ``finally`` so later regimes see pristine hashes).
+    """
+    dependents = [
+        s.name for s in campaign if EDITED_COMPONENT in s.dependencies()
+    ]
+    assert dependents, "the campaign must exercise the edited component"
+    assert len(dependents) < len(campaign), "the edit must leave survivors"
+    codehash.set_override(EDITED_COMPONENT, "bench: edit-one-model regime")
+    try:
+        started = time.perf_counter()
+        edited = CampaignRunner(store_path=store_root).run(campaign)
+        edited_seconds = time.perf_counter() - started
+    finally:
+        codehash.clear_overrides()
+    results = edited.store["results"]
+    return {
+        "edited_component": EDITED_COMPONENT,
+        "dependent_scenarios": dependents,
+        "scenarios": len(campaign),
+        "cold_seconds": round(cold_seconds, 3),
+        "edited_seconds": round(edited_seconds, 3),
+        "speedup_vs_cold": round(cold_seconds / max(edited_seconds, 1e-9), 1),
+        "speedup_bar": EDIT_ONE_MODEL_SPEEDUP_BAR,
+        "invalidated": results["invalidated"],
+        "hits": results["hits"],
+        "misses": results["misses"],
+        "survival_rate": results["survival_rate"],
+        "verdicts_identical": edited.verdict_json() == reference_verdicts,
+    }
+
+
 def _snapshot_architecture(alpha0_spec: Alpha0Spec) -> Alpha0Architecture:
     return Alpha0Architecture(
         options=SymbolicAlpha0Options(
@@ -296,6 +353,11 @@ def run_tier(tier: str, store_root=None) -> dict:
     try:
         cold_warm = measure_cold_warm(campaign, store_root)
         reference = cold_warm.pop("_verdict_json")
+        # Must run before measure_parallel, which clears the result
+        # records this regime's surviving records live in.
+        edit_one_model = measure_edit_one_model(
+            campaign, reference, cold_warm["cold_seconds"], store_root
+        )
         parallel = measure_parallel(
             campaign,
             reference,
@@ -313,6 +375,7 @@ def run_tier(tier: str, store_root=None) -> dict:
     return {
         "tier": tier,
         "campaign": cold_warm,
+        "edit_one_model": edit_one_model,
         "parallel": parallel,
         "snapshot": snapshot,
     }
@@ -329,6 +392,14 @@ def _assert_common(payload: dict) -> None:
     warm_results = payload["campaign"]["warm_store"]["results"]
     assert warm_results["hits"] == payload["campaign"]["scenarios"]
     assert warm_results["misses"] == 0
+    edit = payload["edit_one_model"]
+    assert edit["verdicts_identical"], "edit-one-model verdict drift"
+    # Surgical invalidation: exactly the edited component's dependents
+    # recomputed, every other record survived the code delta.
+    assert edit["invalidated"] == len(edit["dependent_scenarios"]), edit
+    assert edit["hits"] == edit["scenarios"] - edit["invalidated"], edit
+    assert edit["misses"] == 0, edit
+    assert edit["speedup_vs_cold"] >= EDIT_ONE_MODEL_SPEEDUP_BAR, edit
 
 
 # ======================================================================
@@ -350,6 +421,7 @@ def test_campaign_throughput_smoke(benchmark):
         paper="campaigns over the same models dominate the paper's experiments",
         measured=(
             f"warm-store re-run {payload['campaign']['warm_speedup']}x, "
+            f"edit-one-model re-run {payload['edit_one_model']['speedup_vs_cold']}x, "
             f"snapshot rehydration ratio {payload['snapshot']['restore_ratio']}"
         ),
     )
@@ -376,7 +448,11 @@ def test_campaign_throughput_full(benchmark):
         paper="campaigns over the same models dominate the paper's experiments",
         measured=(
             f"cold {campaign['cold_seconds']}s -> warm {campaign['warm_seconds']}s "
-            f"({campaign['warm_speedup']}x); snapshot restore "
+            f"({campaign['warm_speedup']}x); edit-one-model "
+            f"{payload['edit_one_model']['edited_seconds']}s "
+            f"({payload['edit_one_model']['speedup_vs_cold']}x, "
+            f"{payload['edit_one_model']['invalidated']} of "
+            f"{payload['edit_one_model']['scenarios']} recomputed); snapshot restore "
             f"{snapshot['restore_seconds']}s vs extract {snapshot['extract_seconds']}s "
             f"(ratio {snapshot['restore_ratio']}); affinity x{parallel['workers']} "
             f"{parallel['affinity_speedup']}x serial "
@@ -402,25 +478,48 @@ def main() -> int:
         action="store_true",
         help="assert a nonzero result-store hit rate (the warm CI step)",
     )
+    parser.add_argument(
+        "--edit-model",
+        default=None,
+        metavar="COMPONENT",
+        help="simulate an edit of one code component (e.g. model:interrupts) "
+        "before the run, via the codehash override hook",
+    )
+    parser.add_argument(
+        "--expect-partial",
+        action="store_true",
+        help="assert partial survival: some records invalidated by the "
+        "simulated edit, the rest still served warm (the edit-one-model "
+        "CI step)",
+    )
     args = parser.parse_args()
 
     heavy = args.tier == "full"
     spec = CONDENSED_ALPHA0_SPEC if heavy else SMOKE_ALPHA0_SPEC
     campaign = throughput_campaign(spec, heavy=heavy)
-    started = time.perf_counter()
-    report = CampaignRunner(store_path=args.store) if args.store else CampaignRunner()
-    result = report.run(campaign)
-    seconds = time.perf_counter() - started
+    if args.edit_model:
+        codehash.set_override(args.edit_model, "cli: simulated edit")
+    try:
+        started = time.perf_counter()
+        report = CampaignRunner(store_path=args.store) if args.store else CampaignRunner()
+        result = report.run(campaign)
+        seconds = time.perf_counter() - started
+    finally:
+        codehash.clear_overrides()
     results = (result.store or {}).get("results", {})
     print(
         f"campaign: {len(campaign)} scenario(s) in {seconds:.2f}s; "
         f"store hits={results.get('hits', 0)} misses={results.get('misses', 0)} "
-        f"stale={results.get('stale', 0)} corrupt={results.get('corrupt', 0)}"
+        f"stale={results.get('stale', 0)} "
+        f"invalidated={results.get('invalidated', 0)} "
+        f"corrupt={results.get('corrupt', 0)}"
     )
     errors = [o.scenario for o in result.outcomes if o.error is not None]
     payload = {
         "tier": args.tier,
         "expect_warm": args.expect_warm,
+        "edit_model": args.edit_model,
+        "expect_partial": args.expect_partial,
         "seconds": round(seconds, 3),
         "store": result.store,
         "errors": errors,
@@ -444,6 +543,18 @@ def main() -> int:
             print("FAIL: expected a warm store but every lookup missed")
             return 1
         print(f"warm store OK: hit rate {results.get('hit_rate', 0.0):.1%}")
+    if args.expect_partial:
+        if results.get("invalidated", 0) <= 0:
+            print("FAIL: expected the simulated edit to invalidate records")
+            return 1
+        if results.get("hits", 0) <= 0:
+            print("FAIL: expected records of unrelated components to survive")
+            return 1
+        print(
+            f"partial survival OK: {results['invalidated']} invalidated, "
+            f"{results['hits']} served warm "
+            f"(survival rate {results.get('survival_rate', 0.0):.1%})"
+        )
     return 0
 
 

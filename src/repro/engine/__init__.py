@@ -15,9 +15,14 @@ One orchestrator for every verification workload of the reproduction:
 * :mod:`repro.engine.report` — :class:`ScenarioOutcome` /
   :class:`CampaignReport`, JSON-serialisable with a deterministic
   verdict view.
+* :mod:`repro.engine.codehash` — per-component content hashes of the
+  code a verdict depends on; the store records them per record so a
+  source edit invalidates only the records whose own components
+  changed.
 """
 
 from ..relational.policy import RelationalPolicy
+from . import codehash
 from .executor import execute_scenario, run_beta, run_events, run_superscalar
 from .pool import ManagerPool
 from .report import CampaignReport, ScenarioOutcome
@@ -68,6 +73,7 @@ __all__ = [
     "ScenarioOutcome",
     "ScenarioRegistry",
     "VSM",
+    "codehash",
     "content_fingerprint",
     "VSM_BUG_WORKLOADS",
     "alpha0_bug_scenarios",

@@ -45,6 +45,7 @@ from ..relational.policy import (
     RelationalPolicy,
     effective_beta_backend,
 )
+from . import codehash
 from .report import ScenarioOutcome
 from .scenario import BETA, EVENTS, SUPERSCALAR, Scenario
 
@@ -459,6 +460,7 @@ def _run_beta_relational(
         spec_key=("beta_spec_relation", arch_sig),
         impl_key=("beta_impl_relation", arch_sig, kwargs_sig),
         snapshot_store=snapshot_store,
+        dependencies=codehash.components_for_architecture(architecture),
     )
     extraction_seconds = time.perf_counter() - started
     extraction_record["seconds"] = round(extraction_seconds, 4)

@@ -64,6 +64,11 @@ class ScenarioOutcome:
     memoized: bool = False
     #: Error string when the scenario raised instead of completing.
     error: Optional[str] = None
+    #: Full traceback of the error (measurement, not verdict: traceback
+    #: text carries file paths and line numbers that vary by machine and
+    #: code version, so it must never enter the byte-identical verdict;
+    #: it exists so a crashed scenario is diagnosable from the report).
+    traceback: Optional[str] = None
 
     def verdict(self) -> Dict[str, object]:
         """The deterministic portion of the outcome.
@@ -97,6 +102,7 @@ class ScenarioOutcome:
                 "store": self.store,
                 "snapshot": self.snapshot,
                 "memoized": self.memoized,
+                "traceback": self.traceback,
             }
         )
         return payload
@@ -112,8 +118,9 @@ class CampaignReport:
     memo_hits: int = 0
     total_seconds: float = 0.0
     #: Persistent-store activity over the whole campaign (hit/miss/
-    #: stale/corrupt counts and byte volumes for result records and
-    #: relation snapshots); empty when the campaign ran without a store.
+    #: stale/invalidated/corrupt counts, byte volumes and the component
+    #: ``survival_rate`` for result records and relation snapshots);
+    #: empty when the campaign ran without a store.
     store: Dict[str, object] = field(default_factory=dict)
 
     @property
@@ -204,9 +211,13 @@ class CampaignReport:
         store = self.store or {}
         results = store.get("results")
         if results:
+            invalidated = results.get("invalidated", 0)
+            invalidation = (
+                f", {invalidated} invalidated by code changes" if invalidated else ""
+            )
             lines.append(
                 f"  store: {results.get('hits', 0)} hit(s) / "
-                f"{results.get('misses', 0)} miss(es) "
+                f"{results.get('misses', 0)} miss(es){invalidation} "
                 f"({results.get('bytes_read', 0)} B read, "
                 f"{results.get('bytes_written', 0)} B written), "
                 f"snapshots {store.get('snapshots', {}).get('hits', 0)} hit(s)"

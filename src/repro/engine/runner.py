@@ -39,6 +39,7 @@ import multiprocessing
 import os
 import queue
 import time
+import traceback as traceback_module
 from pathlib import Path
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
@@ -62,7 +63,9 @@ _WORKER_MEMO: Dict[Tuple, ScenarioOutcome] = {}
 _WORKER_MEMOIZE: bool = True
 
 
-def _failed_outcome(scenario: Scenario, error: BaseException) -> ScenarioOutcome:
+def _failed_outcome(
+    scenario: Scenario, error: BaseException, trace: Optional[str] = None
+) -> ScenarioOutcome:
     """An outcome recording that the scenario raised instead of completing."""
     return ScenarioOutcome(
         scenario=scenario.name,
@@ -70,7 +73,29 @@ def _failed_outcome(scenario: Scenario, error: BaseException) -> ScenarioOutcome
         design=scenario.design,
         passed=False,
         error=f"{type(error).__name__}: {error}",
+        traceback=trace,
     )
+
+
+#: Store lookup counter -> per-scenario ``store["status"]`` value.  Every
+#: refusal class is surfaced so a campaign report shows *why* a scenario
+#: recomputed (a stale salt, an invalidated component, a damaged file).
+_LOOKUP_STATUSES = (
+    ("misses", "miss"),
+    ("stale", "stale"),
+    ("invalidated", "invalidated"),
+    ("corrupt", "corrupt"),
+)
+
+
+def _lookup_status(
+    before: Dict[str, object], after: Dict[str, object]
+) -> str:
+    """Classify one failed store lookup by which counter it bumped."""
+    for counter, status in _LOOKUP_STATUSES:
+        if after.get(counter, 0) > before.get(counter, 0):
+            return status
+    return "miss"
 
 
 # ----------------------------------------------------------------------
@@ -138,10 +163,13 @@ def _execute_pooled(
         outcome.bdd_variables = 0
         return outcome, True
     fingerprint: Optional[str] = None
+    lookup_status: Optional[str] = None
+    dependencies = scenario.dependencies()
     if store is not None:
         started = time.perf_counter()
         fingerprint = scenario.fingerprint(store.salt)
-        record = store.load_result(fingerprint)
+        counters_before = store.statistics()["results"]
+        record = store.load_result(fingerprint, dependencies)
         if record is not None:
             outcome = _outcome_from_record(scenario, record)
             if outcome is not None:
@@ -153,6 +181,7 @@ def _execute_pooled(
                     # Seed the memo so in-process repeats skip the disk.
                     memo[key] = copy.deepcopy(outcome)
                 return outcome, False
+        lookup_status = _lookup_status(counters_before, store.statistics()["results"])
     if not scenario.needs_manager():
         manager = None
     elif (
@@ -178,13 +207,17 @@ def _execute_pooled(
         outcome = execute_scenario(
             scenario, manager=manager, snapshot_store=pool.snapshot_store
         )
+    except (KeyboardInterrupt, SystemExit):
+        # Campaign isolation must not swallow a user interrupt or an
+        # orderly interpreter shutdown — only scenario-level failures.
+        raise
     except Exception as error:  # noqa: BLE001 - campaign isolation
-        return _failed_outcome(scenario, error), False
+        return _failed_outcome(scenario, error, traceback_module.format_exc()), False
     if store is not None and fingerprint is not None and outcome.error is None:
         started = time.perf_counter()
-        written = store.save_result(fingerprint, _result_record(outcome))
+        written = store.save_result(fingerprint, _result_record(outcome), dependencies)
         outcome.store = {
-            "status": "miss",
+            "status": lookup_status or "miss",
             "bytes_written": written,
             "seconds": round(time.perf_counter() - started, 4),
         }
@@ -252,15 +285,31 @@ def _store_campaign_delta(
             if name == "hit_rate":
                 continue
             delta[family][name] = value - before[family].get(name, 0)
-    results = delta["results"]
-    lookups = sum(results.get(k, 0) for k in ("hits", "misses", "stale", "corrupt"))
-    results["hit_rate"] = (results.get("hits", 0) / lookups) if lookups else 0.0
+    delta["tmp_swept"] = after.get("tmp_swept", 0) - before.get("tmp_swept", 0)
+    _derive_store_rates(delta["results"])
     return delta
+
+
+def _derive_store_rates(results: Dict[str, object]) -> None:
+    """Attach hit/survival rates to a campaign's result-family counters.
+
+    ``survival_rate`` is the invalidation headline: of the records that
+    were *ours* and subject to the component check (served + component-
+    refused), the fraction that survived the current code delta.  A
+    fully warm re-run after an unrelated edit keeps it at 1.0; the old
+    monolithic salt bump would have driven it to 0.0 for every record.
+    """
+    lookups = sum(
+        results.get(k, 0) for k in ("hits", "misses", "stale", "invalidated", "corrupt")
+    )
+    results["hit_rate"] = (results.get("hits", 0) / lookups) if lookups else 0.0
+    checked = results.get("hits", 0) + results.get("invalidated", 0)
+    results["survival_rate"] = (results.get("hits", 0) / checked) if checked else 1.0
 
 
 def _merge_store_stats(stats_list: Sequence[Optional[Dict[str, object]]]) -> Dict[str, object]:
     """Sum per-worker store statistics into one campaign record."""
-    merged: Dict[str, object] = {"results": {}, "snapshots": {}}
+    merged: Dict[str, object] = {"results": {}, "snapshots": {}, "tmp_swept": 0}
     for stats in stats_list:
         if not stats:
             continue
@@ -269,9 +318,8 @@ def _merge_store_stats(stats_list: Sequence[Optional[Dict[str, object]]]) -> Dic
                 if name == "hit_rate" or not isinstance(value, (int, float)):
                     continue
                 merged[family][name] = merged[family].get(name, 0) + value
-    results = merged["results"]
-    lookups = sum(results.get(k, 0) for k in ("hits", "misses", "stale", "corrupt"))
-    results["hit_rate"] = (results.get("hits", 0) / lookups) if lookups else 0.0
+        merged["tmp_swept"] += stats.get("tmp_swept", 0)
+    _derive_store_rates(merged["results"])
     return merged
 
 
@@ -470,6 +518,11 @@ class CampaignRunner:
             return CampaignReport(outcomes=[], mode="serial")
         started = time.perf_counter()
         store_before = self.store.statistics() if self.store is not None else None
+        if self.store is not None:
+            # One opportunistic orphan sweep per campaign: a store that
+            # keeps being used never accumulates dead ``*.tmp`` litter,
+            # even in fan-out directories no current scenario writes to.
+            self.store.sweep_stale_tmp()
         store_stats: Dict[str, object] = {}
         if parallel:
             outcomes, pool_stats, store_stats = self._run_parallel(
@@ -553,16 +606,23 @@ class CampaignRunner:
             # The process pool gives no per-worker closing hook, so the
             # result-record activity is aggregated from the outcomes
             # themselves (snapshot traffic stays per-worker-internal).
-            results = {"hits": 0, "misses": 0, "bytes_written": 0}
+            results = {
+                "hits": 0,
+                "misses": 0,
+                "stale": 0,
+                "invalidated": 0,
+                "corrupt": 0,
+                "bytes_written": 0,
+            }
+            status_counters = {status: counter for counter, status in _LOOKUP_STATUSES}
             for outcome in outcomes:
                 status = outcome.store.get("status")
                 if status == "hit":
                     results["hits"] += 1
-                elif status == "miss":
-                    results["misses"] += 1
+                elif status in status_counters:
+                    results[status_counters[status]] += 1
                     results["bytes_written"] += outcome.store.get("bytes_written", 0)
-            lookups = results["hits"] + results["misses"]
-            results["hit_rate"] = (results["hits"] / lookups) if lookups else 0.0
+            _derive_store_rates(results)
             store_stats = {
                 "results": results,
                 "note": "blind sharding: aggregated from per-scenario records",

@@ -248,6 +248,32 @@ class Scenario:
             if spec.name not in ("name", "tags")
         )
 
+    def dependencies(self) -> Tuple[str, ...]:
+        """The code components this scenario's verdict depends on.
+
+        Names refer to :data:`repro.engine.codehash.COMPONENTS`.  The
+        persistent store hashes each component's source text and records
+        the resulting dependency vector in the record envelope, so a
+        code change invalidates exactly the records whose verdicts could
+        have changed — a VSM model edit leaves every Alpha0 record warm.
+        The map must stay *conservative*: list every component that can
+        influence verdict bytes (over-approximating costs a recompute;
+        under-approximating could serve a stale verdict).
+        """
+        if self.kind == SUPERSCALAR:
+            # Concrete check: no BDD manager, no relational extraction.
+            # The specification executor is the concrete unpipelined VSM.
+            return ("verifier", "model:vsm", "model:superscalar")
+        if self.kind == EVENTS:
+            # The event models subclass the symbolic VSM models, so both
+            # model components are inputs; the relational beta backend
+            # never runs for events scenarios.
+            return ("bdd", "verifier", "model:vsm", "model:interrupts")
+        # BETA: the backend dispatch (and the default relational
+        # formulation) lives in the relational subsystem either way.
+        model = "model:vsm" if self.design == VSM else "model:alpha0"
+        return ("bdd", "verifier", "relational", model)
+
     def fingerprint(self, salt: str = "") -> str:
         """Canonical content address of this scenario's verdict.
 

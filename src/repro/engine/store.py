@@ -24,20 +24,31 @@ Two record families share the store:
   payloads are large lists of small ints, which deflate ~10x).
 
 Safety model: a record is only ever trusted when its envelope matches
-the store's ``version`` *and* ``salt`` and its embedded fingerprint
-matches the requested one; version/salt mismatches count as *stale*,
-unparseable or misshapen files as *corrupt*, and both are treated
-exactly like a miss — the caller recomputes, and for snapshots the BDD
+the store's ``version`` *and* ``salt``, its embedded fingerprint
+matches the requested one, *and* its recorded dependency vector — the
+``{component: source-hash}`` map of the code components the record's
+verdict depends on (see :mod:`repro.engine.codehash`) — matches the
+hashes of the code on disk right now.  Version/salt mismatches count as
+*stale*, a dependency-vector mismatch as *invalidated* (the surgical
+replacement for the old bump-the-salt-and-lose-everything flow: only
+the records whose own components changed are refused), unparseable or
+misshapen files as *corrupt* — and every failure class is treated
+exactly like a miss: the caller recomputes, and for snapshots the BDD
 layer's restore-time validation adds a second, structural line of
-defence (:class:`~repro.bdd.kernel.SnapshotError`).  A wrong verdict can
-therefore never be served from a damaged store.  Writes go through a
-temp file plus :func:`os.replace`, so concurrent writers (the affinity
-scheduler's workers share one store directory) can only ever publish
-whole records.
+defence (:class:`~repro.bdd.kernel.SnapshotError`).  A wrong verdict
+can therefore never be served from a damaged or outdated store.  Writes
+go through a temp file plus :func:`os.replace`, so concurrent writers
+(the affinity scheduler's workers share one store directory) can only
+ever publish whole records; temp files orphaned by a writer that died
+mid-publish are swept opportunistically once they outlive
+``tmp_max_age`` seconds.
 
-:data:`CODE_SALT` is the code-version salt: bump it whenever a change
-alters verdict bytes or snapshot semantics, and every existing store
-silently degrades to a cold one instead of serving stale records.
+:data:`CODE_SALT` is the *engine-level* salt: since PR 6 the per-model
+and per-subsystem code versions are tracked automatically by the
+component hashes, so the salt only needs a bump when the engine's own
+record semantics change (fingerprint composition, verdict record shape)
+— every existing store then silently degrades to a cold one instead of
+serving stale records.
 """
 
 from __future__ import annotations
@@ -46,29 +57,83 @@ import hashlib
 import json
 import os
 import tempfile
+import time
 import zlib
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Dict, Iterable, Optional, Union
 
-#: Code-version salt baked into every fingerprint and record envelope.
-#: Bump on any change that affects verdict bytes or snapshot payloads.
-CODE_SALT = "2026.07-campaign-throughput-1"
+from . import codehash
+
+#: Engine-level salt baked into every fingerprint and record envelope.
+#: Bump when the engine's record semantics change (model/kernel/verifier
+#: code versions are tracked per-component by repro.engine.codehash).
+CODE_SALT = "2026.08-component-envelope-1"
 
 #: Envelope format version of the store records themselves.
-STORE_VERSION = 1
+#: v2 added the per-record dependency vector (``components``).
+STORE_VERSION = 2
 
 #: Compression level of snapshot records (zlib; 6 is the speed/size knee).
 _SNAPSHOT_COMPRESSION = 6
+
+#: Default age (seconds) past which an orphaned ``*.tmp`` file — a
+#: writer died between ``mkstemp`` and ``os.replace`` — is swept.  Old
+#: enough that no live writer can still be holding it open.
+TMP_MAX_AGE_SECONDS = 3600.0
+
+
+def _canonical_parts(obj: object) -> object:
+    """A JSON-stable, type-tagged form of a content-key part.
+
+    ``repr`` of containers depends on insertion order (dicts) or is
+    outright nondeterministic across processes (sets of heterogeneous
+    items), which would fracture content addresses for equal keys.
+    Containers are therefore rebuilt recursively with sorted members
+    and a type tag (so ``("a",)`` and ``["a"]`` stay distinct), scalars
+    pass through (JSON already distinguishes ``1``/``1.0``/``True``/
+    ``"1"``), and anything else falls back to its ``repr`` — callers
+    passing exotic objects must ensure that repr is deterministic.
+    """
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, (list, tuple)):
+        tag = "list" if isinstance(obj, list) else "tuple"
+        return [tag, [_canonical_parts(item) for item in obj]]
+    if isinstance(obj, (set, frozenset)):
+        members = sorted(
+            (json.dumps(_canonical_parts(item), sort_keys=True) for item in obj)
+        )
+        return ["set", members]
+    if isinstance(obj, dict):
+        items = sorted(
+            (
+                json.dumps(_canonical_parts(key), sort_keys=True),
+                _canonical_parts(value),
+            )
+            for key, value in obj.items()
+        )
+        return ["dict", [[key, value] for key, value in items]]
+    return ["repr", repr(obj)]
 
 
 def content_fingerprint(*parts: object, salt: str = CODE_SALT) -> str:
     """SHA-256 hex fingerprint of a deterministic content description.
 
-    ``parts`` must have deterministic ``repr`` (strings, ints, tuples —
-    the engine passes architecture/kwargs signatures).  The salt joins
-    the digest so a code-version bump re-keys every record at once.
+    ``parts`` are canonicalised recursively (sorted dict/set members,
+    type-tagged containers) so equal keys fingerprint identically no
+    matter how their containers were built — insertion order and set
+    iteration order do not leak into the address.  The salt joins the
+    digest so an engine-version bump re-keys every record at once.
     """
-    blob = repr(parts) + "\x00" + salt
+    blob = (
+        json.dumps(
+            [_canonical_parts(part) for part in parts],
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+        + "\x00"
+        + salt
+    )
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
@@ -80,15 +145,27 @@ class ResultStore:
     is counted in :meth:`statistics` under its failure class).
     """
 
-    def __init__(self, root: Union[str, Path], salt: str = CODE_SALT) -> None:
+    def __init__(
+        self,
+        root: Union[str, Path],
+        salt: str = CODE_SALT,
+        tmp_max_age: float = TMP_MAX_AGE_SECONDS,
+    ) -> None:
         self.root = Path(root)
         self.salt = salt
+        self.tmp_max_age = tmp_max_age
         self._results_dir = self.root / "results"
         self._snapshots_dir = self.root / "snapshots"
         self._stats = {
             "results": self._fresh_counters(),
             "snapshots": self._fresh_counters(),
         }
+        self._tmp_swept = 0
+        # Component hashes are sampled lazily, once per store handle:
+        # every lookup through this handle sees one consistent code
+        # version (a mid-campaign source edit is picked up by the next
+        # handle, not halfway through a campaign).
+        self._component_cache: Dict[str, str] = {}
 
     @staticmethod
     def _fresh_counters() -> Dict[str, int]:
@@ -96,11 +173,31 @@ class ResultStore:
             "hits": 0,
             "misses": 0,
             "stale": 0,
+            "invalidated": 0,
             "corrupt": 0,
             "writes": 0,
             "bytes_read": 0,
             "bytes_written": 0,
         }
+
+    # ------------------------------------------------------------------
+    # Dependency vectors
+    # ------------------------------------------------------------------
+    def component_vector(self, dependencies: Optional[Iterable[str]]) -> Dict[str, str]:
+        """Current ``{component: hash}`` vector for ``dependencies``.
+
+        Cached per store handle (see ``__init__``); ``None`` or an empty
+        iterable yields the empty vector, i.e. no component tracking.
+        """
+        if not dependencies:
+            return {}
+        vector: Dict[str, str] = {}
+        for name in sorted(set(dependencies)):
+            cached = self._component_cache.get(name)
+            if cached is None:
+                cached = self._component_cache[name] = codehash.component_hash(name)
+            vector[name] = cached
+        return vector
 
     # ------------------------------------------------------------------
     # Paths
@@ -122,7 +219,11 @@ class ResultStore:
     # Envelopes
     # ------------------------------------------------------------------
     def _check_envelope(
-        self, envelope: object, fingerprint: str, counters: Dict[str, int]
+        self,
+        envelope: object,
+        fingerprint: str,
+        counters: Dict[str, int],
+        components: Dict[str, str],
     ) -> Optional[Dict[str, object]]:
         """Validate a decoded record envelope; return its payload or None."""
         if not isinstance(envelope, dict) or "payload" not in envelope:
@@ -137,15 +238,58 @@ class ResultStore:
             # renamed file) — well-formed but not ours to trust.
             counters["stale"] += 1
             return None
+        if envelope.get("components", {}) != components:
+            # The record is ours, but one of the code components *its*
+            # verdict depends on changed since it was written (or it
+            # predates dependency tracking).  Surgical invalidation:
+            # only records sharing the changed component take this path;
+            # the caller recomputes and overwrites in place.
+            counters["invalidated"] += 1
+            return None
         payload = envelope["payload"]
         if not isinstance(payload, dict):
             counters["corrupt"] += 1
             return None
         return payload
 
+    def _sweep_stale_tmp(self, directory: Path) -> None:
+        """Unlink orphaned ``*.tmp`` files in ``directory`` older than
+        ``tmp_max_age`` (a writer died between ``mkstemp`` and
+        ``os.replace``); live writers' fresh temp files are untouched."""
+        cutoff = time.time() - self.tmp_max_age
+        try:
+            candidates = list(directory.glob("*.tmp"))
+        except OSError:
+            return
+        for candidate in candidates:
+            try:
+                if candidate.stat().st_mtime <= cutoff:
+                    candidate.unlink()
+                    self._tmp_swept += 1
+            except OSError:
+                # Raced with another sweeper or a writer — their problem
+                # is already solved, ours never blocks a publish.
+                continue
+
+    def sweep_stale_tmp(self) -> int:
+        """Sweep orphaned temp files across the whole store; returns the
+        number removed (also counted in :meth:`statistics`)."""
+        before = self._tmp_swept
+        for family_dir in (self._results_dir, self._snapshots_dir):
+            if not family_dir.is_dir():
+                continue
+            for directory in family_dir.iterdir():
+                if directory.is_dir():
+                    self._sweep_stale_tmp(directory)
+        return self._tmp_swept - before
+
     def _write_record(self, path: Path, data: bytes, counters: Dict[str, int]) -> int:
         """Atomically publish ``data`` at ``path``; returns bytes written."""
         path.parent.mkdir(parents=True, exist_ok=True)
+        # Opportunistic orphan sweep: writes are rare (misses only), the
+        # fan-out keeps each directory small, and sweeping here means a
+        # store that keeps being *used* never accumulates temp litter.
+        self._sweep_stale_tmp(path.parent)
         fd, tmp_name = tempfile.mkstemp(
             dir=path.parent, prefix=path.name, suffix=".tmp"
         )
@@ -166,11 +310,19 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
-    def load_result(self, fingerprint: str) -> Optional[Dict[str, object]]:
+    def load_result(
+        self,
+        fingerprint: str,
+        dependencies: Optional[Iterable[str]] = None,
+    ) -> Optional[Dict[str, object]]:
         """The stored result payload for ``fingerprint``, or ``None``.
 
-        Counts the access as hit / miss / stale / corrupt; any failure
-        mode returns ``None`` so callers simply recompute.
+        ``dependencies`` names the code components the caller's verdict
+        depends on; the record is refused (as *invalidated*) unless its
+        recorded dependency vector matches those components' current
+        hashes.  Counts the access as hit / miss / stale / invalidated /
+        corrupt; any failure mode returns ``None`` so callers simply
+        recompute.
         """
         counters = self._stats["results"]
         try:
@@ -184,17 +336,25 @@ class ResultStore:
         except (ValueError, UnicodeDecodeError):
             counters["corrupt"] += 1
             return None
-        payload = self._check_envelope(envelope, fingerprint, counters)
+        payload = self._check_envelope(
+            envelope, fingerprint, counters, self.component_vector(dependencies)
+        )
         if payload is not None:
             counters["hits"] += 1
         return payload
 
-    def save_result(self, fingerprint: str, payload: Dict[str, object]) -> int:
+    def save_result(
+        self,
+        fingerprint: str,
+        payload: Dict[str, object],
+        dependencies: Optional[Iterable[str]] = None,
+    ) -> int:
         """Persist a result payload; returns the record size in bytes."""
         envelope = {
             "version": STORE_VERSION,
             "salt": self.salt,
             "fingerprint": fingerprint,
+            "components": self.component_vector(dependencies),
             "payload": payload,
         }
         data = json.dumps(envelope, sort_keys=True).encode("utf-8")
@@ -205,7 +365,11 @@ class ResultStore:
     # ------------------------------------------------------------------
     # Snapshots
     # ------------------------------------------------------------------
-    def load_snapshot(self, fingerprint: str) -> Optional[Dict[str, object]]:
+    def load_snapshot(
+        self,
+        fingerprint: str,
+        dependencies: Optional[Iterable[str]] = None,
+    ) -> Optional[Dict[str, object]]:
         """The stored snapshot payload for ``fingerprint``, or ``None``."""
         counters = self._stats["snapshots"]
         try:
@@ -219,17 +383,25 @@ class ResultStore:
         except (zlib.error, ValueError, UnicodeDecodeError):
             counters["corrupt"] += 1
             return None
-        payload = self._check_envelope(envelope, fingerprint, counters)
+        payload = self._check_envelope(
+            envelope, fingerprint, counters, self.component_vector(dependencies)
+        )
         if payload is not None:
             counters["hits"] += 1
         return payload
 
-    def save_snapshot(self, fingerprint: str, payload: Dict[str, object]) -> int:
+    def save_snapshot(
+        self,
+        fingerprint: str,
+        payload: Dict[str, object],
+        dependencies: Optional[Iterable[str]] = None,
+    ) -> int:
         """Persist a snapshot payload (compressed); returns bytes written."""
         envelope = {
             "version": STORE_VERSION,
             "salt": self.salt,
             "fingerprint": fingerprint,
+            "components": self.component_vector(dependencies),
             "payload": payload,
         }
         data = zlib.compress(
@@ -254,15 +426,21 @@ class ResultStore:
     # ------------------------------------------------------------------
     def statistics(self) -> Dict[str, object]:
         """Access counters of this store handle (hits/misses/bytes, per family)."""
-        results = dict(self._stats["results"])
-        snapshots = dict(self._stats["snapshots"])
-        lookups = results["hits"] + results["misses"] + results["stale"] + results["corrupt"]
-        results["hit_rate"] = (results["hits"] / lookups) if lookups else 0.0
+        families: Dict[str, Dict[str, object]] = {}
+        for family in ("results", "snapshots"):
+            counters = dict(self._stats[family])
+            lookups = sum(
+                counters[k]
+                for k in ("hits", "misses", "stale", "invalidated", "corrupt")
+            )
+            counters["hit_rate"] = (counters["hits"] / lookups) if lookups else 0.0
+            families[family] = counters
         return {
             "root": str(self.root),
             "salt": self.salt,
-            "results": results,
-            "snapshots": snapshots,
+            "tmp_swept": self._tmp_swept,
+            "results": families["results"],
+            "snapshots": families["snapshots"],
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

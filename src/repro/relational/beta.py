@@ -556,6 +556,7 @@ def cached_extract_steppers(
     spec_key: object,
     impl_key: object,
     snapshot_store=None,
+    dependencies=None,
 ) -> Tuple[MachineStepper, MachineStepper, Dict[str, object]]:
     """Extract or re-use the stepper pair via ``manager.session_cache``.
 
@@ -578,7 +579,13 @@ def cached_extract_steppers(
     (a deserialisation instead of a symbolic simulation), and a fresh
     extraction is snapshotted back so every later process skips it.  A
     stale or corrupt snapshot fails validation and falls back to
-    extraction — never a wrong relation.
+    extraction — never a wrong relation.  ``dependencies`` names the
+    code components the extracted relation depends on (the executor
+    passes the BDD kernel, this relational subsystem, and the
+    architecture's model component); the store embeds their content
+    hashes in the snapshot envelope and refuses the record — again
+    falling back to extraction — when any of *those* components
+    changed, while edits to unrelated code leave the snapshot servable.
 
     Returns ``(spec_stepper, impl_stepper, info)`` where ``info`` is the
     measurement record surfaced as ``outcome.extraction_cache``; with a
@@ -601,7 +608,7 @@ def cached_extract_steppers(
             return _stepper_from_payload(manager, payload, model, prefix, policy)
         if snapshot_store is not None:
             fingerprint = snapshot_store.fingerprint_for(key)
-            blob = snapshot_store.load_snapshot(fingerprint)
+            blob = snapshot_store.load_snapshot(fingerprint, dependencies)
             if blob is not None:
                 started = time.perf_counter()
                 try:
@@ -641,7 +648,7 @@ def cached_extract_steppers(
             started = time.perf_counter()
             blob = _serialize_stepper_payload(manager, payload, prefix)
             written = snapshot_store.save_snapshot(
-                snapshot_store.fingerprint_for(key), blob
+                snapshot_store.fingerprint_for(key), blob, dependencies
             )
             snapshot_info[role] = {
                 "status": "saved",

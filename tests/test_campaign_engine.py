@@ -383,3 +383,40 @@ class TestThinAdapters:
         boom = report.outcome("boom")
         assert boom.error == "RuntimeError: boom"
         assert report.outcome("fine").passed
+
+    def test_crashed_scenario_keeps_its_traceback(self):
+        """The isolation handler preserves the full traceback so a crash
+        is diagnosable from the report — but keeps it out of the verdict
+        (traceback text is machine- and code-version-specific)."""
+
+        class Boom(Scenario):
+            def architecture(self):
+                raise RuntimeError("boom")
+
+        report = run_campaign([Boom(name="boom", slots=(NORMAL,))])
+        boom = report.outcome("boom")
+        assert boom.traceback is not None
+        assert "RuntimeError: boom" in boom.traceback
+        assert "in architecture" in boom.traceback
+        assert "traceback" not in boom.verdict()
+        assert boom.to_dict()["traceback"] == boom.traceback
+        healthy = run_campaign([Scenario(name="fine", slots=(NORMAL,))])
+        assert healthy.outcome("fine").traceback is None
+
+    def test_campaign_isolation_does_not_swallow_interrupts(self):
+        """``KeyboardInterrupt``/``SystemExit`` must propagate — a user
+        abort may not be converted into a failed scenario outcome."""
+
+        class Interrupted(Scenario):
+            def architecture(self):
+                raise KeyboardInterrupt
+
+        class Exiting(Scenario):
+            def architecture(self):
+                raise SystemExit(3)
+
+        runner = CampaignRunner()
+        with pytest.raises(KeyboardInterrupt):
+            runner.run([Interrupted(name="interrupted", slots=(NORMAL,))])
+        with pytest.raises(SystemExit):
+            runner.run([Exiting(name="exiting", slots=(NORMAL,))])

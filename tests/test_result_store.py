@@ -205,6 +205,134 @@ class TestRobustness:
         assert content_fingerprint("a", salt="x") == content_fingerprint("a", salt="x")
 
 
+class TestContentFingerprintCanonicalisation:
+    """Container-bearing keys must fingerprint by *content*, not by the
+    insertion/iteration order ``repr`` would leak."""
+
+    def test_dict_keys_are_order_insensitive(self):
+        forward = {"alpha": 1, "beta": [2, 3], "gamma": {"x": True}}
+        permuted = {"gamma": {"x": True}, "beta": [2, 3], "alpha": 1}
+        assert repr(forward) != repr(permuted)  # repr would have split them
+        assert content_fingerprint(forward) == content_fingerprint(permuted)
+        changed = dict(forward, alpha=2)
+        assert content_fingerprint(forward) != content_fingerprint(changed)
+
+    def test_sets_are_order_insensitive(self):
+        assert content_fingerprint({"b", "a", "c"}) == content_fingerprint(
+            {"c", "a", "b"}
+        )
+        assert content_fingerprint(frozenset({1, 2})) == content_fingerprint(
+            frozenset({2, 1})
+        )
+        assert content_fingerprint({1, 2}) != content_fingerprint({1, 3})
+
+    def test_container_types_stay_distinct(self):
+        assert content_fingerprint(("a",)) != content_fingerprint(["a"])
+        assert content_fingerprint({"a"}) != content_fingerprint(["a"])
+        assert content_fingerprint({"a": 1}) != content_fingerprint([("a", 1)])
+
+    def test_nested_containers_canonicalise_recursively(self):
+        a = ("key", {"outer": {"z": [1, {2, 3}], "a": None}})
+        b = ("key", {"outer": {"a": None, "z": [1, {3, 2}]}})
+        assert content_fingerprint(a) == content_fingerprint(b)
+
+    def test_scalars_keep_their_types(self):
+        assert content_fingerprint(1) != content_fingerprint("1")
+        assert content_fingerprint(True) != content_fingerprint(1)
+        assert content_fingerprint(None) != content_fingerprint("None")
+
+
+class TestStatistics:
+    def test_hit_rate_is_reported_for_both_families(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        result_fp = content_fingerprint("result-key", salt=store.salt)
+        snapshot_fp = content_fingerprint("snapshot-key", salt=store.salt)
+        store.save_result(result_fp, {"verdict": {}})
+        store.save_snapshot(snapshot_fp, {"arena": {}})
+        assert store.load_result(result_fp) is not None
+        assert store.load_result("0" * 64) is None
+        for _ in range(3):
+            assert store.load_snapshot(snapshot_fp) is not None
+        assert store.load_snapshot("0" * 64) is None
+        stats = store.statistics()
+        assert stats["results"]["hit_rate"] == pytest.approx(0.5)
+        assert stats["snapshots"]["hit_rate"] == pytest.approx(0.75)
+        empty = ResultStore(tmp_path / "other").statistics()
+        assert empty["results"]["hit_rate"] == 0.0
+        assert empty["snapshots"]["hit_rate"] == 0.0
+
+    def test_invalidated_lookups_count_against_the_hit_rate(self, tmp_path):
+        from repro.engine import codehash
+
+        store = ResultStore(tmp_path / "store")
+        fingerprint = content_fingerprint("key", salt=store.salt)
+        store.save_result(fingerprint, {"verdict": {}}, dependencies=("bdd",))
+        codehash.set_override("bdd", "edited")
+        try:
+            fresh = ResultStore(tmp_path / "store")
+            assert fresh.load_result(fingerprint, dependencies=("bdd",)) is None
+            stats = fresh.statistics()
+            assert stats["results"]["invalidated"] == 1
+            assert stats["results"]["hit_rate"] == 0.0
+        finally:
+            codehash.clear_overrides()
+
+
+class TestTmpSweep:
+    """Orphaned ``*.tmp`` files (a writer died mid-publish) get swept."""
+
+    def seed_orphans(self, tmp_path, count=3, age=7200.0):
+        import os
+        import time
+
+        directory = tmp_path / "store" / "results" / "ab"
+        directory.mkdir(parents=True)
+        stamp = time.time() - age
+        orphans = []
+        for index in range(count):
+            orphan = directory / f"record{index}.json.tmp"
+            orphan.write_bytes(b"partial write")
+            os.utime(orphan, (stamp, stamp))
+            orphans.append(orphan)
+        return directory, orphans
+
+    def test_sweep_removes_only_aged_orphans(self, tmp_path):
+        directory, orphans = self.seed_orphans(tmp_path)
+        fresh = directory / "inflight.json.tmp"
+        fresh.write_bytes(b"a live writer's file")
+        keeper = directory / "kept.json"
+        keeper.write_bytes(b"{}")
+        store = ResultStore(tmp_path / "store")
+        assert store.sweep_stale_tmp() == len(orphans)
+        assert all(not orphan.exists() for orphan in orphans)
+        assert fresh.exists()  # younger than tmp_max_age
+        assert keeper.exists()  # not a temp file at all
+        assert store.statistics()["tmp_swept"] == len(orphans)
+
+    def test_writes_sweep_their_directory_opportunistically(self, tmp_path):
+        directory, orphans = self.seed_orphans(tmp_path)
+        store = ResultStore(tmp_path / "store")
+        # Publish a record whose fan-out directory is the seeded one.
+        store.save_result("ab" + "0" * 62, {"verdict": {}})
+        assert all(not orphan.exists() for orphan in orphans)
+        assert store.statistics()["tmp_swept"] == len(orphans)
+        # The published record survived its own directory's sweep.
+        assert store.load_result("ab" + "0" * 62) is not None
+
+    def test_campaign_reports_swept_orphans(self, tmp_path):
+        self.seed_orphans(tmp_path)
+        report = run_with_store(tmp_path)
+        assert report.store["tmp_swept"] == 3
+
+    def test_zero_max_age_sweeps_everything(self, tmp_path):
+        directory, _ = self.seed_orphans(tmp_path, count=1, age=0.0)
+        fresh = directory / "young.json.tmp"
+        fresh.write_bytes(b"x")
+        store = ResultStore(tmp_path / "store", tmp_max_age=0.0)
+        assert store.sweep_stale_tmp() == 2
+        assert not fresh.exists()
+
+
 class TestReportPlumbing:
     def test_report_json_carries_store_and_snapshot_records(self, tmp_path):
         cold = run_with_store(tmp_path)
