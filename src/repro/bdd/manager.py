@@ -39,6 +39,7 @@ from typing import (
     Tuple,
 )
 
+from .. import telemetry
 from .kernel import BDDKernel, OP_EXISTS, OP_FORALL, SnapshotError
 from .node import BDD
 
@@ -284,21 +285,23 @@ class BDDManager(BDDKernel):
         have performed, keeping the declared order of a rehydrating
         manager byte-identical to a freshly extracting one.
         """
-        payload = super().snapshot(
-            [root._h if isinstance(root, BDD) else root for root in roots]
-        )
-        names = self._name_of
-        try:
-            payload["level_names"] = [
-                [lvl, names[lvl]] for lvl in sorted(set(payload["levels"]))
-            ]
-        except IndexError:
-            raise SnapshotError(
-                "snapshot roots test levels with no declared variable"
-            ) from None
-        if declares is None:
-            declares = [name for _lvl, name in payload["level_names"]]
-        payload["declares"] = list(declares)
+        with telemetry.span("snapshot.serialize", manager=self) as ser_span:
+            payload = super().snapshot(
+                [root._h if isinstance(root, BDD) else root for root in roots]
+            )
+            names = self._name_of
+            try:
+                payload["level_names"] = [
+                    [lvl, names[lvl]] for lvl in sorted(set(payload["levels"]))
+                ]
+            except IndexError:
+                raise SnapshotError(
+                    "snapshot roots test levels with no declared variable"
+                ) from None
+            if declares is None:
+                declares = [name for _lvl, name in payload["level_names"]]
+            payload["declares"] = list(declares)
+            ser_span.set(nodes=len(payload.get("levels", ())))
         return payload
 
     def restore(self, payload: Dict[str, object]) -> List[BDD]:
@@ -315,6 +318,12 @@ class BDDManager(BDDKernel):
         computation would declare, so a failed restore leaves the
         manager in the state that fallback recomputation expects.
         """
+        with telemetry.span("snapshot.validate", manager=self) as val_span:
+            return self._restore_validated(payload, val_span)
+
+    def _restore_validated(
+        self, payload: Dict[str, object], val_span
+    ) -> List[BDD]:
         try:
             declares = payload.get("declares", ())
             level_names = payload["level_names"]
@@ -356,6 +365,7 @@ class BDDManager(BDDKernel):
                 )
             level_map[lvl] = target
         handles = super().restore(payload, level_map)
+        val_span.set(roots=len(handles), declares=len(declares))
         wrap = self._wrap
         return [wrap(handle) for handle in handles]
 

@@ -45,6 +45,7 @@ from ..relational.policy import (
     RelationalPolicy,
     effective_beta_backend,
 )
+from .. import telemetry
 from . import codehash
 from .report import ScenarioOutcome
 from .scenario import BETA, EVENTS, SUPERSCALAR, Scenario
@@ -111,12 +112,14 @@ def _maybe_reorder(
     if roots and live_size(manager, roots) > REORDER_EXACT_METRIC_LIMIT:
         roots = []
     started = time.perf_counter()
-    result = manager.sift(
-        roots=roots or None,
-        converge=policy.reorder == "converge",
-        max_variables=REORDER_MAX_VARIABLES,
-        max_excursion=REORDER_MAX_EXCURSION,
-    )
+    with telemetry.span("reorder.sift", manager=manager, phase=phase) as sift_span:
+        result = manager.sift(
+            roots=roots or None,
+            converge=policy.reorder == "converge",
+            max_variables=REORDER_MAX_VARIABLES,
+            max_excursion=REORDER_MAX_EXCURSION,
+        )
+        sift_span.set(swaps=result.swaps, passes=result.passes)
     record = result.to_dict()
     record["phase"] = phase
     record["seconds"] = round(time.perf_counter() - started, 4)
@@ -361,9 +364,10 @@ def _run_beta_compose(
     implementation.reset(**initial_state)
 
     started = time.perf_counter()
-    spec_samples, spec_cycles, spec_total = _simulate_specification(
-        specification, plan, siminfo, observation
-    )
+    with telemetry.span("beta.spec", manager=manager, backend=BETA_COMPOSE):
+        spec_samples, spec_cycles, spec_total = _simulate_specification(
+            specification, plan, siminfo, observation
+        )
     spec_seconds = time.perf_counter() - started
 
     # Reorder point: the specification formulae are built, the (more
@@ -373,22 +377,24 @@ def _run_beta_compose(
     )
 
     started = time.perf_counter()
-    impl_samples, impl_cycles, impl_total = _simulate_implementation(
-        implementation, architecture, plan, siminfo, observation
-    )
+    with telemetry.span("beta.impl", manager=manager, backend=BETA_COMPOSE):
+        impl_samples, impl_cycles, impl_total = _simulate_implementation(
+            implementation, architecture, plan, siminfo, observation
+        )
     impl_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    mismatches = _compare_samples(
-        manager,
-        architecture,
-        observation,
-        plan,
-        spec_samples,
-        impl_samples,
-        spec_cycles,
-        impl_cycles,
-    )
+    with telemetry.span("beta.compare", manager=manager, backend=BETA_COMPOSE):
+        mismatches = _compare_samples(
+            manager,
+            architecture,
+            observation,
+            plan,
+            spec_samples,
+            impl_samples,
+            spec_cycles,
+            impl_cycles,
+        )
     comparison_seconds = time.perf_counter() - started
 
     return _beta_report(
@@ -451,17 +457,18 @@ def _run_beta_relational(
     arch_sig = repr(architecture)
     kwargs_sig = repr(sorted((impl_kwargs or {}).items()))
     started = time.perf_counter()
-    spec_stepper, impl_stepper, extraction_record = cached_extract_steppers(
-        manager,
-        specification,
-        implementation,
-        architecture.instruction_width,
-        relational,
-        spec_key=("beta_spec_relation", arch_sig),
-        impl_key=("beta_impl_relation", arch_sig, kwargs_sig),
-        snapshot_store=snapshot_store,
-        dependencies=codehash.components_for_architecture(architecture),
-    )
+    with telemetry.span("beta.extract", manager=manager, arch=architecture.name):
+        spec_stepper, impl_stepper, extraction_record = cached_extract_steppers(
+            manager,
+            specification,
+            implementation,
+            architecture.instruction_width,
+            relational,
+            spec_key=("beta_spec_relation", arch_sig),
+            impl_key=("beta_impl_relation", arch_sig, kwargs_sig),
+            snapshot_store=snapshot_store,
+            dependencies=codehash.components_for_architecture(architecture),
+        )
     extraction_seconds = time.perf_counter() - started
     extraction_record["seconds"] = round(extraction_seconds, 4)
     # Snapshot activity is its own measurement family on the report;
@@ -482,13 +489,14 @@ def _run_beta_relational(
         spec_stepper.install(spec_state)
         return observation.select(specification.observe())
 
-    spec_samples, spec_cycles, spec_total = _drive_specification(
-        plan,
-        siminfo,
-        specification.cycles_per_instruction,
-        step=spec_step,
-        sample=spec_sample,
-    )
+    with telemetry.span("beta.spec", manager=manager, backend=BETA_RELATIONAL):
+        spec_samples, spec_cycles, spec_total = _drive_specification(
+            plan,
+            siminfo,
+            specification.cycles_per_instruction,
+            step=spec_step,
+            sample=spec_sample,
+        )
     spec_seconds = time.perf_counter() - started
 
     reorder_record = _maybe_reorder(
@@ -507,22 +515,24 @@ def _run_beta_relational(
         impl_stepper.install(impl_state)
         return observation.select(implementation.observe())
 
-    impl_samples, ordered_cycles, impl_total = _drive_implementation(
-        manager, architecture, plan, siminfo, step=impl_step, sample=impl_sample
-    )
+    with telemetry.span("beta.impl", manager=manager, backend=BETA_RELATIONAL):
+        impl_samples, ordered_cycles, impl_total = _drive_implementation(
+            manager, architecture, plan, siminfo, step=impl_step, sample=impl_sample
+        )
     impl_seconds = time.perf_counter() - started
 
     started = time.perf_counter()
-    mismatches = _compare_samples(
-        manager,
-        architecture,
-        observation,
-        plan,
-        spec_samples,
-        impl_samples,
-        spec_cycles,
-        ordered_cycles,
-    )
+    with telemetry.span("beta.compare", manager=manager, backend=BETA_RELATIONAL):
+        mismatches = _compare_samples(
+            manager,
+            architecture,
+            observation,
+            plan,
+            spec_samples,
+            impl_samples,
+            spec_cycles,
+            ordered_cycles,
+        )
     comparison_seconds = time.perf_counter() - started
 
     if mismatches:
@@ -750,10 +760,13 @@ def run_events(
 
     # --- Specification -----------------------------------------------------
     started = time.perf_counter()
-    spec_samples = [observation.select(specification.observe())]
-    for index, instruction in enumerate(instructions):
-        observed = specification.execute_instruction(instruction, event=index in event_set)
-        spec_samples.append(observation.select(observed))
+    with telemetry.span("events.spec", manager=manager):
+        spec_samples = [observation.select(specification.observe())]
+        for index, instruction in enumerate(instructions):
+            observed = specification.execute_instruction(
+                instruction, event=index in event_set
+            )
+            spec_samples.append(observation.select(observed))
     spec_seconds = time.perf_counter() - started
     spec_total = siminfo.reset_cycles + k * siminfo.num_slots
 
@@ -782,17 +795,18 @@ def run_events(
         if cycle in wanted:
             observations_by_cycle[cycle] = observation.select(observed)
 
-    for index, instruction in enumerate(instructions):
-        advance(instruction, manager.one, event=False)
-        extras = squashed.get(index, [])
-        for position, word in enumerate(extras):
-            # For an event slot the event line is asserted while the affected
-            # instruction sits in the execute stage, i.e. two cycles after it
-            # was fetched (the second squashed fetch).
-            is_event_cycle = index in event_set and position == len(extras) - 1
-            advance(word, manager.one, event=is_event_cycle)
-    while cycle < max(wanted):
-        advance(nop, manager.zero, event=False)
+    with telemetry.span("events.impl", manager=manager):
+        for index, instruction in enumerate(instructions):
+            advance(instruction, manager.one, event=False)
+            extras = squashed.get(index, [])
+            for position, word in enumerate(extras):
+                # For an event slot the event line is asserted while the
+                # affected instruction sits in the execute stage, i.e. two
+                # cycles after it was fetched (the second squashed fetch).
+                is_event_cycle = index in event_set and position == len(extras) - 1
+                advance(word, manager.one, event=is_event_cycle)
+        while cycle < max(wanted):
+            advance(nop, manager.zero, event=False)
     impl_seconds = time.perf_counter() - started
     ordered = sorted(observations_by_cycle)
     impl_samples = [observations_by_cycle[c] for c in ordered]
@@ -813,27 +827,28 @@ def run_events(
     started = time.perf_counter()
     mismatches: List[Mismatch] = []
     spec_cycles = [siminfo.reset_cycles - 1 + k * i for i in range(siminfo.num_slots + 1)]
-    for index, (spec_obs, impl_obs) in enumerate(zip(spec_samples, impl_samples)):
-        for name in observation:
-            if spec_obs[name].identical(impl_obs[name]):
-                continue
-            witness = find_distinguishing_assignment(
-                manager, spec_obs[name].bits, impl_obs[name].bits
-            )
-            decoded, words = decode_counterexample(
-                disassembler, labelled_vectors, witness or {}
-            )
-            mismatches.append(
-                Mismatch(
-                    sample_index=index,
-                    observable=name,
-                    specification_cycle=spec_cycles[index],
-                    implementation_cycle=ordered[index],
-                    counterexample=witness or {},
-                    decoded_instructions=decoded,
-                    instruction_words=words,
+    with telemetry.span("events.compare", manager=manager):
+        for index, (spec_obs, impl_obs) in enumerate(zip(spec_samples, impl_samples)):
+            for name in observation:
+                if spec_obs[name].identical(impl_obs[name]):
+                    continue
+                witness = find_distinguishing_assignment(
+                    manager, spec_obs[name].bits, impl_obs[name].bits
                 )
-            )
+                decoded, words = decode_counterexample(
+                    disassembler, labelled_vectors, witness or {}
+                )
+                mismatches.append(
+                    Mismatch(
+                        sample_index=index,
+                        observable=name,
+                        specification_cycle=spec_cycles[index],
+                        implementation_cycle=ordered[index],
+                        counterexample=witness or {},
+                        decoded_instructions=decoded,
+                        instruction_words=words,
+                    )
+                )
     comparison_seconds = time.perf_counter() - started
 
     return VerificationReport(
@@ -969,6 +984,27 @@ def execute_scenario(
     cache_before = manager.cache_statistics() if manager is not None else None
 
     started = time.perf_counter()
+    with telemetry.span(
+        "scenario.execute",
+        manager=manager,
+        scenario=scenario.name,
+        kind=scenario.kind,
+        design=scenario.design,
+    ):
+        outcome = _dispatch_scenario(scenario, manager, snapshot_store)
+    outcome.seconds = time.perf_counter() - started
+
+    if manager is not None and cache_before is not None:
+        outcome.cache = _cache_delta(cache_before, manager.cache_statistics())
+    return outcome
+
+
+def _dispatch_scenario(
+    scenario: Scenario,
+    manager: Optional[BDDManager],
+    snapshot_store,
+) -> ScenarioOutcome:
+    """Route one scenario to its driver and wrap the outcome."""
     if scenario.kind == BETA:
         report = run_beta(
             scenario.architecture(),
@@ -1011,10 +1047,6 @@ def execute_scenario(
         )
     else:  # pragma: no cover - Scenario.__post_init__ rejects unknown kinds
         raise ValueError(f"unknown scenario kind {scenario.kind!r}")
-    outcome.seconds = time.perf_counter() - started
-
-    if manager is not None and cache_before is not None:
-        outcome.cache = _cache_delta(cache_before, manager.cache_statistics())
     return outcome
 
 

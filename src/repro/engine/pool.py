@@ -150,6 +150,7 @@ class ManagerPool:
             "live": 0,
             "capacity": 0,
             "free": 0,
+            "peak_live": 0,
             "allocated_total": self._retired_arena["allocated_total"],
             "gc_runs": self._retired_arena["gc_runs"],
             "gc_reclaimed": self._retired_arena["gc_reclaimed"],
@@ -163,6 +164,10 @@ class ManagerPool:
             arena["live"] += stats["live"]
             arena["capacity"] += stats["capacity"]
             arena["free"] += stats["free"]
+            # Summed per-manager high-water marks: an upper bound on the
+            # pool's simultaneous footprint (a size, so like the other
+            # sizes it covers only the currently pooled managers).
+            arena["peak_live"] += stats.get("peak_live", 0)
             arena["allocated_total"] += stats["allocated_total"]
             arena["gc_runs"] += stats["gc_runs"]
             arena["gc_reclaimed"] += stats["gc_reclaimed"]

@@ -19,6 +19,11 @@ import json
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+#: Version of the :meth:`CampaignReport.to_dict` schema.  v2 added
+#: ``schema_version``/``generated_at`` themselves plus the ``telemetry``
+#: section (trace summary and metrics-registry snapshot).
+REPORT_SCHEMA_VERSION = 2
+
 
 @dataclass
 class ScenarioOutcome:
@@ -122,6 +127,12 @@ class CampaignReport:
     #: ``survival_rate`` for result records and relation snapshots);
     #: empty when the campaign ran without a store.
     store: Dict[str, object] = field(default_factory=dict)
+    #: Telemetry section (measurement, not verdict): the campaign's
+    #: trace summary (per-scenario phase breakdown, top spans by
+    #: self-time, anomaly flags), the metrics-registry snapshot and —
+    #: in affinity-parallel mode — per-worker registry snapshots.
+    #: Empty when tracing was disabled for the run.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -161,8 +172,18 @@ class CampaignReport:
     # ------------------------------------------------------------------
     # Serialisation / presentation
     # ------------------------------------------------------------------
-    def to_dict(self) -> Dict[str, object]:
+    def to_dict(self, generated_at: Optional[str] = None) -> Dict[str, object]:
+        """Full JSON-serialisable report.
+
+        ``generated_at`` is caller-injected (an ISO-8601 string or any
+        opaque stamp) rather than sampled here: the report itself stays
+        a pure function of the campaign, so two runs of the same
+        campaign serialise identically unless the caller opts into a
+        timestamp.
+        """
         return {
+            "schema_version": REPORT_SCHEMA_VERSION,
+            "generated_at": generated_at,
             "mode": self.mode,
             "passed": self.passed,
             "scenario_count": self.scenario_count,
@@ -171,11 +192,14 @@ class CampaignReport:
             "total_seconds": round(self.total_seconds, 4),
             "pool": self.pool,
             "store": self.store,
+            "telemetry": self.telemetry,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
 
-    def to_json(self) -> str:
-        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+    def to_json(self, generated_at: Optional[str] = None) -> str:
+        return json.dumps(
+            self.to_dict(generated_at=generated_at), indent=2, sort_keys=True
+        )
 
     def summary(self) -> str:
         """Multi-line human-readable campaign summary."""

@@ -48,6 +48,8 @@ from .pool import ManagerPool
 from .report import CampaignReport, ScenarioOutcome
 from .scenario import Scenario, ScenarioRegistry, default_registry
 from .store import ResultStore
+from .. import telemetry
+from ..telemetry import report as trace_report
 
 ScenarioLike = Union[Scenario, str]
 
@@ -249,6 +251,7 @@ def _pool_campaign_delta(
         "live": arena_after.get("live", 0),
         "capacity": arena_after.get("capacity", 0),
         "free": arena_after.get("free", 0),
+        "peak_live": arena_after.get("peak_live", 0),
         "allocated_total": arena_after.get("allocated_total", 0)
         - arena_before.get("allocated_total", 0),
         "gc_runs": arena_after.get("gc_runs", 0) - arena_before.get("gc_runs", 0),
@@ -282,12 +285,17 @@ def _store_campaign_delta(
     delta: Dict[str, object] = {"results": {}, "snapshots": {}}
     for family in ("results", "snapshots"):
         for name, value in after[family].items():
-            if name == "hit_rate":
+            if name in _DERIVED_RATE_KEYS:
                 continue
             delta[family][name] = value - before[family].get(name, 0)
+        _derive_store_rates(delta[family])
     delta["tmp_swept"] = after.get("tmp_swept", 0) - before.get("tmp_swept", 0)
-    _derive_store_rates(delta["results"])
     return delta
+
+
+#: Keys in a store-family dict that are derived ratios, not summable
+#: counters — delta/merge arithmetic must skip and then re-derive them.
+_DERIVED_RATE_KEYS = ("hit_rate", "survival_rate")
 
 
 def _derive_store_rates(results: Dict[str, object]) -> None:
@@ -315,11 +323,12 @@ def _merge_store_stats(stats_list: Sequence[Optional[Dict[str, object]]]) -> Dic
             continue
         for family in ("results", "snapshots"):
             for name, value in stats.get(family, {}).items():
-                if name == "hit_rate" or not isinstance(value, (int, float)):
+                if name in _DERIVED_RATE_KEYS or not isinstance(value, (int, float)):
                     continue
                 merged[family][name] = merged[family].get(name, 0) + value
         merged["tmp_swept"] += stats.get("tmp_swept", 0)
     _derive_store_rates(merged["results"])
+    _derive_store_rates(merged["snapshots"])
     return merged
 
 
@@ -333,6 +342,12 @@ def _init_worker(
 ) -> None:
     """Initialise per-process state for the blind parallel mode."""
     global _WORKER_POOL, _WORKER_MEMOIZE, _WORKER_STORE
+    # Blind workers have no closing hook to ship trace events through
+    # (multiprocessing.Pool.map gives back outcomes only), so tracing is
+    # explicitly disabled here — a forked worker must not silently
+    # accumulate events into an inherited parent tracer it can never
+    # deliver.  The affinity scheduler is the traced parallel mode.
+    telemetry.configure(None)
     _WORKER_POOL = ManagerPool(cache_limit=cache_limit)
     _WORKER_STORE = ResultStore(store_spec[0], salt=store_spec[1]) if store_spec else None
     _WORKER_POOL.attach_store(_WORKER_STORE)
@@ -399,14 +414,23 @@ def _affinity_worker(
     cache_limit: Optional[int],
     memoize: bool,
     store_spec: Optional[Tuple[str, str]],
+    telemetry_state: Optional[Dict[str, object]] = None,
 ) -> None:
     """One affinity worker: drain units off the shared queue until the sentinel.
 
     Owns an isolated :class:`ManagerPool` (plus its own handle on the
     shared result store), so pooled determinism gives byte-identical
     verdicts to serial mode; the final message on ``results`` carries
-    the worker's pool/store statistics for the campaign report.
+    the worker's pool/store statistics for the campaign report — and,
+    when the parent traced the campaign, this worker's in-memory trace
+    events and registry snapshot, which the parent merges keyed by the
+    ``w<id>`` worker tag.
     """
+    telemetry.configure(telemetry_state, worker=f"w{worker_id}")
+    if telemetry.enabled():
+        # A forked worker inherits the parent registry's counts; start
+        # from zero so the shipped snapshot is this worker's own work.
+        telemetry.get_registry().clear()
     pool = ManagerPool(cache_limit=cache_limit)
     store = ResultStore(store_spec[0], salt=store_spec[1]) if store_spec else None
     pool.attach_store(store)
@@ -418,21 +442,24 @@ def _affinity_worker(
             if unit is None:
                 break
             units_run += 1
-            for index, scenario in unit:
-                outcome, _ = _execute_pooled(scenario, pool, memo, store=store)
-                results.put((index, outcome))
+            with telemetry.span("worker.drain", unit_size=len(unit)):
+                for index, scenario in unit:
+                    outcome, _ = _execute_pooled(scenario, pool, memo, store=store)
+                    results.put((index, outcome))
     finally:
-        results.put(
-            (
-                None,
-                {
-                    "worker": worker_id,
-                    "units": units_run,
-                    "pool": pool.statistics(),
-                    "store": store.statistics() if store is not None else None,
-                },
-            )
-        )
+        record: Dict[str, object] = {
+            "worker": worker_id,
+            "units": units_run,
+            "pool": pool.statistics(),
+            "store": store.statistics() if store is not None else None,
+        }
+        tracer = telemetry.get_tracer()
+        if tracer is not None:
+            record["telemetry"] = {
+                "events": tracer.drain(),
+                "registry": telemetry.get_registry().snapshot(),
+            }
+        results.put((None, record))
 
 
 class CampaignRunner:
@@ -516,6 +543,8 @@ class CampaignRunner:
         resolved = self.resolve(scenarios)
         if not resolved:
             return CampaignReport(outcomes=[], mode="serial")
+        tracer = telemetry.get_tracer()
+        trace_start = tracer.event_count() if tracer is not None else 0
         started = time.perf_counter()
         store_before = self.store.statistics() if self.store is not None else None
         if self.store is not None:
@@ -524,29 +553,36 @@ class CampaignRunner:
             # even in fan-out directories no current scenario writes to.
             self.store.sweep_stale_tmp()
         store_stats: Dict[str, object] = {}
-        if parallel:
-            outcomes, pool_stats, store_stats = self._run_parallel(
-                resolved, max_workers, mp_context, sharding
-            )
-            mode = "parallel"
-        else:
-            before = self.pool.statistics()
-            outcomes = []
-            for scenario in resolved:
-                outcome, _ = _execute_pooled(
-                    scenario,
-                    self.pool,
-                    self._memo if self.memoize else None,
-                    store=self.store,
+        worker_telemetry: Dict[str, object] = {}
+        with telemetry.span(
+            "campaign.run",
+            scenarios=len(resolved),
+            parallel=parallel,
+            sharding=sharding if parallel else None,
+        ):
+            if parallel:
+                outcomes, pool_stats, store_stats, worker_telemetry = (
+                    self._run_parallel(resolved, max_workers, mp_context, sharding)
                 )
-                outcomes.append(outcome)
-            pool_stats = _pool_campaign_delta(before, self.pool.statistics())
-            if store_before is not None:
-                store_stats = _store_campaign_delta(
-                    store_before, self.store.statistics()
-                )
-            mode = "serial"
-        return CampaignReport(
+                mode = "parallel"
+            else:
+                before = self.pool.statistics()
+                outcomes = []
+                for scenario in resolved:
+                    outcome, _ = _execute_pooled(
+                        scenario,
+                        self.pool,
+                        self._memo if self.memoize else None,
+                        store=self.store,
+                    )
+                    outcomes.append(outcome)
+                pool_stats = _pool_campaign_delta(before, self.pool.statistics())
+                if store_before is not None:
+                    store_stats = _store_campaign_delta(
+                        store_before, self.store.statistics()
+                    )
+                mode = "serial"
+        report = CampaignReport(
             outcomes=outcomes,
             mode=mode,
             pool=pool_stats,
@@ -554,6 +590,39 @@ class CampaignRunner:
             total_seconds=time.perf_counter() - started,
             store=store_stats,
         )
+        if tracer is not None:
+            report.telemetry = self._telemetry_section(
+                tracer, trace_start, pool_stats, store_stats, worker_telemetry
+            )
+            tracer.flush()
+        return report
+
+    def _telemetry_section(
+        self,
+        tracer,
+        trace_start: int,
+        pool_stats: Dict[str, object],
+        store_stats: Dict[str, object],
+        worker_telemetry: Dict[str, object],
+    ) -> Dict[str, object]:
+        """The report's ``telemetry`` section for one traced campaign.
+
+        Folds the campaign's pool/store statistics into the metrics
+        registry as dotted-path gauges — the unification that gives all
+        the per-layer statistics islands one queryable schema — then
+        summarises the campaign's slice of the trace (the events
+        recorded since ``trace_start``, worker events already merged).
+        """
+        registry = telemetry.get_registry()
+        registry.absorb("pool", pool_stats)
+        registry.absorb("store", store_stats)
+        section: Dict[str, object] = {
+            "trace": trace_report.summarize(tracer.events_from(trace_start)),
+            "registry": registry.snapshot(),
+        }
+        if worker_telemetry:
+            section["workers"] = worker_telemetry
+        return section
 
     # ------------------------------------------------------------------
     # Parallel modes
@@ -576,7 +645,12 @@ class CampaignRunner:
         max_workers: Optional[int],
         mp_context: Optional[str],
         sharding: str,
-    ) -> Tuple[List[ScenarioOutcome], Dict[str, object], Dict[str, object]]:
+    ) -> Tuple[
+        List[ScenarioOutcome],
+        Dict[str, object],
+        Dict[str, object],
+        Dict[str, object],
+    ]:
         if sharding == SHARDING_BLIND:
             return self._run_parallel_blind(scenarios, max_workers, mp_context)
         return self._run_parallel_affinity(scenarios, max_workers, mp_context)
@@ -586,7 +660,12 @@ class CampaignRunner:
         scenarios: Sequence[Scenario],
         max_workers: Optional[int],
         mp_context: Optional[str],
-    ) -> Tuple[List[ScenarioOutcome], Dict[str, object], Dict[str, object]]:
+    ) -> Tuple[
+        List[ScenarioOutcome],
+        Dict[str, object],
+        Dict[str, object],
+        Dict[str, object],
+    ]:
         context = multiprocessing.get_context(mp_context)
         workers = self._worker_count(scenarios, max_workers)
         with context.Pool(
@@ -627,14 +706,21 @@ class CampaignRunner:
                 "results": results,
                 "note": "blind sharding: aggregated from per-scenario records",
             }
-        return list(outcomes), pool_stats, store_stats
+        # Blind workers run untraced (no closing hook to ship events
+        # through, see _init_worker), so there is no worker telemetry.
+        return list(outcomes), pool_stats, store_stats, {}
 
     def _run_parallel_affinity(
         self,
         scenarios: Sequence[Scenario],
         max_workers: Optional[int],
         mp_context: Optional[str],
-    ) -> Tuple[List[ScenarioOutcome], Dict[str, object], Dict[str, object]]:
+    ) -> Tuple[
+        List[ScenarioOutcome],
+        Dict[str, object],
+        Dict[str, object],
+        Dict[str, object],
+    ]:
         context = multiprocessing.get_context(mp_context)
         workers = self._worker_count(scenarios, max_workers)
         units = _affinity_units(scenarios, workers)
@@ -654,6 +740,7 @@ class CampaignRunner:
                     self.pool.cache_limit,
                     self.memoize,
                     self._store_spec(),
+                    telemetry.config_state(),
                 ),
                 daemon=True,
             )
@@ -720,7 +807,22 @@ class CampaignRunner:
             if self.store is not None
             else {}
         )
-        return outcomes, pool_stats, store_stats
+        # Merge the workers' in-memory traces into the parent tracer —
+        # (worker, id) stays globally unique thanks to the w<id> tags —
+        # and keep each worker's registry snapshot for the report.
+        worker_telemetry: Dict[str, object] = {}
+        tracer = telemetry.get_tracer()
+        if tracer is not None:
+            registries: Dict[str, object] = {}
+            for record in worker_records:
+                shipped = record.get("telemetry")
+                if not shipped:
+                    continue
+                tracer.absorb(shipped.get("events", []))
+                registries[f"w{record.get('worker')}"] = shipped.get("registry")
+            if registries:
+                worker_telemetry["registries"] = registries
+        return outcomes, pool_stats, store_stats, worker_telemetry
 
 
 def run_campaign(

@@ -60,9 +60,10 @@ import tempfile
 import time
 import zlib
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Union
+from typing import Dict, Iterable, Optional, Tuple, Union
 
 from . import codehash
+from .. import telemetry
 
 #: Engine-level salt baked into every fingerprint and record envelope.
 #: Bump when the engine's record semantics change (model/kernel/verifier
@@ -224,11 +225,15 @@ class ResultStore:
         fingerprint: str,
         counters: Dict[str, int],
         components: Dict[str, str],
-    ) -> Optional[Dict[str, object]]:
-        """Validate a decoded record envelope; return its payload or None."""
+    ) -> Tuple[Optional[Dict[str, object]], str]:
+        """Validate a decoded record envelope.
+
+        Returns ``(payload, "hit")`` on success, ``(None, failure_class)``
+        otherwise — the failure class is also counted in ``counters``.
+        """
         if not isinstance(envelope, dict) or "payload" not in envelope:
             counters["corrupt"] += 1
-            return None
+            return None, "corrupt"
         if (
             envelope.get("version") != STORE_VERSION
             or envelope.get("salt") != self.salt
@@ -237,7 +242,7 @@ class ResultStore:
             # A record written by other code (version bump, salt bump,
             # renamed file) — well-formed but not ours to trust.
             counters["stale"] += 1
-            return None
+            return None, "stale"
         if envelope.get("components", {}) != components:
             # The record is ours, but one of the code components *its*
             # verdict depends on changed since it was written (or it
@@ -245,12 +250,12 @@ class ResultStore:
             # only records sharing the changed component take this path;
             # the caller recomputes and overwrites in place.
             counters["invalidated"] += 1
-            return None
+            return None, "invalidated"
         payload = envelope["payload"]
         if not isinstance(payload, dict):
             counters["corrupt"] += 1
-            return None
-        return payload
+            return None, "corrupt"
+        return payload, "hit"
 
     def _sweep_stale_tmp(self, directory: Path) -> None:
         """Unlink orphaned ``*.tmp`` files in ``directory`` older than
@@ -325,23 +330,27 @@ class ResultStore:
         recompute.
         """
         counters = self._stats["results"]
-        try:
-            data = self.result_path(fingerprint).read_bytes()
-        except OSError:
-            counters["misses"] += 1
-            return None
-        counters["bytes_read"] += len(data)
-        try:
-            envelope = json.loads(data)
-        except (ValueError, UnicodeDecodeError):
-            counters["corrupt"] += 1
-            return None
-        payload = self._check_envelope(
-            envelope, fingerprint, counters, self.component_vector(dependencies)
-        )
-        if payload is not None:
-            counters["hits"] += 1
-        return payload
+        with telemetry.span("store.read", family="results") as read_span:
+            try:
+                data = self.result_path(fingerprint).read_bytes()
+            except OSError:
+                counters["misses"] += 1
+                read_span.set(status="miss")
+                return None
+            counters["bytes_read"] += len(data)
+            try:
+                envelope = json.loads(data)
+            except (ValueError, UnicodeDecodeError):
+                counters["corrupt"] += 1
+                read_span.set(status="corrupt", bytes=len(data))
+                return None
+            payload, status = self._check_envelope(
+                envelope, fingerprint, counters, self.component_vector(dependencies)
+            )
+            if payload is not None:
+                counters["hits"] += 1
+            read_span.set(status=status, bytes=len(data))
+            return payload
 
     def save_result(
         self,
@@ -358,9 +367,12 @@ class ResultStore:
             "payload": payload,
         }
         data = json.dumps(envelope, sort_keys=True).encode("utf-8")
-        return self._write_record(
-            self.result_path(fingerprint), data, self._stats["results"]
-        )
+        with telemetry.span(
+            "store.write", family="results", bytes=len(data)
+        ):
+            return self._write_record(
+                self.result_path(fingerprint), data, self._stats["results"]
+            )
 
     # ------------------------------------------------------------------
     # Snapshots
@@ -372,23 +384,27 @@ class ResultStore:
     ) -> Optional[Dict[str, object]]:
         """The stored snapshot payload for ``fingerprint``, or ``None``."""
         counters = self._stats["snapshots"]
-        try:
-            data = self.snapshot_path(fingerprint).read_bytes()
-        except OSError:
-            counters["misses"] += 1
-            return None
-        counters["bytes_read"] += len(data)
-        try:
-            envelope = json.loads(zlib.decompress(data))
-        except (zlib.error, ValueError, UnicodeDecodeError):
-            counters["corrupt"] += 1
-            return None
-        payload = self._check_envelope(
-            envelope, fingerprint, counters, self.component_vector(dependencies)
-        )
-        if payload is not None:
-            counters["hits"] += 1
-        return payload
+        with telemetry.span("store.read", family="snapshots") as read_span:
+            try:
+                data = self.snapshot_path(fingerprint).read_bytes()
+            except OSError:
+                counters["misses"] += 1
+                read_span.set(status="miss")
+                return None
+            counters["bytes_read"] += len(data)
+            try:
+                envelope = json.loads(zlib.decompress(data))
+            except (zlib.error, ValueError, UnicodeDecodeError):
+                counters["corrupt"] += 1
+                read_span.set(status="corrupt", bytes=len(data))
+                return None
+            payload, status = self._check_envelope(
+                envelope, fingerprint, counters, self.component_vector(dependencies)
+            )
+            if payload is not None:
+                counters["hits"] += 1
+            read_span.set(status=status, bytes=len(data))
+            return payload
 
     def save_snapshot(
         self,
@@ -408,9 +424,12 @@ class ResultStore:
             json.dumps(envelope, sort_keys=True).encode("utf-8"),
             _SNAPSHOT_COMPRESSION,
         )
-        return self._write_record(
-            self.snapshot_path(fingerprint), data, self._stats["snapshots"]
-        )
+        with telemetry.span(
+            "store.write", family="snapshots", bytes=len(data)
+        ):
+            return self._write_record(
+                self.snapshot_path(fingerprint), data, self._stats["snapshots"]
+            )
 
     def fingerprint_for(self, key: object) -> str:
         """Content fingerprint of an arbitrary deterministic key.
@@ -434,6 +453,14 @@ class ResultStore:
                 for k in ("hits", "misses", "stale", "invalidated", "corrupt")
             )
             counters["hit_rate"] = (counters["hits"] / lookups) if lookups else 0.0
+            # Of the records that were ours and subject to the component
+            # check (served + component-refused), the fraction that
+            # survived the current code delta — same derivation the
+            # campaign-level delta applies (see runner._derive_store_rates).
+            checked = counters["hits"] + counters["invalidated"]
+            counters["survival_rate"] = (
+                (counters["hits"] / checked) if checked else 1.0
+            )
             families[family] = counters
         return {
             "root": str(self.root),

@@ -59,6 +59,7 @@ from ..bdd import BDDManager, BDDNode
 from ..bdd.kernel import SnapshotError, pack_snapshot
 from ..logic import BitVec
 from ..strings import CONTROL
+from .. import telemetry
 from .image import smooth_conjunction
 from .policy import BETA_PRODUCT_SCHEDULE, RelationalPolicy
 
@@ -261,6 +262,15 @@ class MachineStepper:
         fetch_valid: Optional[BDDNode] = None,
     ) -> Dict[Tuple[str, int], BDDNode]:
         """One relation step: bind, specialise, take per-bit products."""
+        with telemetry.span("beta.advance", role=self.prefix):
+            return self._advance(state, instruction, fetch_valid)
+
+    def _advance(
+        self,
+        state: Mapping[Tuple[str, int], BDDNode],
+        instruction: BitVec,
+        fetch_valid: Optional[BDDNode] = None,
+    ) -> Dict[Tuple[str, int], BDDNode]:
         manager = self.manager
         sources: Dict[str, BDDNode] = {}
         for bit, name in enumerate(self.input_names):
@@ -611,14 +621,18 @@ def cached_extract_steppers(
             blob = snapshot_store.load_snapshot(fingerprint, dependencies)
             if blob is not None:
                 started = time.perf_counter()
-                try:
-                    payload = _deserialize_stepper_payload(manager, blob, prefix)
-                except SnapshotError as error:
-                    payload = None
-                    snapshot_info[role] = {
-                        "status": "invalid",
-                        "error": str(error),
-                    }
+                with telemetry.span(
+                    "snapshot.restore", manager=manager, role=role
+                ) as restore_span:
+                    try:
+                        payload = _deserialize_stepper_payload(manager, blob, prefix)
+                    except SnapshotError as error:
+                        payload = None
+                        restore_span.set(status="invalid")
+                        snapshot_info[role] = {
+                            "status": "invalid",
+                            "error": str(error),
+                        }
                 if payload is not None:
                     cache[key] = payload
                     stats["restored"] = stats.get("restored", 0) + 1
@@ -633,28 +647,33 @@ def cached_extract_steppers(
                     )
         stats["misses"] += 1
         info[role] = "miss"
-        stepper = MachineStepper.extract(
-            manager,
-            model,
-            prefix,
-            instruction_width,
-            advance,
-            with_fetch_valid=with_fetch_valid,
-            policy=policy,
-        )
+        with telemetry.span("beta.extract_role", manager=manager, role=role):
+            stepper = MachineStepper.extract(
+                manager,
+                model,
+                prefix,
+                instruction_width,
+                advance,
+                with_fetch_valid=with_fetch_valid,
+                policy=policy,
+            )
         payload = _stepper_payload(stepper)
         cache[key] = payload
         if snapshot_store is not None:
             started = time.perf_counter()
-            blob = _serialize_stepper_payload(manager, payload, prefix)
-            written = snapshot_store.save_snapshot(
-                snapshot_store.fingerprint_for(key), blob, dependencies
-            )
+            with telemetry.span("snapshot.pack", manager=manager, role=role):
+                blob = _serialize_stepper_payload(manager, payload, prefix)
+                written = snapshot_store.save_snapshot(
+                    snapshot_store.fingerprint_for(key), blob, dependencies
+                )
             snapshot_info[role] = {
                 "status": "saved",
                 "seconds": round(time.perf_counter() - started, 4),
                 "nodes": blob.get("nodes", 0),
+                # ``bytes`` predates the schema normalization; the
+                # canonical spelling matches the store counters.
                 "bytes": written,
+                "bytes_written": written,
             }
         return stepper
 

@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from ..bdd import BDDManager, BDDNode
+from .. import telemetry
 from .partition import ConjunctivePartition
 from .policy import RelationalPolicy
 from .relation import TransitionRelation
@@ -85,17 +86,21 @@ class ImageComputer:
         manager = self.manager
         schedule = self._schedule(direction)
         stats = ImageStats(strategy="partitioned" if self.policy.partition else "monolithic")
-        current = frontier
-        if schedule.pre_quantify:
-            current = manager.exists(schedule.pre_quantify, current)
-        peak = manager.count_nodes(current)
-        for step in schedule.steps:
-            current = manager.and_exists(step.quantify, current, step.cluster.function)
-            stats.steps += 1
-            stats.quantified_per_step.append(len(step.quantify))
-            peak = max(peak, manager.count_nodes(current))
-        stats.peak_live_nodes = peak
-        stats.result_nodes = manager.count_nodes(current)
+        with telemetry.span(
+            "image.step", manager=manager, direction=direction
+        ) as image_span:
+            current = frontier
+            if schedule.pre_quantify:
+                current = manager.exists(schedule.pre_quantify, current)
+            peak = manager.count_nodes(current)
+            for step in schedule.steps:
+                current = manager.and_exists(step.quantify, current, step.cluster.function)
+                stats.steps += 1
+                stats.quantified_per_step.append(len(step.quantify))
+                peak = max(peak, manager.count_nodes(current))
+            stats.peak_live_nodes = peak
+            stats.result_nodes = manager.count_nodes(current)
+            image_span.set(steps=stats.steps, peak_live_nodes=peak)
         self.last_stats = stats
         return current
 

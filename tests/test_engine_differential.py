@@ -535,3 +535,60 @@ class TestInterruptDifferential:
         assert not broken.passed
         observables = {mismatch["observable"] for mismatch in broken.mismatches}
         assert f"reg{INTERRUPT_LINK_REGISTER}" in observables
+
+
+# ----------------------------------------------------------------------
+# Telemetry differential: tracing must never touch a verdict
+# ----------------------------------------------------------------------
+class TestTelemetryDifferential:
+    """Verdicts are byte-identical with tracing enabled and disabled.
+
+    The telemetry layer's contract is observe-only (spans sample the
+    kernel's monotonic counters; nothing feeds back).  This pins it the
+    same way the backend and scheduling differentials are pinned: run
+    the identical scenario set traced and untraced and compare the
+    canonical verdict JSON byte for byte.
+    """
+
+    SCENARIOS = [
+        dict(slots=(NORMAL, NORMAL)),
+        dict(slots=(CONTROL, NORMAL), bug="no_annul"),
+        dict(kind="events", slots=(NORMAL,) * 3, event_slots=(1,)),
+    ]
+
+    def _run_all(self):
+        return [
+            verdict_bytes(
+                execute_scenario(Scenario(name="telemetry-diff", **kwargs))
+            )
+            for kwargs in self.SCENARIOS
+        ]
+
+    def test_traced_verdicts_byte_identical_to_untraced(self, tmp_path):
+        from repro import telemetry
+
+        telemetry.disable()
+        untraced = self._run_all()
+        telemetry.enable(trace_path=tmp_path / "trace.jsonl")
+        try:
+            traced = self._run_all()
+            tracer = telemetry.get_tracer()
+            assert tracer.event_count() > 0  # the runs really were traced
+        finally:
+            telemetry.disable()
+        assert traced == untraced
+
+    def test_traced_campaign_verdict_json_byte_identical(self, tmp_path):
+        from repro import telemetry
+        from repro.engine import CampaignRunner
+
+        names = ["vsm/default", "vsm/bug/no_bypass"]
+        telemetry.disable()
+        baseline = CampaignRunner(store_path=tmp_path / "s1").run(names)
+        telemetry.enable()
+        try:
+            traced = CampaignRunner(store_path=tmp_path / "s2").run(names)
+        finally:
+            telemetry.disable()
+        assert traced.verdict_json() == baseline.verdict_json()
+        assert baseline.telemetry == {} and traced.telemetry != {}
