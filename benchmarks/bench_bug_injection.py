@@ -1,9 +1,11 @@
 """Bug-injection study — "any incorrect change in state ... will be detected".
 
-Every bug in the injectable catalogue of the pipelined VSM and Alpha0 is
-run against the beta-relation verifier with a workload that exercises
-the relevant instruction class; every one of them must be reported, and
-the golden designs must keep passing.
+Every planted bug in the fuzz generator's catalogue
+(:func:`repro.campaigns.planted_bug_catalog` — the single definition the
+generative campaigns, the CI smoke step and this benchmark share) is run
+against the beta-relation verifier with a workload that exercises the
+relevant instruction class; every one of them must be reported, and the
+golden designs must keep passing.
 
 The sweeps run as engine campaigns: all bug scenarios of one design
 share a pooled BDD manager (an injected bug never changes the variable
@@ -16,11 +18,8 @@ from dataclasses import replace
 
 import pytest
 
-from repro.engine import (
-    Scenario,
-    alpha0_bug_scenarios,
-    vsm_bug_scenarios,
-)
+from repro.campaigns import planted_bug_catalog, planted_class
+from repro.engine import Scenario
 from repro.strings import NORMAL
 
 from _bench_utils import (
@@ -31,9 +30,18 @@ from _bench_utils import (
 )
 
 
+def _catalog_slice(*classes, alpha0=CONDENSED_ALPHA0_SPEC):
+    """The planted-bug catalogue entries of the given mutation classes."""
+    return [
+        scenario
+        for scenario in planted_bug_catalog(alpha0=alpha0)
+        if planted_class(scenario) in classes
+    ]
+
+
 def test_vsm_bug_sweep(benchmark):
     runner = campaign_runner()
-    scenarios = vsm_bug_scenarios()
+    scenarios = _catalog_slice("planted_bug")
 
     def run():
         runner.clear_memo()
@@ -60,7 +68,7 @@ def test_vsm_bug_sweep(benchmark):
 
 def test_alpha0_bug_sweep(benchmark):
     runner = campaign_runner()
-    scenarios = alpha0_bug_scenarios(alpha0=CONDENSED_ALPHA0_SPEC)
+    scenarios = _catalog_slice("alpha0_case")
 
     def run():
         runner.clear_memo()
@@ -79,6 +87,39 @@ def test_alpha0_bug_sweep(benchmark):
         measured="; ".join(
             f"{name}: {count} mismatching observables"
             for name, (_, count) in detected.items()
+        ),
+    )
+
+
+def test_mutation_knob_sweep(benchmark):
+    """The generative mutation classes: forwarding-leg drops, branch
+    skew, the broken interrupt link, disabled superscalar hazard checks
+    and the unchecked-RAW scoreboard — one canonical witness each."""
+    runner = campaign_runner()
+    scenarios = _catalog_slice(
+        "bypass_drop",
+        "branch_skew",
+        "event_storm",
+        "superscalar_hazard",
+        "scoreboard_raw",
+    )
+
+    def run():
+        runner.clear_memo()
+        return runner.run(scenarios)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    detected = {
+        outcome.scenario: (not outcome.passed, len(outcome.mismatches))
+        for outcome in report.outcomes
+    }
+    assert all(flag for flag, _ in detected.values()), detected
+    record_paper_comparison(
+        benchmark,
+        experiment="Bug injection sweep (mutation knobs, campaign engine)",
+        paper="incorrect state changes are detected by the sampled comparisons",
+        measured="; ".join(
+            f"{name}: {count} mismatch(es)" for name, (_, count) in detected.items()
         ),
     )
 
@@ -134,3 +175,18 @@ def test_smoke_bug_injection():
     assert by_name["smoke/bug"].mismatches[0]["decoded"]
     assert not by_name["smoke/alpha0-bug"].passed
     assert report.pool["reuses"] >= 1  # golden and bug shared one manager
+
+
+@pytest.mark.bench_smoke
+def test_smoke_mutation_knob_injection():
+    """Fast tier for the concrete mutation classes: disabled hazard
+    checking and the unchecked-RAW scoreboard both refute in
+    microseconds (no BDD work)."""
+    runner = campaign_runner()
+    report = runner.run(
+        _catalog_slice("superscalar_hazard", "scoreboard_raw")
+    )
+    assert len(report.outcomes) == 2
+    for outcome in report.outcomes:
+        assert not outcome.passed, outcome.scenario
+        assert outcome.mismatches

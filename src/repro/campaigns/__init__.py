@@ -1,0 +1,64 @@
+"""Generative bug-hunt campaigns (seeded fuzzer, corpus, minimizer).
+
+The package turns the reproduction's verification engine on itself:
+
+* :mod:`~repro.campaigns.generator` — a seeded, deterministic scenario
+  generator that mass-produces mutated processor models (bypass/hazard
+  perturbations, interrupt storms, scoreboard variants, planted bug
+  injections) with machine-checkable ground-truth tags;
+* :mod:`~repro.campaigns.corpus` — a content-fingerprint-deduplicated
+  counterexample corpus anchored on the committed golden records;
+* :mod:`~repro.campaigns.minimizer` — greedy witness shrinking that can
+  never flip a verdict (every accepted step is re-verified through the
+  campaign runner);
+* :mod:`~repro.campaigns.campaign` — the generate → run → dedupe →
+  minimize orchestration shared by benchmarks, CI smoke and tests.
+
+Every generated scenario is ordinary :class:`~repro.engine.scenario.Scenario`
+data executed by the ordinary :class:`~repro.engine.runner.CampaignRunner`;
+the package adds no driver loop of its own.
+"""
+
+from .campaign import FuzzCampaignResult, run_fuzz_campaign
+from .corpus import (
+    CounterexampleCorpus,
+    default_corpus_root,
+    default_golden_path,
+    load_corpus_records,
+    witness_key,
+    witness_record,
+)
+from .generator import (
+    CLASS_NAMES,
+    EXPECT_FAIL,
+    EXPECT_PASS,
+    FUZZ_ALPHA0_SPEC,
+    expected_to_fail,
+    generate_scenario,
+    generate_scenarios,
+    planted_bug_catalog,
+    planted_class,
+)
+from .minimizer import MinimizationResult, minimize_witness
+
+__all__ = [
+    "CLASS_NAMES",
+    "CounterexampleCorpus",
+    "EXPECT_FAIL",
+    "EXPECT_PASS",
+    "FUZZ_ALPHA0_SPEC",
+    "FuzzCampaignResult",
+    "MinimizationResult",
+    "default_corpus_root",
+    "default_golden_path",
+    "expected_to_fail",
+    "generate_scenario",
+    "generate_scenarios",
+    "load_corpus_records",
+    "minimize_witness",
+    "planted_bug_catalog",
+    "planted_class",
+    "run_fuzz_campaign",
+    "witness_key",
+    "witness_record",
+]

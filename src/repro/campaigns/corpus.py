@@ -1,0 +1,188 @@
+"""Counterexample corpus: content-addressed witness records.
+
+A fuzz campaign that refutes a scenario has found a *witness* — a
+concrete counterexample to the pipeline correctness statement.  Most
+witnesses are re-discoveries: the planted-bug catalogue keeps finding
+the same architectural defects the golden records in
+``tests/data/golden_counterexamples.json`` already pin down.  The
+corpus separates the two by content fingerprint:
+
+* every golden record's scenario is re-fingerprinted (salt-free
+  :meth:`~repro.engine.scenario.Scenario.fingerprint`, which excludes
+  name and tags) into the *known* set;
+* every committed fuzz record under ``tests/data/fuzz_corpus/`` joins
+  the same set;
+* a new witness whose (minimized) fingerprint is already known is a
+  **duplicate** and is dropped; an unknown fingerprint becomes a new
+  replayable record.
+
+Corpus layout: one JSON file per witness,
+``tests/data/fuzz_corpus/<fingerprint>.json``::
+
+    {
+      "fingerprint":      salt-free scenario fingerprint (also the filename),
+      "scenario":         Scenario.to_dict() — replayable,
+      "mismatch_count":   total deterministic mismatches,
+      "first_mismatches": first three mismatch records (byte-compared on replay),
+      "provenance":       {seed, index-name, class, minimized_from, ...}
+    }
+
+Records are replayed by the regression suite exactly like golden
+counterexample records: re-run the scenario, byte-compare the verdict.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from ..engine.report import ScenarioOutcome
+from ..engine.scenario import Scenario
+
+#: How many mismatch records a corpus entry pins for byte-compare replay.
+RECORDED_MISMATCHES = 3
+
+
+def repo_data_root() -> Path:
+    """``tests/data`` of the repository checkout this package runs from."""
+    return Path(__file__).resolve().parents[3] / "tests" / "data"
+
+
+def default_golden_path() -> Path:
+    """The committed golden counterexample records."""
+    return repo_data_root() / "golden_counterexamples.json"
+
+
+def default_corpus_root() -> Path:
+    """The committed fuzz-witness corpus directory."""
+    return repo_data_root() / "fuzz_corpus"
+
+
+def witness_key(scenario: Scenario) -> str:
+    """Content address used for deduplication (salt-free fingerprint)."""
+    return scenario.fingerprint("")
+
+
+def witness_record(
+    scenario: Scenario,
+    outcome: ScenarioOutcome,
+    provenance: Optional[Dict[str, object]] = None,
+) -> Dict[str, object]:
+    """The corpus record for a refuting ``(scenario, outcome)`` pair."""
+    if outcome.passed or outcome.error is not None:
+        raise ValueError("only refuting outcomes become corpus records")
+    return {
+        "fingerprint": witness_key(scenario),
+        "scenario": scenario.to_dict(),
+        "mismatch_count": len(outcome.mismatches),
+        "first_mismatches": outcome.mismatches[:RECORDED_MISMATCHES],
+        "provenance": dict(provenance or {}),
+    }
+
+
+class CounterexampleCorpus:
+    """Fingerprint-deduplicated set of known counterexample witnesses."""
+
+    def __init__(
+        self,
+        root: Optional[Union[str, Path]] = None,
+        golden_path: Optional[Union[str, Path]] = None,
+    ) -> None:
+        self.root = Path(root) if root is not None else default_corpus_root()
+        self.golden_path = (
+            Path(golden_path) if golden_path is not None else default_golden_path()
+        )
+        #: fingerprint -> human-readable source ("golden:<name>" or
+        #: "corpus:<name>") of every known witness.
+        self._known: Dict[str, str] = {}
+        #: Records added during this session, in insertion order.
+        self.new_records: List[Dict[str, object]] = []
+        self._load_golden()
+        self._load_corpus()
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def _load_golden(self) -> None:
+        if not self.golden_path.is_file():
+            return
+        payload = json.loads(self.golden_path.read_text(encoding="utf-8"))
+        for name, record in payload.get("scenarios", {}).items():
+            scenario = Scenario.from_dict(record["scenario"])
+            self._known.setdefault(witness_key(scenario), f"golden:{name}")
+
+    def _load_corpus(self) -> None:
+        if not self.root.is_dir():
+            return
+        for path in sorted(self.root.glob("*.json")):
+            record = json.loads(path.read_text(encoding="utf-8"))
+            scenario = Scenario.from_dict(record["scenario"])
+            # Recompute rather than trust the stored fingerprint: a
+            # record whose content drifted from its filename must not
+            # mask the witness it claims to cover.
+            self._known.setdefault(
+                witness_key(scenario), f"corpus:{scenario.name}"
+            )
+
+    # ------------------------------------------------------------------
+    # Queries and updates
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._known)
+
+    def is_known(self, scenario: Scenario) -> bool:
+        """Whether an equivalent witness is already in the corpus."""
+        return witness_key(scenario) in self._known
+
+    def source_of(self, scenario: Scenario) -> Optional[str]:
+        """Where the equivalent known witness came from (``None`` = new)."""
+        return self._known.get(witness_key(scenario))
+
+    def add(
+        self,
+        scenario: Scenario,
+        outcome: ScenarioOutcome,
+        provenance: Optional[Dict[str, object]] = None,
+        write: bool = False,
+    ) -> Dict[str, object]:
+        """Register a new witness; optionally persist it under ``root``."""
+        record = witness_record(scenario, outcome, provenance)
+        fingerprint = record["fingerprint"]
+        if fingerprint in self._known:
+            raise ValueError(
+                f"witness {fingerprint} is already known "
+                f"({self._known[fingerprint]}); dedupe before adding"
+            )
+        self._known[fingerprint] = f"corpus:{scenario.name}"
+        self.new_records.append(record)
+        if write:
+            self.root.mkdir(parents=True, exist_ok=True)
+            path = self.root / f"{fingerprint}.json"
+            path.write_text(
+                json.dumps(record, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+            )
+        return record
+
+    def statistics(self) -> Dict[str, object]:
+        """Corpus census (known witnesses by source family)."""
+        golden = sum(1 for source in self._known.values() if source.startswith("golden:"))
+        return {
+            "known": len(self._known),
+            "golden": golden,
+            "corpus": len(self._known) - golden,
+            "added": len(self.new_records),
+        }
+
+
+def load_corpus_records(
+    root: Optional[Union[str, Path]] = None,
+) -> List[Dict[str, object]]:
+    """All committed fuzz-corpus records (for the replay regression suite)."""
+    directory = Path(root) if root is not None else default_corpus_root()
+    if not directory.is_dir():
+        return []
+    return [
+        json.loads(path.read_text(encoding="utf-8"))
+        for path in sorted(directory.glob("*.json"))
+    ]

@@ -1,0 +1,466 @@
+"""Seeded scenario generator for generative bug-hunt campaigns.
+
+The generator mass-produces :class:`~repro.engine.scenario.Scenario`
+mutants of the reproduction's processor models from a single integer
+seed.  Every scenario is plain data routed through the ordinary
+:class:`~repro.engine.runner.CampaignRunner` — the generator adds no
+driver loop of its own.
+
+Seed protocol
+-------------
+Scenario ``index`` of campaign ``seed`` is derived from its own
+``random.Random(f"{seed}:{index}")`` stream and nothing else, so
+
+* the same ``(seed, index)`` always yields byte-identical scenario
+  dictionaries and fingerprints (cross-process determinism), and
+* ``generate_scenarios(seed, n)`` is a strict prefix of
+  ``generate_scenarios(seed, m)`` for ``n <= m`` (growing a campaign
+  never perturbs the scenarios already generated).
+
+Ground truth
+------------
+Each scenario carries machine-checkable expectation tags:
+
+* ``expect:pass`` — the stock (or identity-mutated) design; the
+  verifier must prove it.
+* ``expect:fail`` + ``planted:<bug>`` — a planted bug with a workload
+  known to exercise it; the verifier must refute it.
+
+A campaign whose verdicts disagree with these tags has found a bug in
+the *verifier* (or lost one it is supposed to find) — that is the
+regression signal the fuzz campaigns exist to produce.
+
+Mutation catalogue (one class per generator entry, round-robin by
+``index % len(CLASSES)``):
+
+====================  ============================================================
+``golden_slots``      stock static beta checks over random slot strings
+``bypass_drop``       forwarding network loses one operand leg (``bypass_operands``)
+``branch_skew``       constant skew on computed branch targets (``branch_offset``)
+``planted_bug``       catalogue VSM bug codes with jittered workloads
+``alpha0_case``       Alpha0 golden/bug cases at the golden-corpus condensation
+``event_storm``       interrupt storms, optionally with the broken-link bug
+``superscalar_width`` stock superscalar checks over random programs and widths
+``superscalar_hazard`` issue-group hazard checking disabled (``hazard_checks``)
+``scoreboard_variant`` scoreboarded machine across unit counts / latency profiles
+``scoreboard_raw``    scoreboard issue no longer blocks on RAW (``issue_raw_check``)
+====================  ============================================================
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..engine.scenario import (
+    ALPHA0,
+    EVENTS,
+    SUPERSCALAR,
+    VSM,
+    Alpha0Spec,
+    Scenario,
+    VSM_BUG_WORKLOADS,
+    alpha0_bug_scenarios,
+    vsm_bug_scenarios,
+)
+from ..isa import vsm as vsm_isa
+from ..strings import CONTROL, NORMAL
+from .. import telemetry
+
+#: Ground-truth expectation tags (asserted against verdicts).
+EXPECT_PASS = "expect:pass"
+EXPECT_FAIL = "expect:fail"
+
+#: Alpha0 condensation used by fuzz campaigns — identical to the golden
+#: counterexample corpus (``tests/data/golden_counterexamples.json``),
+#: so minimized alpha0 witnesses dedupe against the committed records.
+FUZZ_ALPHA0_SPEC = Alpha0Spec(
+    data_width=3, num_registers=4, memory_words=2, alu_subset=("and", "or", "cmpeq")
+)
+
+_PC_MASK = (1 << vsm_isa.PC_WIDTH) - 1
+_DATA_MASK = (1 << vsm_isa.DATA_WIDTH) - 1
+
+
+def _random_slots(rng: random.Random, low: int, high: int) -> Tuple[str, ...]:
+    """A random slot string with a bounded number of control transfers."""
+    length = rng.randint(low, high)
+    return tuple(
+        CONTROL if rng.random() < 0.3 else NORMAL for _ in range(length)
+    )
+
+
+def _filler_instructions(
+    rng: random.Random, count: int, avoid_destinations: Sequence[int]
+) -> List[vsm_isa.VSMInstruction]:
+    """ALU filler instructions that never write the protected registers."""
+    avoided = set(avoid_destinations)
+    choices = [reg for reg in range(vsm_isa.NUM_REGISTERS) if reg not in avoided]
+    fillers = []
+    for _ in range(count):
+        fillers.append(
+            vsm_isa.VSMInstruction(
+                mnemonic=rng.choice(("add", "xor", "and", "or")),
+                literal_flag=True,
+                ra=rng.randrange(vsm_isa.NUM_REGISTERS),
+                rb=rng.randrange(1 << vsm_isa.DATA_WIDTH),
+                rc=rng.choice(choices),
+            )
+        )
+    return fillers
+
+
+def _raw_pair_program(
+    rng: random.Random, filler_count: int
+) -> List[vsm_isa.VSMInstruction]:
+    """A producer/consumer RAW pair (plus fillers) over literal operands.
+
+    ``add rd = r0 + L1`` followed by ``add re = rd + L2`` with
+    ``L1 % 2**DATA_WIDTH != 0``: any machine that reads ``rd`` before the
+    producer's write lands computes ``re = L2`` instead of
+    ``(L1 + L2) mod 2**DATA_WIDTH`` — a guaranteed architectural
+    mismatch for the hazard-check and RAW-check mutation classes.
+    """
+    rd, re_ = rng.sample(range(1, vsm_isa.NUM_REGISTERS), 2)
+    literal_one = rng.randint(1, _DATA_MASK)
+    literal_two = rng.randint(0, _DATA_MASK)
+    program = [
+        vsm_isa.VSMInstruction(
+            mnemonic="add", literal_flag=True, ra=0, rb=literal_one, rc=rd
+        ),
+        vsm_isa.VSMInstruction(
+            mnemonic="add", literal_flag=True, ra=rd, rb=literal_two, rc=re_
+        ),
+    ]
+    program.extend(_filler_instructions(rng, filler_count, avoid_destinations=(rd, re_)))
+    return program
+
+
+# ----------------------------------------------------------------------
+# One builder per mutation class.  Each receives the per-scenario rng and
+# returns the class-specific Scenario fields; the shared frame (name,
+# seed/class/expectation tags) is applied by :func:`generate_scenario`.
+# ----------------------------------------------------------------------
+
+def _class_golden_slots(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    scenario = Scenario(
+        name="pending",
+        design=VSM,
+        slots=_random_slots(rng, 2, 4),
+        reset_cycles=rng.randint(1, 2),
+    )
+    return scenario, True, None
+
+
+def _class_bypass_drop(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    operand = rng.choice(("a", "b"))
+    scenario = Scenario(
+        name="pending",
+        design=VSM,
+        slots=(NORMAL,) * rng.randint(2, 3),
+        mutations=(("bypass_operands", operand),),
+    )
+    return scenario, False, f"bypass_operands:{operand}"
+
+
+def _class_branch_skew(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    offset = rng.randint(1, 3)
+    scenario = Scenario(
+        name="pending",
+        design=VSM,
+        slots=(CONTROL,) + (NORMAL,) * rng.randint(1, 2),
+        mutations=(("branch_offset", offset),),
+    )
+    return scenario, False, f"branch_offset:{offset}"
+
+
+def _class_planted_bug(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    bug = rng.choice(sorted(VSM_BUG_WORKLOADS))
+    slots = VSM_BUG_WORKLOADS[bug] + (NORMAL,) * rng.randint(0, 1)
+    scenario = Scenario(name="pending", design=VSM, slots=slots, bug=bug)
+    return scenario, False, bug
+
+
+def _class_alpha0_case(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    bugs = alpha0_bug_scenarios(prefix="pending", alpha0=FUZZ_ALPHA0_SPEC)
+    pick = rng.randrange(len(bugs) + 1)
+    if pick == len(bugs):
+        scenario = Scenario(
+            name="pending",
+            design=ALPHA0,
+            slots=_random_slots(rng, 2, 3),
+            alpha0=FUZZ_ALPHA0_SPEC,
+        )
+        return scenario, True, None
+    scenario = bugs[pick]
+    return scenario, False, scenario.bug
+
+
+def _class_event_storm(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    num_slots = rng.randint(3, 5)
+    broken = rng.random() < 0.4
+    # The broken interrupt link stores 0 instead of the interrupted PC;
+    # an event at slot 0 traps at PC 0, where the two coincide — the bug
+    # is architecturally invisible there, so broken storms start at 1.
+    first = 1 if broken else 0
+    population = range(first, num_slots)
+    count = rng.randint(1, min(2, len(population)))
+    event_slots = tuple(sorted(rng.sample(population, count)))
+    scenario = Scenario(
+        name="pending",
+        kind=EVENTS,
+        design=VSM,
+        slots=(NORMAL,) * num_slots,
+        event_slots=event_slots,
+        break_event_link=broken,
+    )
+    return scenario, not broken, "break_event_link" if broken else None
+
+
+def _class_superscalar_width(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    program = vsm_isa.random_program(
+        rng, rng.randint(4, 8), allow_control_transfer=bool(rng.getrandbits(1))
+    )
+    scenario = Scenario(
+        name="pending",
+        kind=SUPERSCALAR,
+        design=VSM,
+        program=tuple(instruction.encode() for instruction in program),
+        issue_width=rng.randint(2, 4),
+    )
+    return scenario, True, None
+
+
+def _class_superscalar_hazard(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    program = _raw_pair_program(rng, filler_count=rng.randint(0, 2))
+    scenario = Scenario(
+        name="pending",
+        kind=SUPERSCALAR,
+        design=VSM,
+        program=tuple(instruction.encode() for instruction in program),
+        issue_width=rng.randint(2, 3),
+        mutations=(("hazard_checks", "none"),),
+    )
+    return scenario, False, "hazard_checks:none"
+
+
+def _class_scoreboard_variant(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    program = vsm_isa.random_program(
+        rng, rng.randint(4, 8), allow_control_transfer=bool(rng.getrandbits(1))
+    )
+    mutations = [("pipeline", "scoreboard")]
+    if rng.getrandbits(1):
+        mutations.append(("functional_units", rng.randint(2, 3)))
+    profile = rng.choice(("default", "uniform", "slow_logic"))
+    if profile != "default":
+        mutations.append(("latency_profile", profile))
+    scenario = Scenario(
+        name="pending",
+        kind=SUPERSCALAR,
+        design=VSM,
+        program=tuple(instruction.encode() for instruction in program),
+        mutations=tuple(mutations),
+    )
+    return scenario, True, None
+
+
+def _class_scoreboard_raw(rng: random.Random) -> Tuple[Scenario, bool, Optional[str]]:
+    # A RAW pair needs >= 2 functional units in flight and a multi-cycle
+    # producer (``add`` has latency 2 under the default profile) for the
+    # unchecked consumer to read the stale register value.
+    program = _raw_pair_program(rng, filler_count=rng.randint(0, 1))
+    scenario = Scenario(
+        name="pending",
+        kind=SUPERSCALAR,
+        design=VSM,
+        program=tuple(instruction.encode() for instruction in program),
+        mutations=(
+            ("functional_units", rng.randint(2, 3)),
+            ("issue_raw_check", "none"),
+            ("pipeline", "scoreboard"),
+        ),
+    )
+    return scenario, False, "issue_raw_check:none"
+
+
+#: Ordered mutation-class table; class of scenario ``index`` is
+#: ``CLASSES[index % len(CLASSES)]``.  Append-only: inserting a class
+#: re-shuffles every existing campaign's class assignment.
+CLASSES: Tuple[Tuple[str, Callable[[random.Random], Tuple[Scenario, bool, Optional[str]]]], ...] = (
+    ("golden_slots", _class_golden_slots),
+    ("bypass_drop", _class_bypass_drop),
+    ("branch_skew", _class_branch_skew),
+    ("planted_bug", _class_planted_bug),
+    ("alpha0_case", _class_alpha0_case),
+    ("event_storm", _class_event_storm),
+    ("superscalar_width", _class_superscalar_width),
+    ("superscalar_hazard", _class_superscalar_hazard),
+    ("scoreboard_variant", _class_scoreboard_variant),
+    ("scoreboard_raw", _class_scoreboard_raw),
+)
+
+CLASS_NAMES: Tuple[str, ...] = tuple(name for name, _ in CLASSES)
+
+
+def generate_scenario(seed: int, index: int) -> Scenario:
+    """The ``index``-th scenario of campaign ``seed`` (pure function)."""
+    class_name, builder = CLASSES[index % len(CLASSES)]
+    rng = random.Random(f"{seed}:{index}")
+    scenario, expect_pass, planted = builder(rng)
+    tags = [
+        "fuzz",
+        f"seed:{seed}",
+        f"class:{class_name}",
+        EXPECT_PASS if expect_pass else EXPECT_FAIL,
+    ]
+    if planted is not None:
+        tags.append(f"planted:{planted}")
+    return replace(
+        scenario,
+        name=f"fuzz/{seed}/{index:04d}/{class_name}",
+        tags=tuple(tags),
+    )
+
+
+def generate_scenarios(
+    seed: int, count: int, classes: Optional[Sequence[str]] = None
+) -> List[Scenario]:
+    """The first ``count`` scenarios of campaign ``seed``.
+
+    ``classes`` optionally restricts the output to a subset of
+    :data:`CLASS_NAMES` *without* renumbering: indices whose class is
+    filtered out are skipped, so the surviving scenarios are identical
+    to their unfiltered selves.
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    if classes is not None:
+        unknown = set(classes) - set(CLASS_NAMES)
+        if unknown:
+            raise ValueError(
+                f"unknown mutation classes {sorted(unknown)}; valid: {list(CLASS_NAMES)}"
+            )
+    wanted = set(classes) if classes is not None else None
+    with telemetry.span("fuzz.generate", seed=seed, count=count):
+        scenarios = []
+        for index in range(count):
+            if wanted is not None and CLASS_NAMES[index % len(CLASSES)] not in wanted:
+                continue
+            scenarios.append(generate_scenario(seed, index))
+    telemetry.get_registry().counter("fuzz.scenarios_generated").inc(len(scenarios))
+    return scenarios
+
+
+def expected_to_fail(scenario: Scenario) -> bool:
+    """Whether the generator planted a bug in ``scenario``."""
+    return EXPECT_FAIL in scenario.tags
+
+
+def planted_class(scenario: Scenario) -> Optional[str]:
+    """The ``class:`` tag of a generated scenario (``None`` if foreign)."""
+    for tag in scenario.tags:
+        if tag.startswith("class:"):
+            return tag[len("class:"):]
+    return None
+
+
+def planted_bug_catalog(alpha0: Alpha0Spec = FUZZ_ALPHA0_SPEC) -> List[Scenario]:
+    """Every planted bug class at its canonical exercising workload.
+
+    One deterministic scenario per planted bug across all mutation
+    classes — the shared definition used by the bug-injection benchmark
+    and the CI smoke campaign's coverage assertion.
+    """
+    catalog: List[Scenario] = []
+
+    def tag(scenario: Scenario, class_name: str, planted: str) -> Scenario:
+        return replace(
+            scenario,
+            tags=("fuzz", f"class:{class_name}", EXPECT_FAIL, f"planted:{planted}"),
+        )
+
+    for scenario in vsm_bug_scenarios(prefix="fuzz/planted/vsm"):
+        catalog.append(tag(scenario, "planted_bug", scenario.bug))
+    for scenario in alpha0_bug_scenarios(prefix="fuzz/planted/alpha0", alpha0=alpha0):
+        catalog.append(tag(scenario, "alpha0_case", scenario.bug))
+    for operand in ("a", "b"):
+        catalog.append(
+            tag(
+                Scenario(
+                    name=f"fuzz/planted/bypass_drop/{operand}",
+                    design=VSM,
+                    slots=(NORMAL, NORMAL),
+                    mutations=(("bypass_operands", operand),),
+                ),
+                "bypass_drop",
+                f"bypass_operands:{operand}",
+            )
+        )
+    catalog.append(
+        tag(
+            Scenario(
+                name="fuzz/planted/branch_skew",
+                design=VSM,
+                slots=(CONTROL, NORMAL),
+                mutations=(("branch_offset", 1),),
+            ),
+            "branch_skew",
+            "branch_offset:1",
+        )
+    )
+    catalog.append(
+        tag(
+            Scenario(
+                name="fuzz/planted/event_storm/broken-link",
+                kind=EVENTS,
+                design=VSM,
+                # Three slots, event at 1 — content-identical to the
+                # committed golden record vsm/event/broken-link.
+                slots=(NORMAL,) * 3,
+                event_slots=(1,),
+                break_event_link=True,
+            ),
+            "event_storm",
+            "break_event_link",
+        )
+    )
+    rng = random.Random("planted:superscalar_hazard")
+    catalog.append(
+        tag(
+            Scenario(
+                name="fuzz/planted/superscalar_hazard",
+                kind=SUPERSCALAR,
+                design=VSM,
+                program=tuple(
+                    instruction.encode()
+                    for instruction in _raw_pair_program(rng, filler_count=0)
+                ),
+                mutations=(("hazard_checks", "none"),),
+            ),
+            "superscalar_hazard",
+            "hazard_checks:none",
+        )
+    )
+    rng = random.Random("planted:scoreboard_raw")
+    catalog.append(
+        tag(
+            Scenario(
+                name="fuzz/planted/scoreboard_raw",
+                kind=SUPERSCALAR,
+                design=VSM,
+                program=tuple(
+                    instruction.encode()
+                    for instruction in _raw_pair_program(rng, filler_count=0)
+                ),
+                mutations=(
+                    ("functional_units", 2),
+                    ("issue_raw_check", "none"),
+                    ("pipeline", "scoreboard"),
+                ),
+            ),
+            "scoreboard_raw",
+            "issue_raw_check:none",
+        )
+    )
+    return catalog

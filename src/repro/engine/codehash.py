@@ -14,8 +14,8 @@ by splitting the code version into per-component content hashes:
   verification/observation/report modules, the filtering-string and
   logic layers, and the ISA definitions.
 * ``model:vsm`` / ``model:alpha0`` / ``model:interrupts`` /
-  ``model:superscalar`` — each architecture's symbolic (or concrete)
-  processor models under ``src/repro/processors/``.
+  ``model:superscalar`` / ``model:scoreboard`` — each architecture's
+  symbolic (or concrete) processor models under ``src/repro/processors/``.
 
 A component hash is a SHA-256 over the *source text* of the component's
 module files, so it changes exactly when the code changes — no manual
@@ -81,10 +81,8 @@ COMPONENTS: Dict[str, Tuple[str, ...]] = {
         "processors/alpha0_unpipelined.py",
     ),
     "model:interrupts": ("processors/interrupts.py",),
-    "model:superscalar": (
-        "processors/superscalar.py",
-        "processors/scoreboard.py",
-    ),
+    "model:superscalar": ("processors/superscalar.py",),
+    "model:scoreboard": ("processors/scoreboard.py",),
 }
 
 #: The architecture-model components (every ``model:*`` entry).

@@ -879,7 +879,7 @@ def run_events(
 # ----------------------------------------------------------------------
 # Concrete superscalar dynamic beta-relation (paper Section 5.7)
 # ----------------------------------------------------------------------
-def run_superscalar(program, issue_width: int = 2):
+def run_superscalar(program, issue_width: int = 2, impl_kwargs: Optional[dict] = None):
     """Dynamic-beta check of the dual-issue VSM on a concrete program.
 
     The implementation (``repro.processors.superscalar.SuperscalarVSM``)
@@ -889,12 +889,25 @@ def run_superscalar(program, issue_width: int = 2):
     the specification is sampled after the same cumulative number of
     retired instructions as the implementation at each of its retirement
     cycles, and the architectural states must agree at every such point.
+
+    ``impl_kwargs`` carries the mutation knobs.  ``pipeline="scoreboard"``
+    swaps the implementation for the Section 5.6 out-of-order-completion
+    :class:`~repro.processors.scoreboard.ScoreboardVSM`, compared at its
+    in-order points; the remaining knobs select the hazard/latency
+    perturbations of the chosen pipeline.
     """
     from ..core.dynamic_beta import SuperscalarCheckResult
     from ..processors.superscalar import SuperscalarVSM
     from ..processors.vsm_unpipelined import UnpipelinedVSM
 
-    implementation = SuperscalarVSM(issue_width=issue_width)
+    knobs = dict(impl_kwargs or {})
+    if knobs.pop("pipeline", "superscalar") == "scoreboard":
+        return _run_scoreboard(program, knobs)
+    hazard_checks = knobs.pop("hazard_checks", "full")
+    if knobs:
+        raise ValueError(f"unknown superscalar impl kwargs: {sorted(knobs)}")
+
+    implementation = SuperscalarVSM(issue_width=issue_width, hazard_checks=hazard_checks)
     specification = UnpipelinedVSM()
 
     completions, impl_states = implementation.run(program)
@@ -928,6 +941,79 @@ def run_superscalar(program, issue_width: int = 2):
         passed=not mismatches,
         instructions_executed=len(program),
         implementation_cycles=len(completions),
+        completions_per_cycle=tuple(completions),
+        specification_filter=spec_filter,
+        implementation_filter=impl_filter,
+        mismatches=mismatches,
+    )
+
+
+def _run_scoreboard(program, knobs: dict):
+    """Dynamic-beta check of the scoreboarded VSM (paper Section 5.6).
+
+    The scoreboard completes out of order, so the comparison happens only
+    at its *in-order points* — cycles where the completed set is a prefix
+    of program order (:meth:`ScoreboardTrace.in_order_points`); in the
+    worst case only at the end of the program, exactly as the paper
+    notes.  The per-cycle completion counts that drive the filters come
+    from the recorded completion cycles.
+    """
+    from ..core.dynamic_beta import SuperscalarCheckResult
+    from ..processors.scoreboard import LATENCY_PROFILES, ScoreboardVSM
+    from ..processors.vsm_unpipelined import UnpipelinedVSM
+
+    functional_units = knobs.pop("functional_units", 2)
+    profile = knobs.pop("latency_profile", "default")
+    raw_check = knobs.pop("issue_raw_check", "full")
+    if knobs:
+        raise ValueError(f"unknown scoreboard impl kwargs: {sorted(knobs)}")
+    if profile not in LATENCY_PROFILES:
+        raise ValueError(
+            f"unknown latency profile {profile!r}; valid: {sorted(LATENCY_PROFILES)}"
+        )
+
+    implementation = ScoreboardVSM(
+        functional_units=functional_units,
+        latencies=LATENCY_PROFILES[profile],
+        raw_check=raw_check,
+    )
+    specification = UnpipelinedVSM()
+
+    trace = implementation.run(program)
+    spec_observation = specification.observe()
+    spec_states = [spec_observation]
+    for instruction in program:
+        spec_observation = specification.execute_instruction(instruction.encode())
+        spec_states.append(spec_observation)
+
+    mismatches: List[str] = []
+    previous_count = 0
+    comparison_cycles = set()
+    for cycle, count in trace.in_order_points():
+        if count == previous_count:
+            continue  # nothing new completed since the last in-order point
+        previous_count = count
+        comparison_cycles.add(cycle)
+        impl_obs = trace.observations[cycle]
+        spec_obs = spec_states[count]
+        for name in spec_obs:
+            if name in ("retired_op", "retired_dest"):
+                continue
+            if impl_obs[name] != spec_obs[name]:
+                mismatches.append(
+                    f"cycle {cycle} (after {count} instructions): {name} "
+                    f"impl={impl_obs[name]} spec={spec_obs[name]}"
+                )
+
+    completions = [0] * trace.cycles
+    for index, cycle in trace.completion_cycle.items():
+        completions[cycle] += 1
+    impl_filter = tuple(1 if cycle in comparison_cycles else 0 for cycle in range(trace.cycles))
+    spec_filter = superscalar_specification_filter(completions, k=vsm_isa.PIPELINE_DEPTH)
+    return SuperscalarCheckResult(
+        passed=not mismatches,
+        instructions_executed=len(program),
+        implementation_cycles=trace.cycles,
         completions_per_cycle=tuple(completions),
         specification_filter=spec_filter,
         implementation_filter=impl_filter,
@@ -1028,7 +1114,11 @@ def _dispatch_scenario(
         )
         outcome = _outcome_from_verification(scenario, report)
     elif scenario.kind == SUPERSCALAR:
-        result = run_superscalar(scenario.decoded_program(), issue_width=scenario.issue_width)
+        result = run_superscalar(
+            scenario.decoded_program(),
+            issue_width=scenario.issue_width,
+            impl_kwargs=scenario.impl_kwargs(),
+        )
         outcome = ScenarioOutcome(
             scenario=scenario.name,
             kind=scenario.kind,

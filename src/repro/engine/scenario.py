@@ -43,6 +43,32 @@ VSM = "vsm"
 ALPHA0 = "alpha0"
 DESIGNS = (VSM, ALPHA0)
 
+#: Mutation knobs understood by the VSM implementation models, mapped to
+#: the scenario kinds they apply to.  A knob perturbs the *content* of
+#: the implementation (bypass coverage, branch arithmetic, issue-group
+#: hazard policy ...) without changing which variables the run declares,
+#: so mutated scenarios pool managers exactly like bug-injected ones.
+#: The generative fuzz campaigns (:mod:`repro.campaigns`) mass-produce
+#: scenarios through these; every knob has an *identity* value under
+#: which the model takes its stock code path byte for byte.
+MUTATION_KNOBS: Dict[str, Tuple[str, ...]] = {
+    # Which EX/WB operands the forwarding network covers ("ab" = stock).
+    "bypass_operands": (BETA, EVENTS),
+    # Constant skew added to every computed branch target (0 = stock).
+    "branch_offset": (BETA, EVENTS),
+    # Intra-group RAW/WAW checking of the superscalar issue logic.
+    "hazard_checks": (SUPERSCALAR,),
+    # Which dynamically scheduled machine runs the concrete check.
+    "pipeline": (SUPERSCALAR,),
+    # Scoreboard condensation knobs (require pipeline == "scoreboard").
+    "functional_units": (SUPERSCALAR,),
+    "latency_profile": (SUPERSCALAR,),
+    "issue_raw_check": (SUPERSCALAR,),
+}
+
+#: Knobs that configure the scoreboarded machine specifically.
+SCOREBOARD_KNOBS = ("functional_units", "latency_profile", "issue_raw_check")
+
 
 @dataclass(frozen=True)
 class Alpha0Spec:
@@ -103,6 +129,12 @@ class Scenario:
     #: Relational-subsystem policy (partitioning bounds, dynamic
     #: reordering); ``None`` leaves both features off.
     relational: Optional[RelationalPolicy] = None
+    #: Implementation-model mutation knobs as sorted ``(knob, value)``
+    #: pairs (see :data:`MUTATION_KNOBS`).  Part of the scenario's
+    #: content — mutations enter :meth:`cache_key` and
+    #: :meth:`fingerprint`, so a generated mutant never shares a store
+    #: record with the stock model.
+    mutations: Tuple[Tuple[str, object], ...] = ()
     tags: Tuple[str, ...] = ()
 
     def __post_init__(self) -> None:
@@ -148,6 +180,77 @@ class Scenario:
                 "superscalar scenarios run concretely (no BDD manager); "
                 "a relational policy would be silently ignored"
             )
+        if self.bug is not None and self.kind == SUPERSCALAR:
+            raise ValueError(
+                "superscalar scenarios take no bug code; perturb the issue "
+                "logic through mutation knobs instead"
+            )
+        self._validate_mutations()
+
+    def _validate_mutations(self) -> None:
+        """Canonicalise and validate the mutation knobs (fail fast)."""
+        pairs = []
+        for pair in self.mutations:
+            knob, value = pair
+            pairs.append((str(knob), value))
+        pairs.sort(key=lambda pair: pair[0])
+        object.__setattr__(self, "mutations", tuple(pairs))
+        if not pairs:
+            return
+        if self.design != VSM:
+            raise ValueError("mutation knobs perturb the VSM models only")
+        knobs = [knob for knob, _ in pairs]
+        if len(set(knobs)) != len(knobs):
+            raise ValueError(f"duplicate mutation knob in {knobs}")
+        for knob, value in pairs:
+            kinds = MUTATION_KNOBS.get(knob)
+            if kinds is None:
+                raise ValueError(
+                    f"unknown mutation knob {knob!r}; valid: {sorted(MUTATION_KNOBS)}"
+                )
+            if self.kind not in kinds:
+                raise ValueError(
+                    f"mutation knob {knob!r} does not apply to {self.kind} scenarios"
+                )
+            if not isinstance(value, (str, int)):
+                raise TypeError(
+                    f"mutation values must be plain str/int/bool, "
+                    f"got {type(value).__name__} for {knob!r}"
+                )
+        muts = dict(pairs)
+        if muts.get("bypass_operands", "ab") not in ("ab", "a", "b"):
+            raise ValueError("bypass_operands must be one of 'ab', 'a', 'b'")
+        offset = muts.get("branch_offset", 0)
+        if not isinstance(offset, int) or isinstance(offset, bool) or offset < 0:
+            raise ValueError("branch_offset must be a non-negative integer")
+        if muts.get("hazard_checks", "full") not in ("full", "none"):
+            raise ValueError("hazard_checks must be 'full' or 'none'")
+        pipeline = muts.get("pipeline", "superscalar")
+        if pipeline not in ("superscalar", "scoreboard"):
+            raise ValueError("pipeline must be 'superscalar' or 'scoreboard'")
+        if pipeline != "scoreboard":
+            for knob in SCOREBOARD_KNOBS:
+                if knob in muts:
+                    raise ValueError(
+                        f"{knob!r} requires the ('pipeline', 'scoreboard') mutation"
+                    )
+        elif "hazard_checks" in muts:
+            raise ValueError(
+                "hazard_checks configures the superscalar issue logic; "
+                "the scoreboard uses issue_raw_check"
+            )
+        units = muts.get("functional_units", 2)
+        if not isinstance(units, int) or isinstance(units, bool) or units < 1:
+            raise ValueError("functional_units must be a positive integer")
+        if muts.get("issue_raw_check", "full") not in ("full", "none"):
+            raise ValueError("issue_raw_check must be 'full' or 'none'")
+        profile = muts.get("latency_profile", "default")
+        from ..processors.scoreboard import LATENCY_PROFILES
+
+        if profile not in LATENCY_PROFILES:
+            raise ValueError(
+                f"unknown latency_profile {profile!r}; valid: {sorted(LATENCY_PROFILES)}"
+            )
 
     # ------------------------------------------------------------------
     # Resolution to the core objects
@@ -174,6 +277,8 @@ class Scenario:
             kwargs["bug"] = self.bug
         if self.break_event_link:
             kwargs["break_event_link"] = True
+        for knob, value in self.mutations:
+            kwargs[knob] = value
         return kwargs
 
     def observation(self) -> Optional[ObservationSpec]:
@@ -262,7 +367,12 @@ class Scenario:
         """
         if self.kind == SUPERSCALAR:
             # Concrete check: no BDD manager, no relational extraction.
-            # The specification executor is the concrete unpipelined VSM.
+            # The specification executor is the concrete unpipelined VSM;
+            # the implementation is either the in-order superscalar or —
+            # under the ('pipeline', 'scoreboard') mutation — the
+            # dynamically scheduled scoreboard machine.
+            if dict(self.mutations).get("pipeline") == "scoreboard":
+                return ("verifier", "model:vsm", "model:scoreboard")
             return ("verifier", "model:vsm", "model:superscalar")
         if self.kind == EVENTS:
             # The event models subclass the symbolic VSM models, so both
@@ -324,6 +434,14 @@ class Scenario:
             else None,
             "tags": list(self.tags),
         }
+        if self.mutations:
+            # Generator provenance: the mutation knobs are behaviour, so
+            # they enter :meth:`fingerprint` through this payload.  An
+            # *empty* knob set is omitted, so a mutant whose knobs the
+            # minimizer strips away converges to the stock scenario's
+            # fingerprint — which is what makes corpus deduplication
+            # against the golden records fire.
+            payload["mutations"] = [[knob, value] for knob, value in self.mutations]
         if self.design == ALPHA0:
             payload["alpha0"] = {
                 "data_width": self.alpha0.data_width,
@@ -425,6 +543,9 @@ class Scenario:
             program=tuple(payload.get("program", ())),
             issue_width=payload.get("issue_width", 2),
             relational=relational,
+            mutations=tuple(
+                (knob, value) for knob, value in payload.get("mutations", ())
+            ),
             tags=tuple(payload.get("tags", ())),
         )
 

@@ -470,5 +470,33 @@ class ResultStore:
             "snapshots": families["snapshots"],
         }
 
+    def disk_statistics(self) -> Dict[str, object]:
+        """On-disk record census of the store directory (corpus stats).
+
+        Unlike :meth:`statistics` — which counts *this handle's* lookup
+        activity — this walks the directory and reports how many
+        published records of each family exist and how many bytes they
+        occupy.  Campaign-scale consumers (the fuzz-campaign benchmark,
+        corpus reports) use it to show what a store artifact actually
+        contains, independent of which process wrote it.
+        """
+        census: Dict[str, object] = {"root": str(self.root)}
+        for family, directory, suffix in (
+            ("results", self._results_dir, ".json"),
+            ("snapshots", self._snapshots_dir, ".json.z"),
+        ):
+            records = 0
+            size = 0
+            if directory.is_dir():
+                # Records live in two-hex-digit fan-out subdirectories.
+                for path in directory.glob(f"*/*{suffix}"):
+                    try:
+                        size += path.stat().st_size
+                    except OSError:
+                        continue
+                    records += 1
+            census[family] = {"records": records, "bytes": size}
+        return census
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<ResultStore root={str(self.root)!r} salt={self.salt!r}>"

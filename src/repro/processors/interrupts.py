@@ -91,12 +91,16 @@ class SymbolicPipelinedVSMWithEvents(SymbolicPipelinedVSM):
         enable_annulment: bool = True,
         bug: Optional[str] = None,
         break_event_link: bool = False,
+        bypass_operands: str = "ab",
+        branch_offset: int = 0,
     ) -> None:
         super().__init__(
             manager,
             enable_bypassing=enable_bypassing,
             enable_annulment=enable_annulment,
             bug=bug,
+            bypass_operands=bypass_operands,
+            branch_offset=branch_offset,
         )
         self.break_event_link = break_event_link
 

@@ -26,6 +26,20 @@ from .state import VSMState, vsm_observation
 #: Default execution latencies per mnemonic (cycles in the execute stage).
 DEFAULT_LATENCIES: Dict[str, int] = {"add": 2, "xor": 2, "and": 1, "or": 1, "br": 1}
 
+#: Named latency overlays for the mutation catalogue.  Each maps onto the
+#: ``latencies`` constructor argument; ``"default"`` is the identity.
+LATENCY_PROFILES: Dict[str, Dict[str, int]] = {
+    "default": {},
+    "uniform": {"add": 1, "xor": 1, "and": 1, "or": 1, "br": 1},
+    "slow_logic": {"and": 3, "or": 3},
+}
+
+#: Valid values for the ``raw_check`` mutation knob.  ``"full"`` is the
+#: identity; ``"none"`` plants the classic scoreboard bug — issue no
+#: longer blocks on a pending producer, so a consumer computes its result
+#: from the stale register value.
+RAW_CHECK_CHOICES = ("full", "none")
+
 
 @dataclass
 class _InFlight:
@@ -82,10 +96,16 @@ class ScoreboardVSM:
         self,
         functional_units: int = 2,
         latencies: Optional[Dict[str, int]] = None,
+        raw_check: str = "full",
     ) -> None:
         if functional_units < 1:
             raise ValueError("at least one functional unit is required")
+        if raw_check not in RAW_CHECK_CHOICES:
+            raise ValueError(
+                f"raw_check must be one of {RAW_CHECK_CHOICES}, got {raw_check!r}"
+            )
         self.functional_units = functional_units
+        self.raw_check = raw_check
         self.latencies = dict(DEFAULT_LATENCIES)
         if latencies:
             self.latencies.update(latencies)
@@ -104,7 +124,9 @@ class ScoreboardVSM:
         if len(in_flight) >= self.functional_units:
             return False
         pending_destinations = {entry.instruction.destination() for entry in in_flight}
-        if pending_destinations.intersection(instruction.sources()):
+        if self.raw_check == "full" and pending_destinations.intersection(
+            instruction.sources()
+        ):
             return False  # RAW on a pending result
         if instruction.destination() in pending_destinations:
             return False  # WAW on a pending result

@@ -31,13 +31,27 @@ _DATA_MASK = (1 << isa.DATA_WIDTH) - 1
 _PC_MASK = (1 << isa.PC_WIDTH) - 1
 
 
+#: Valid values for the ``hazard_checks`` mutation knob.  ``"full"`` is
+#: the identity (intra-group RAW/WAW dependences end the group, the stock
+#: design); ``"none"`` plants the classic missing-interlock bug — a group
+#: reads all its operands in parallel at group entry, so a dependent
+#: instruction issued alongside its producer observes the stale value.
+HAZARD_CHECK_CHOICES = ("full", "none")
+
+
 class SuperscalarVSM:
     """An in-order dual-issue VSM executing a whole program."""
 
-    def __init__(self, issue_width: int = 2) -> None:
+    def __init__(self, issue_width: int = 2, hazard_checks: str = "full") -> None:
         if issue_width < 1:
             raise ValueError("issue width must be at least 1")
+        if hazard_checks not in HAZARD_CHECK_CHOICES:
+            raise ValueError(
+                f"hazard_checks must be one of {HAZARD_CHECK_CHOICES}, "
+                f"got {hazard_checks!r}"
+            )
         self.issue_width = issue_width
+        self.hazard_checks = hazard_checks
         self.state = VSMState()
         self._retired_op = 0
         self._retired_dest = 0
@@ -63,11 +77,14 @@ class SuperscalarVSM:
             return True
         if group[-1].is_control_transfer:
             return True
-        written = {instruction.destination() for instruction in group}
         if candidate.is_control_transfer:
             # A branch never shares a group with older instructions here; it
             # starts its own group so its PC semantics stay simple.
             return True
+        if self.hazard_checks == "none":
+            # Missing interlock: dependent instructions share a group.
+            return False
+        written = {instruction.destination() for instruction in group}
         if written.intersection(candidate.sources()):
             return True  # RAW within the group
         if candidate.destination() in written:
@@ -91,13 +108,29 @@ class SuperscalarVSM:
             while position < len(program) and not self._group_breaks(group, program[position]):
                 group.append(program[position])
                 position += 1
-            for instruction in group:
-                registers, pc = isa.execute(instruction, self.state.registers, self.state.pc)
-                self.state.registers = registers
-                self.state.pc = pc
-                self._retired_op = instruction.opcode
-                self._retired_dest = instruction.destination()
-                self.instructions_retired += 1
+            if self.hazard_checks == "none":
+                # All group members read their operands in parallel from a
+                # snapshot taken at group entry; destination writes commit
+                # in program order.  With the interlock gone, an intra-group
+                # RAW consumer therefore observes the stale register value.
+                entry_registers = list(self.state.registers)
+                for instruction in group:
+                    registers, pc = isa.execute(instruction, entry_registers, self.state.pc)
+                    self.state.registers[instruction.destination()] = registers[
+                        instruction.destination()
+                    ]
+                    self.state.pc = pc
+                    self._retired_op = instruction.opcode
+                    self._retired_dest = instruction.destination()
+                    self.instructions_retired += 1
+            else:
+                for instruction in group:
+                    registers, pc = isa.execute(instruction, self.state.registers, self.state.pc)
+                    self.state.registers = registers
+                    self.state.pc = pc
+                    self._retired_op = instruction.opcode
+                    self._retired_dest = instruction.destination()
+                    self.instructions_retired += 1
             self.cycle_count += 1
             completions.append(len(group))
             observations.append(self.observe())

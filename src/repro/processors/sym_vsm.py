@@ -256,15 +256,25 @@ class SymbolicPipelinedVSM:
         enable_bypassing: bool = True,
         enable_annulment: bool = True,
         bug: Optional[str] = None,
+        bypass_operands: str = "ab",
+        branch_offset: int = 0,
     ) -> None:
-        from .vsm_pipelined import BUG_CODES
+        from .vsm_pipelined import BUG_CODES, validate_mutation_knobs
 
         if bug is not None and bug not in BUG_CODES:
             raise ValueError(f"unknown bug code {bug!r}; valid codes: {BUG_CODES}")
+        validate_mutation_knobs(bypass_operands, branch_offset)
         self.manager = manager
         self.enable_bypassing = enable_bypassing and bug != "no_bypass"
         self.enable_annulment = enable_annulment and bug != "no_annul"
         self.bug = bug
+        #: Mutation knobs (fuzz campaigns): which operands the forwarding
+        #: network covers, and a constant skew on every branch target.
+        #: At their identity values ("ab", 0) the step function builds
+        #: exactly the stock formulae — the gates below skip, no extra
+        #: node is constructed, verdicts are byte-identical.
+        self.bypass_operands = bypass_operands
+        self.branch_offset = branch_offset
         self.cycle_count = 0
         self.reset()
 
@@ -329,22 +339,33 @@ class SymbolicPipelinedVSM:
         operand_b = decoded.operand_b
         if self.enable_bypassing:
             forwardable = manager.apply_and(retiring.valid, manager.apply_not(branch))
-            bypass_a = manager.apply_and(forwardable, fields.ra.eq(retiring.destination))
-            bypass_b = manager.conjoin(
-                [
-                    forwardable,
-                    manager.apply_not(fields.literal_flag),
-                    fields.rb.eq(retiring.destination),
-                ]
-            )
-            operand_a = BitVec.mux(bypass_a, retiring.value, operand_a)
-            operand_b = BitVec.mux(bypass_b, retiring.value, operand_b)
+            # Mutation hook: the knob narrows which operands the
+            # forwarding network covers; at the identity value "ab" both
+            # gates pass and the stock formulae are built verbatim.
+            if "a" in self.bypass_operands:
+                bypass_a = manager.apply_and(
+                    forwardable, fields.ra.eq(retiring.destination)
+                )
+            if "b" in self.bypass_operands:
+                bypass_b = manager.conjoin(
+                    [
+                        forwardable,
+                        manager.apply_not(fields.literal_flag),
+                        fields.rb.eq(retiring.destination),
+                    ]
+                )
+            if "a" in self.bypass_operands:
+                operand_a = BitVec.mux(bypass_a, retiring.value, operand_a)
+            if "b" in self.bypass_operands:
+                operand_b = BitVec.mux(bypass_b, retiring.value, operand_b)
         alu = alu_result(fields, operand_a, operand_b, swap_and_to_or=self.bug == "and_becomes_or")
         branch_value = decoded.pc.truncate(DATA_WIDTH)
         value = BitVec.mux(branch, branch_value, alu)
         target = decoded.pc + fields.displacement.zero_extend(PC_WIDTH)
         if self.bug == "wrong_branch_target":
             target = target + BitVec.constant(manager, 1, PC_WIDTH)
+        if self.branch_offset:
+            target = target + BitVec.constant(manager, self.branch_offset, PC_WIDTH)
         sequential = decoded.pc + BitVec.constant(manager, 1, PC_WIDTH)
         next_pc = BitVec.mux(branch, target, sequential)
         new_ex_wb = _SymExecuteLatch(
@@ -369,6 +390,10 @@ class SymbolicPipelinedVSM:
         redirect_target = fetched.pc + fetched_fields.displacement.zero_extend(PC_WIDTH)
         if self.bug == "wrong_branch_target":
             redirect_target = redirect_target + BitVec.constant(manager, 1, PC_WIDTH)
+        if self.branch_offset:
+            redirect_target = redirect_target + BitVec.constant(
+                manager, self.branch_offset, PC_WIDTH
+            )
 
         # ---- IF ---------------------------------------------------------
         annul = redirect if self.enable_annulment else manager.zero

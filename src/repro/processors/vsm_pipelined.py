@@ -41,6 +41,30 @@ BUG_CODES = (
     "drop_write_r3",      # register 3 is never written
 )
 
+#: Valid values for the ``bypass_operands`` mutation knob.  ``"ab"`` is
+#: the identity (forward to both operand ports, the stock design);
+#: ``"a"``/``"b"`` keep only one leg of the forwarding path, a classic
+#: partial-bypass wiring mistake.
+BYPASS_OPERAND_CHOICES = ("ab", "a", "b")
+
+
+def validate_mutation_knobs(bypass_operands: str, branch_offset: int) -> None:
+    """Validate the content-mutation knobs shared by both VSM pipelines.
+
+    The knobs perturb *logic content* only — no variables are added or
+    removed — so mutated models stay interchangeable with the stock
+    design under manager pooling.
+    """
+    if bypass_operands not in BYPASS_OPERAND_CHOICES:
+        raise ValueError(
+            f"bypass_operands must be one of {BYPASS_OPERAND_CHOICES}, "
+            f"got {bypass_operands!r}"
+        )
+    if not isinstance(branch_offset, int) or isinstance(branch_offset, bool):
+        raise ValueError(f"branch_offset must be an int, got {branch_offset!r}")
+    if branch_offset < 0:
+        raise ValueError(f"branch_offset must be non-negative, got {branch_offset}")
+
 
 @dataclass
 class _FetchLatch:
@@ -75,12 +99,18 @@ class PipelinedVSM:
         enable_bypassing: bool = True,
         enable_annulment: bool = True,
         bug: Optional[str] = None,
+        bypass_operands: str = "ab",
+        branch_offset: int = 0,
     ) -> None:
         if bug is not None and bug not in BUG_CODES:
             raise ValueError(f"unknown bug code {bug!r}; valid codes: {BUG_CODES}")
+        validate_mutation_knobs(bypass_operands, branch_offset)
         self.enable_bypassing = enable_bypassing and bug != "no_bypass"
         self.enable_annulment = enable_annulment and bug != "no_annul"
         self.bug = bug
+        # Content-mutation knobs; "ab"/0 reproduce the stock design.
+        self.bypass_operands = bypass_operands
+        self.branch_offset = branch_offset
         self.state = VSMState()
         self.fetch_pc = 0
         self.if_id = _FetchLatch()
@@ -141,15 +171,21 @@ class PipelinedVSM:
             operand_b = decoded.operand_b
             if self.enable_bypassing and retiring.valid:
                 if not instruction.is_control_transfer:
-                    if not instruction.literal_flag and instruction.rb == retiring.destination:
+                    if (
+                        "b" in self.bypass_operands
+                        and not instruction.literal_flag
+                        and instruction.rb == retiring.destination
+                    ):
                         operand_b = retiring.value
-                    if instruction.ra == retiring.destination:
+                    if "a" in self.bypass_operands and instruction.ra == retiring.destination:
                         operand_a = retiring.value
             if instruction.is_control_transfer:
                 value = decoded.pc & _DATA_MASK
                 target = (decoded.pc + instruction.displacement) & _PC_MASK
                 if self.bug == "wrong_branch_target":
                     target = (target + 1) & _PC_MASK
+                if self.branch_offset:
+                    target = (target + self.branch_offset) & _PC_MASK
                 next_pc = target
             else:
                 mnemonic = instruction.mnemonic
@@ -187,6 +223,8 @@ class PipelinedVSM:
                 redirect_target = (fetched.pc + instruction.displacement) & _PC_MASK
                 if self.bug == "wrong_branch_target":
                     redirect_target = (redirect_target + 1) & _PC_MASK
+                if self.branch_offset:
+                    redirect_target = (redirect_target + self.branch_offset) & _PC_MASK
 
         # ---- IF: latch the externally supplied instruction -------------
         annul_fetch = redirect and self.enable_annulment

@@ -538,6 +538,105 @@ class TestInterruptDifferential:
 
 
 # ----------------------------------------------------------------------
+# Identity-mutation differential: identity knobs are byte-transparent
+# ----------------------------------------------------------------------
+class TestIdentityMutationDifferential:
+    """Every mutation knob at its identity value yields verdict bytes
+    identical to the stock scenario.
+
+    The generative fuzz campaigns perturb the implementation models
+    through these knobs; the identity values are the contract that the
+    knob plumbing itself is invisible — a mutated model at the identity
+    point takes the stock code path and produces the same mismatch
+    records, counterexample assignments and structure, byte for byte.
+    """
+
+    #: Identity values per knob (see ``repro.engine.scenario.MUTATION_KNOBS``).
+    BETA_IDENTITY = (("branch_offset", 0), ("bypass_operands", "ab"))
+
+    def _pair(self, identity_mutations, **kwargs):
+        stock = execute_scenario(Scenario(name="identity-diff", **kwargs))
+        mutated = execute_scenario(
+            Scenario(name="identity-diff", mutations=identity_mutations, **kwargs)
+        )
+        return stock, mutated
+
+    @pytest.mark.parametrize(
+        "slots", [(NORMAL, NORMAL), (CONTROL, NORMAL), (NORMAL, CONTROL)]
+    )
+    def test_beta_identity_is_transparent(self, slots):
+        stock, mutated = self._pair(self.BETA_IDENTITY, slots=slots)
+        assert stock.passed
+        assert verdict_bytes(mutated) == verdict_bytes(stock)
+
+    def test_beta_identity_preserves_bug_counterexamples(self):
+        """Identity knobs on a buggy model reproduce the refutation
+        byte for byte — same decoded counterexamples."""
+        stock, mutated = self._pair(
+            self.BETA_IDENTITY, slots=(NORMAL, NORMAL), bug="no_bypass"
+        )
+        assert not stock.passed
+        assert verdict_bytes(mutated) == verdict_bytes(stock)
+
+    def test_events_identity_is_transparent(self):
+        stock, mutated = self._pair(
+            self.BETA_IDENTITY,
+            kind="events",
+            slots=(NORMAL,) * 3,
+            event_slots=(1,),
+        )
+        assert stock.passed
+        assert verdict_bytes(mutated) == verdict_bytes(stock)
+
+    def test_superscalar_identity_is_transparent(self):
+        rng = random.Random(SEED + 3)
+        program = tuple(
+            instruction.encode()
+            for instruction in vsm_isa.random_program(rng, 6)
+        )
+        stock, mutated = self._pair(
+            (("hazard_checks", "full"), ("pipeline", "superscalar")),
+            kind="superscalar",
+            program=program,
+            issue_width=2,
+        )
+        assert stock.passed
+        assert verdict_bytes(mutated) == verdict_bytes(stock)
+
+    def test_scoreboard_identity_knobs_are_transparent(self):
+        """The scoreboard's own knobs at identity match the bare
+        ``pipeline: scoreboard`` selection byte for byte."""
+        rng = random.Random(SEED + 4)
+        program = tuple(
+            instruction.encode()
+            for instruction in vsm_isa.random_program(rng, 6)
+        )
+        base = execute_scenario(
+            Scenario(
+                name="identity-diff",
+                kind="superscalar",
+                program=program,
+                mutations=(("pipeline", "scoreboard"),),
+            )
+        )
+        expanded = execute_scenario(
+            Scenario(
+                name="identity-diff",
+                kind="superscalar",
+                program=program,
+                mutations=(
+                    ("functional_units", 2),
+                    ("issue_raw_check", "full"),
+                    ("latency_profile", "default"),
+                    ("pipeline", "scoreboard"),
+                ),
+            )
+        )
+        assert base.passed
+        assert verdict_bytes(expanded) == verdict_bytes(base)
+
+
+# ----------------------------------------------------------------------
 # Telemetry differential: tracing must never touch a verdict
 # ----------------------------------------------------------------------
 class TestTelemetryDifferential:

@@ -21,6 +21,7 @@ import pathlib
 
 import pytest
 
+from repro.campaigns import load_corpus_records, witness_key
 from repro.engine import Scenario, execute_scenario
 
 GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_counterexamples.json"
@@ -97,6 +98,61 @@ def test_counterexample_words_match_their_disassembly(name):
         assert mismatch["words"].keys() <= decoded.keys()
         for label in mismatch["words"]:
             assert decoded[label], f"{name}: empty disassembly for {label}"
+
+
+# ----------------------------------------------------------------------
+# Fuzz-corpus replay: minimized witnesses are golden records too
+# ----------------------------------------------------------------------
+FUZZ_RECORDS = {
+    record["fingerprint"]: record for record in load_corpus_records()
+}
+
+
+def _canonical(mismatches):
+    return json.dumps(mismatches, indent=2, sort_keys=True)
+
+
+@pytest.fixture(scope="module")
+def fuzz_outcomes():
+    """Replay every committed fuzz-corpus record once."""
+    results = {}
+    for fingerprint, record in FUZZ_RECORDS.items():
+        scenario = Scenario.from_dict(record["scenario"])
+        results[fingerprint] = (scenario, execute_scenario(scenario))
+    return results
+
+
+def test_fuzz_corpus_has_minimized_records():
+    assert FUZZ_RECORDS, "tests/data/fuzz_corpus must hold witness records"
+    for record in FUZZ_RECORDS.values():
+        assert record["scenario"]["name"].startswith("fuzz/min/")
+
+
+@pytest.mark.parametrize("fingerprint", sorted(FUZZ_RECORDS))
+def test_fuzz_record_is_content_addressed(fingerprint):
+    """The stored fingerprint is the scenario's own content address."""
+    scenario = Scenario.from_dict(FUZZ_RECORDS[fingerprint]["scenario"])
+    assert witness_key(scenario) == fingerprint
+    assert scenario.name == f"fuzz/min/{fingerprint[:12]}"
+
+
+@pytest.mark.parametrize("fingerprint", sorted(FUZZ_RECORDS))
+def test_fuzz_record_still_refutes(fingerprint, fuzz_outcomes):
+    """Replaying a minimized witness never flips its verdict."""
+    scenario, outcome = fuzz_outcomes[fingerprint]
+    assert not outcome.passed, f"{scenario.name}: minimized witness escaped"
+    assert outcome.error is None
+    assert outcome.mismatches
+
+
+@pytest.mark.parametrize("fingerprint", sorted(FUZZ_RECORDS))
+def test_fuzz_record_mismatches_are_stable(fingerprint, fuzz_outcomes):
+    """Fresh replay reproduces the recorded mismatches byte for byte."""
+    record = FUZZ_RECORDS[fingerprint]
+    _, outcome = fuzz_outcomes[fingerprint]
+    assert len(outcome.mismatches) == record["mismatch_count"]
+    fresh = outcome.mismatches[: len(record["first_mismatches"])]
+    assert _canonical(fresh) == _canonical(record["first_mismatches"])
 
 
 def regenerate() -> None:  # pragma: no cover - maintenance entry point
