@@ -155,8 +155,6 @@ class BDDKernel:
         #: keep their subtable keys and move as a whole dict, so a swap
         #: re-keys only the rebuilt nodes.
         self._table: Dict[int, Dict[Tuple[int, int], int]] = {}
-        #: Live non-terminal node count (the subtables' total size).
-        self._live = 0
         #: Reclaimed handles awaiting reuse (LIFO).
         self._free: List[int] = []
         #: Per-level index: level -> bucket of live handles at that level.
@@ -179,12 +177,49 @@ class BDDKernel:
         #: instead of spraying many small stack handoffs at the
         #: recursion-budget frontier.
         self._depth_hint = 0
-        # Arena accounting.
-        self._nodes_allocated = 0  # total allocations (incl. free-list reuse)
-        self._peak_live = 0
+        # Arena accounting.  ``_live`` and ``_nodes_allocated`` are
+        # *derived* (properties below): every non-terminal slot is
+        # either keyed in a subtable or parked on the free-list, so the
+        # hot allocation tails never touch a counter.  ``_freed_total``
+        # only moves inside :meth:`collect`, and the live high-water
+        # mark is *sampled* at GC safe points — exact, because the live
+        # count is non-decreasing between collections (nodes only die
+        # in the sweep).
+        self._freed_total = 0
+        self._peak_sample = 0
         self._gc_runs = 0
         self._gc_reclaimed = 0
         self._mark_epoch = 0
+
+    # ------------------------------------------------------------------
+    # Derived arena accounting
+    # ------------------------------------------------------------------
+    @property
+    def _live(self) -> int:
+        """Live non-terminal node count (the subtables' total size).
+
+        Derived: every slot past the terminals is either live in a
+        subtable or free-listed, so the allocation fast paths pay no
+        counter updates.
+        """
+        return len(self._level) - 2 - len(self._free)
+
+    @property
+    def _nodes_allocated(self) -> int:
+        """Total allocations, free-list reuse included (derived).
+
+        Fresh slots are array appends (``len(_level) - 2`` of them,
+        ever); reuses are pops off the free-list, i.e. everything ever
+        freed that is no longer waiting there.
+        """
+        return len(self._level) - 2 + self._freed_total - len(self._free)
+
+    @property
+    def _peak_live(self) -> int:
+        """High-water mark of the live count (sampled at safe points)."""
+        live = len(self._level) - 2 - len(self._free)
+        peak = self._peak_sample
+        return live if live > peak else peak
 
     # ------------------------------------------------------------------
     # Subclass hooks
@@ -224,12 +259,7 @@ class BDDKernel:
                 self._level.append(lvl)
                 self._low.append(lo)
                 self._high.append(hi)
-                self._mark.append(0)
             sub[key] = h
-            self._nodes_allocated += 1
-            self._live += 1
-            if self._live > self._peak_live:
-                self._peak_live = self._live
             bucket = self._level_index.get(lvl)
             if bucket is None:
                 bucket = self._level_index[lvl] = self._new_bucket()
@@ -322,12 +352,17 @@ class BDDKernel:
         depth -= 1
         # Terminal-test cofactors resolve inline: leaf calls are nearly
         # half of a cold expansion, and each saved frame is pure win.
+        # Equal-branch cofactors collapse without a frame either.
         if f0 < 2:
             r0 = g0 if f0 else h0
+        elif g0 == h0:
+            r0 = g0
         else:
             r0 = self._ite3(f0, g0, h0, depth)
         if f1 < 2:
             r1 = g1 if f1 else h1
+        elif g1 == h1:
+            r1 = g1
         else:
             r1 = self._ite3(f1, g1, h1, depth)
         # --- reduce, hash-cons and memoise ----------------------------
@@ -338,30 +373,33 @@ class BDDKernel:
             if sub is None:
                 sub = self._table[top] = {}
             k2 = (r0, r1)
-            r = sub.get(k2)
-            if r is None:
-                free = self._free
-                if free:
+            free = self._free
+            if free:
+                r = sub.get(k2)
+                if r is None:
                     r = free.pop()
                     level[r] = top
                     low[r] = r0
                     high[r] = r1
-                else:
-                    r = len(level)
+                    sub[k2] = r
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
+            else:
+                # Single-probe cons: with the free-list empty the next
+                # handle is known up front, so probe and insert in one
+                # setdefault (the common cold-allocation case).
+                n = len(level)
+                r = sub.setdefault(k2, n)
+                if r == n:
                     level.append(top)
                     low.append(r0)
                     high.append(r1)
-                    self._mark.append(0)
-                sub[k2] = r
-                self._nodes_allocated += 1
-                live = self._live + 1
-                self._live = live
-                if live > self._peak_live:
-                    self._peak_live = live
-                bucket = self._level_index.get(top)
-                if bucket is None:
-                    bucket = self._level_index[top] = self._new_bucket()
-                bucket.add(r)
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
         cache[key] = r
         if key[1] == 0 and key[2] == 1:
             cache[(r, 0, 1)] = key[0]
@@ -393,7 +431,6 @@ class BDDKernel:
         hits = 0
         misses = 0
         bounded = limit is not None
-        allocated = 0
         tasks: List[tuple] = [(4, f, g, h, key)]
         push = tasks.append
         pop = tasks.pop
@@ -521,25 +558,30 @@ class BDDKernel:
                 if sub is None:
                     sub = table[top] = {}
                 k2 = (lo, hi)
-                r = sub.get(k2)
-                if r is None:
-                    if free:
+                if free:
+                    r = sub.get(k2)
+                    if r is None:
                         r = free.pop()
                         level[r] = top
                         low[r] = lo
                         high[r] = hi
-                    else:
-                        r = len(level)
+                        sub[k2] = r
+                        bucket = lidx.get(top)
+                        if bucket is None:
+                            bucket = lidx[top] = self._new_bucket()
+                        bucket.add(r)
+                else:
+                    # Single-probe cons (see _ite3's reduce tail).
+                    n = len(level)
+                    r = sub.setdefault(k2, n)
+                    if r == n:
                         level.append(top)
                         low.append(lo)
                         high.append(hi)
-                        self._mark.append(0)
-                    sub[k2] = r
-                    allocated += 1
-                    bucket = lidx.get(top)
-                    if bucket is None:
-                        bucket = lidx[top] = self._new_bucket()
-                    bucket.add(r)
+                        bucket = lidx.get(top)
+                        if bucket is None:
+                            bucket = lidx[top] = self._new_bucket()
+                        bucket.add(r)
             cache[key] = r
             if key[1] == 0 and key[2] == 1:
                 # r = NOT key[0]; negation is an involution, so the
@@ -550,11 +592,6 @@ class BDDKernel:
             rpush(r)
         self._cache_hits += hits
         self._cache_misses += misses
-        if allocated:
-            self._nodes_allocated += allocated
-            self._live += allocated
-            if self._live > self._peak_live:
-                self._peak_live = self._live
         return results[0]
 
     # Convenience forms used by the other walkers.
@@ -635,30 +672,33 @@ class BDDKernel:
             if sub is None:
                 sub = self._table[top] = {}
             k2 = (r0, r1)
-            r = sub.get(k2)
-            if r is None:
-                free = self._free
-                if free:
+            free = self._free
+            if free:
+                r = sub.get(k2)
+                if r is None:
                     r = free.pop()
                     level[r] = top
                     low[r] = r0
                     high[r] = r1
-                else:
-                    r = len(level)
+                    sub[k2] = r
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
+            else:
+                # Single-probe cons: with the free-list empty the next
+                # handle is known up front, so probe and insert in one
+                # setdefault (the common cold-allocation case).
+                n = len(level)
+                r = sub.setdefault(k2, n)
+                if r == n:
                     level.append(top)
                     low.append(r0)
                     high.append(r1)
-                    self._mark.append(0)
-                sub[k2] = r
-                self._nodes_allocated += 1
-                live = self._live + 1
-                self._live = live
-                if live > self._peak_live:
-                    self._peak_live = live
-                bucket = self._level_index.get(top)
-                if bucket is None:
-                    bucket = self._level_index[top] = self._new_bucket()
-                bucket.add(r)
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
         cache[key] = r
         if self._cache_limit is not None and len(cache) > self._cache_limit:
             self._drop_cache(cache)
@@ -728,30 +768,33 @@ class BDDKernel:
             if sub is None:
                 sub = self._table[top] = {}
             k2 = (r0, r1)
-            r = sub.get(k2)
-            if r is None:
-                free = self._free
-                if free:
+            free = self._free
+            if free:
+                r = sub.get(k2)
+                if r is None:
                     r = free.pop()
                     level[r] = top
                     low[r] = r0
                     high[r] = r1
-                else:
-                    r = len(level)
+                    sub[k2] = r
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
+            else:
+                # Single-probe cons: with the free-list empty the next
+                # handle is known up front, so probe and insert in one
+                # setdefault (the common cold-allocation case).
+                n = len(level)
+                r = sub.setdefault(k2, n)
+                if r == n:
                     level.append(top)
                     low.append(r0)
                     high.append(r1)
-                    self._mark.append(0)
-                sub[k2] = r
-                self._nodes_allocated += 1
-                live = self._live + 1
-                self._live = live
-                if live > self._peak_live:
-                    self._peak_live = live
-                bucket = self._level_index.get(top)
-                if bucket is None:
-                    bucket = self._level_index[top] = self._new_bucket()
-                bucket.add(r)
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
         cache[key] = r
         if self._cache_limit is not None and len(cache) > self._cache_limit:
             self._drop_cache(cache)
@@ -813,12 +856,23 @@ class BDDKernel:
         else:
             g0 = g1 = g
         depth -= 1
+        # Terminal-adjacent cofactors resolve inline (mirrors the entry
+        # tests); only a genuine two-decision XOR pays a frame.
+        neg = 0 if xnor else 1
         if f0 == g0:
             r0 = one_result
+        elif f0 < 2:
+            r0 = self._ite3(g0, 0, 1) if f0 == neg else g0
+        elif g0 < 2:
+            r0 = self._ite3(f0, 0, 1) if g0 == neg else f0
         else:
             r0 = self._xor2(f0, g0, xnor, depth)
         if f1 == g1:
             r1 = one_result
+        elif f1 < 2:
+            r1 = self._ite3(g1, 0, 1) if f1 == neg else g1
+        elif g1 < 2:
+            r1 = self._ite3(f1, 0, 1) if g1 == neg else f1
         else:
             r1 = self._xor2(f1, g1, xnor, depth)
         # --- reduce, hash-cons and memoise ----------------------------
@@ -829,30 +883,33 @@ class BDDKernel:
             if sub is None:
                 sub = self._table[top] = {}
             k2 = (r0, r1)
-            r = sub.get(k2)
-            if r is None:
-                free = self._free
-                if free:
+            free = self._free
+            if free:
+                r = sub.get(k2)
+                if r is None:
                     r = free.pop()
                     level[r] = top
                     low[r] = r0
                     high[r] = r1
-                else:
-                    r = len(level)
+                    sub[k2] = r
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
+            else:
+                # Single-probe cons: with the free-list empty the next
+                # handle is known up front, so probe and insert in one
+                # setdefault (the common cold-allocation case).
+                n = len(level)
+                r = sub.setdefault(k2, n)
+                if r == n:
                     level.append(top)
                     low.append(r0)
                     high.append(r1)
-                    self._mark.append(0)
-                sub[k2] = r
-                self._nodes_allocated += 1
-                live = self._live + 1
-                self._live = live
-                if live > self._peak_live:
-                    self._peak_live = live
-                bucket = self._level_index.get(top)
-                if bucket is None:
-                    bucket = self._level_index[top] = self._new_bucket()
-                bucket.add(r)
+                    bucket = self._level_index.get(top)
+                    if bucket is None:
+                        bucket = self._level_index[top] = self._new_bucket()
+                    bucket.add(r)
         cache[key] = r
         if self._cache_limit is not None and len(cache) > self._cache_limit:
             self._drop_cache(cache)
@@ -879,7 +936,6 @@ class BDDKernel:
         neg_terminal = 0 if xnor else 1
         hits = 0
         misses = 0
-        allocated = 0
         # Task tags: 4 expand (known miss), 1 both pending, 2 low known,
         # 3 high known.
         tasks: List[tuple] = [(4, f, g, key)]
@@ -983,36 +1039,36 @@ class BDDKernel:
                 if sub is None:
                     sub = table[top] = {}
                 k2 = (lo, hi)
-                r = sub.get(k2)
-                if r is None:
-                    if free:
+                if free:
+                    r = sub.get(k2)
+                    if r is None:
                         r = free.pop()
                         level[r] = top
                         low[r] = lo
                         high[r] = hi
-                    else:
-                        r = len(level)
+                        sub[k2] = r
+                        bucket = lidx.get(top)
+                        if bucket is None:
+                            bucket = lidx[top] = self._new_bucket()
+                        bucket.add(r)
+                else:
+                    # Single-probe cons (see _ite3's reduce tail).
+                    n = len(level)
+                    r = sub.setdefault(k2, n)
+                    if r == n:
                         level.append(top)
                         low.append(lo)
                         high.append(hi)
-                        self._mark.append(0)
-                    sub[k2] = r
-                    allocated += 1
-                    bucket = lidx.get(top)
-                    if bucket is None:
-                        bucket = lidx[top] = self._new_bucket()
-                    bucket.add(r)
+                        bucket = lidx.get(top)
+                        if bucket is None:
+                            bucket = lidx[top] = self._new_bucket()
+                        bucket.add(r)
             cache[key] = r
             if bounded and len(cache) > limit:
                 self._drop_cache(cache)
             rpush(r)
         self._cache_hits += hits
         self._cache_misses += misses
-        if allocated:
-            self._nodes_allocated += allocated
-            self._live += allocated
-            if self._live > self._peak_live:
-                self._peak_live = self._live
         return results[0]
 
     # ------------------------------------------------------------------
@@ -1469,16 +1525,49 @@ class BDDKernel:
             mapped_levels = list(map(level_map.__getitem__, levels))
         except (TypeError, KeyError) as exc:
             raise SnapshotError(f"unmapped snapshot level: {exc!r}") from None
+        handles = self._restore_build(mapped_levels, lows, highs)
+        try:
+            restored = []
+            for r in roots:
+                if not 0 <= r < len(handles):
+                    # Explicit bound check: Python's negative indexing
+                    # would otherwise "resolve" a corrupt root to some
+                    # valid-looking node — the one failure mode this
+                    # method must never have.
+                    raise SnapshotError(f"snapshot root {r!r} out of range")
+                restored.append(handles[r])
+            return restored
+        except TypeError as exc:
+            raise SnapshotError(
+                f"snapshot roots reference missing nodes: {exc!r}"
+            ) from None
+
+    def _restore_build(
+        self,
+        mapped_levels: List[int],
+        lows: List[int],
+        highs: List[int],
+    ) -> List[int]:
+        """Validate and hash-cons the snapshot's node records, in order.
+
+        The restore hot loop, factored out so alternative backends can
+        replace it wholesale (the vectorized backend rebuilds the node
+        column with numpy bulk operations); ``mapped_levels`` has
+        already been translated through the level map.  Returns the
+        handle of every snapshot id — ``[0, 1]`` for the terminals
+        followed by one consed handle per node record — enforcing the
+        structural invariants (backward child references, no redundant
+        nodes, strictly increasing levels along edges) before any node
+        is built.
+        """
         level = self._level
         low = self._low
         high = self._high
         table = self._table
         free = self._free
         lidx = self._level_index
-        mark = self._mark
         handles: List[int] = [0, 1]
         append = handles.append
-        allocated = 0
         try:
             i = -1
             for i, (lvl, lo_id, hi_id) in enumerate(zip(mapped_levels, lows, highs)):
@@ -1510,9 +1599,7 @@ class BDDKernel:
                         level.append(lvl)
                         low.append(lo)
                         high.append(hi)
-                        mark.append(0)
                     sub[key] = h
-                    allocated += 1
                     bucket = lidx.get(lvl)
                     if bucket is None:
                         bucket = lidx[lvl] = self._new_bucket()
@@ -1520,27 +1607,50 @@ class BDDKernel:
                 append(h)
         except (TypeError, KeyError) as exc:
             raise SnapshotError(f"malformed snapshot node {i}: {exc!r}") from None
-        finally:
-            if allocated:
-                self._nodes_allocated += allocated
-                self._live += allocated
-                if self._live > self._peak_live:
-                    self._peak_live = self._live
-        try:
-            restored = []
-            for r in roots:
-                if not 0 <= r < len(handles):
-                    # Explicit bound check: Python's negative indexing
-                    # would otherwise "resolve" a corrupt root to some
-                    # valid-looking node — the one failure mode this
-                    # method must never have.
-                    raise SnapshotError(f"snapshot root {r!r} out of range")
-                restored.append(handles[r])
-            return restored
-        except TypeError as exc:
-            raise SnapshotError(
-                f"snapshot roots reference missing nodes: {exc!r}"
-            ) from None
+        return handles
+
+    # ------------------------------------------------------------------
+    # Reorder support
+    # ------------------------------------------------------------------
+    def _plan_swap(
+        self, y_level: int, x_nodes: List[int]
+    ) -> Tuple[List[int], List[Tuple[int, int, int, int, int]]]:
+        """Classify the upper level's nodes for an adjacent level swap.
+
+        ``x_nodes`` are the live handles at the level above ``y_level``.
+        Returns ``(independent, rebuilds)``: nodes with no ``y``-level
+        child just move down one level, while each rebuild record
+        ``(n, f00, f01, f10, f11)`` carries the four grandchildren of
+        the Shannon expansion the swap re-wires the node with.  Read-only
+        over the *pre-swap* structure, which is what lets the vectorized
+        backend replace the per-node loop with bulk gathers
+        (:meth:`repro.bdd.vector.VectorBDDManager._plan_swap`); the
+        mutation half of the swap lives in
+        :func:`repro.bdd.reorder._swap_levels`.
+        """
+        lv = self._level
+        lo_a = self._low
+        hi_a = self._high
+        independent: List[int] = []
+        rebuilds: List[Tuple[int, int, int, int, int]] = []
+        for n in x_nodes:
+            lo = lo_a[n]
+            hi = hi_a[n]
+            lo_tests_y = lv[lo] == y_level
+            hi_tests_y = lv[hi] == y_level
+            if not lo_tests_y and not hi_tests_y:
+                independent.append(n)
+                continue
+            if lo_tests_y:
+                f00, f01 = lo_a[lo], hi_a[lo]
+            else:
+                f00 = f01 = lo
+            if hi_tests_y:
+                f10, f11 = lo_a[hi], hi_a[hi]
+            else:
+                f10 = f11 = hi
+            rebuilds.append((n, f00, f01, f10, f11))
+        return independent, rebuilds
 
     # ------------------------------------------------------------------
     # Garbage collection
@@ -1557,13 +1667,19 @@ class BDDKernel:
         only: never called from inside an operation.
         """
         table = self._table
-        if not self._live:
+        live = len(self._level) - 2 - len(self._free)
+        if not live:
             return 0
         # Refresh the high-water mark before anything is reclaimed (the
-        # hot loops only checkpoint it at operation exit).
-        if self._live > self._peak_live:
-            self._peak_live = self._live
+        # hot loops never touch it; live only decreases here, so the
+        # sample taken now is the exact running maximum).
+        if live > self._peak_sample:
+            self._peak_sample = live
         mark = self._mark
+        # The allocation fast paths do not grow the mark array (it is
+        # only read here); top it up to the arena length in one extend.
+        if len(mark) < len(self._level):
+            mark.extend(bytes(len(self._level) - len(mark)))
         low = self._low
         high = self._high
         self._mark_epoch += 1
@@ -1606,7 +1722,7 @@ class BDDKernel:
             low[n] = 0
             high[n] = 0
             free.append(n)
-        self._live -= len(dead)
+        self._freed_total += len(dead)
         self._gc_runs += 1
         self._gc_reclaimed += len(dead)
         for cache in (self._ite_cache, self._op_cache):
@@ -1684,11 +1800,14 @@ class BDDKernel:
         unique-table entries plus the two terminals; ``free`` the
         reclaimed handles awaiting reuse.
         """
+        live = len(self._level) - 2 - len(self._free)
+        if live > self._peak_sample:
+            self._peak_sample = live
         return {
             "capacity": len(self._level),
-            "live": self._live + 2,
+            "live": live + 2,
             "free": len(self._free),
-            "peak_live": self._peak_live + 2,
+            "peak_live": self._peak_sample + 2,
             "allocated_total": self._nodes_allocated,
             "gc_runs": self._gc_runs,
             "gc_reclaimed": self._gc_reclaimed,

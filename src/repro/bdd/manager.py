@@ -176,14 +176,24 @@ class BDDManager(BDDKernel):
         #: each touch (the dominant cost of warm small operations); the
         #: ring keeps the hot working set interned.  It is flushed by
         #: :meth:`collect`, so the collector still sees exactly the
-        #: wrappers external code holds.  1024 slots cover the warm
-        #: working sets measured in ``bench_bdd_kernel`` while keeping
-        #: cold manager construction cheap (the ring allocation is the
-        #: single biggest item of ``__init__``).
-        self._recent_wrappers: List[Optional[BDD]] = [None] * 1024
+        #: wrappers external code holds.  Allocated lazily on the first
+        #: mint and kept small (256 slots cover the warm working sets
+        #: measured in ``bench_bdd_kernel``): the ring's strong wrapper
+        #: references are what make a dropped manager *cyclic* garbage,
+        #: so every slot is weight the cycle collector must walk — the
+        #: measured cold-chain tax of the old eager 1024-slot ring.
+        self._recent_wrappers: Optional[List[Optional[BDD]]] = None
         self._recent_index = 0
-        self.zero = BDD(self, 0)
-        self.one = BDD(self, 1)
+        # Terminal wrappers without the __init__ dispatch (cold manager
+        # construction is a measured regime; see _wrap).
+        zero = _bdd_alloc(BDD)
+        zero.manager = self
+        zero._h = 0
+        one = _bdd_alloc(BDD)
+        one.manager = self
+        one._h = 1
+        self.zero = zero
+        self.one = one
         self._unique_view: Optional[_UniqueTableView] = None
         #: Session-scoped artifact cache for layers above the kernel
         #: (e.g. the relational backend's extracted beta relations).
@@ -205,7 +215,16 @@ class BDDManager(BDDKernel):
     # Kernel hooks & wrapper interning
     # ------------------------------------------------------------------
     def _new_bucket(self, handles: Iterable[int] = ()) -> _LevelBucket:
-        return _LevelBucket(self, handles)
+        if handles:
+            return _LevelBucket(self, handles)
+        # Empty-bucket fast path: the allocation tails create a bucket
+        # the first time a level is populated, and ``set.__new__``
+        # already yields an initialised empty set — skipping the
+        # __init__ dispatch keeps first-node-per-level cheap on cold
+        # managers.
+        bucket = set.__new__(_LevelBucket)
+        bucket._manager = self
+        return bucket
 
     def _external_roots(self) -> List[int]:
         # Materialising items() pins the mapping for the duration of the
@@ -231,9 +250,12 @@ class BDDManager(BDDKernel):
         wrapper.manager = self
         wrapper._h = handle
         self._wrappers[handle] = _weakref_new(wrapper)
-        index = self._recent_index + 1 & 1023
+        ring = self._recent_wrappers
+        if ring is None:
+            ring = self._recent_wrappers = [None] * 256
+        index = self._recent_index + 1 & 255
         self._recent_index = index
-        self._recent_wrappers[index] = wrapper
+        ring[index] = wrapper
         return wrapper
 
     @property
@@ -254,8 +276,9 @@ class BDDManager(BDDKernel):
         # Flush the strong wrapper ring: it exists for interning speed,
         # not liveness, and dropping it here (refcounts retire the dead
         # wrappers synchronously) keeps the root set exactly the
-        # wrappers external code still holds.
-        self._recent_wrappers = [None] * len(self._recent_wrappers)
+        # wrappers external code still holds.  The next mint lazily
+        # re-allocates it.
+        self._recent_wrappers = None
         reclaimed = super().collect(handles)
         # Purge interning entries whose wrapper died (the mapping uses
         # callback-free refs, so dead entries linger until a safe point).
@@ -539,15 +562,19 @@ class BDDManager(BDDKernel):
 
     def var(self, name: str) -> BDD:
         """The function of a single positive literal."""
-        if name not in self._level_of:
+        lvl = self._level_of.get(name)
+        if lvl is None:
             self.declare(name)
-        return self._wrap(self._mk_int(self._level_of[name], 0, 1))
+            lvl = self._level_of[name]
+        return self._wrap(self._mk_int(lvl, 0, 1))
 
     def nvar(self, name: str) -> BDD:
         """The function of a single negative literal."""
-        if name not in self._level_of:
+        lvl = self._level_of.get(name)
+        if lvl is None:
             self.declare(name)
-        return self._wrap(self._mk_int(self._level_of[name], 1, 0))
+            lvl = self._level_of[name]
+        return self._wrap(self._mk_int(lvl, 1, 0))
 
     # ------------------------------------------------------------------
     # Core operation: if-then-else

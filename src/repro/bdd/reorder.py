@@ -38,6 +38,7 @@ is the time-budget knob for big tables.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -105,26 +106,12 @@ def _swap_levels(manager: BDDManager, level: int) -> bool:
     x_nodes: List[int] = list(x_bucket) if x_bucket else []
     y_nodes: List[int] = list(y_bucket) if y_bucket else []
 
-    # Plan the rebuilds against the *old* structure before any relabelling.
-    independent: List[int] = []
-    rebuilds: List[Tuple[int, int, int, int, int]] = []
-    for n in x_nodes:
-        lo = lo_a[n]
-        hi = hi_a[n]
-        lo_tests_y = lv[lo] == y_level
-        hi_tests_y = lv[hi] == y_level
-        if not lo_tests_y and not hi_tests_y:
-            independent.append(n)
-            continue
-        if lo_tests_y:
-            f00, f01 = lo_a[lo], hi_a[lo]
-        else:
-            f00 = f01 = lo
-        if hi_tests_y:
-            f10, f11 = lo_a[hi], hi_a[hi]
-        else:
-            f10 = f11 = hi
-        rebuilds.append((n, f00, f01, f10, f11))
+    # Plan the rebuilds against the *old* structure before any
+    # relabelling.  The planning pass is a manager hook so backends can
+    # replace the per-node loop (the vectorized backend classifies both
+    # levels with numpy bulk gathers); the mutation below is identical
+    # for every backend.
+    independent, rebuilds = manager._plan_swap(y_level, x_nodes)
 
     # Per-level subtables make the bulk moves free: a node that only
     # changes *level* keeps its (low, high) key, so the whole y
@@ -139,13 +126,13 @@ def _swap_levels(manager: BDDManager, level: int) -> bool:
     for n, _f00, _f01, _f10, _f11 in rebuilds:
         del x_sub[(lo_a[n], hi_a[n])]
         x_bucket.discard(n)
+    # Relabelling writes one level word per node; map over the bound
+    # __setitem__ keeps the loop in C for fat levels.
     # y moves up: structure unchanged, only the level word changes.
-    for n in y_nodes:
-        lv[n] = level
+    list(map(lv.__setitem__, y_nodes, itertools.repeat(level)))
     # x-nodes independent of y move down unchanged (they are exactly
     # what is left of the old x subtable and the old x index bucket).
-    for n in independent:
-        lv[n] = y_level
+    list(map(lv.__setitem__, independent, itertools.repeat(y_level)))
     table[level] = y_sub
     table[y_level] = x_sub
     # The index buckets swap wholesale too; nodes the rebuild loop

@@ -23,7 +23,7 @@ from __future__ import annotations
 import time
 from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..bdd import BDDManager, find_distinguishing_assignment
+from ..bdd import BDDManager, create_manager, find_distinguishing_assignment
 from ..isa import vsm as vsm_isa
 from ..logic import BitVec
 from ..strings import (
@@ -44,6 +44,7 @@ from ..relational.policy import (
     BETA_RELATIONAL,
     RelationalPolicy,
     effective_beta_backend,
+    effective_kernel_backend,
 )
 from .. import telemetry
 from . import codehash
@@ -312,7 +313,11 @@ def run_beta(
     """
     from ..relational.beta import supports_state_injection
 
-    manager = manager if manager is not None else BDDManager()
+    manager = (
+        manager
+        if manager is not None
+        else create_manager(backend=effective_kernel_backend(relational))
+    )
     observation = observation if observation is not None else architecture.observation_spec()
     models = None
     if effective_beta_backend(relational) == BETA_RELATIONAL:
@@ -540,7 +545,12 @@ def _run_beta_relational(
         # on the classical path so failing verdicts are byte-identical
         # to the compose backend's (same mismatch set by canonicity).
         report = _run_beta_compose(
-            architecture, siminfo, BDDManager(), impl_kwargs, observation, relational
+            architecture,
+            siminfo,
+            create_manager(backend=effective_kernel_backend(relational)),
+            impl_kwargs,
+            observation,
+            relational,
         )
         report.backend = "relational+fallback"
         report.extraction_cache = dict(extraction_record)
@@ -698,7 +708,11 @@ def run_events(
         SymbolicUnpipelinedVSMWithEvents,
     )
 
-    manager = manager if manager is not None else BDDManager()
+    manager = (
+        manager
+        if manager is not None
+        else create_manager(backend=effective_kernel_backend(relational))
+    )
     observation = observation if observation is not None else vsm_observables()
     impl_kwargs = impl_kwargs or {}
     event_set = set(event_slots)
@@ -1066,7 +1080,9 @@ def execute_scenario(
     (see :func:`run_beta`); the other drivers ignore it.
     """
     if scenario.needs_manager() and manager is None:
-        manager = BDDManager()
+        manager = create_manager(
+            backend=effective_kernel_backend(scenario.relational)
+        )
     cache_before = manager.cache_statistics() if manager is not None else None
 
     started = time.perf_counter()

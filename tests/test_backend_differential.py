@@ -1,0 +1,393 @@
+"""Differential suite: the vector kernel backend vs. the dict baseline.
+
+The vector backend (:mod:`repro.bdd.vector`) reroutes large snapshot
+restores and level-swap planning through numpy batch kernels while the
+per-level dict table stays authoritative.  Its contract is stronger
+than semantic equivalence: every operation sequence must leave the two
+backends *handle-identical* — same arena arrays, same free-list, same
+snapshots, byte for byte.  These tests drive random operation / GC /
+swap / sift sequences and cold/warm/overlapping restores through both
+backends with the batch thresholds forced down so even small inputs
+take the vectorized paths, then assert exact equality; golden engine
+verdicts must match the stored counterexample records on the vector
+backend too.
+
+All randomness is seeded; the suite is deterministic.  The whole module
+is skipped when numpy is unavailable (the vector backend then falls
+back to the scalar loops, which the ordinary kernel suite covers).
+"""
+
+import json
+import pathlib
+import random
+
+import pytest
+
+from repro.bdd import (
+    BDDManager,
+    KERNEL_BACKENDS,
+    KERNEL_DICT,
+    KERNEL_VECTOR,
+    converge_sift,
+    create_manager,
+    default_kernel_backend,
+    swap_adjacent,
+)
+from repro.bdd import vector as vector_mod
+from repro.bdd.vector import VectorBDDManager, numpy_available
+
+pytestmark = pytest.mark.skipif(
+    not numpy_available(), reason="numpy not installed"
+)
+
+SEED = 20260808
+
+
+@pytest.fixture(autouse=True)
+def force_vector_paths(monkeypatch):
+    """Drop the batch thresholds so small test inputs vectorize too."""
+    monkeypatch.setattr(vector_mod, "VECTOR_RESTORE_MIN", 1)
+    monkeypatch.setattr(vector_mod, "VECTOR_SWAP_MIN", 1)
+
+
+def random_function(manager, rng, names, depth=4):
+    if depth == 0 or rng.random() < 0.25:
+        name = rng.choice(names)
+        return manager.var(name) if rng.random() < 0.5 else manager.nvar(name)
+    left = random_function(manager, rng, names, depth - 1)
+    right = random_function(manager, rng, names, depth - 1)
+    op = rng.randrange(5)
+    if op == 0:
+        return manager.apply_and(left, right)
+    if op == 1:
+        return manager.apply_or(left, right)
+    if op == 2:
+        return manager.apply_xor(left, right)
+    if op == 3:
+        return manager.exists([rng.choice(names)], left)
+    return manager.ite(left, right, manager.apply_not(right))
+
+
+def assert_arenas_identical(dict_mgr, vec_mgr):
+    """The strong contract: same arrays, same table, same free-list."""
+    assert dict_mgr._level == vec_mgr._level
+    assert dict_mgr._low == vec_mgr._low
+    assert dict_mgr._high == vec_mgr._high
+    assert dict_mgr._free == vec_mgr._free
+    assert dict_mgr._table == vec_mgr._table
+    assert dict_mgr._live == vec_mgr._live
+    assert {lvl: set(b) for lvl, b in dict_mgr._level_index.items()} == {
+        lvl: set(b) for lvl, b in vec_mgr._level_index.items()
+    }
+
+
+class TestFactorySelection:
+    def test_backend_classes(self):
+        assert type(create_manager(backend=KERNEL_DICT)) is BDDManager
+        assert type(create_manager(backend=KERNEL_VECTOR)) is VectorBDDManager
+
+    def test_env_toggle(self, monkeypatch):
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        assert default_kernel_backend() == KERNEL_DICT
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "vector")
+        assert default_kernel_backend() == KERNEL_VECTOR
+        assert type(create_manager()) is VectorBDDManager
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "no-such-backend")
+        with pytest.raises(ValueError):
+            default_kernel_backend()
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            create_manager(backend="no-such-backend")
+
+    def test_policy_field_roundtrip(self):
+        from repro.relational.policy import (
+            RelationalPolicy,
+            effective_kernel_backend,
+        )
+
+        policy = RelationalPolicy(kernel_backend=KERNEL_VECTOR)
+        assert policy.to_dict()["kernel_backend"] == KERNEL_VECTOR
+        assert RelationalPolicy.from_dict(policy.to_dict()) == policy
+        assert effective_kernel_backend(policy) == KERNEL_VECTOR
+        with pytest.raises(ValueError):
+            RelationalPolicy(kernel_backend="no-such-backend")
+
+    def test_policy_none_defers_to_env(self, monkeypatch):
+        from repro.relational.policy import effective_kernel_backend
+
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "vector")
+        assert effective_kernel_backend(None) == KERNEL_VECTOR
+
+    def test_order_signature_carries_explicit_backend(self, monkeypatch):
+        from repro.engine.scenario import Scenario
+        from repro.relational.policy import RelationalPolicy
+
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        scenario = Scenario(
+            name="sig-test", design="vsm", kind="beta", slots=("normal",)
+        )
+        base = scenario.order_signature()
+        assert ("kernel", KERNEL_VECTOR) not in base
+        # The env toggle must NOT move content addresses: committed
+        # fuzz-corpus witness keys embed the signature, and backends
+        # are byte-identical by construction — only an *explicit*
+        # policy choice tags the signature.
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "vector")
+        assert scenario.order_signature() == base
+        pinned = Scenario(
+            name="sig-test-pinned",
+            design="vsm",
+            kind="beta",
+            slots=("normal",),
+            relational=RelationalPolicy(kernel_backend=KERNEL_VECTOR),
+        )
+        tagged = pinned.order_signature()
+        assert ("kernel", KERNEL_VECTOR) in tagged
+        assert tagged != base
+
+    def test_pool_respects_signature_backend(self, monkeypatch):
+        from repro.engine.pool import ManagerPool
+
+        monkeypatch.delenv("REPRO_KERNEL_BACKEND", raising=False)
+        pool = ManagerPool()
+        assert type(pool.acquire(("plain",))) is BDDManager
+        vec = pool.acquire(("plain", ("kernel", KERNEL_VECTOR)))
+        assert type(vec) is VectorBDDManager
+        # Same signature reuses the same manager; private managers
+        # follow the signature too.
+        assert pool.acquire(("plain", ("kernel", KERNEL_VECTOR))) is vec
+        assert (
+            type(pool.private_manager(("x", ("kernel", KERNEL_VECTOR))))
+            is VectorBDDManager
+        )
+        monkeypatch.setenv("REPRO_KERNEL_BACKEND", "vector")
+        assert type(pool.private_manager()) is VectorBDDManager
+        # Untagged signatures defer to the process default too (the
+        # env toggle changes the backend without moving store keys).
+        assert type(pool.private_manager(("plain",))) is VectorBDDManager
+        assert type(pool.acquire(("plain-2",))) is VectorBDDManager
+
+
+class TestOperationSequences:
+    """Random op/GC/swap/sift interleavings leave identical arenas."""
+
+    NAMES = [f"v{i}" for i in range(10)]
+
+    def drive(self, manager, seed):
+        rng = random.Random(seed)
+        roots = []
+        for round_index in range(14):
+            roots.append(
+                random_function(manager, rng, self.NAMES, depth=4)
+            )
+            action = rng.random()
+            if action < 0.25 and len(roots) > 2:
+                del roots[rng.randrange(len(roots))]
+                manager.collect()
+            elif action < 0.5:
+                swap_adjacent(manager, rng.randrange(len(self.NAMES) - 1))
+            elif action < 0.6:
+                converge_sift(manager)
+        return roots
+
+    @pytest.mark.parametrize("seed", [SEED, SEED + 1, SEED + 2])
+    def test_sequences_handle_identical(self, seed):
+        dict_mgr = create_manager(self.NAMES, backend=KERNEL_DICT)
+        vec_mgr = create_manager(self.NAMES, backend=KERNEL_VECTOR)
+        dict_roots = self.drive(dict_mgr, seed)
+        vec_roots = self.drive(vec_mgr, seed)
+        assert [r._h for r in dict_roots] == [r._h for r in vec_roots]
+        assert_arenas_identical(dict_mgr, vec_mgr)
+        # Same variable order after any sifting, same minterm counts,
+        # byte-identical snapshots.
+        assert [
+            dict_mgr.name_at_level(i) for i in range(dict_mgr.num_vars())
+        ] == [vec_mgr.name_at_level(i) for i in range(vec_mgr.num_vars())]
+        for d, v in zip(dict_roots, vec_roots):
+            assert dict_mgr.sat_count(d, self.NAMES) == vec_mgr.sat_count(
+                v, self.NAMES
+            )
+        assert dict_mgr.snapshot(dict_roots) == vec_mgr.snapshot(vec_roots)
+        stats = vec_mgr._vector_stats
+        assert stats["bulk_swap_plans"] + stats["scalar_fallbacks"] > 0
+
+
+class TestRestoreDifferential:
+    """Cold, warm and overlapping restores are handle-identical."""
+
+    NAMES = [f"v{i}" for i in range(12)]
+
+    def snapshot_payload(self, seed=SEED + 50):
+        rng = random.Random(seed)
+        source = create_manager(self.NAMES, backend=KERNEL_DICT)
+        roots = [
+            random_function(source, rng, self.NAMES, depth=5)
+            for _ in range(4)
+        ]
+        return source, roots, source.snapshot(roots, declares=source.variables)
+
+    def test_cold_restore(self):
+        _, _, payload = self.snapshot_payload()
+        dict_mgr = create_manager(backend=KERNEL_DICT)
+        vec_mgr = create_manager(backend=KERNEL_VECTOR)
+        dict_roots = dict_mgr.restore(payload)
+        vec_roots = vec_mgr.restore(payload)
+        assert vec_mgr._vector_stats["bulk_restores"] == 1
+        assert [r._h for r in dict_roots] == [r._h for r in vec_roots]
+        assert_arenas_identical(dict_mgr, vec_mgr)
+
+    def test_warm_restore_allocates_nothing(self):
+        _, _, payload = self.snapshot_payload()
+        vec_mgr = create_manager(backend=KERNEL_VECTOR)
+        first = vec_mgr.restore(payload)
+        live = vec_mgr._live
+        second = vec_mgr.restore(payload)
+        assert vec_mgr._live == live
+        assert [r._h for r in first] == [r._h for r in second]
+        assert vec_mgr._vector_stats["bulk_restores"] == 2
+
+    def test_overlapping_restore(self):
+        """Restore into arenas already holding related functions."""
+        _, _, payload = self.snapshot_payload()
+        rng_seed = SEED + 99
+        dict_mgr = create_manager(self.NAMES, backend=KERNEL_DICT)
+        vec_mgr = create_manager(self.NAMES, backend=KERNEL_VECTOR)
+        for manager in (dict_mgr, vec_mgr):
+            rng = random.Random(rng_seed)
+            keep = [
+                random_function(manager, rng, self.NAMES, depth=5)
+                for _ in range(3)
+            ]
+            manager._pin = keep  # keep wrappers alive
+        dict_roots = dict_mgr.restore(payload)
+        vec_roots = vec_mgr.restore(payload)
+        assert [r._h for r in dict_roots] == [r._h for r in vec_roots]
+        assert_arenas_identical(dict_mgr, vec_mgr)
+
+    def test_restore_after_gc_reuses_free_list_identically(self):
+        _, _, payload = self.snapshot_payload()
+        managers = []
+        for backend in (KERNEL_DICT, KERNEL_VECTOR):
+            manager = create_manager(self.NAMES, backend=backend)
+            rng = random.Random(SEED + 7)
+            garbage = [
+                random_function(manager, rng, self.NAMES, depth=5)
+                for _ in range(3)
+            ]
+            del garbage
+            manager.collect()
+            assert manager._free
+            managers.append(manager)
+        dict_mgr, vec_mgr = managers
+        dict_roots = dict_mgr.restore(payload)
+        vec_roots = vec_mgr.restore(payload)
+        assert [r._h for r in dict_roots] == [r._h for r in vec_roots]
+        assert_arenas_identical(dict_mgr, vec_mgr)
+
+    def test_corrupt_payloads_raise_identically(self):
+        from repro.bdd.kernel import SnapshotError
+
+        _, _, payload = self.snapshot_payload()
+        cases = []
+        truncated = json.loads(json.dumps(payload))
+        truncated["highs"] = truncated["highs"][:-2]
+        cases.append(truncated)
+        forward = json.loads(json.dumps(payload))
+        forward["lows"][0] = 5000
+        cases.append(forward)
+        redundant = json.loads(json.dumps(payload))
+        redundant["lows"][-1] = redundant["highs"][-1]
+        cases.append(redundant)
+        nonmono = json.loads(json.dumps(payload))
+        # Pull a child up to its parent's level: "does not sit below".
+        child = next(c for c in nonmono["lows"] if c >= 2)
+        parent = nonmono["lows"].index(child)
+        nonmono["levels"][child - 2] = nonmono["levels"][parent]
+        cases.append(nonmono)
+        for case in cases:
+            errors = []
+            for backend in (KERNEL_DICT, KERNEL_VECTOR):
+                with pytest.raises(SnapshotError) as excinfo:
+                    create_manager(backend=backend).restore(case)
+                errors.append(str(excinfo.value))
+            assert errors[0] == errors[1]
+
+    def test_non_integer_payload_falls_back_to_scalar_error(self):
+        from repro.bdd.kernel import SnapshotError
+
+        _, _, payload = self.snapshot_payload()
+        bad = json.loads(json.dumps(payload))
+        bad["lows"][0] = 2.5
+        vec_mgr = create_manager(backend=KERNEL_VECTOR)
+        with pytest.raises((SnapshotError, TypeError)):
+            vec_mgr.restore(bad)
+
+
+class TestTelemetryPlumbing:
+    def test_vector_counters_in_arena_statistics(self):
+        _, _, payload = TestRestoreDifferential().snapshot_payload()
+        vec_mgr = create_manager(backend=KERNEL_VECTOR)
+        vec_mgr.restore(payload)
+        arena = vec_mgr.arena_statistics()
+        assert arena["vector_bulk_restores"] == 1
+        assert arena["vector_bulk_restore_nodes"] > 0
+
+    def test_pool_statistics_fold_vector_counters(self):
+        from repro.engine.pool import ManagerPool
+
+        _, _, payload = TestRestoreDifferential().snapshot_payload()
+        pool = ManagerPool()
+        manager = pool.acquire((("kernel", KERNEL_VECTOR),))
+        manager.restore(payload)
+        stats = pool.statistics()
+        assert stats["arena"]["vector_bulk_restores"] == 1
+        # Retired managers keep their monotonic vector counters.
+        pool.clear()
+        stats = pool.statistics()
+        assert stats["arena"]["vector_bulk_restores"] == 1
+
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_counterexamples.json"
+
+
+class TestGoldenVerdictsOnVectorBackend:
+    """Stored golden counterexamples are backend-invariant, byte for byte."""
+
+    @pytest.fixture(scope="class")
+    def goldens(self):
+        with GOLDEN_PATH.open() as handle:
+            return json.load(handle)["scenarios"]
+
+    @pytest.mark.parametrize(
+        "name", ["vsm/bug/drop_write_r3", "vsm/bug/and_becomes_or"]
+    )
+    def test_golden_records_byte_identical_on_vector(
+        self, goldens, name, monkeypatch
+    ):
+        from repro.engine import Scenario
+        from repro.engine.executor import run_beta
+
+        entry = goldens[name]
+        scenario = Scenario.from_dict(entry["scenario"])
+        manager = create_manager(backend=KERNEL_VECTOR)
+        report = run_beta(
+            scenario.architecture(),
+            scenario.siminfo(),
+            manager=manager,
+            impl_kwargs=scenario.impl_kwargs(),
+            observation=scenario.observation(),
+            relational=scenario.relational,
+        )
+        assert not report.passed
+        assert len(report.mismatches) == entry["mismatch_count"]
+        for expected, actual in zip(entry["first_mismatches"], report.mismatches):
+            assert actual.observable == expected["observable"]
+            assert actual.sample_index == expected["sample_index"]
+            assert actual.decoded_instructions == expected["decoded"]
+            assert actual.instruction_words == {
+                k: int(v) for k, v in expected["words"].items()
+            }
+            assert {
+                k: bool(v) for k, v in actual.counterexample.items()
+            } == expected["counterexample"]

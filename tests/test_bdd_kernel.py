@@ -26,9 +26,30 @@ import random
 
 import pytest
 
-from repro.bdd import BDDManager, converge_sift, sift_variable, swap_adjacent
+from repro.bdd import BDDManager, converge_sift, create_manager, sift_variable, swap_adjacent
+from repro.bdd.vector import numpy_available
 
 SEED = 20260730
+
+#: Run every test in this module on both kernel backends.  The vector
+#: leg is skipped when numpy is absent (its batch paths then fall back
+#: to the scalar loops anyway, which the dict leg already covers).
+KERNEL_BACKENDS_UNDER_TEST = [
+    "dict",
+    pytest.param(
+        "vector",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy not installed"
+        ),
+    ),
+]
+
+
+@pytest.fixture(autouse=True, params=KERNEL_BACKENDS_UNDER_TEST, ids=str)
+def kernel_backend(request, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", request.param)
+    return request.param
+
 
 
 def random_function(manager, rng, names, depth=4):
@@ -75,7 +96,7 @@ class TestMarkAndSweep:
 
     def test_sweep_keeps_exactly_the_held_roots(self):
         rng = random.Random(SEED)
-        manager = BDDManager([f"v{i}" for i in range(8)])
+        manager = create_manager([f"v{i}" for i in range(8)])
         names = list(manager.variables)
         kept = [random_function(manager, rng, names, depth=5) for _ in range(4)]
         dropped = [random_function(manager, rng, names, depth=5) for _ in range(4)]
@@ -92,7 +113,7 @@ class TestMarkAndSweep:
 
     def test_sweep_respects_explicit_roots(self):
         rng = random.Random(SEED + 1)
-        manager = BDDManager([f"v{i}" for i in range(6)])
+        manager = create_manager([f"v{i}" for i in range(6)])
         names = list(manager.variables)
         root = random_function(manager, rng, names, depth=5)
         handle = root.node_id
@@ -104,8 +125,8 @@ class TestMarkAndSweep:
     def test_collect_is_semantics_transparent(self):
         """Interleaved GC never changes any constructed function."""
         rng = random.Random(SEED + 2)
-        plain = BDDManager([f"v{i}" for i in range(7)])
-        swept = BDDManager([f"v{i}" for i in range(7)])
+        plain = create_manager([f"v{i}" for i in range(7)])
+        swept = create_manager([f"v{i}" for i in range(7)])
         names = [f"v{i}" for i in range(7)]
         plain_roots, swept_roots = [], []
         for round_index in range(12):
@@ -126,7 +147,7 @@ class TestFreeListReuse:
 
     def test_reclaimed_handles_leave_every_structure(self):
         rng = random.Random(SEED + 3)
-        manager = BDDManager([f"v{i}" for i in range(8)])
+        manager = create_manager([f"v{i}" for i in range(8)])
         names = list(manager.variables)
         keep = random_function(manager, rng, names, depth=5)
         for _ in range(3):
@@ -150,7 +171,7 @@ class TestFreeListReuse:
 
     def test_reuse_rearms_the_slot_with_fresh_contents(self):
         rng = random.Random(SEED + 4)
-        manager = BDDManager([f"v{i}" for i in range(8)])
+        manager = create_manager([f"v{i}" for i in range(8)])
         names = list(manager.variables)
         garbage = random_function(manager, rng, names, depth=5)
         del garbage
@@ -179,7 +200,7 @@ class TestFreeListReuse:
 
     def test_canonicity_across_collect_cycles(self):
         """Rebuilding a collected function finds a fresh, correct node."""
-        manager = BDDManager(["a", "b", "c"])
+        manager = create_manager(["a", "b", "c"])
 
         def build():
             return manager.apply_or(
@@ -217,7 +238,7 @@ class TestIndexAfterGC:
 
     def test_random_op_gc_swap_sift_sequences(self):
         rng = random.Random(SEED + 5)
-        manager = BDDManager([f"x{i}" for i in range(self.NUM_VARS)])
+        manager = create_manager([f"x{i}" for i in range(self.NUM_VARS)])
         names = list(manager.variables)
         roots = [random_function(manager, rng, names, depth=5) for _ in range(3)]
         for _ in range(18):
@@ -304,7 +325,7 @@ class TestArenaSnapshots:
 
     def build(self, seed=SEED + 10):
         rng = random.Random(seed)
-        manager = BDDManager([f"v{i}" for i in range(10)])
+        manager = create_manager([f"v{i}" for i in range(10)])
         names = list(manager.variables)
         roots = [random_function(manager, rng, names, depth=5) for _ in range(4)]
         return manager, roots
@@ -331,7 +352,7 @@ class TestArenaSnapshots:
             json.dumps(manager.snapshot(roots, declares=manager.variables))
         )
         # Target declares two extra variables above, shifting every level.
-        target = BDDManager(["extra0", "extra1"])
+        target = create_manager(["extra0", "extra1"])
         restored = target.restore(payload)
         names = [f"v{i}" for i in range(10)]
         for original, copy in zip(roots, restored):
@@ -342,7 +363,7 @@ class TestArenaSnapshots:
         manager, _ = self.build()
         payload = manager.snapshot([manager.zero, manager.one])
         assert payload["roots"] == [0, 1]
-        target = BDDManager()
+        target = create_manager()
         zero, one = target.restore(payload)
         assert zero is target.zero and one is target.one
 
@@ -377,7 +398,7 @@ class TestArenaSnapshots:
         cases.append(unknown_var)
         for case in cases:
             with pytest.raises(SnapshotError):
-                BDDManager().restore(case)
+                create_manager().restore(case)
 
     def test_failed_restore_leaves_no_stray_declarations(self):
         """A declares/level_names mismatch is refused before mutation."""
@@ -386,7 +407,7 @@ class TestArenaSnapshots:
         manager, roots = self.build()
         payload = json.loads(json.dumps(manager.snapshot(roots)))
         payload["declares"] = ["bogus0", "bogus1"]  # covers none of the names
-        target = BDDManager()
+        target = create_manager()
         with pytest.raises(SnapshotError):
             target.restore(payload)
         assert target.variables == (), "failed restore declared stray variables"
@@ -396,6 +417,6 @@ class TestArenaSnapshots:
 
         manager, roots = self.build()
         payload = json.loads(json.dumps(manager.snapshot(roots)))
-        target = BDDManager([f"v{i}" for i in reversed(range(10))])
+        target = create_manager([f"v{i}" for i in reversed(range(10))])
         with pytest.raises(SnapshotError):
             target.restore(payload)

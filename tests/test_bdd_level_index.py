@@ -17,10 +17,31 @@ import random
 
 import pytest
 
-from repro.bdd import BDDManager, converge_sift, sift_to_order, sift_variable, swap_adjacent
+from repro.bdd import BDDManager, converge_sift, create_manager, sift_to_order, sift_variable, swap_adjacent
+from repro.bdd.vector import numpy_available
 from repro.bdd.reorder import _Sifter
 
 SEED = 20260730
+
+#: Run every test in this module on both kernel backends.  The vector
+#: leg is skipped when numpy is absent (its batch paths then fall back
+#: to the scalar loops anyway, which the dict leg already covers).
+KERNEL_BACKENDS_UNDER_TEST = [
+    "dict",
+    pytest.param(
+        "vector",
+        marks=pytest.mark.skipif(
+            not numpy_available(), reason="numpy not installed"
+        ),
+    ),
+]
+
+
+@pytest.fixture(autouse=True, params=KERNEL_BACKENDS_UNDER_TEST, ids=str)
+def kernel_backend(request, monkeypatch):
+    monkeypatch.setenv("REPRO_KERNEL_BACKEND", request.param)
+    return request.param
+
 
 
 def recomputed_partition(manager):
@@ -74,7 +95,7 @@ class TestIndexTracksOperations:
 
     def test_apply_and_quantify_sequences(self):
         rng = random.Random(SEED)
-        manager = BDDManager([f"v{i}" for i in range(8)])
+        manager = create_manager([f"v{i}" for i in range(8)])
         names = list(manager.variables)
         functions = []
         for round_index in range(12):
@@ -91,7 +112,7 @@ class TestIndexTracksOperations:
             assert_index_exact(manager)
 
     def test_declare_adds_no_phantom_buckets(self):
-        manager = BDDManager(["a", "b"])
+        manager = create_manager(["a", "b"])
         manager.var("a")
         manager.declare("c")  # declared but never used in a node
         assert_index_exact(manager)
@@ -104,7 +125,7 @@ class TestIndexTracksReordering:
     NUM_VARS = 7
 
     def build(self, rng):
-        manager = BDDManager([f"x{i}" for i in range(self.NUM_VARS)])
+        manager = create_manager([f"x{i}" for i in range(self.NUM_VARS)])
         names = list(manager.variables)
         roots = [random_function(manager, rng, names, depth=5) for _ in range(3)]
         return manager, names, roots
@@ -184,7 +205,7 @@ class TestSwapCostIsLocal:
     """
 
     def test_untouched_levels_keep_their_buckets(self):
-        manager = BDDManager([f"y{i}" for i in range(6)])
+        manager = create_manager([f"y{i}" for i in range(6)])
         rng = random.Random(SEED + 6)
         names = list(manager.variables)
         for _ in range(5):
