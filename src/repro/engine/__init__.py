@@ -19,9 +19,18 @@ One orchestrator for every verification workload of the reproduction:
   code a verdict depends on; the store records them per record so a
   source edit invalidates only the records whose own components
   changed.
+
+The engine is supervised by :mod:`repro.resilience`: a
+:class:`~repro.resilience.SupervisionPolicy` configures bounded
+scenario retries and worker respawn, a
+:class:`~repro.resilience.CampaignJournal` checkpoint makes campaigns
+resumable, and :mod:`repro.resilience.faults` injects deterministic
+failures into the engine's seams for testing — re-exported here for
+convenience.
 """
 
 from ..relational.policy import RelationalPolicy
+from ..resilience import CampaignJournal, FaultPlan, FaultSpec, SupervisionPolicy
 from . import codehash
 from .executor import execute_scenario, run_beta, run_events, run_superscalar
 from .pool import ManagerPool
@@ -43,6 +52,7 @@ from .scenario import (
     Alpha0Spec,
     Scenario,
     ScenarioRegistry,
+    campaign_fingerprint,
     alpha0_bug_scenarios,
     alpha0_memory_scenario,
     alpha0_operate_scenario,
@@ -60,12 +70,16 @@ __all__ = [
     "Alpha0Spec",
     "BETA",
     "CODE_SALT",
+    "CampaignJournal",
     "CampaignReport",
     "CampaignRunner",
     "EVENTS",
+    "FaultPlan",
+    "FaultSpec",
     "ManagerPool",
     "RelationalPolicy",
     "ResultStore",
+    "SupervisionPolicy",
     "SHARDING_AFFINITY",
     "SHARDING_BLIND",
     "SUPERSCALAR",
@@ -79,6 +93,7 @@ __all__ = [
     "alpha0_bug_scenarios",
     "alpha0_memory_scenario",
     "alpha0_operate_scenario",
+    "campaign_fingerprint",
     "default_registry",
     "event_scenarios",
     "execute_scenario",

@@ -21,8 +21,11 @@ from typing import Dict, List, Optional
 
 #: Version of the :meth:`CampaignReport.to_dict` schema.  v2 added
 #: ``schema_version``/``generated_at`` themselves plus the ``telemetry``
-#: section (trace summary and metrics-registry snapshot).
-REPORT_SCHEMA_VERSION = 2
+#: section (trace summary and metrics-registry snapshot).  v3 added the
+#: ``resilience`` section (supervision policy and retry/respawn/
+#: redispatch activity, checkpoint-journal state, fault-injection
+#: statistics).
+REPORT_SCHEMA_VERSION = 3
 
 
 @dataclass
@@ -133,6 +136,13 @@ class CampaignReport:
     #: in affinity-parallel mode — per-worker registry snapshots.
     #: Empty when tracing was disabled for the run.
     telemetry: Dict[str, object] = field(default_factory=dict)
+    #: Resilience section (measurement, not verdict): the supervision
+    #: policy in force, scenario retry / store-write retry counts,
+    #: worker respawn/redispatch/hang activity, checkpoint-journal state
+    #: and fault-injector statistics.  Empty for an unsupervised,
+    #: unjournalled, fault-free campaign — the overwhelmingly common
+    #: case pays nothing.
+    resilience: Dict[str, object] = field(default_factory=dict)
 
     @property
     def passed(self) -> bool:
@@ -193,6 +203,7 @@ class CampaignReport:
             "pool": self.pool,
             "store": self.store,
             "telemetry": self.telemetry,
+            "resilience": self.resilience,
             "outcomes": [outcome.to_dict() for outcome in self.outcomes],
         }
 
@@ -246,6 +257,25 @@ class CampaignReport:
                 f"{results.get('bytes_written', 0)} B written), "
                 f"snapshots {store.get('snapshots', {}).get('hits', 0)} hit(s)"
             )
+        resilience = self.resilience or {}
+        if resilience:
+            parts = []
+            if resilience.get("retries"):
+                parts.append(f"{resilience['retries']} scenario retry(ies)")
+            if resilience.get("write_failures"):
+                parts.append(f"{resilience['write_failures']} store write(s) abandoned")
+            workers = resilience.get("workers") or {}
+            if workers.get("respawned"):
+                parts.append(f"{workers['respawned']} worker(s) respawned")
+            if workers.get("hung_terminated"):
+                parts.append(f"{workers['hung_terminated']} hung worker(s) terminated")
+            journal = resilience.get("journal") or {}
+            if journal.get("resumed"):
+                parts.append(
+                    f"resumed at {journal.get('completed', 0)}/{journal.get('total', 0)}"
+                )
+            if parts:
+                lines.append("  resilience: " + ", ".join(parts))
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - convenience

@@ -29,7 +29,18 @@
   baseline.  Because pooled results are bit-identical to fresh-manager
   results (see :mod:`repro.engine.pool`), every mode — serial,
   affinity, blind, warm-store — carries the same verdicts, byte for
-  byte.
+  byte;
+* an optional **resilience layer** (:mod:`repro.resilience`) — a
+  :class:`~repro.resilience.SupervisionPolicy` turns on bounded
+  scenario retries with seeded backoff and store-write retry; the
+  affinity scheduler *always* supervises its workers (a dead worker is
+  respawned and its in-flight unit re-dispatched instead of failing
+  its scenarios); a checkpoint journal
+  (:class:`~repro.resilience.CampaignJournal`) makes an interrupted
+  campaign resumable, re-executing only unfinished scenarios.  The
+  standing invariant extends to the failure paths: under any quiescent
+  injected-fault schedule (see :mod:`repro.resilience.faults`) the
+  verdicts stay byte-identical to the fault-free run.
 """
 
 from __future__ import annotations
@@ -46,9 +57,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 from .executor import execute_scenario
 from .pool import ManagerPool
 from .report import CampaignReport, ScenarioOutcome
-from .scenario import Scenario, ScenarioRegistry, default_registry
+from .scenario import (
+    Scenario,
+    ScenarioRegistry,
+    campaign_fingerprint,
+    default_registry,
+)
 from .store import ResultStore
 from .. import telemetry
+from ..resilience import CampaignJournal, SupervisionPolicy, faults
 from ..telemetry import report as trace_report
 
 ScenarioLike = Union[Scenario, str]
@@ -63,6 +80,7 @@ _WORKER_POOL: Optional[ManagerPool] = None
 _WORKER_STORE: Optional[ResultStore] = None
 _WORKER_MEMO: Dict[Tuple, ScenarioOutcome] = {}
 _WORKER_MEMOIZE: bool = True
+_WORKER_SUPERVISION: Optional[SupervisionPolicy] = None
 
 
 def _failed_outcome(
@@ -138,13 +156,42 @@ def _outcome_from_record(
         return None
 
 
+def _fresh_sup_stats() -> Dict[str, int]:
+    """Per-campaign supervision activity counters (one dict per holder)."""
+    return {"retries": 0, "write_retries": 0, "write_failures": 0}
+
+
+def _merge_sup_stats(
+    into: Dict[str, int], other: Optional[Dict[str, object]]
+) -> None:
+    """Fold one worker's supervision counters into a campaign total."""
+    if not other:
+        return
+    for name in into:
+        value = other.get(name, 0)
+        if isinstance(value, int):
+            into[name] += value
+
+
 def _execute_pooled(
     scenario: Scenario,
     pool: ManagerPool,
     memo: Optional[Dict[Tuple, ScenarioOutcome]],
     store: Optional[ResultStore] = None,
+    supervision: Optional[SupervisionPolicy] = None,
+    sup_stats: Optional[Dict[str, int]] = None,
 ) -> Tuple[ScenarioOutcome, bool]:
-    """Run one scenario against a pool + memo + store; returns (outcome, memo_hit)."""
+    """Run one scenario against a pool + memo + store; returns (outcome, memo_hit).
+
+    With a :class:`SupervisionPolicy`, a scenario raising a *transient*
+    error (an injected fault, a storage ``OSError``, a timeout) is
+    retried up to ``max_attempts`` times with seeded backoff, and a
+    failed store publish is retried up to ``max_write_attempts`` times
+    before degrading to an unpublished outcome (``store["status"] ==
+    "write_failed"``) — the verdict never depends on a write landing.
+    ``sup_stats`` (when given) accumulates retry activity for the
+    campaign report.
+    """
     key = (scenario.order_signature(), scenario.cache_key()) if memo is not None else None
     if key is not None and key in memo:
         # Deep copy so memo hits never alias the containers of earlier
@@ -184,45 +231,114 @@ def _execute_pooled(
                     memo[key] = copy.deepcopy(outcome)
                 return outcome, False
         lookup_status = _lookup_status(counters_before, store.statistics()["results"])
-    if not scenario.needs_manager():
-        manager = None
-    elif (
-        scenario.relational is not None
-        and scenario.relational.reorders
-        and scenario.relational.reorder_threshold > 0
-    ):
-        # A thresholded reordering scenario runs on a private manager:
-        # the sifting trigger compares the table size against the policy
-        # threshold, and a pooled manager's table carries whatever
-        # earlier scenarios left in it — the trigger (and with it the
-        # counterexample don't-cares) would then depend on campaign
-        # history, breaking serial/parallel verdict parity.  With a zero
-        # threshold the trigger is unconditional and the sift metric is
-        # exact over the scenario's own sample roots, so default-sifting
-        # scenarios may share pooled managers; the pool retires each
-        # manager at its first swap (reorder_evictions), which is what
-        # keeps the next acquisition bit-identical to a fresh run.
-        manager = pool.private_manager(scenario.order_signature())
-    else:
-        manager = pool.acquire(scenario.order_signature())
-    try:
-        outcome = execute_scenario(
-            scenario, manager=manager, snapshot_store=pool.snapshot_store
-        )
-    except (KeyboardInterrupt, SystemExit):
-        # Campaign isolation must not swallow a user interrupt or an
-        # orderly interpreter shutdown — only scenario-level failures.
-        raise
-    except Exception as error:  # noqa: BLE001 - campaign isolation
-        return _failed_outcome(scenario, error, traceback_module.format_exc()), False
+    attempts = supervision.max_attempts if supervision is not None else 1
+    outcome: Optional[ScenarioOutcome] = None
+    for attempt in range(1, attempts + 1):
+        # Acquire the manager per attempt: the pooled path hands back
+        # the same warm manager (hash-consing keeps verdicts identical),
+        # while a thresholded-reorder scenario gets a *fresh* private
+        # manager each attempt — a partially-executed failed attempt
+        # must not leave sift state behind for the retry to see.
+        if not scenario.needs_manager():
+            manager = None
+        elif (
+            scenario.relational is not None
+            and scenario.relational.reorders
+            and scenario.relational.reorder_threshold > 0
+        ):
+            # A thresholded reordering scenario runs on a private manager:
+            # the sifting trigger compares the table size against the policy
+            # threshold, and a pooled manager's table carries whatever
+            # earlier scenarios left in it — the trigger (and with it the
+            # counterexample don't-cares) would then depend on campaign
+            # history, breaking serial/parallel verdict parity.  With a zero
+            # threshold the trigger is unconditional and the sift metric is
+            # exact over the scenario's own sample roots, so default-sifting
+            # scenarios may share pooled managers; the pool retires each
+            # manager at its first swap (reorder_evictions), which is what
+            # keeps the next acquisition bit-identical to a fresh run.
+            manager = pool.private_manager(scenario.order_signature())
+        else:
+            manager = pool.acquire(scenario.order_signature())
+        try:
+            faults.fire("scenario.run")
+            outcome = execute_scenario(
+                scenario, manager=manager, snapshot_store=pool.snapshot_store
+            )
+            break
+        except (KeyboardInterrupt, SystemExit):
+            # Campaign isolation must not swallow a user interrupt or an
+            # orderly interpreter shutdown — only scenario-level failures.
+            raise
+        except Exception as error:  # noqa: BLE001 - campaign isolation
+            if (
+                supervision is not None
+                and attempt < attempts
+                and supervision.retryable(error)
+            ):
+                if sup_stats is not None:
+                    sup_stats["retries"] += 1
+                telemetry.get_registry().counter("scenario.retries").inc()
+                delay = supervision.backoff_seconds(scenario.name, attempt)
+                with telemetry.span(
+                    "supervision.retry",
+                    scenario=scenario.name,
+                    attempt=attempt,
+                    error=type(error).__name__,
+                    backoff=round(delay, 4),
+                ):
+                    if delay > 0:
+                        time.sleep(delay)
+                continue
+            return (
+                _failed_outcome(scenario, error, traceback_module.format_exc()),
+                False,
+            )
+    assert outcome is not None
     if store is not None and fingerprint is not None and outcome.error is None:
         started = time.perf_counter()
-        written = store.save_result(fingerprint, _result_record(outcome), dependencies)
-        outcome.store = {
-            "status": lookup_status or "miss",
-            "bytes_written": written,
-            "seconds": round(time.perf_counter() - started, 4),
-        }
+        write_attempts = (
+            supervision.max_write_attempts if supervision is not None else 1
+        )
+        written: Optional[int] = None
+        write_error: Optional[str] = None
+        record_payload = _result_record(outcome)
+        for write_attempt in range(1, write_attempts + 1):
+            try:
+                written = store.save_result(fingerprint, record_payload, dependencies)
+                break
+            except OSError as error:
+                write_error = f"{type(error).__name__}: {error}"
+                if write_attempt < write_attempts:
+                    if sup_stats is not None:
+                        sup_stats["write_retries"] += 1
+                    delay = (
+                        supervision.backoff_seconds(
+                            f"{scenario.name}/write", write_attempt
+                        )
+                        if supervision is not None
+                        else 0.0
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+        if written is not None:
+            outcome.store = {
+                "status": lookup_status or "miss",
+                "bytes_written": written,
+                "seconds": round(time.perf_counter() - started, 4),
+            }
+        else:
+            # Publishing is an optimisation, never part of the verdict:
+            # a store that cannot be written degrades this scenario to
+            # unpublished and the campaign carries on.
+            if sup_stats is not None:
+                sup_stats["write_failures"] += 1
+            telemetry.get_registry().counter("store.write_failures").inc()
+            outcome.store = {
+                "status": "write_failed",
+                "error": write_error,
+                "seconds": round(time.perf_counter() - started, 4),
+            }
     if key is not None:
         # Store an isolated copy: the returned object stays caller-owned.
         memo[key] = copy.deepcopy(outcome)
@@ -338,21 +454,36 @@ def _merge_store_stats(stats_list: Sequence[Optional[Dict[str, object]]]) -> Dic
 def _init_worker(
     cache_limit: Optional[int],
     memoize: bool,
-    store_spec: Optional[Tuple[str, str]],
+    store_spec: Optional[Tuple[str, str, bool]],
+    fault_state: Optional[Dict[str, object]] = None,
+    supervision_state: Optional[Dict[str, object]] = None,
 ) -> None:
     """Initialise per-process state for the blind parallel mode."""
-    global _WORKER_POOL, _WORKER_MEMOIZE, _WORKER_STORE
+    global _WORKER_POOL, _WORKER_MEMOIZE, _WORKER_STORE, _WORKER_SUPERVISION
     # Blind workers have no closing hook to ship trace events through
     # (multiprocessing.Pool.map gives back outcomes only), so tracing is
     # explicitly disabled here — a forked worker must not silently
     # accumulate events into an inherited parent tracer it can never
     # deliver.  The affinity scheduler is the traced parallel mode.
     telemetry.configure(None)
+    faults.configure_from_state(fault_state)
     _WORKER_POOL = ManagerPool(cache_limit=cache_limit)
-    _WORKER_STORE = ResultStore(store_spec[0], salt=store_spec[1]) if store_spec else None
+    _WORKER_STORE = _store_from_spec(store_spec)
     _WORKER_POOL.attach_store(_WORKER_STORE)
     _WORKER_MEMOIZE = memoize
     _WORKER_MEMO.clear()
+    _WORKER_SUPERVISION = (
+        SupervisionPolicy.from_dict(supervision_state) if supervision_state else None
+    )
+
+
+def _store_from_spec(
+    store_spec: Optional[Tuple[str, str, bool]]
+) -> Optional[ResultStore]:
+    """A worker's own handle on the shared store (``None`` without one)."""
+    if store_spec is None:
+        return None
+    return ResultStore(store_spec[0], salt=store_spec[1], fsync=store_spec[2])
 
 
 def _execute_in_worker(scenario: Scenario) -> ScenarioOutcome:
@@ -365,6 +496,7 @@ def _execute_in_worker(scenario: Scenario) -> ScenarioOutcome:
         _WORKER_POOL,
         _WORKER_MEMO if _WORKER_MEMOIZE else None,
         store=_WORKER_STORE,
+        supervision=_WORKER_SUPERVISION,
     )
     return outcome
 
@@ -413,45 +545,78 @@ def _affinity_worker(
     results,
     cache_limit: Optional[int],
     memoize: bool,
-    store_spec: Optional[Tuple[str, str]],
+    store_spec: Optional[Tuple[str, str, bool]],
     telemetry_state: Optional[Dict[str, object]] = None,
+    fault_state: Optional[Dict[str, object]] = None,
+    supervision_state: Optional[Dict[str, object]] = None,
 ) -> None:
-    """One affinity worker: drain units off the shared queue until the sentinel.
+    """One affinity worker: request units off a private queue until the sentinel.
+
+    The parent is the scheduler of record: the worker announces
+    ``("ready", id)``, the parent pushes one unit (or the ``None``
+    sentinel) onto this worker's private ``tasks`` queue, and every
+    completed scenario ships back as ``("outcome", id, index, outcome)``.
+    Dispatch bookkeeping lives entirely parent-side, so a worker that
+    dies mid-unit — even one hard-killed with its feeder thread's
+    messages unflushed — leaves the parent knowing exactly which unit
+    was in flight and which indices are still uncollected; respawn and
+    re-dispatch need no worker cooperation.
 
     Owns an isolated :class:`ManagerPool` (plus its own handle on the
     shared result store), so pooled determinism gives byte-identical
-    verdicts to serial mode; the final message on ``results`` carries
-    the worker's pool/store statistics for the campaign report — and,
-    when the parent traced the campaign, this worker's in-memory trace
-    events and registry snapshot, which the parent merges keyed by the
-    ``w<id>`` worker tag.
+    verdicts to serial mode; the final ``("close", id, record)`` message
+    carries the worker's pool/store/supervision statistics for the
+    campaign report — and, when the parent traced the campaign, this
+    worker's in-memory trace events and registry snapshot, which the
+    parent merges keyed by the ``w<id>`` worker tag.
     """
     telemetry.configure(telemetry_state, worker=f"w{worker_id}")
     if telemetry.enabled():
         # A forked worker inherits the parent registry's counts; start
         # from zero so the shipped snapshot is this worker's own work.
         telemetry.get_registry().clear()
+    faults.configure_from_state(fault_state)
+    policy = (
+        SupervisionPolicy.from_dict(supervision_state) if supervision_state else None
+    )
     pool = ManagerPool(cache_limit=cache_limit)
-    store = ResultStore(store_spec[0], salt=store_spec[1]) if store_spec else None
+    store = _store_from_spec(store_spec)
     pool.attach_store(store)
     memo: Optional[Dict[Tuple, ScenarioOutcome]] = {} if memoize else None
     units_run = 0
+    sup_stats = _fresh_sup_stats()
     try:
+        results.put(("ready", worker_id))
         while True:
-            unit = tasks.get()
-            if unit is None:
+            message = tasks.get()
+            if message is None:
                 break
+            _unit_id, unit = message
             units_run += 1
+            # The worker fault seams key by worker id, not invocation
+            # count: a respawned replacement gets a fresh id and so
+            # never inherits its predecessor's crash/hang schedule.
+            faults.fire("worker.crash", index=worker_id)
+            faults.fire("worker.hang", index=worker_id)
             with telemetry.span("worker.drain", unit_size=len(unit)):
                 for index, scenario in unit:
-                    outcome, _ = _execute_pooled(scenario, pool, memo, store=store)
-                    results.put((index, outcome))
+                    outcome, _ = _execute_pooled(
+                        scenario,
+                        pool,
+                        memo,
+                        store=store,
+                        supervision=policy,
+                        sup_stats=sup_stats,
+                    )
+                    results.put(("outcome", worker_id, index, outcome))
+            results.put(("ready", worker_id))
     finally:
         record: Dict[str, object] = {
             "worker": worker_id,
             "units": units_run,
             "pool": pool.statistics(),
             "store": store.statistics() if store is not None else None,
+            "supervision": sup_stats,
         }
         tracer = telemetry.get_tracer()
         if tracer is not None:
@@ -459,7 +624,7 @@ def _affinity_worker(
                 "events": tracer.drain(),
                 "registry": telemetry.get_registry().snapshot(),
             }
-        results.put((None, record))
+        results.put(("close", worker_id, record))
 
 
 class CampaignRunner:
@@ -512,11 +677,19 @@ class CampaignRunner:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run_one(self, scenario: ScenarioLike) -> ScenarioOutcome:
+    def run_one(
+        self,
+        scenario: ScenarioLike,
+        supervision: Optional[SupervisionPolicy] = None,
+    ) -> ScenarioOutcome:
         """Run a single scenario through the shared pool (and store)."""
         resolved = self.registry.resolve(scenario)
         outcome, _ = _execute_pooled(
-            resolved, self.pool, self._memo if self.memoize else None, store=self.store
+            resolved,
+            self.pool,
+            self._memo if self.memoize else None,
+            store=self.store,
+            supervision=supervision,
         )
         return outcome
 
@@ -527,6 +700,8 @@ class CampaignRunner:
         max_workers: Optional[int] = None,
         mp_context: Optional[str] = None,
         sharding: str = SHARDING_AFFINITY,
+        supervision: Optional[SupervisionPolicy] = None,
+        journal: Optional[Union[str, Path]] = None,
     ) -> CampaignReport:
         """Execute a campaign and return its report.
 
@@ -537,12 +712,27 @@ class CampaignRunner:
         ``sharding`` selects the affinity-sharded work-stealing
         scheduler (default) or the PR-1 blind chunking.  The resulting
         verdicts are byte-identical to serial mode either way.
+
+        ``supervision`` turns on bounded scenario retries with seeded
+        backoff (and, in parallel mode, overrides the worker respawn /
+        re-dispatch caps and enables the hung-worker watchdog via
+        ``soft_timeout``).  ``journal`` names a checkpoint-journal file:
+        completed scenarios are marked as the campaign progresses, and
+        re-running the same campaign against the same journal (after an
+        interrupt or crash) re-executes only unfinished work — the
+        persistent store replays the finished verdicts byte-identically.
+        A journal therefore requires the runner to have a store.
         """
         if sharding not in SHARDINGS:
             raise ValueError(f"unknown sharding {sharding!r}; valid: {SHARDINGS}")
         resolved = self.resolve(scenarios)
         if not resolved:
             return CampaignReport(outcomes=[], mode="serial")
+        if journal is not None and self.store is None:
+            raise ValueError(
+                "a checkpoint journal needs a persistent store "
+                "(pass store= or store_path= to the runner)"
+            )
         tracer = telemetry.get_tracer()
         trace_start = tracer.event_count() if tracer is not None else 0
         started = time.perf_counter()
@@ -552,36 +742,82 @@ class CampaignRunner:
             # keeps being used never accumulates dead ``*.tmp`` litter,
             # even in fan-out directories no current scenario writes to.
             self.store.sweep_stale_tmp()
+        journal_obj: Optional[CampaignJournal] = None
+        fingerprints: Optional[List[str]] = None
+        journal_replayed = 0
+        if journal is not None:
+            fingerprints = [
+                scenario.fingerprint(self.store.salt) for scenario in resolved
+            ]
+            journal_obj = CampaignJournal(
+                journal,
+                key=campaign_fingerprint(resolved, self.store.salt),
+                total=len(resolved),
+                fsync=self.store.fsync,
+            )
+            journal_replayed = len(journal_obj.completed)
         store_stats: Dict[str, object] = {}
         worker_telemetry: Dict[str, object] = {}
-        with telemetry.span(
-            "campaign.run",
-            scenarios=len(resolved),
-            parallel=parallel,
-            sharding=sharding if parallel else None,
-        ):
-            if parallel:
-                outcomes, pool_stats, store_stats, worker_telemetry = (
-                    self._run_parallel(resolved, max_workers, mp_context, sharding)
-                )
-                mode = "parallel"
-            else:
-                before = self.pool.statistics()
-                outcomes = []
-                for scenario in resolved:
-                    outcome, _ = _execute_pooled(
-                        scenario,
-                        self.pool,
-                        self._memo if self.memoize else None,
-                        store=self.store,
+        sup_stats = _fresh_sup_stats()
+        parallel_resilience: Dict[str, object] = {}
+        try:
+            with telemetry.span(
+                "campaign.run",
+                scenarios=len(resolved),
+                parallel=parallel,
+                sharding=sharding if parallel else None,
+            ):
+                if parallel:
+                    (
+                        outcomes,
+                        pool_stats,
+                        store_stats,
+                        worker_telemetry,
+                        parallel_resilience,
+                    ) = self._run_parallel(
+                        resolved,
+                        max_workers,
+                        mp_context,
+                        sharding,
+                        supervision,
+                        journal_obj,
+                        fingerprints,
                     )
-                    outcomes.append(outcome)
-                pool_stats = _pool_campaign_delta(before, self.pool.statistics())
-                if store_before is not None:
-                    store_stats = _store_campaign_delta(
-                        store_before, self.store.statistics()
-                    )
-                mode = "serial"
+                    _merge_sup_stats(sup_stats, parallel_resilience)
+                    mode = "parallel"
+                else:
+                    before = self.pool.statistics()
+                    outcomes = []
+                    for index, scenario in enumerate(resolved):
+                        outcome, _ = _execute_pooled(
+                            scenario,
+                            self.pool,
+                            self._memo if self.memoize else None,
+                            store=self.store,
+                            supervision=supervision,
+                            sup_stats=sup_stats,
+                        )
+                        outcomes.append(outcome)
+                        if journal_obj is not None and outcome.error is None:
+                            # Mark as we go: a campaign killed at any
+                            # instant has journalled exactly the work
+                            # that completed before the kill.
+                            journal_obj.mark(index, fingerprints[index])
+                    pool_stats = _pool_campaign_delta(before, self.pool.statistics())
+                    if store_before is not None:
+                        store_stats = _store_campaign_delta(
+                            store_before, self.store.statistics()
+                        )
+                    mode = "serial"
+            if journal_obj is not None:
+                # Catch-up marks (no-op where live marking already ran;
+                # blind sharding only reports outcomes at the end).
+                for index, outcome in enumerate(outcomes):
+                    if outcome is not None and outcome.error is None:
+                        journal_obj.mark(index, fingerprints[index])
+        finally:
+            if journal_obj is not None:
+                journal_obj.close()
         report = CampaignReport(
             outcomes=outcomes,
             mode=mode,
@@ -590,12 +826,47 @@ class CampaignRunner:
             total_seconds=time.perf_counter() - started,
             store=store_stats,
         )
+        report.resilience = self._resilience_section(
+            supervision, sup_stats, parallel_resilience, journal_obj, journal_replayed
+        )
         if tracer is not None:
             report.telemetry = self._telemetry_section(
                 tracer, trace_start, pool_stats, store_stats, worker_telemetry
             )
             tracer.flush()
         return report
+
+    @staticmethod
+    def _resilience_section(
+        supervision: Optional[SupervisionPolicy],
+        sup_stats: Dict[str, int],
+        parallel_resilience: Dict[str, object],
+        journal_obj: Optional[CampaignJournal],
+        journal_replayed: int,
+    ) -> Dict[str, object]:
+        """The report's ``resilience`` section (empty when nothing to say).
+
+        Present exactly when the campaign was supervised, journalled,
+        fault-injected, or saw any retry/respawn activity — the plain
+        fault-free unsupervised run keeps an empty section and an
+        unchanged report.
+        """
+        section: Dict[str, object] = {}
+        if supervision is not None:
+            section["policy"] = supervision.to_dict()
+        if any(sup_stats.values()):
+            section.update(sup_stats)
+        workers = parallel_resilience.get("workers")
+        if workers and any(workers.values()):
+            section["workers"] = workers
+        if journal_obj is not None:
+            stats = journal_obj.statistics()
+            stats["replayed"] = journal_replayed
+            section["journal"] = stats
+        fault_stats = faults.statistics()
+        if fault_stats is not None:
+            section["faults"] = fault_stats
+        return section
 
     def run_batched(
         self,
@@ -605,6 +876,7 @@ class CampaignRunner:
         max_workers: Optional[int] = None,
         mp_context: Optional[str] = None,
         sharding: str = SHARDING_AFFINITY,
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> CampaignReport:
         """Execute a campaign in consecutive batches, draining the pool between.
 
@@ -646,6 +918,7 @@ class CampaignRunner:
                         max_workers=max_workers,
                         mp_context=mp_context,
                         sharding=sharding,
+                        supervision=supervision,
                     )
                 )
                 outcomes.extend(reports[-1].outcomes)
@@ -719,10 +992,10 @@ class CampaignRunner:
             max_workers = min(len(scenarios), max(2, os.cpu_count() or 1))
         return max(1, min(max_workers, len(scenarios)))
 
-    def _store_spec(self) -> Optional[Tuple[str, str]]:
+    def _store_spec(self) -> Optional[Tuple[str, str, bool]]:
         if self.store is None:
             return None
-        return (str(self.store.root), self.store.salt)
+        return (str(self.store.root), self.store.salt, self.store.fsync)
 
     def _run_parallel(
         self,
@@ -730,23 +1003,33 @@ class CampaignRunner:
         max_workers: Optional[int],
         mp_context: Optional[str],
         sharding: str,
+        supervision: Optional[SupervisionPolicy] = None,
+        journal: Optional[CampaignJournal] = None,
+        fingerprints: Optional[List[str]] = None,
     ) -> Tuple[
         List[ScenarioOutcome],
         Dict[str, object],
         Dict[str, object],
         Dict[str, object],
+        Dict[str, object],
     ]:
         if sharding == SHARDING_BLIND:
-            return self._run_parallel_blind(scenarios, max_workers, mp_context)
-        return self._run_parallel_affinity(scenarios, max_workers, mp_context)
+            return self._run_parallel_blind(
+                scenarios, max_workers, mp_context, supervision
+            )
+        return self._run_parallel_affinity(
+            scenarios, max_workers, mp_context, supervision, journal, fingerprints
+        )
 
     def _run_parallel_blind(
         self,
         scenarios: Sequence[Scenario],
         max_workers: Optional[int],
         mp_context: Optional[str],
+        supervision: Optional[SupervisionPolicy] = None,
     ) -> Tuple[
         List[ScenarioOutcome],
+        Dict[str, object],
         Dict[str, object],
         Dict[str, object],
         Dict[str, object],
@@ -756,7 +1039,13 @@ class CampaignRunner:
         with context.Pool(
             processes=workers,
             initializer=_init_worker,
-            initargs=(self.pool.cache_limit, self.memoize, self._store_spec()),
+            initargs=(
+                self.pool.cache_limit,
+                self.memoize,
+                self._store_spec(),
+                faults.config_state(),
+                supervision.to_dict() if supervision is not None else None,
+            ),
         ) as pool:
             outcomes = pool.map(_execute_in_worker, scenarios)
         pool_stats = {
@@ -792,84 +1081,289 @@ class CampaignRunner:
                 "note": "blind sharding: aggregated from per-scenario records",
             }
         # Blind workers run untraced (no closing hook to ship events
-        # through, see _init_worker), so there is no worker telemetry.
-        return list(outcomes), pool_stats, store_stats, {}
+        # through, see _init_worker), so there is no worker telemetry —
+        # and no per-worker supervision record (the Pool gives no
+        # closing hook for that either; blind is the PR-1 baseline).
+        return list(outcomes), pool_stats, store_stats, {}, {}
 
     def _run_parallel_affinity(
         self,
         scenarios: Sequence[Scenario],
         max_workers: Optional[int],
         mp_context: Optional[str],
+        supervision: Optional[SupervisionPolicy] = None,
+        journal: Optional[CampaignJournal] = None,
+        fingerprints: Optional[List[str]] = None,
     ) -> Tuple[
         List[ScenarioOutcome],
         Dict[str, object],
         Dict[str, object],
         Dict[str, object],
+        Dict[str, object],
     ]:
+        """The supervised affinity scheduler (parent-side dispatch).
+
+        The parent owns all dispatch bookkeeping: each worker gets a
+        private task queue and asks for work with a ``ready`` message,
+        so at any instant the parent knows exactly which unit every
+        worker holds.  A worker that dies (crash) or stops reporting
+        progress past ``soft_timeout`` (hang — terminated) is replaced:
+        a fresh worker is spawned (up to ``max_respawns`` per campaign)
+        and the dead worker's in-flight unit — minus any outcomes that
+        already arrived — is re-dispatched (up to ``max_redispatches``
+        per unit).  Only when both caps are exhausted do the remaining
+        scenarios fail with a worker-termination outcome.  Worker
+        supervision always runs; the ``supervision`` argument
+        additionally ships scenario-retry policy into the workers and
+        overrides the respawn caps.
+        """
         context = multiprocessing.get_context(mp_context)
         workers = self._worker_count(scenarios, max_workers)
+        policy = supervision if supervision is not None else SupervisionPolicy(max_attempts=1)
+        total = len(scenarios)
         units = _affinity_units(scenarios, workers)
-        tasks = context.Queue()
+        #: Unit table: id -> uncollected indices + per-unit redispatch count.
+        unit_table: Dict[int, Dict[str, object]] = {
+            uid: {"indices": list(unit), "redispatches": 0}
+            for uid, unit in enumerate(units)
+        }
+        pending: List[int] = list(range(len(units)))
+        next_unit_id = len(units)
         results = context.Queue()
-        for unit in units:
-            tasks.put([(index, scenarios[index]) for index in unit])
-        for _ in range(workers):
-            tasks.put(None)
-        processes = [
-            context.Process(
+        fault_state = faults.config_state()
+        supervision_state = (
+            supervision.to_dict() if supervision is not None else None
+        )
+        telemetry_state = telemetry.config_state()
+
+        worker_states: Dict[int, Dict[str, object]] = {}
+        next_worker_id = 0
+
+        def spawn() -> int:
+            nonlocal next_worker_id
+            wid = next_worker_id
+            next_worker_id += 1
+            tasks = context.Queue()
+            process = context.Process(
                 target=_affinity_worker,
                 args=(
-                    worker_id,
+                    wid,
                     tasks,
                     results,
                     self.pool.cache_limit,
                     self.memoize,
                     self._store_spec(),
-                    telemetry.config_state(),
+                    telemetry_state,
+                    fault_state,
+                    supervision_state,
                 ),
                 daemon=True,
             )
-            for worker_id in range(workers)
-        ]
-        for process in processes:
+            worker_states[wid] = {
+                "process": process,
+                "tasks": tasks,
+                "unit": None,
+                "last_seen": time.monotonic(),
+                "state": "running",
+                "stop_sent": False,
+            }
             process.start()
+            return wid
+
+        for _ in range(workers):
+            spawn()
 
         collected: Dict[int, ScenarioOutcome] = {}
         worker_records: List[Dict[str, object]] = []
+        idle: List[int] = []
+        respawned = 0
+        redispatched_units = 0
+        hung_terminated = 0
 
-        def absorb(item: Tuple) -> None:
-            index, payload = item
-            if index is None:
-                worker_records.append(payload)
-            else:
-                collected[index] = payload
-
-        # Drain until every scenario and every worker's closing record
-        # arrived; if all workers died (crash), drain what is left and
-        # fill the gaps with failure outcomes instead of hanging.
-        while len(collected) < len(scenarios) or len(worker_records) < workers:
-            try:
-                absorb(results.get(timeout=1.0))
-            except queue.Empty:
-                if any(process.is_alive() for process in processes):
+        def dispatch(wid: int) -> bool:
+            """Hand the next pending unit to worker ``wid`` (False: none left)."""
+            state = worker_states[wid]
+            while pending:
+                uid = pending.pop(0)
+                remaining = [
+                    index
+                    for index in unit_table[uid]["indices"]
+                    if index not in collected
+                ]
+                if not remaining:
                     continue
-                while True:
-                    try:
-                        absorb(results.get_nowait())
-                    except queue.Empty:
-                        break
-                break
-        for process in processes:
-            process.join()
+                unit_table[uid]["indices"] = remaining
+                state["unit"] = uid
+                state["last_seen"] = time.monotonic()
+                state["tasks"].put(
+                    (uid, [(index, scenarios[index]) for index in remaining])
+                )
+                return True
+            return False
 
-        outcomes = [
-            collected.get(index)
-            or _failed_outcome(
-                scenarios[index],
-                RuntimeError("parallel worker terminated before completing this scenario"),
+        def handle_gone(wid: int, cause: str) -> None:
+            """A worker died or was terminated: re-dispatch, then respawn."""
+            nonlocal respawned, redispatched_units, next_unit_id
+            state = worker_states[wid]
+            state["state"] = "dead"
+            if wid in idle:
+                idle.remove(wid)
+            uid = state["unit"]
+            if uid is not None:
+                entry = unit_table[uid]
+                remaining = [
+                    index for index in entry["indices"] if index not in collected
+                ]
+                if remaining and entry["redispatches"] < policy.max_redispatches:
+                    new_uid = next_unit_id
+                    next_unit_id += 1
+                    unit_table[new_uid] = {
+                        "indices": remaining,
+                        "redispatches": entry["redispatches"] + 1,
+                    }
+                    pending.insert(0, new_uid)
+                    redispatched_units += 1
+                elif remaining:
+                    for index in remaining:
+                        collected[index] = _failed_outcome(
+                            scenarios[index],
+                            RuntimeError(
+                                f"parallel worker {cause} running this scenario; "
+                                "re-dispatch cap reached"
+                            ),
+                        )
+            live = sum(
+                1 for record in worker_states.values() if record["state"] == "running"
             )
-            for index in range(len(scenarios))
-        ]
+            if (
+                len(collected) < total
+                and respawned < policy.max_respawns
+                and live < workers
+            ):
+                spawn()
+                respawned += 1
+                telemetry.get_registry().counter("workers.respawned").inc()
+
+        def absorb(message: Tuple) -> None:
+            kind = message[0]
+            if kind == "ready":
+                wid = message[1]
+                state = worker_states.get(wid)
+                if state is None or state["state"] != "running":
+                    return
+                state["unit"] = None
+                state["last_seen"] = time.monotonic()
+                if not dispatch(wid) and wid not in idle:
+                    idle.append(wid)
+            elif kind == "outcome":
+                _, wid, index, outcome = message
+                collected[index] = outcome
+                state = worker_states.get(wid)
+                if state is not None:
+                    state["last_seen"] = time.monotonic()
+                if (
+                    journal is not None
+                    and fingerprints is not None
+                    and outcome.error is None
+                ):
+                    journal.mark(index, fingerprints[index])
+            else:  # "close"
+                _, wid, record = message
+                worker_records.append(record)
+                state = worker_states.get(wid)
+                if state is not None:
+                    state["state"] = "closed"
+
+        try:
+            while True:
+                if len(collected) >= total:
+                    # Every verdict is in: stop the surviving workers and
+                    # wait for their closing records.
+                    for state in worker_states.values():
+                        if state["state"] == "running" and not state["stop_sent"]:
+                            state["tasks"].put(None)
+                            state["stop_sent"] = True
+                    if all(
+                        state["state"] != "running"
+                        for state in worker_states.values()
+                    ):
+                        break
+                elif pending and idle:
+                    # A re-dispatched unit and an idle worker: pair them
+                    # (idle workers sent their ready before the unit
+                    # re-entered the queue, so the parent must push).
+                    still_idle = [wid for wid in idle if not dispatch(wid)]
+                    idle[:] = still_idle
+                try:
+                    absorb(results.get(timeout=0.2))
+                    continue
+                except queue.Empty:
+                    pass
+                # Watchdog: dead workers (crash) and silent ones (hang).
+                now = time.monotonic()
+                for wid, state in list(worker_states.items()):
+                    if state["state"] != "running":
+                        continue
+                    process = state["process"]
+                    if not process.is_alive():
+                        # Drain whatever the dying worker still flushed
+                        # before judging what is left of its unit.
+                        while True:
+                            try:
+                                absorb(results.get_nowait())
+                            except queue.Empty:
+                                break
+                        if state["state"] == "running":
+                            handle_gone(wid, "died")
+                        continue
+                    if (
+                        policy.soft_timeout is not None
+                        and state["unit"] is not None
+                        and now - state["last_seen"] > policy.soft_timeout
+                    ):
+                        process.terminate()
+                        process.join(timeout=5.0)
+                        hung_terminated += 1
+                        telemetry.get_registry().counter("workers.hung_terminated").inc()
+                        handle_gone(wid, "hung (terminated by watchdog)")
+                if len(collected) < total and not any(
+                    state["state"] == "running" for state in worker_states.values()
+                ):
+                    # No workers left and the respawn budget is spent:
+                    # fail every uncollected scenario instead of hanging.
+                    for index in range(total):
+                        if index not in collected:
+                            collected[index] = _failed_outcome(
+                                scenarios[index],
+                                RuntimeError(
+                                    "parallel worker terminated before completing "
+                                    "this scenario"
+                                ),
+                            )
+        finally:
+            for state in worker_states.values():
+                if state["state"] == "running" and not state["stop_sent"]:
+                    try:
+                        state["tasks"].put_nowait(None)
+                    except (OSError, ValueError):  # pragma: no cover - shutdown race
+                        pass
+            for state in worker_states.values():
+                process = state["process"]
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+
+        outcomes = [collected[index] for index in range(total)]
+        sup_stats = _fresh_sup_stats()
+        for record in worker_records:
+            _merge_sup_stats(sup_stats, record.get("supervision"))
+        parallel_resilience: Dict[str, object] = dict(sup_stats)
+        parallel_resilience["workers"] = {
+            "respawned": respawned,
+            "redispatched_units": redispatched_units,
+            "hung_terminated": hung_terminated,
+        }
         pool_stats = {
             "managers": None,
             "workers": workers,
@@ -907,7 +1401,7 @@ class CampaignRunner:
                 registries[f"w{record.get('worker')}"] = shipped.get("registry")
             if registries:
                 worker_telemetry["registries"] = registries
-        return outcomes, pool_stats, store_stats, worker_telemetry
+        return outcomes, pool_stats, store_stats, worker_telemetry, parallel_resilience
 
 
 def run_campaign(
@@ -917,9 +1411,16 @@ def run_campaign(
     cache_limit: Optional[int] = None,
     store_path: Optional[Union[str, Path]] = None,
     sharding: str = SHARDING_AFFINITY,
+    supervision: Optional[SupervisionPolicy] = None,
+    journal: Optional[Union[str, Path]] = None,
 ) -> CampaignReport:
     """One-shot convenience wrapper around :class:`CampaignRunner`."""
     runner = CampaignRunner(cache_limit=cache_limit, store_path=store_path)
     return runner.run(
-        scenarios, parallel=parallel, max_workers=max_workers, sharding=sharding
+        scenarios,
+        parallel=parallel,
+        max_workers=max_workers,
+        sharding=sharding,
+        supervision=supervision,
+        journal=journal,
     )

@@ -60,10 +60,11 @@ import tempfile
 import time
 import zlib
 from pathlib import Path
-from typing import Dict, Iterable, Optional, Tuple, Union
+from typing import Dict, Iterable, List, Optional, Tuple, Union
 
 from . import codehash
 from .. import telemetry
+from ..resilience import faults
 
 #: Engine-level salt baked into every fingerprint and record envelope.
 #: Bump when the engine's record semantics change (model/kernel/verifier
@@ -81,6 +82,17 @@ _SNAPSHOT_COMPRESSION = 6
 #: writer died between ``mkstemp`` and ``os.replace`` — is swept.  Old
 #: enough that no live writer can still be holding it open.
 TMP_MAX_AGE_SECONDS = 3600.0
+
+#: Cap on quarantined record files kept for forensics: once the
+#: quarantine holds this many, further bad records fall back to the old
+#: overwrite-in-place behaviour instead of growing the directory.
+QUARANTINE_LIMIT = 256
+
+#: Default age (seconds) past which a quarantined record is swept (the
+#: ``sweep_stale_tmp`` aging rule applied to forensic artefacts: long
+#: enough to collect — a week — short enough that a store that keeps
+#: being used never accumulates them indefinitely).
+QUARANTINE_MAX_AGE_SECONDS = 7 * 24 * 3600.0
 
 
 def _canonical_parts(obj: object) -> object:
@@ -151,17 +163,29 @@ class ResultStore:
         root: Union[str, Path],
         salt: str = CODE_SALT,
         tmp_max_age: float = TMP_MAX_AGE_SECONDS,
+        fsync: bool = False,
+        quarantine_limit: int = QUARANTINE_LIMIT,
+        quarantine_max_age: float = QUARANTINE_MAX_AGE_SECONDS,
     ) -> None:
         self.root = Path(root)
         self.salt = salt
         self.tmp_max_age = tmp_max_age
+        #: Durable publishes: fsync the record bytes before the atomic
+        #: rename (off by default — the rename already guarantees no
+        #: partial record is ever visible; fsync additionally survives
+        #: power loss at the cost of one sync per write).
+        self.fsync = fsync
+        self.quarantine_limit = quarantine_limit
+        self.quarantine_max_age = quarantine_max_age
         self._results_dir = self.root / "results"
         self._snapshots_dir = self.root / "snapshots"
+        self._quarantine_dir = self.root / "quarantine"
         self._stats = {
             "results": self._fresh_counters(),
             "snapshots": self._fresh_counters(),
         }
         self._tmp_swept = 0
+        self._quarantine_swept = 0
         # Component hashes are sampled lazily, once per store handle:
         # every lookup through this handle sees one consistent code
         # version (a mid-campaign source edit is picked up by the next
@@ -176,6 +200,7 @@ class ResultStore:
             "stale": 0,
             "invalidated": 0,
             "corrupt": 0,
+            "quarantined": 0,
             "writes": 0,
             "bytes_read": 0,
             "bytes_written": 0,
@@ -225,14 +250,18 @@ class ResultStore:
         fingerprint: str,
         counters: Dict[str, int],
         components: Dict[str, str],
+        path: Optional[Path] = None,
     ) -> Tuple[Optional[Dict[str, object]], str]:
         """Validate a decoded record envelope.
 
         Returns ``(payload, "hit")`` on success, ``(None, failure_class)``
-        otherwise — the failure class is also counted in ``counters``.
+        otherwise — the failure class is also counted in ``counters``,
+        and corrupt/stale files are quarantined (``path`` given) so the
+        evidence survives the recompute-and-republish that follows.
         """
         if not isinstance(envelope, dict) or "payload" not in envelope:
             counters["corrupt"] += 1
+            self._quarantine(path, fingerprint, "corrupt", counters)
             return None, "corrupt"
         if (
             envelope.get("version") != STORE_VERSION
@@ -242,20 +271,87 @@ class ResultStore:
             # A record written by other code (version bump, salt bump,
             # renamed file) — well-formed but not ours to trust.
             counters["stale"] += 1
+            self._quarantine(path, fingerprint, "stale", counters)
             return None, "stale"
         if envelope.get("components", {}) != components:
             # The record is ours, but one of the code components *its*
             # verdict depends on changed since it was written (or it
             # predates dependency tracking).  Surgical invalidation:
             # only records sharing the changed component take this path;
-            # the caller recomputes and overwrites in place.
+            # the caller recomputes and overwrites in place.  *Not*
+            # quarantined: an invalidated record is healthy data made
+            # obsolete by a code edit, not forensic evidence.
             counters["invalidated"] += 1
             return None, "invalidated"
         payload = envelope["payload"]
         if not isinstance(payload, dict):
             counters["corrupt"] += 1
+            self._quarantine(path, fingerprint, "corrupt", counters)
             return None, "corrupt"
         return payload, "hit"
+
+    # ------------------------------------------------------------------
+    # Quarantine
+    # ------------------------------------------------------------------
+    def _quarantine(
+        self,
+        path: Optional[Path],
+        fingerprint: str,
+        reason: str,
+        counters: Dict[str, int],
+    ) -> Optional[Path]:
+        """Move a refused record to ``quarantine/<fingerprint>.<reason>``.
+
+        Corrupt and stale records used to be left in place for the next
+        publish to overwrite — destroying the evidence the fuzz-corpus
+        workflow wants (what *did* the damaged bytes look like?).  The
+        atomic rename preserves them; the caller still recomputes and
+        republishes at the original path.  Capped at
+        ``quarantine_limit`` files (beyond it the old overwrite-in-place
+        behaviour resumes) and swept by age like orphaned temp files.
+        Best-effort: any filesystem refusal leaves the record where it
+        was — quarantine must never turn a refused read into a raise.
+        """
+        if path is None or self.quarantine_limit <= 0:
+            return None
+        try:
+            self._quarantine_dir.mkdir(parents=True, exist_ok=True)
+            self._sweep_quarantine()
+            existing = sum(1 for _ in self._quarantine_dir.iterdir())
+            if existing >= self.quarantine_limit:
+                return None
+            target = self._quarantine_dir / f"{fingerprint}.{reason}"
+            os.replace(path, target)
+        except OSError:
+            return None
+        counters["quarantined"] += 1
+        telemetry.get_registry().counter(f"store.quarantine.{reason}").inc()
+        telemetry.get_registry().gauge("store.quarantine.files").set(existing + 1)
+        return target
+
+    def _sweep_quarantine(self) -> None:
+        """Unlink quarantined records older than ``quarantine_max_age``
+        (the ``sweep_stale_tmp`` aging rule applied to forensics)."""
+        cutoff = time.time() - self.quarantine_max_age
+        try:
+            candidates = list(self._quarantine_dir.iterdir())
+        except OSError:
+            return
+        for candidate in candidates:
+            try:
+                if candidate.stat().st_mtime <= cutoff:
+                    candidate.unlink()
+                    self._quarantine_swept += 1
+            except OSError:
+                continue
+
+    def quarantined_records(self) -> List[Path]:
+        """The quarantined record files, sorted by name (forensics API)."""
+        if not self._quarantine_dir.is_dir():
+            return []
+        return sorted(
+            path for path in self._quarantine_dir.iterdir() if path.is_file()
+        )
 
     def _sweep_stale_tmp(self, directory: Path) -> None:
         """Unlink orphaned ``*.tmp`` files in ``directory`` older than
@@ -278,7 +374,8 @@ class ResultStore:
 
     def sweep_stale_tmp(self) -> int:
         """Sweep orphaned temp files across the whole store; returns the
-        number removed (also counted in :meth:`statistics`)."""
+        number removed (also counted in :meth:`statistics`).  Aged
+        quarantine forensics are swept on the same pass."""
         before = self._tmp_swept
         for family_dir in (self._results_dir, self._snapshots_dir):
             if not family_dir.is_dir():
@@ -286,6 +383,8 @@ class ResultStore:
             for directory in family_dir.iterdir():
                 if directory.is_dir():
                     self._sweep_stale_tmp(directory)
+        if self._quarantine_dir.is_dir():
+            self._sweep_quarantine()
         return self._tmp_swept - before
 
     def _write_record(self, path: Path, data: bytes, counters: Dict[str, int]) -> int:
@@ -301,6 +400,12 @@ class ResultStore:
         try:
             with os.fdopen(fd, "wb") as handle:
                 handle.write(data)
+                if self.fsync:
+                    # Durable publish: the bytes hit the platter before
+                    # the rename makes them visible, so a power cut can
+                    # never leave a visible-but-empty record.
+                    handle.flush()
+                    os.fsync(handle.fileno())
             os.replace(tmp_name, path)
         except BaseException:
             try:
@@ -330,22 +435,30 @@ class ResultStore:
         recompute.
         """
         counters = self._stats["results"]
+        path = self.result_path(fingerprint)
         with telemetry.span("store.read", family="results") as read_span:
             try:
-                data = self.result_path(fingerprint).read_bytes()
+                faults.fire("store.read.results")
+                data = path.read_bytes()
             except OSError:
                 counters["misses"] += 1
                 read_span.set(status="miss")
                 return None
             counters["bytes_read"] += len(data)
+            data = faults.mangle("store.corrupt.results", data)
             try:
                 envelope = json.loads(data)
             except (ValueError, UnicodeDecodeError):
                 counters["corrupt"] += 1
+                self._quarantine(path, fingerprint, "corrupt", counters)
                 read_span.set(status="corrupt", bytes=len(data))
                 return None
             payload, status = self._check_envelope(
-                envelope, fingerprint, counters, self.component_vector(dependencies)
+                envelope,
+                fingerprint,
+                counters,
+                self.component_vector(dependencies),
+                path=path,
             )
             if payload is not None:
                 counters["hits"] += 1
@@ -370,6 +483,7 @@ class ResultStore:
         with telemetry.span(
             "store.write", family="results", bytes=len(data)
         ):
+            faults.fire("store.write.results")
             return self._write_record(
                 self.result_path(fingerprint), data, self._stats["results"]
             )
@@ -384,22 +498,30 @@ class ResultStore:
     ) -> Optional[Dict[str, object]]:
         """The stored snapshot payload for ``fingerprint``, or ``None``."""
         counters = self._stats["snapshots"]
+        path = self.snapshot_path(fingerprint)
         with telemetry.span("store.read", family="snapshots") as read_span:
             try:
-                data = self.snapshot_path(fingerprint).read_bytes()
+                faults.fire("store.read.snapshots")
+                data = path.read_bytes()
             except OSError:
                 counters["misses"] += 1
                 read_span.set(status="miss")
                 return None
             counters["bytes_read"] += len(data)
+            data = faults.mangle("store.corrupt.snapshots", data)
             try:
                 envelope = json.loads(zlib.decompress(data))
             except (zlib.error, ValueError, UnicodeDecodeError):
                 counters["corrupt"] += 1
+                self._quarantine(path, fingerprint, "corrupt", counters)
                 read_span.set(status="corrupt", bytes=len(data))
                 return None
             payload, status = self._check_envelope(
-                envelope, fingerprint, counters, self.component_vector(dependencies)
+                envelope,
+                fingerprint,
+                counters,
+                self.component_vector(dependencies),
+                path=path,
             )
             if payload is not None:
                 counters["hits"] += 1
@@ -427,6 +549,7 @@ class ResultStore:
         with telemetry.span(
             "store.write", family="snapshots", bytes=len(data)
         ):
+            faults.fire("store.write.snapshots")
             return self._write_record(
                 self.snapshot_path(fingerprint), data, self._stats["snapshots"]
             )
@@ -496,6 +619,7 @@ class ResultStore:
                         continue
                     records += 1
             census[family] = {"records": records, "bytes": size}
+        census["quarantine"] = {"records": len(self.quarantined_records())}
         return census
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -663,18 +663,31 @@ def cached_extract_steppers(
             started = time.perf_counter()
             with telemetry.span("snapshot.pack", manager=manager, role=role):
                 blob = _serialize_stepper_payload(manager, payload, prefix)
-                written = snapshot_store.save_snapshot(
-                    snapshot_store.fingerprint_for(key), blob, dependencies
-                )
-            snapshot_info[role] = {
-                "status": "saved",
-                "seconds": round(time.perf_counter() - started, 4),
-                "nodes": blob.get("nodes", 0),
-                # ``bytes`` predates the schema normalization; the
-                # canonical spelling matches the store counters.
-                "bytes": written,
-                "bytes_written": written,
-            }
+                try:
+                    written = snapshot_store.save_snapshot(
+                        snapshot_store.fingerprint_for(key), blob, dependencies
+                    )
+                except OSError as error:
+                    # A snapshot is a cache, never the verdict: a failed
+                    # publish (full disk, injected I/O fault) degrades
+                    # this extraction to unsnapshotted and the scenario
+                    # carries on — a later process just re-extracts.
+                    written = None
+                    snapshot_info[role] = {
+                        "status": "write_failed",
+                        "error": f"{type(error).__name__}: {error}",
+                        "seconds": round(time.perf_counter() - started, 4),
+                    }
+            if written is not None:
+                snapshot_info[role] = {
+                    "status": "saved",
+                    "seconds": round(time.perf_counter() - started, 4),
+                    "nodes": blob.get("nodes", 0),
+                    # ``bytes`` predates the schema normalization; the
+                    # canonical spelling matches the store counters.
+                    "bytes": written,
+                    "bytes_written": written,
+                }
         return stepper
 
     # Extraction order is fixed (specification first) so pooled and

@@ -1,0 +1,56 @@
+"""Resilience layer: fault injection, supervised retry, checkpoint/resume.
+
+The campaign engine's standing invariant is *byte-identical verdicts on
+every path*; this package extends "every path" to the failure paths.
+Three pieces, all deterministic and all off-by-default-free:
+
+* :mod:`repro.resilience.faults` — a seeded fault-injection harness
+  wrapping the engine's seams (store read/write I/O, record corruption,
+  worker crash/hang, scenario exceptions).  A :class:`FaultPlan` is a
+  pure function of ``(seed, site, invocation_index)``; disabled
+  injection costs one module-global read (telemetry's NULL_SPAN
+  pattern).
+* :mod:`repro.resilience.supervision` — the :class:`SupervisionPolicy`
+  behind the runner's bounded retries with seeded exponential backoff,
+  store-write retry, affinity-worker respawn and the hung-worker
+  watchdog.
+* :mod:`repro.resilience.journal` — the :class:`CampaignJournal`:
+  append-only JSONL completion marks that let an interrupted campaign
+  resume executing only unfinished scenarios, with the content-
+  addressed store guaranteeing the replayed verdicts byte-identical.
+
+The engine imports this package; this package imports nothing from the
+engine (plain data crosses the boundary), mirroring how
+:mod:`repro.telemetry` stays a leaf dependency.
+"""
+
+from .faults import (
+    CRASH_EXIT_CODE,
+    FAULT_KINDS,
+    FAULT_SITES,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedError,
+    InjectedFault,
+    InjectedIOError,
+)
+from .journal import CampaignJournal
+from .supervision import SupervisionPolicy, transient
+from . import faults
+
+__all__ = [
+    "CRASH_EXIT_CODE",
+    "CampaignJournal",
+    "FAULT_KINDS",
+    "FAULT_SITES",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedError",
+    "InjectedFault",
+    "InjectedIOError",
+    "SupervisionPolicy",
+    "faults",
+    "transient",
+]

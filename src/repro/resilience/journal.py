@@ -1,0 +1,180 @@
+"""Campaign checkpoint journal: crash-consistent completion marks.
+
+A :class:`CampaignJournal` is an append-only JSONL file recording which
+scenarios of one campaign have *completed* — their verdict computed and
+(when a store is attached) published.  An interrupted campaign resumed
+against the same journal replays only unfinished work: the runner
+serves journalled scenarios straight from the persistent result store
+(whose content addressing guarantees the replayed verdicts are
+byte-identical to what the interrupted run computed) and executes the
+rest.  The journal is a *hint*, never an authority: if a journalled
+scenario's store record is missing, stale or invalidated by a code
+edit, the runner simply re-executes it — a lying or deleted journal can
+cost recomputation, never a wrong verdict.
+
+File format (one JSON object per line)::
+
+    {"type": "campaign", "key": "<campaign key>", "total": 12}
+    {"type": "done", "index": 0, "fingerprint": "<scenario fingerprint>"}
+    ...
+
+The header's ``key`` identifies the campaign (the runner derives it
+from the ordered scenario fingerprints, see
+:func:`repro.engine.scenario.campaign_fingerprint`); opening a journal
+whose header disagrees with the requested key starts fresh — a journal
+can never leak completion marks across different campaigns.  Marks are
+appended and flushed one line at a time, so a campaign killed at any
+instant leaves at worst one truncated final line, which :meth:`load`
+skips — everything before it replays.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Set, Tuple, Union
+
+__all__ = ["CampaignJournal"]
+
+
+class CampaignJournal:
+    """Append-only completion journal of one campaign (see module doc)."""
+
+    def __init__(
+        self,
+        path: Union[str, Path],
+        key: str,
+        total: int,
+        fsync: bool = False,
+    ) -> None:
+        self.path = Path(path)
+        self.key = key
+        self.total = total
+        #: Whether every mark is fsynced (durability against power loss;
+        #: off by default — the atomic store publish is the authority).
+        self.fsync = fsync
+        #: Completed scenario fingerprints replayable on resume.
+        self.completed: Set[str] = set()
+        #: Whether this journal resumed an existing compatible file.
+        self.resumed = False
+        self._handle = None
+        self._load_or_start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _load_or_start(self) -> None:
+        existing = self._read_compatible()
+        if existing is not None:
+            self.completed, valid_bytes = existing
+            self.resumed = True
+            # Drop any torn tail before appending: a line the writer
+            # died inside must not have new marks glued onto it.
+            with open(self.path, "r+b") as handle:
+                handle.truncate(valid_bytes)
+            self._handle = open(self.path, "a", encoding="utf-8")
+            return
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._handle = open(self.path, "w", encoding="utf-8")
+        self._append({"type": "campaign", "key": self.key, "total": self.total})
+
+    def _read_compatible(self) -> Optional[Tuple[Set[str], int]]:
+        """Completion marks of an existing journal for *this* campaign.
+
+        ``None`` when the file is absent, unreadable, or belongs to a
+        different campaign (key or total mismatch) — the caller then
+        truncates and starts fresh.  Otherwise returns the marks plus
+        the byte length of the committed prefix: a torn final line (the
+        writer died mid-append, no trailing newline or unparseable) is
+        excluded; every whole line before it counts.
+        """
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return None
+        completed: Set[str] = set()
+        header: Optional[Dict[str, object]] = None
+        valid_bytes = 0
+        for raw in text.splitlines(keepends=True):
+            line = raw.strip()
+            if not raw.endswith("\n"):
+                # The final line never got its newline: a torn append.
+                break
+            if not line:
+                valid_bytes += len(raw.encode("utf-8"))
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                # A torn write: ignore this line and everything after
+                # (later lines could only exist if this one were whole).
+                break
+            if not isinstance(record, dict):
+                break
+            if header is None:
+                if record.get("type") != "campaign":
+                    return None
+                if record.get("key") != self.key or record.get("total") != self.total:
+                    return None
+                header = record
+            elif record.get("type") == "done":
+                fingerprint = record.get("fingerprint")
+                if isinstance(fingerprint, str):
+                    completed.add(fingerprint)
+            valid_bytes += len(raw.encode("utf-8"))
+        if header is None:
+            return None
+        return completed, valid_bytes
+
+    def _append(self, record: Dict[str, object]) -> None:
+        assert self._handle is not None
+        self._handle.write(json.dumps(record, sort_keys=True) + "\n")
+        self._handle.flush()
+        if self.fsync:
+            os.fsync(self._handle.fileno())
+
+    # ------------------------------------------------------------------
+    # Marks
+    # ------------------------------------------------------------------
+    def mark(self, index: int, fingerprint: str) -> None:
+        """Record scenario ``index`` (store key ``fingerprint``) complete."""
+        if fingerprint in self.completed:
+            return
+        self.completed.add(fingerprint)
+        self._append({"type": "done", "index": index, "fingerprint": fingerprint})
+
+    def is_complete(self, fingerprint: str) -> bool:
+        return fingerprint in self.completed
+
+    @property
+    def remaining(self) -> int:
+        return max(0, self.total - len(self.completed))
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "CampaignJournal":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.close()
+        return False
+
+    def statistics(self) -> Dict[str, object]:
+        """Measurement record for the campaign report."""
+        return {
+            "path": str(self.path),
+            "key": self.key,
+            "total": self.total,
+            "completed": len(self.completed),
+            "resumed": self.resumed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<CampaignJournal path={str(self.path)!r} "
+            f"{len(self.completed)}/{self.total} complete>"
+        )

@@ -242,6 +242,30 @@ def find_anomalies(events: Sequence[Dict[str, object]]) -> List[Dict[str, object
                     ),
                 }
             )
+
+    # Supervised retries: each supervision.retry span is a scenario
+    # attempt that failed transiently and was re-run.  One anomaly
+    # record aggregates the campaign (retries are by design bounded and
+    # rare; any non-zero count is worth a flag, not an alarm per event).
+    retries = [event for event in spans if event.get("name") == "supervision.retry"]
+    if retries:
+        attrs = [event.get("attrs") or {} for event in retries]
+        backoff = sum(float(record.get("backoff", 0.0)) for record in attrs)
+        anomalies.append(
+            {
+                "kind": "supervised-retries",
+                "count": len(retries),
+                "backoff_seconds": round(backoff, 4),
+                "scenarios": sorted(
+                    {str(record.get("scenario", "?")) for record in attrs}
+                ),
+                "detail": (
+                    f"{len(retries)} supervised scenario retry(ies) "
+                    f"({backoff:.3f}s total backoff) — transient failures "
+                    "were absorbed; verdicts are unaffected"
+                ),
+            }
+        )
     return anomalies
 
 

@@ -333,6 +333,132 @@ class TestTmpSweep:
         assert not fresh.exists()
 
 
+class TestQuarantine:
+    """Refused records become forensic evidence instead of being
+    silently overwritten: corrupt/stale files move to ``quarantine/``
+    (atomic rename), capped in count and swept by age."""
+
+    def corrupt_record(self, tmp_path, index=0, data=b"{ not json"):
+        store = ResultStore(tmp_path / "store")
+        fingerprint = CAMPAIGN[index].fingerprint(store.salt)
+        store.result_path(fingerprint).write_bytes(data)
+        return fingerprint
+
+    def test_corrupt_record_is_quarantined_and_healed(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        fingerprint = self.corrupt_record(tmp_path)
+        recovered = run_with_store(tmp_path)
+        assert recovered.verdict_json() == cold.verdict_json()
+        assert recovered.store["results"]["corrupt"] == 1
+        assert recovered.store["results"]["quarantined"] == 1
+        quarantined = ResultStore(tmp_path / "store").quarantined_records()
+        assert [p.name for p in quarantined] == [f"{fingerprint}.corrupt"]
+        # The evidence survived verbatim while the record healed in place.
+        assert quarantined[0].read_bytes() == b"{ not json"
+        healed = run_with_store(tmp_path)
+        assert healed.store["results"]["hits"] == len(CAMPAIGN)
+
+    def test_stale_envelope_is_quarantined_with_reason(self, tmp_path):
+        run_with_store(tmp_path)
+        store = ResultStore(tmp_path / "store")
+        fingerprint = CAMPAIGN[0].fingerprint(store.salt)
+        path = store.result_path(fingerprint)
+        envelope = json.loads(path.read_bytes())
+        envelope["salt"] = "some-other-code-version"
+        path.write_bytes(json.dumps(envelope).encode())
+        recovered = run_with_store(tmp_path)
+        assert recovered.store["results"]["stale"] == 1
+        names = [p.name for p in ResultStore(tmp_path / "store").quarantined_records()]
+        assert names == [f"{fingerprint}.stale"]
+
+    def test_quarantine_census_in_disk_statistics(self, tmp_path):
+        run_with_store(tmp_path)
+        self.corrupt_record(tmp_path)
+        run_with_store(tmp_path)
+        census = ResultStore(tmp_path / "store").disk_statistics()
+        assert census["quarantine"]["records"] == 1
+
+    def test_cap_falls_back_to_overwrite_in_place(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        self.corrupt_record(tmp_path, index=0)
+        self.corrupt_record(tmp_path, index=1)
+        runner = CampaignRunner(
+            store=ResultStore(tmp_path / "store", quarantine_limit=1)
+        )
+        recovered = runner.run(CAMPAIGN)
+        assert recovered.verdict_json() == cold.verdict_json()
+        assert recovered.store["results"]["corrupt"] == 2
+        # Only one made the quarantine; the other healed the old way.
+        assert recovered.store["results"]["quarantined"] == 1
+        assert len(ResultStore(tmp_path / "store").quarantined_records()) == 1
+        healed = run_with_store(tmp_path)
+        assert healed.store["results"]["hits"] == len(CAMPAIGN)
+
+    def test_disabled_quarantine_keeps_old_behaviour(self, tmp_path):
+        run_with_store(tmp_path)
+        self.corrupt_record(tmp_path)
+        runner = CampaignRunner(
+            store=ResultStore(tmp_path / "store", quarantine_limit=0)
+        )
+        recovered = runner.run(CAMPAIGN)
+        assert recovered.store["results"]["corrupt"] == 1
+        assert recovered.store["results"]["quarantined"] == 0
+        assert ResultStore(tmp_path / "store").quarantined_records() == []
+
+    def test_aged_forensics_are_swept(self, tmp_path):
+        import os
+        import time
+
+        run_with_store(tmp_path)
+        self.corrupt_record(tmp_path)
+        run_with_store(tmp_path)
+        [artefact] = ResultStore(tmp_path / "store").quarantined_records()
+        stamp = time.time() - 3600.0
+        os.utime(artefact, (stamp, stamp))
+        keeper = ResultStore(tmp_path / "store", quarantine_max_age=7200.0)
+        keeper.sweep_stale_tmp()
+        assert keeper.quarantined_records() == [artefact]
+        sweeper = ResultStore(tmp_path / "store", quarantine_max_age=1800.0)
+        sweeper.sweep_stale_tmp()
+        assert sweeper.quarantined_records() == []
+
+
+class TestDurabilityAndInterrupt:
+    """fsync publishes and interrupted campaigns leave a usable store."""
+
+    def test_fsync_store_serves_byte_identical_verdicts(self, tmp_path):
+        cold = run_with_store(tmp_path)
+        durable_root = tmp_path / "durable"
+        durable_cold = CampaignRunner(
+            store=ResultStore(durable_root, fsync=True)
+        ).run(CAMPAIGN)
+        durable_warm = CampaignRunner(
+            store=ResultStore(durable_root, fsync=True)
+        ).run(CAMPAIGN)
+        assert durable_cold.verdict_json() == cold.verdict_json()
+        assert durable_warm.verdict_json() == cold.verdict_json()
+        assert durable_warm.store["results"]["hits"] == len(CAMPAIGN)
+
+    def test_injected_interrupt_leaves_no_partial_records(self, tmp_path):
+        from repro.resilience import FaultPlan, FaultSpec, faults
+
+        cold = run_with_store(tmp_path / "clean")
+        plan = FaultPlan(
+            seed=7,
+            sites={"scenario.run": FaultSpec(kind="interrupt", at=(1,))},
+        )
+        with faults.active(plan):
+            with pytest.raises(KeyboardInterrupt):
+                run_with_store(tmp_path)
+        # The kill published only whole records: no temp litter, and the
+        # scenario that completed before the interrupt serves warm.
+        assert list((tmp_path / "store").rglob("*.tmp")) == []
+        resumed = run_with_store(tmp_path)
+        assert resumed.verdict_json() == cold.verdict_json()
+        assert resumed.store["results"]["hits"] == 1
+        assert resumed.store["results"]["misses"] == len(CAMPAIGN) - 1
+
+
 class TestReportPlumbing:
     def test_report_json_carries_store_and_snapshot_records(self, tmp_path):
         cold = run_with_store(tmp_path)
